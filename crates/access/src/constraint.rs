@@ -1,0 +1,213 @@
+//! Access constraints `R(X → Y, N)`.
+
+use beas_common::{BeasError, Result, TableSchema};
+use std::fmt;
+
+/// One access constraint `R(X → Y, N)` over a relation `R`:
+///
+/// * **cardinality** — for any `X`-value in a conforming instance there are
+///   at most `N` distinct associated `Y`-values;
+/// * **index** — an index on `X` for `Y` retrieves those values by accessing
+///   at most `N` tuples (built separately, see
+///   [`AccessIndexes`](crate::indexes::AccessIndexes)).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AccessConstraint {
+    /// Relation name.
+    pub table: String,
+    /// Key attributes `X`.
+    pub x: Vec<String>,
+    /// Fetched attributes `Y`.
+    pub y: Vec<String>,
+    /// Cardinality bound `N`.
+    pub n: u64,
+}
+
+impl AccessConstraint {
+    /// Build a constraint, normalising attribute names to lower case.
+    pub fn new<S: AsRef<str>>(table: &str, x: &[S], y: &[S], n: u64) -> Result<Self> {
+        if x.is_empty() || y.is_empty() {
+            return Err(BeasError::invalid_argument(
+                "access constraint needs non-empty X and Y attribute sets",
+            ));
+        }
+        if n == 0 {
+            return Err(BeasError::invalid_argument(
+                "access constraint bound N must be at least 1",
+            ));
+        }
+        let norm = |v: &[S]| -> Vec<String> {
+            let mut out: Vec<String> = v.iter().map(|s| s.as_ref().to_ascii_lowercase()).collect();
+            out.dedup();
+            out
+        };
+        Ok(AccessConstraint {
+            table: table.to_ascii_lowercase(),
+            x: norm(x),
+            y: norm(y),
+            n,
+        })
+    }
+
+    /// A stable identifier for the constraint, used as the index key in the
+    /// AS catalog, e.g. `call(pnum,date->recnum,region)`.
+    pub fn id(&self) -> String {
+        format!(
+            "{}({}->{})",
+            self.table,
+            self.x.join(","),
+            self.y.join(",")
+        )
+    }
+
+    /// Check that every referenced attribute exists in `schema` and that the
+    /// schema belongs to the constrained table.
+    pub fn validate_against(&self, schema: &TableSchema) -> Result<()> {
+        if schema.name != self.table {
+            return Err(BeasError::invalid_argument(format!(
+                "constraint {} validated against schema of table {:?}",
+                self, schema.name
+            )));
+        }
+        for col in self.x.iter().chain(self.y.iter()) {
+            if schema.column_index(col).is_none() {
+                return Err(BeasError::invalid_argument(format!(
+                    "constraint {} references unknown column {:?}",
+                    self, col
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether `columns` ⊆ `Y ∪ X` — i.e. fetching through this constraint
+    /// (and knowing the key) yields every listed attribute.
+    pub fn provides_columns(&self, columns: &[String]) -> bool {
+        columns.iter().all(|c| {
+            let c = c.to_ascii_lowercase();
+            self.y.contains(&c) || self.x.contains(&c)
+        })
+    }
+
+    /// Parse the textual form produced by [`fmt::Display`], e.g.
+    /// `call(pnum, date -> recnum, region, 500)`.
+    pub fn parse(s: &str) -> Result<Self> {
+        let s = s.trim();
+        let open = s
+            .find('(')
+            .ok_or_else(|| BeasError::parse(format!("invalid access constraint: {s:?}")))?;
+        if !s.ends_with(')') {
+            return Err(BeasError::parse(format!("invalid access constraint: {s:?}")));
+        }
+        let table = &s[..open];
+        let body = &s[open + 1..s.len() - 1];
+        let arrow = body
+            .find("->")
+            .ok_or_else(|| BeasError::parse(format!("missing `->` in constraint: {s:?}")))?;
+        let x: Vec<String> = body[..arrow]
+            .split(',')
+            .map(|p| p.trim().to_string())
+            .filter(|p| !p.is_empty())
+            .collect();
+        let rest: Vec<String> = body[arrow + 2..]
+            .split(',')
+            .map(|p| p.trim().to_string())
+            .filter(|p| !p.is_empty())
+            .collect();
+        if rest.len() < 2 {
+            return Err(BeasError::parse(format!(
+                "constraint must end with a cardinality bound: {s:?}"
+            )));
+        }
+        let (y, n_str) = rest.split_at(rest.len() - 1);
+        let n: u64 = n_str[0]
+            .parse()
+            .map_err(|_| BeasError::parse(format!("invalid bound {:?} in constraint {s:?}", n_str[0])))?;
+        AccessConstraint::new(table, &x, &y.to_vec(), n)
+    }
+}
+
+impl fmt::Display for AccessConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}({} -> {}, {})",
+            self.table,
+            self.x.join(", "),
+            self.y.join(", "),
+            self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beas_common::{ColumnDef, DataType};
+
+    fn psi1() -> AccessConstraint {
+        AccessConstraint::new(
+            "call",
+            &["pnum", "date"],
+            &["recnum", "region"],
+            500,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_display() {
+        let c = psi1();
+        assert_eq!(c.to_string(), "call(pnum, date -> recnum, region, 500)");
+        assert_eq!(c.id(), "call(pnum,date->recnum,region)");
+        assert!(AccessConstraint::new::<&str>("t", &[], &["y"], 5).is_err());
+        assert!(AccessConstraint::new("t", &["x"], &["y"], 0).is_err());
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let c = psi1();
+        let parsed = AccessConstraint::parse(&c.to_string()).unwrap();
+        assert_eq!(parsed, c);
+        assert!(AccessConstraint::parse("garbage").is_err());
+        assert!(AccessConstraint::parse("call(pnum -> recnum)").is_err());
+        assert!(AccessConstraint::parse("call(pnum -> recnum, notanumber)").is_err());
+        let p2 = AccessConstraint::parse("package(pnum, year -> pid, start, end, 12)").unwrap();
+        assert_eq!(p2.y, vec!["pid", "start", "end"]);
+        assert_eq!(p2.n, 12);
+    }
+
+    #[test]
+    fn validate_against_schema() {
+        let schema = TableSchema::new(
+            "call",
+            vec![
+                ColumnDef::new("pnum", DataType::Str),
+                ColumnDef::new("recnum", DataType::Str),
+                ColumnDef::new("date", DataType::Date),
+                ColumnDef::new("region", DataType::Str),
+            ],
+        )
+        .unwrap();
+        assert!(psi1().validate_against(&schema).is_ok());
+        let bad = AccessConstraint::new("call", &["pnum"], &["nonexistent"], 10).unwrap();
+        assert!(bad.validate_against(&schema).is_err());
+        let wrong_table = AccessConstraint::new("sms", &["pnum"], &["recnum"], 10).unwrap();
+        assert!(wrong_table.validate_against(&schema).is_err());
+    }
+
+    #[test]
+    fn provides_columns() {
+        let c = psi1();
+        assert!(c.provides_columns(&["recnum".into()]));
+        assert!(c.provides_columns(&["region".into(), "pnum".into()]));
+        assert!(!c.provides_columns(&["duration".into()]));
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let c = AccessConstraint::new("CALL", &["PNUM"], &["Region"], 5).unwrap();
+        assert_eq!(c.table, "call");
+        assert_eq!(c.x, vec!["pnum"]);
+        assert_eq!(c.y, vec!["region"]);
+    }
+}

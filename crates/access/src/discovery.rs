@@ -1,0 +1,476 @@
+//! Access-schema discovery.
+//!
+//! The paper's Discovery module "automatically discovers an access schema
+//! from real-life datasets", optimizing over (a) the performance of bounded
+//! evaluation of the query load, (b) a storage limit for indices, (c)
+//! historical query patterns and (d) statistics of the datasets.  The precise
+//! algorithm is deferred to a later publication, so this implementation is a
+//! faithful instantiation of that multi-criteria description:
+//!
+//! 1. **Candidate generation** from the query workload: for every table in a
+//!    query, attributes bound to constants (or reachable through equi-joins)
+//!    form candidate key sets `X`, and the attributes of that table the query
+//!    actually uses form the candidate fetch sets `Y`.
+//! 2. **Profiling** against the data: the observed maximum group cardinality
+//!    gives the tightest `N`, and building the index gives its storage cost.
+//! 3. **Greedy selection** under the storage budget, ranking candidates by
+//!    (queries helped) / (index bytes).
+
+use crate::constraint::AccessConstraint;
+use crate::schema::AccessSchema;
+use crate::indexes::build_index;
+use beas_common::{BeasError, Result};
+use beas_sql::{parse_select, QueryShape, SchemaProvider, SelectStatement};
+use beas_storage::{Database, TableStatistics};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Configuration of the discovery run.
+#[derive(Debug, Clone)]
+pub struct DiscoveryConfig {
+    /// Maximum total index storage in bytes (`None` = unlimited).
+    pub storage_budget_bytes: Option<usize>,
+    /// Candidates whose observed cardinality exceeds this bound are discarded
+    /// (an access constraint with a huge `N` gives no useful bound).
+    pub max_bound: u64,
+    /// Multiplicative headroom applied to the observed cardinality when
+    /// setting `N` (the paper's bounds are "aggregated from historical
+    /// datasets", i.e. not exact maxima of the current instance).
+    pub headroom: f64,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig {
+            storage_budget_bytes: None,
+            max_bound: 100_000,
+            headroom: 1.25,
+        }
+    }
+}
+
+/// One profiled candidate constraint.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The candidate constraint (with its profiled bound).
+    pub constraint: AccessConstraint,
+    /// Observed maximum cardinality on the data.
+    pub observed_max: usize,
+    /// Estimated index size in bytes.
+    pub index_bytes: usize,
+    /// Number of workload queries that generated this candidate.
+    pub queries_helped: usize,
+}
+
+/// The outcome of a discovery run.
+#[derive(Debug, Clone, Default)]
+pub struct DiscoveryReport {
+    /// All candidates considered, in scoring order.
+    pub candidates: Vec<Candidate>,
+    /// Ids of the selected candidates.
+    pub selected: Vec<String>,
+    /// Total estimated index bytes of the selection.
+    pub total_bytes: usize,
+}
+
+/// Discover an access schema from a dataset and a SQL workload.
+pub fn discover(
+    db: &Database,
+    workload: &[String],
+    config: &DiscoveryConfig,
+) -> Result<(AccessSchema, DiscoveryReport)> {
+    let statements: Vec<SelectStatement> = workload
+        .iter()
+        .map(|sql| parse_select(sql))
+        .collect::<Result<_>>()?;
+    discover_from_statements(db, &statements, config)
+}
+
+/// Discover an access schema from already-parsed query patterns.
+pub fn discover_from_statements(
+    db: &Database,
+    workload: &[SelectStatement],
+    config: &DiscoveryConfig,
+) -> Result<(AccessSchema, DiscoveryReport)> {
+    if config.headroom < 1.0 {
+        return Err(BeasError::invalid_argument(
+            "discovery headroom must be >= 1.0",
+        ));
+    }
+    // candidate key -> (constraint shape, #queries)
+    let mut raw: BTreeMap<String, (String, Vec<String>, Vec<String>, usize)> = BTreeMap::new();
+    for stmt in workload {
+        for (table, x, y) in candidates_for_statement(db, stmt) {
+            let c = AccessConstraint::new(&table, &x, &y, 1)?;
+            let entry = raw
+                .entry(c.id())
+                .or_insert_with(|| (table.clone(), x.clone(), y.clone(), 0));
+            entry.3 += 1;
+        }
+    }
+
+    // Profile candidates against the data.
+    let mut candidates = Vec::new();
+    for (_, (table, x, y, helped)) in raw {
+        let Ok(tbl) = db.table(&table) else { continue };
+        let observed = TableStatistics::max_group_cardinality(tbl, &x, &y)?;
+        if observed == 0 {
+            continue; // empty table: nothing to learn
+        }
+        if observed as u64 > config.max_bound {
+            continue; // not a useful cardinality constraint
+        }
+        let n = ((observed as f64 * config.headroom).ceil() as u64).max(observed as u64);
+        let constraint = AccessConstraint::new(&table, &x, &y, n)?;
+        let index_bytes = build_index(db, &constraint)?.estimated_bytes();
+        candidates.push(Candidate {
+            constraint,
+            observed_max: observed,
+            index_bytes,
+            queries_helped: helped,
+        });
+    }
+
+    // Rank by benefit per byte (queries helped per KiB, ties by smaller size).
+    candidates.sort_by(|a, b| {
+        let score = |c: &Candidate| c.queries_helped as f64 / (c.index_bytes.max(1) as f64);
+        score(b)
+            .partial_cmp(&score(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.index_bytes.cmp(&b.index_bytes))
+    });
+
+    // Greedy selection under the storage budget.
+    let mut schema = AccessSchema::new();
+    let mut report = DiscoveryReport {
+        candidates: candidates.clone(),
+        ..Default::default()
+    };
+    for cand in &candidates {
+        if let Some(budget) = config.storage_budget_bytes {
+            if report.total_bytes + cand.index_bytes > budget {
+                continue;
+            }
+        }
+        schema.add(cand.constraint.clone());
+        report.selected.push(cand.constraint.id());
+        report.total_bytes += cand.index_bytes;
+    }
+    Ok((schema, report))
+}
+
+/// Generate candidate `(table, X, Y)` triples from one query pattern.
+fn candidates_for_statement(
+    db: &Database,
+    stmt: &SelectStatement,
+) -> Vec<(String, Vec<String>, Vec<String>)> {
+    // Map alias -> table name for every factor the database knows about.
+    let mut alias_to_table = BTreeMap::new();
+    for t in stmt.from.iter().chain(stmt.joins.iter().map(|j| &j.table)) {
+        if db.has_table(&t.name) {
+            alias_to_table.insert(
+                t.effective_alias().to_ascii_lowercase(),
+                t.name.to_ascii_lowercase(),
+            );
+        }
+    }
+    if alias_to_table.is_empty() {
+        return Vec::new();
+    }
+    let single_alias = if alias_to_table.len() == 1 {
+        alias_to_table.keys().next().cloned()
+    } else {
+        None
+    };
+    // Merge WHERE with JOIN ON conditions for the shape analysis.
+    let mut selection = stmt.selection.clone();
+    for j in &stmt.joins {
+        selection = Some(match selection {
+            Some(s) => beas_sql::ast::Expr::and(s, j.on.clone()),
+            None => j.on.clone(),
+        });
+    }
+    let shape = QueryShape::from_selection(selection.as_ref());
+
+    // Which alias a (possibly unqualified) column reference belongs to.
+    let resolve_alias = |qual: &Option<String>, col: &str| -> Option<String> {
+        match qual {
+            Some(a) => {
+                let a = a.to_ascii_lowercase();
+                alias_to_table.contains_key(&a).then_some(a)
+            }
+            None => {
+                if let Some(a) = &single_alias {
+                    return Some(a.clone());
+                }
+                // unique table containing this column
+                let matches: Vec<&String> = alias_to_table
+                    .iter()
+                    .filter(|(_, tbl)| {
+                        db.table_schema(*tbl)
+                            .map(|s| s.column_index(col).is_some())
+                            .unwrap_or(false)
+                    })
+                    .map(|(a, _)| a)
+                    .collect();
+                (matches.len() == 1).then(|| matches[0].clone())
+            }
+        }
+    };
+
+    // Per alias: constant-bound columns, join columns, and all used columns.
+    let mut bound: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut join_cols: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut used: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let note_used = |alias: &str, col: &str, used: &mut BTreeMap<String, BTreeSet<String>>| {
+        used.entry(alias.to_string())
+            .or_default()
+            .insert(col.to_ascii_lowercase());
+    };
+    for ((qual, col), _) in shape
+        .constant_bindings
+        .iter()
+        .map(|(c, v)| (c.clone(), v.clone()))
+        .chain(shape.in_list_bindings.iter().map(|(c, v)| {
+            (c.clone(), v.first().cloned().unwrap_or(beas_common::Value::Null))
+        }))
+    {
+        if let Some(alias) = resolve_alias(&qual, &col) {
+            bound.entry(alias.clone()).or_default().insert(col.clone());
+            note_used(&alias, &col, &mut used);
+        }
+    }
+    for (l, r) in &shape.equalities {
+        for (qual, col) in [l, r] {
+            if let Some(alias) = resolve_alias(qual, col) {
+                join_cols.entry(alias.clone()).or_default().insert(col.clone());
+                note_used(&alias, col, &mut used);
+            }
+        }
+    }
+    for (qc, _) in &shape.filters {
+        if let Some(alias) = resolve_alias(&qc.0, &qc.1) {
+            note_used(&alias, &qc.1, &mut used);
+        }
+    }
+    // Output columns.
+    for item in &stmt.projection {
+        if let beas_sql::ast::SelectItem::Expr { expr, .. } = item {
+            for (qual, col) in expr.column_refs() {
+                if let Some(alias) = resolve_alias(&qual, &col) {
+                    note_used(&alias, &col, &mut used);
+                }
+            }
+        }
+    }
+    // GROUP BY / ORDER BY columns.
+    for e in stmt.group_by.iter().chain(stmt.order_by.iter().map(|o| &o.expr)) {
+        for (qual, col) in e.column_refs() {
+            if let Some(alias) = resolve_alias(&qual, &col) {
+                note_used(&alias, &col, &mut used);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (alias, table) in &alias_to_table {
+        let used_cols: Vec<String> = used.get(alias).map(|s| s.iter().cloned().collect()).unwrap_or_default();
+        if used_cols.is_empty() {
+            continue;
+        }
+        let bound_cols: Vec<String> = bound.get(alias).map(|s| s.iter().cloned().collect()).unwrap_or_default();
+        let jcols: Vec<String> = join_cols.get(alias).map(|s| s.iter().cloned().collect()).unwrap_or_default();
+
+        let push_candidate = |x: Vec<String>, out: &mut Vec<_>| {
+            if x.is_empty() {
+                return;
+            }
+            let y: Vec<String> = used_cols.iter().filter(|c| !x.contains(c)).cloned().collect();
+            if y.is_empty() {
+                return;
+            }
+            out.push((table.clone(), x, y));
+        };
+
+        // X = constant-bound columns.
+        push_candidate(bound_cols.clone(), &mut out);
+        // X = constant-bound columns + each join column (the "fetch by key
+        // propagated through a join" pattern of Example 2).
+        for jc in &jcols {
+            let mut x = bound_cols.clone();
+            if !x.contains(jc) {
+                x.push(jc.clone());
+            }
+            x.sort();
+            push_candidate(x, &mut out);
+        }
+        // X = each join column alone.
+        for jc in &jcols {
+            push_candidate(vec![jc.clone()], &mut out);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beas_common::{ColumnDef, DataType, TableSchema, Value};
+    use beas_sql::SchemaProvider;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "call",
+                vec![
+                    ColumnDef::new("pnum", DataType::Str),
+                    ColumnDef::new("recnum", DataType::Str),
+                    ColumnDef::new("date", DataType::Date),
+                    ColumnDef::new("region", DataType::Str),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new(
+                "business",
+                vec![
+                    ColumnDef::new("pnum", DataType::Str),
+                    ColumnDef::new("type", DataType::Str),
+                    ColumnDef::new("region", DataType::Str),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        for i in 0..60 {
+            db.insert(
+                "call",
+                vec![
+                    Value::str(format!("p{}", i % 6)),
+                    Value::str(format!("r{}", i % 20)),
+                    Value::str(format!("2016-07-{:02}", (i % 5) + 1)),
+                    Value::str(if i % 2 == 0 { "east" } else { "west" }),
+                ],
+            )
+            .unwrap();
+        }
+        for i in 0..12 {
+            db.insert(
+                "business",
+                vec![
+                    Value::str(format!("p{}", i % 6)),
+                    Value::str(if i % 3 == 0 { "bank" } else { "hospital" }),
+                    Value::str(if i % 2 == 0 { "east" } else { "west" }),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn workload() -> Vec<String> {
+        vec![
+            "SELECT call.region FROM call, business \
+             WHERE business.type = 'bank' AND business.region = 'east' \
+             AND business.pnum = call.pnum AND call.date = '2016-07-01'"
+                .to_string(),
+            "SELECT recnum FROM call WHERE pnum = 'p1' AND date = '2016-07-02'".to_string(),
+        ]
+    }
+
+    #[test]
+    fn discovers_useful_constraints() {
+        let db = db();
+        let (schema, report) = discover(&db, &workload(), &DiscoveryConfig::default()).unwrap();
+        assert!(!schema.is_empty());
+        assert!(!report.candidates.is_empty());
+        assert_eq!(report.selected.len(), schema.len());
+        // it should find something keyed on business(type, region) and on call(date, pnum)
+        assert!(schema
+            .constraints()
+            .iter()
+            .any(|c| c.table == "business" && c.x.contains(&"type".to_string())));
+        assert!(schema
+            .constraints()
+            .iter()
+            .any(|c| c.table == "call" && c.x.contains(&"pnum".to_string())));
+        // discovered bounds must hold on the data (headroom >= observed)
+        for cand in &report.candidates {
+            assert!(cand.constraint.n >= cand.observed_max as u64);
+        }
+    }
+
+    #[test]
+    fn storage_budget_limits_selection() {
+        let db = db();
+        let unlimited = discover(&db, &workload(), &DiscoveryConfig::default()).unwrap();
+        let tight = discover(
+            &db,
+            &workload(),
+            &DiscoveryConfig {
+                storage_budget_bytes: Some(unlimited.1.total_bytes / 2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(tight.1.total_bytes <= unlimited.1.total_bytes / 2);
+        assert!(tight.0.len() <= unlimited.0.len());
+    }
+
+    #[test]
+    fn max_bound_filters_useless_candidates() {
+        let db = db();
+        let cfg = DiscoveryConfig {
+            max_bound: 1, // nothing with more than one associated value allowed
+            ..Default::default()
+        };
+        let (schema, _) = discover(&db, &workload(), &cfg).unwrap();
+        for c in schema.constraints() {
+            let t = db.table(&c.table).unwrap();
+            let obs = TableStatistics::max_group_cardinality(t, &c.x, &c.y).unwrap();
+            assert!(obs <= 1);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_config_and_bad_sql() {
+        let db = db();
+        let bad = DiscoveryConfig {
+            headroom: 0.5,
+            ..Default::default()
+        };
+        assert!(discover(&db, &workload(), &bad).is_err());
+        assert!(discover(&db, &["not sql".to_string()], &DiscoveryConfig::default()).is_err());
+    }
+
+    #[test]
+    fn workload_over_unknown_tables_yields_empty_schema() {
+        let db = db();
+        let (schema, report) = discover(
+            &db,
+            &["SELECT x FROM unknown_table WHERE x = 1".to_string()],
+            &DiscoveryConfig::default(),
+        )
+        .unwrap();
+        assert!(schema.is_empty());
+        assert!(report.selected.is_empty());
+    }
+
+    #[test]
+    fn discovered_schema_round_trips_through_text() {
+        let db = db();
+        let (schema, _) = discover(&db, &workload(), &DiscoveryConfig::default()).unwrap();
+        let text = schema.to_text();
+        let parsed = AccessSchema::from_text(&text).unwrap();
+        assert_eq!(parsed.len(), schema.len());
+    }
+
+    #[test]
+    fn schema_provider_visibility() {
+        // make sure the discovery helper sees the same schemas the binder does
+        let db = db();
+        assert!(db.table_schema("call").is_some());
+    }
+}

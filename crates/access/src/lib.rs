@@ -1,0 +1,36 @@
+//! # beas-access
+//!
+//! Access schemas for bounded query evaluation: the combination of
+//! cardinality constraints and associated indices that the BEAS system (the
+//! `beas-core` crate) reasons about.
+//!
+//! * [`AccessConstraint`] / [`AccessSchema`] — `R(X → Y, N)` constraints and
+//!   sets thereof, with a textual exchange format;
+//! * [`conformance`] — checking `D |= A`;
+//! * [`indexes`] — building the *modified hash indices* that back each
+//!   constraint, and fetching partial tuples through them;
+//! * [`discovery`] — mining an access schema from a dataset and a query
+//!   workload under a storage budget (the AS catalog's Discovery module);
+//! * [`maintenance`] — incremental index maintenance and bound adjustment
+//!   under inserts/deletes (the Maintenance module);
+//! * [`catalog`] — the AS Catalog tying schema, indices and metadata together
+//!   per application.
+
+pub mod catalog;
+pub mod conformance;
+pub mod constraint;
+pub mod discovery;
+pub mod indexes;
+pub mod maintenance;
+pub mod schema;
+
+pub use catalog::{AsCatalog, RegisteredSchema, SchemaMetadata};
+pub use conformance::{
+    check_conformance, check_constraint, require_conformance, ConformanceReport,
+    ConstraintConformance,
+};
+pub use constraint::AccessConstraint;
+pub use discovery::{discover, discover_from_statements, Candidate, DiscoveryConfig, DiscoveryReport};
+pub use indexes::{build_index, build_indexes, AccessIndexes};
+pub use maintenance::{MaintenanceOutcome, MaintenancePolicy, Maintainer};
+pub use schema::AccessSchema;

@@ -1,0 +1,362 @@
+//! Access-schema maintenance.
+//!
+//! The Maintenance module of the AS catalog (a) incrementally updates the
+//! constraint indices when the underlying data changes, and (b) periodically
+//! re-validates / adjusts the cardinality bounds as the data and query load
+//! evolve.  The paper cites an optimal incremental algorithm from [5]; the
+//! behaviour implemented here is the observable contract: after any sequence
+//! of inserts and deletes, the maintained indices are identical to indices
+//! rebuilt from scratch, and bound violations are handled per policy.
+
+use crate::conformance::{check_conformance, ConformanceReport};
+use crate::indexes::AccessIndexes;
+use crate::schema::AccessSchema;
+use beas_common::{BeasError, Result, Row};
+use beas_storage::Database;
+
+/// What to do when an insert would violate a cardinality bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintenancePolicy {
+    /// Reject the insert with a conformance error.
+    Strict,
+    /// Accept the insert and raise the constraint's bound to cover it.
+    AutoAdjust,
+    /// Accept the insert and record the violation for later review.
+    Flag,
+}
+
+/// The outcome of a maintenance operation.
+#[derive(Debug, Clone, Default)]
+pub struct MaintenanceOutcome {
+    /// Rows inserted or deleted.
+    pub rows_affected: usize,
+    /// Constraints whose bound was automatically raised (id, new bound).
+    pub adjusted: Vec<(String, u64)>,
+    /// Constraints flagged as violated (id, observed cardinality).
+    pub flagged: Vec<(String, u64)>,
+}
+
+/// Incremental maintainer of an access schema and its indices.
+#[derive(Debug, Clone)]
+pub struct Maintainer {
+    policy: MaintenancePolicy,
+}
+
+impl Default for Maintainer {
+    fn default() -> Self {
+        Maintainer::new(MaintenancePolicy::Strict)
+    }
+}
+
+impl Maintainer {
+    /// Create a maintainer with the given violation policy.
+    pub fn new(policy: MaintenancePolicy) -> Self {
+        Maintainer { policy }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> MaintenancePolicy {
+        self.policy
+    }
+
+    /// Insert rows into `table`, updating every affected constraint index.
+    ///
+    /// Under [`MaintenancePolicy::Strict`] the whole batch is rejected (and
+    /// nothing is inserted) if any row would break a cardinality bound.
+    pub fn insert_rows(
+        &self,
+        db: &mut Database,
+        schema: &mut AccessSchema,
+        indexes: &mut AccessIndexes,
+        table: &str,
+        rows: Vec<Row>,
+    ) -> Result<MaintenanceOutcome> {
+        let table = table.to_ascii_lowercase();
+        let mut outcome = MaintenanceOutcome::default();
+
+        // Pre-validate under Strict: simulate the index updates on clones.
+        if self.policy == MaintenancePolicy::Strict {
+            for c in schema.for_table(&table) {
+                if let Some(idx) = indexes.for_constraint(c) {
+                    let mut probe = idx.clone();
+                    // Rows must be validated/coerced the same way Table::insert
+                    // does, otherwise key comparison may differ.
+                    let tbl = db.table(&table)?;
+                    for row in &rows {
+                        tbl.validate_row(row)?;
+                        let coerced: Row = row
+                            .iter()
+                            .zip(&tbl.schema().columns)
+                            .map(|(v, col)| if v.is_null() { Ok(v.clone()) } else { v.cast(col.data_type) })
+                            .collect::<Result<_>>()?;
+                        probe.add_row(&coerced);
+                    }
+                    if !probe.conforms_to(c.n) {
+                        return Err(BeasError::conformance(format!(
+                            "insert into {table:?} would violate {c} (observed {})",
+                            probe.observed_max_cardinality()
+                        )));
+                    }
+                }
+            }
+        }
+
+        // Apply the inserts and incrementally update the indices.
+        let constraint_ids: Vec<(String, u64)> = schema
+            .for_table(&table)
+            .iter()
+            .map(|c| (c.id(), c.n))
+            .collect();
+        for row in rows {
+            let id = db.insert(&table, row)?;
+            let inserted = db.table(&table)?.row(id).cloned().ok_or_else(|| {
+                BeasError::storage("inserted row disappeared during maintenance".to_string())
+            })?;
+            outcome.rows_affected += 1;
+            for (cid, bound) in &constraint_ids {
+                if let Some(idx) = indexes.get_mut(cid) {
+                    idx.add_row(&inserted);
+                    if idx.observed_max_cardinality() as u64 > *bound {
+                        match self.policy {
+                            MaintenancePolicy::Strict => unreachable!("pre-validated above"),
+                            MaintenancePolicy::AutoAdjust => {
+                                let new_bound = idx.observed_max_cardinality() as u64;
+                                if let Some(c) = schema_constraint_mut(schema, cid) {
+                                    c.n = new_bound;
+                                }
+                                record_once(&mut outcome.adjusted, cid, new_bound);
+                            }
+                            MaintenancePolicy::Flag => {
+                                record_once(
+                                    &mut outcome.flagged,
+                                    cid,
+                                    idx.observed_max_cardinality() as u64,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Delete rows matching `predicate` from `table`, updating indices.
+    pub fn delete_rows(
+        &self,
+        db: &mut Database,
+        schema: &AccessSchema,
+        indexes: &mut AccessIndexes,
+        table: &str,
+        predicate: impl FnMut(&Row) -> bool,
+    ) -> Result<MaintenanceOutcome> {
+        let table = table.to_ascii_lowercase();
+        let removed = db.table_mut(&table)?.delete_where(predicate);
+        let remaining: Vec<Row> = db.table(&table)?.rows().to_vec();
+        for c in schema.for_table(&table) {
+            if let Some(idx) = indexes.get_mut(&c.id()) {
+                for (_, row) in &removed {
+                    idx.remove_row(row, &remaining);
+                }
+            }
+        }
+        Ok(MaintenanceOutcome {
+            rows_affected: removed.len(),
+            ..Default::default()
+        })
+    }
+
+    /// Periodic re-validation: check conformance of the whole schema against
+    /// the current data (the "adjust constraints based on changes" step).
+    pub fn revalidate(&self, db: &Database, schema: &AccessSchema) -> Result<ConformanceReport> {
+        check_conformance(db, schema)
+    }
+
+    /// Tighten (or relax) every bound to the observed cardinality times
+    /// `headroom`, returning the ids whose bound changed.
+    pub fn adjust_bounds(
+        &self,
+        db: &Database,
+        schema: &mut AccessSchema,
+        headroom: f64,
+    ) -> Result<Vec<(String, u64, u64)>> {
+        if headroom < 1.0 {
+            return Err(BeasError::invalid_argument("headroom must be >= 1.0"));
+        }
+        let report = check_conformance(db, schema)?;
+        let mut changes = Vec::new();
+        for entry in report.entries {
+            let new_n = ((entry.observed_max as f64 * headroom).ceil() as u64).max(1);
+            let id = entry.constraint.id();
+            if let Some(c) = schema_constraint_mut(schema, &id) {
+                if c.n != new_n {
+                    changes.push((id, c.n, new_n));
+                    c.n = new_n;
+                }
+            }
+        }
+        Ok(changes)
+    }
+}
+
+fn record_once(list: &mut Vec<(String, u64)>, id: &str, value: u64) {
+    match list.iter_mut().find(|(i, _)| i == id) {
+        Some(entry) => entry.1 = entry.1.max(value),
+        None => list.push((id.to_string(), value)),
+    }
+}
+
+fn schema_constraint_mut<'a>(
+    schema: &'a mut AccessSchema,
+    id: &str,
+) -> Option<&'a mut crate::constraint::AccessConstraint> {
+    schema.get_mut(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::AccessConstraint;
+    use crate::indexes::build_indexes;
+    use beas_common::{ColumnDef, DataType, TableSchema, Value};
+
+    fn setup() -> (Database, AccessSchema, AccessIndexes) {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "call",
+                vec![
+                    ColumnDef::new("pnum", DataType::Str),
+                    ColumnDef::new("recnum", DataType::Str),
+                    ColumnDef::new("date", DataType::Date),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        for (p, r) in [("p1", "a"), ("p1", "b"), ("p2", "a")] {
+            db.insert("call", vec![Value::str(p), Value::str(r), Value::str("2016-07-04")])
+                .unwrap();
+        }
+        let schema = AccessSchema::from_constraints(vec![AccessConstraint::new(
+            "call",
+            &["pnum", "date"],
+            &["recnum"],
+            3,
+        )
+        .unwrap()]);
+        let indexes = build_indexes(&db, &schema).unwrap();
+        (db, schema, indexes)
+    }
+
+    fn row(p: &str, r: &str) -> Row {
+        vec![Value::str(p), Value::str(r), Value::str("2016-07-04")]
+    }
+
+    #[test]
+    fn insert_updates_indices_consistently() {
+        let (mut db, mut schema, mut indexes) = setup();
+        let m = Maintainer::default();
+        let out = m
+            .insert_rows(&mut db, &mut schema, &mut indexes, "call", vec![row("p2", "b")])
+            .unwrap();
+        assert_eq!(out.rows_affected, 1);
+        // incrementally maintained index == rebuilt-from-scratch index
+        let rebuilt = build_indexes(&db, &schema).unwrap();
+        let id = schema.constraints()[0].id();
+        assert_eq!(
+            indexes.get(&id).unwrap().total_entries(),
+            rebuilt.get(&id).unwrap().total_entries()
+        );
+        assert_eq!(
+            indexes.get(&id).unwrap().observed_max_cardinality(),
+            rebuilt.get(&id).unwrap().observed_max_cardinality()
+        );
+    }
+
+    #[test]
+    fn strict_policy_rejects_violating_insert() {
+        let (mut db, mut schema, mut indexes) = setup();
+        let m = Maintainer::new(MaintenancePolicy::Strict);
+        // p1 already has 2 distinct recnums on 2016-07-04; bound is 3; adding
+        // two new distinct recnums would exceed it.
+        let err = m
+            .insert_rows(
+                &mut db,
+                &mut schema,
+                &mut indexes,
+                "call",
+                vec![row("p1", "c"), row("p1", "d")],
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), "conformance");
+        // nothing was inserted
+        assert_eq!(db.table("call").unwrap().row_count(), 3);
+    }
+
+    #[test]
+    fn auto_adjust_policy_raises_bound() {
+        let (mut db, mut schema, mut indexes) = setup();
+        let m = Maintainer::new(MaintenancePolicy::AutoAdjust);
+        let out = m
+            .insert_rows(
+                &mut db,
+                &mut schema,
+                &mut indexes,
+                "call",
+                vec![row("p1", "c"), row("p1", "d")],
+            )
+            .unwrap();
+        assert_eq!(out.rows_affected, 2);
+        assert_eq!(out.adjusted.len(), 1);
+        assert_eq!(schema.constraints()[0].n, 4);
+        assert!(m.revalidate(&db, &schema).unwrap().conforms());
+    }
+
+    #[test]
+    fn flag_policy_records_violations() {
+        let (mut db, mut schema, mut indexes) = setup();
+        let m = Maintainer::new(MaintenancePolicy::Flag);
+        let out = m
+            .insert_rows(
+                &mut db,
+                &mut schema,
+                &mut indexes,
+                "call",
+                vec![row("p1", "c"), row("p1", "d")],
+            )
+            .unwrap();
+        assert_eq!(out.flagged.len(), 1);
+        assert_eq!(out.flagged[0].1, 4);
+        // bound unchanged, so the schema no longer conforms
+        assert!(!m.revalidate(&db, &schema).unwrap().conforms());
+    }
+
+    #[test]
+    fn delete_maintains_indices() {
+        let (mut db, schema, mut indexes) = setup();
+        let m = Maintainer::default();
+        let out = m
+            .delete_rows(&mut db, &schema, &mut indexes, "call", |r| {
+                r[0] == Value::str("p1")
+            })
+            .unwrap();
+        assert_eq!(out.rows_affected, 2);
+        let rebuilt = build_indexes(&db, &schema).unwrap();
+        let id = schema.constraints()[0].id();
+        assert_eq!(
+            indexes.get(&id).unwrap().total_entries(),
+            rebuilt.get(&id).unwrap().total_entries()
+        );
+    }
+
+    #[test]
+    fn adjust_bounds_tightens_to_observed() {
+        let (db, mut schema, _) = setup();
+        let m = Maintainer::default();
+        let changes = m.adjust_bounds(&db, &mut schema, 1.0).unwrap();
+        assert_eq!(changes.len(), 1);
+        assert_eq!(schema.constraints()[0].n, 2); // observed max is 2
+        assert!(m.adjust_bounds(&db, &mut schema, 0.5).is_err());
+    }
+}

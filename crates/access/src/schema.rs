@@ -1,0 +1,192 @@
+//! Access schemas: sets of access constraints with lookup helpers and a
+//! small textual exchange format used by the AS catalog.
+
+use crate::constraint::AccessConstraint;
+use beas_common::{BeasError, Result};
+use std::fmt;
+
+/// A set of access constraints over a database schema.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AccessSchema {
+    constraints: Vec<AccessConstraint>,
+}
+
+impl AccessSchema {
+    /// Empty access schema.
+    pub fn new() -> Self {
+        AccessSchema::default()
+    }
+
+    /// Build from a list of constraints (duplicates by id are collapsed,
+    /// keeping the tightest bound).
+    pub fn from_constraints(constraints: impl IntoIterator<Item = AccessConstraint>) -> Self {
+        let mut schema = AccessSchema::new();
+        for c in constraints {
+            schema.add(c);
+        }
+        schema
+    }
+
+    /// Add one constraint.  If a constraint with the same `(table, X, Y)`
+    /// already exists, the smaller bound wins.
+    pub fn add(&mut self, constraint: AccessConstraint) {
+        if let Some(existing) = self
+            .constraints
+            .iter_mut()
+            .find(|c| c.id() == constraint.id())
+        {
+            existing.n = existing.n.min(constraint.n);
+        } else {
+            self.constraints.push(constraint);
+        }
+    }
+
+    /// Remove a constraint by id; returns whether something was removed.
+    pub fn remove(&mut self, id: &str) -> bool {
+        let before = self.constraints.len();
+        self.constraints.retain(|c| c.id() != id);
+        self.constraints.len() != before
+    }
+
+    /// All constraints.
+    pub fn constraints(&self) -> &[AccessConstraint] {
+        &self.constraints
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Whether the schema is empty.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Constraints over a given table.
+    pub fn for_table(&self, table: &str) -> Vec<&AccessConstraint> {
+        let table = table.to_ascii_lowercase();
+        self.constraints
+            .iter()
+            .filter(|c| c.table == table)
+            .collect()
+    }
+
+    /// Find a constraint by id.
+    pub fn get(&self, id: &str) -> Option<&AccessConstraint> {
+        self.constraints.iter().find(|c| c.id() == id)
+    }
+
+    /// Mutable access to a constraint by id (used by maintenance to adjust
+    /// cardinality bounds in place).
+    pub fn get_mut(&mut self, id: &str) -> Option<&mut AccessConstraint> {
+        self.constraints.iter_mut().find(|c| c.id() == id)
+    }
+
+    /// Constraints on `table` whose key set `X` is a subset of `available`
+    /// (the attributes whose values are already known) — i.e. the constraints
+    /// whose index could be used for a fetch right now.
+    pub fn applicable(&self, table: &str, available: &[String]) -> Vec<&AccessConstraint> {
+        let table = table.to_ascii_lowercase();
+        let avail: Vec<String> = available.iter().map(|a| a.to_ascii_lowercase()).collect();
+        self.constraints
+            .iter()
+            .filter(|c| c.table == table && c.x.iter().all(|x| avail.contains(x)))
+            .collect()
+    }
+
+    /// Serialize to the textual exchange format (one constraint per line).
+    pub fn to_text(&self) -> String {
+        let mut lines: Vec<String> = self.constraints.iter().map(|c| c.to_string()).collect();
+        lines.sort();
+        lines.join("\n")
+    }
+
+    /// Parse the textual exchange format; blank lines and `#` comments are
+    /// ignored.
+    pub fn from_text(text: &str) -> Result<Self> {
+        let mut schema = AccessSchema::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let c = AccessConstraint::parse(line).map_err(|e| {
+                BeasError::parse(format!("line {}: {e}", lineno + 1))
+            })?;
+            schema.add(c);
+        }
+        Ok(schema)
+    }
+}
+
+impl fmt::Display for AccessSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_schema() -> AccessSchema {
+        // The access schema A0 of Example 1 in the paper.
+        AccessSchema::from_constraints(vec![
+            AccessConstraint::new("call", &["pnum", "date"], &["recnum", "region"], 500).unwrap(),
+            AccessConstraint::new("package", &["pnum", "year"], &["pid", "start_month", "end_month"], 12)
+                .unwrap(),
+            AccessConstraint::new("business", &["type", "region"], &["pnum"], 2000).unwrap(),
+        ])
+    }
+
+    #[test]
+    fn add_lookup_remove() {
+        let mut s = example_schema();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.for_table("call").len(), 1);
+        assert_eq!(s.for_table("nosuch").len(), 0);
+        let id = s.constraints()[0].id();
+        assert!(s.get(&id).is_some());
+        assert!(s.remove(&id));
+        assert!(!s.remove(&id));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_constraints_keep_tightest_bound() {
+        let mut s = AccessSchema::new();
+        s.add(AccessConstraint::new("t", &["a"], &["b"], 100).unwrap());
+        s.add(AccessConstraint::new("t", &["a"], &["b"], 40).unwrap());
+        s.add(AccessConstraint::new("t", &["a"], &["b"], 90).unwrap());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.constraints()[0].n, 40);
+    }
+
+    #[test]
+    fn applicable_requires_key_availability() {
+        let s = example_schema();
+        // with type and region known, ψ3 on business is applicable
+        let a = s.applicable("business", &["type".into(), "region".into(), "extra".into()]);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].table, "business");
+        // with only pnum known, ψ1 on call is not applicable (needs date too)
+        assert!(s.applicable("call", &["pnum".into()]).is_empty());
+        assert_eq!(s.applicable("call", &["pnum".into(), "date".into()]).len(), 1);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let s = example_schema();
+        let text = s.to_text();
+        assert_eq!(text.lines().count(), 3);
+        let parsed = AccessSchema::from_text(&text).unwrap();
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed.to_text(), text);
+        let with_comments = format!("# the TLC access schema\n\n{text}\n");
+        assert_eq!(AccessSchema::from_text(&with_comments).unwrap().len(), 3);
+        assert!(AccessSchema::from_text("not a constraint").is_err());
+        assert_eq!(format!("{s}"), text);
+    }
+}

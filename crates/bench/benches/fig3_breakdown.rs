@@ -1,0 +1,34 @@
+//! Criterion benchmark behind Fig. 3 / Example 2: Q1 through BEAS and through
+//! every baseline optimizer profile at a fixed scale factor.
+
+use beas_bench::BenchEnv;
+use beas_engine::{Engine, OptimizerProfile};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn fig3(c: &mut Criterion) {
+    let env = BenchEnv::prepare(4);
+    let q1 = env.q1();
+    let mut group = c.benchmark_group("fig3_example2_q1");
+    group.sample_size(10);
+
+    group.bench_function("beas_bounded", |b| {
+        b.iter(|| {
+            let outcome = env.system.execute_sql(black_box(&q1)).unwrap();
+            black_box(outcome.rows.len())
+        })
+    });
+    for profile in OptimizerProfile::all() {
+        let engine = Engine::new(profile);
+        group.bench_function(profile.name(), |b| {
+            b.iter(|| {
+                let result = engine.run(&env.baseline_db, black_box(&q1)).unwrap();
+                black_box(result.rows.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Micro-benchmarks of the individual BEAS components: coverage checking,
+//! bounded plan generation, single fetches through a constraint index,
+//! access-schema discovery and conformance checking.
+
+use beas_bench::BenchEnv;
+use beas_access::{check_conformance, discover, DiscoveryConfig};
+use beas_common::Value;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn micro(c: &mut Criterion) {
+    let env = BenchEnv::prepare(2);
+    let q1 = env.q1();
+    let mut group = c.benchmark_group("micro_ops");
+    group.sample_size(20);
+
+    group.bench_function("be_checker_q1", |b| {
+        b.iter(|| black_box(env.system.check(black_box(&q1)).unwrap().covered))
+    });
+    group.bench_function("bounded_plan_explain_q1", |b| {
+        b.iter(|| black_box(env.system.explain(black_box(&q1)).unwrap().len()))
+    });
+    group.bench_function("budget_check_q1", |b| {
+        b.iter(|| black_box(env.system.can_answer_within(black_box(&q1), 50_000_000).unwrap()))
+    });
+
+    // A single fetch through ψ3's index (business by type + region).
+    let psi3 = env
+        .system
+        .access_schema()
+        .for_table("business")
+        .into_iter()
+        .find(|c| c.x.contains(&"type".to_string()))
+        .expect("ψ3 present")
+        .clone();
+    let key = vec![Value::str("bank"), Value::str("east")];
+    group.bench_function("constraint_index_fetch", |b| {
+        b.iter(|| {
+            black_box(
+                env.system
+                    .indexes()
+                    .fetch(&psi3, black_box(&key))
+                    .unwrap()
+                    .len(),
+            )
+        })
+    });
+
+    group.bench_function("conformance_check_full_schema", |b| {
+        b.iter(|| {
+            black_box(
+                check_conformance(env.system.database(), env.system.access_schema())
+                    .unwrap()
+                    .conforms(),
+            )
+        })
+    });
+
+    let workload = beas_tlc::workload();
+    group.bench_function("discovery_from_workload", |b| {
+        b.iter(|| {
+            black_box(
+                discover(env.system.database(), &workload, &DiscoveryConfig::default())
+                    .unwrap()
+                    .0
+                    .len(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, micro);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion benchmark over the full TLC workload (Q1–Q11): BEAS vs the
+//! pg-like baseline, backing the ">90% of queries" claim.
+
+use beas_bench::BenchEnv;
+use beas_engine::{Engine, OptimizerProfile};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn tlc_queries(c: &mut Criterion) {
+    let env = BenchEnv::prepare(2);
+    let engine = Engine::new(OptimizerProfile::PgLike);
+    let mut group = c.benchmark_group("tlc_workload");
+    group.sample_size(10);
+    for q in beas_tlc::all_queries() {
+        group.bench_with_input(BenchmarkId::new("beas", q.id), &q.sql, |b, sql| {
+            b.iter(|| black_box(env.system.execute_sql(black_box(sql)).unwrap().rows.len()))
+        });
+        group.bench_with_input(BenchmarkId::new("pg_like", q.id), &q.sql, |b, sql| {
+            b.iter(|| black_box(engine.run(&env.baseline_db, black_box(sql)).unwrap().rows.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, tlc_queries);
+criterion_main!(benches);

@@ -1,0 +1,202 @@
+//! A small calendar-date type.
+//!
+//! The TLC benchmark (call-detail-record analysis) keys several access
+//! constraints on a `date` attribute, e.g. `call({pnum, date} -> {recnum,
+//! region}, 500)`.  We implement a tiny proleptic-Gregorian date rather than
+//! pull in a calendar crate: only construction, validation, ordering, day
+//! arithmetic and parsing/formatting of `YYYY-MM-DD` are needed.
+
+use crate::error::{BeasError, Result};
+use std::fmt;
+use std::str::FromStr;
+
+/// A calendar date (proleptic Gregorian), stored as year/month/day.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    year: i32,
+    month: u8,
+    day: u8,
+}
+
+const DAYS_IN_MONTH: [u8; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_month(year: i32, month: u8) -> u8 {
+    if month == 2 && is_leap(year) {
+        29
+    } else {
+        DAYS_IN_MONTH[(month - 1) as usize]
+    }
+}
+
+impl Date {
+    /// Create a new date, validating month and day ranges.
+    pub fn new(year: i32, month: u8, day: u8) -> Result<Self> {
+        if !(1..=12).contains(&month) {
+            return Err(BeasError::invalid_argument(format!(
+                "month out of range: {month}"
+            )));
+        }
+        if day == 0 || day > days_in_month(year, month) {
+            return Err(BeasError::invalid_argument(format!(
+                "day out of range for {year}-{month:02}: {day}"
+            )));
+        }
+        Ok(Date { year, month, day })
+    }
+
+    /// Year component.
+    pub fn year(&self) -> i32 {
+        self.year
+    }
+
+    /// Month component (1-12).
+    pub fn month(&self) -> u8 {
+        self.month
+    }
+
+    /// Day-of-month component (1-31).
+    pub fn day(&self) -> u8 {
+        self.day
+    }
+
+    /// Number of days since 0000-03-01 (an internal epoch that makes leap-year
+    /// handling simple).  Only used for ordering and day arithmetic.
+    pub fn to_ordinal(&self) -> i64 {
+        // Algorithm adapted from Howard Hinnant's `days_from_civil`.
+        let y = if self.month <= 2 {
+            self.year - 1
+        } else {
+            self.year
+        } as i64;
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400;
+        let m = self.month as i64;
+        let d = self.day as i64;
+        let doy = (153 * (m + if m > 2 { -3 } else { 9 }) + 2) / 5 + d - 1;
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+        era * 146_097 + doe - 719_468
+    }
+
+    /// Construct a date from the ordinal produced by [`Date::to_ordinal`].
+    pub fn from_ordinal(z: i64) -> Self {
+        let z = z + 719_468;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097;
+        let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+        let mp = (5 * doy + 2) / 153;
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u8;
+        let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u8;
+        let year = (y + if m <= 2 { 1 } else { 0 }) as i32;
+        Date {
+            year,
+            month: m,
+            day: d,
+        }
+    }
+
+    /// Add (or subtract, for negative `days`) a number of days.
+    pub fn add_days(&self, days: i64) -> Self {
+        Date::from_ordinal(self.to_ordinal() + days)
+    }
+
+    /// Signed number of days from `other` to `self`.
+    pub fn days_since(&self, other: &Date) -> i64 {
+        self.to_ordinal() - other.to_ordinal()
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+impl FromStr for Date {
+    type Err = BeasError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        let parts: Vec<&str> = s.split('-').collect();
+        if parts.len() != 3 {
+            return Err(BeasError::parse(format!("invalid date literal: {s:?}")));
+        }
+        let year: i32 = parts[0]
+            .parse()
+            .map_err(|_| BeasError::parse(format!("invalid year in date literal: {s:?}")))?;
+        let month: u8 = parts[1]
+            .parse()
+            .map_err(|_| BeasError::parse(format!("invalid month in date literal: {s:?}")))?;
+        let day: u8 = parts[2]
+            .parse()
+            .map_err(|_| BeasError::parse(format!("invalid day in date literal: {s:?}")))?;
+        Date::new(year, month, day)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_display() {
+        let d = Date::new(2016, 7, 4).unwrap();
+        assert_eq!(d.to_string(), "2016-07-04");
+        assert_eq!(d.year(), 2016);
+        assert_eq!(d.month(), 7);
+        assert_eq!(d.day(), 4);
+    }
+
+    #[test]
+    fn rejects_invalid_dates() {
+        assert!(Date::new(2016, 13, 1).is_err());
+        assert!(Date::new(2016, 0, 1).is_err());
+        assert!(Date::new(2016, 2, 30).is_err());
+        assert!(Date::new(2015, 2, 29).is_err());
+        assert!(Date::new(2016, 2, 29).is_ok()); // leap year
+        assert!(Date::new(2000, 2, 29).is_ok()); // 400-divisible leap year
+        assert!(Date::new(1900, 2, 29).is_err()); // 100-divisible non-leap
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let d: Date = "2016-01-31".parse().unwrap();
+        assert_eq!(d, Date::new(2016, 1, 31).unwrap());
+        assert_eq!(d.to_string().parse::<Date>().unwrap(), d);
+        assert!("2016/01/31".parse::<Date>().is_err());
+        assert!("2016-1".parse::<Date>().is_err());
+        assert!("abcd-ef-gh".parse::<Date>().is_err());
+    }
+
+    #[test]
+    fn ordering_follows_calendar() {
+        let a = Date::new(2016, 1, 31).unwrap();
+        let b = Date::new(2016, 2, 1).unwrap();
+        let c = Date::new(2017, 1, 1).unwrap();
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn ordinal_round_trip_and_arithmetic() {
+        let d = Date::new(2016, 2, 28).unwrap();
+        assert_eq!(Date::from_ordinal(d.to_ordinal()), d);
+        assert_eq!(d.add_days(1), Date::new(2016, 2, 29).unwrap());
+        assert_eq!(d.add_days(2), Date::new(2016, 3, 1).unwrap());
+        assert_eq!(d.add_days(366), Date::new(2017, 2, 28).unwrap());
+        assert_eq!(d.add_days(2).days_since(&d), 2);
+        assert_eq!(d.days_since(&d.add_days(2)), -2);
+    }
+
+    #[test]
+    fn epoch_sanity() {
+        // 1970-01-01 is ordinal 0 with the Unix-style epoch used here.
+        let epoch = Date::new(1970, 1, 1).unwrap();
+        assert_eq!(epoch.to_ordinal(), 0);
+        assert_eq!(Date::from_ordinal(0), epoch);
+    }
+}

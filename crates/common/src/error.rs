@@ -1,0 +1,192 @@
+//! Crate-wide error type shared by every layer of the BEAS workspace.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, BeasError>;
+
+/// The single error type used by all BEAS crates.
+///
+/// Variants are grouped by the layer that typically produces them; keeping a
+/// single enum avoids a web of `From` conversions across the workspace while
+/// still letting callers match on the failure class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BeasError {
+    /// Lexical or syntactic error while parsing SQL text.
+    Parse(String),
+    /// Name-resolution error (unknown table/column, ambiguous reference, ...).
+    Binding(String),
+    /// Type error during expression analysis or evaluation.
+    Type(String),
+    /// Catalog-level error (duplicate table, missing table, schema mismatch).
+    Catalog(String),
+    /// Storage-level error (row arity mismatch, index corruption, ...).
+    Storage(String),
+    /// The data does not conform to an access constraint.
+    Conformance(String),
+    /// Planning error in either the baseline engine or the bounded planner.
+    Plan(String),
+    /// Runtime error while executing a physical plan.
+    Execution(String),
+    /// The query is not boundedly evaluable under the given access schema.
+    NotBounded(String),
+    /// The deduced bound exceeds the user-supplied data-access budget.
+    BudgetExceeded {
+        /// Bound on tuples the plan would access.
+        required: u64,
+        /// Budget the user allowed.
+        budget: u64,
+    },
+    /// A feature of SQL that the engine does not support.
+    Unsupported(String),
+    /// Invalid argument supplied to a public API.
+    InvalidArgument(String),
+}
+
+impl BeasError {
+    /// Short machine-readable category name, useful in logs and test assertions.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            BeasError::Parse(_) => "parse",
+            BeasError::Binding(_) => "binding",
+            BeasError::Type(_) => "type",
+            BeasError::Catalog(_) => "catalog",
+            BeasError::Storage(_) => "storage",
+            BeasError::Conformance(_) => "conformance",
+            BeasError::Plan(_) => "plan",
+            BeasError::Execution(_) => "execution",
+            BeasError::NotBounded(_) => "not_bounded",
+            BeasError::BudgetExceeded { .. } => "budget_exceeded",
+            BeasError::Unsupported(_) => "unsupported",
+            BeasError::InvalidArgument(_) => "invalid_argument",
+        }
+    }
+
+    /// Helper for building a parse error.
+    pub fn parse(msg: impl Into<String>) -> Self {
+        BeasError::Parse(msg.into())
+    }
+
+    /// Helper for building a binding error.
+    pub fn binding(msg: impl Into<String>) -> Self {
+        BeasError::Binding(msg.into())
+    }
+
+    /// Helper for building a type error.
+    pub fn type_err(msg: impl Into<String>) -> Self {
+        BeasError::Type(msg.into())
+    }
+
+    /// Helper for building a catalog error.
+    pub fn catalog(msg: impl Into<String>) -> Self {
+        BeasError::Catalog(msg.into())
+    }
+
+    /// Helper for building a storage error.
+    pub fn storage(msg: impl Into<String>) -> Self {
+        BeasError::Storage(msg.into())
+    }
+
+    /// Helper for building a conformance error.
+    pub fn conformance(msg: impl Into<String>) -> Self {
+        BeasError::Conformance(msg.into())
+    }
+
+    /// Helper for building a planning error.
+    pub fn plan(msg: impl Into<String>) -> Self {
+        BeasError::Plan(msg.into())
+    }
+
+    /// Helper for building an execution error.
+    pub fn execution(msg: impl Into<String>) -> Self {
+        BeasError::Execution(msg.into())
+    }
+
+    /// Helper for building a not-bounded error.
+    pub fn not_bounded(msg: impl Into<String>) -> Self {
+        BeasError::NotBounded(msg.into())
+    }
+
+    /// Helper for building an unsupported-feature error.
+    pub fn unsupported(msg: impl Into<String>) -> Self {
+        BeasError::Unsupported(msg.into())
+    }
+
+    /// Helper for building an invalid-argument error.
+    pub fn invalid_argument(msg: impl Into<String>) -> Self {
+        BeasError::InvalidArgument(msg.into())
+    }
+}
+
+impl fmt::Display for BeasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BeasError::Parse(m) => write!(f, "parse error: {m}"),
+            BeasError::Binding(m) => write!(f, "binding error: {m}"),
+            BeasError::Type(m) => write!(f, "type error: {m}"),
+            BeasError::Catalog(m) => write!(f, "catalog error: {m}"),
+            BeasError::Storage(m) => write!(f, "storage error: {m}"),
+            BeasError::Conformance(m) => write!(f, "access-constraint conformance error: {m}"),
+            BeasError::Plan(m) => write!(f, "planning error: {m}"),
+            BeasError::Execution(m) => write!(f, "execution error: {m}"),
+            BeasError::NotBounded(m) => write!(f, "query is not boundedly evaluable: {m}"),
+            BeasError::BudgetExceeded { required, budget } => write!(
+                f,
+                "data-access budget exceeded: plan needs up to {required} tuples, budget is {budget}"
+            ),
+            BeasError::Unsupported(m) => write!(f, "unsupported SQL feature: {m}"),
+            BeasError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BeasError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = BeasError::parse("unexpected token `FROM`");
+        assert!(e.to_string().contains("unexpected token"));
+        assert_eq!(e.kind(), "parse");
+    }
+
+    #[test]
+    fn budget_exceeded_formats_numbers() {
+        let e = BeasError::BudgetExceeded {
+            required: 12_000_000,
+            budget: 1000,
+        };
+        let s = e.to_string();
+        assert!(s.contains("12000000"));
+        assert!(s.contains("1000"));
+        assert_eq!(e.kind(), "budget_exceeded");
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let errs = vec![
+            BeasError::parse("x"),
+            BeasError::binding("x"),
+            BeasError::type_err("x"),
+            BeasError::catalog("x"),
+            BeasError::storage("x"),
+            BeasError::conformance("x"),
+            BeasError::plan("x"),
+            BeasError::execution("x"),
+            BeasError::not_bounded("x"),
+            BeasError::unsupported("x"),
+            BeasError::invalid_argument("x"),
+        ];
+        let kinds: std::collections::HashSet<_> = errs.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds.len(), errs.len());
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&BeasError::execution("boom"));
+    }
+}

@@ -1,0 +1,24 @@
+//! # beas-common
+//!
+//! Shared foundation types for the BEAS bounded-evaluation engine:
+//! SQL values, data types, dates, relation schemas, tuples (including the
+//! *partial tuples* that bounded plans fetch through access-constraint
+//! indices), and the crate-wide error type.
+//!
+//! Everything in this crate is deliberately independent of storage, parsing
+//! and planning so that every other crate in the workspace can depend on it
+//! without cycles.
+
+pub mod date;
+pub mod error;
+pub mod schema;
+pub mod tuple;
+pub mod types;
+pub mod value;
+
+pub use date::Date;
+pub use error::{BeasError, Result};
+pub use schema::{ColumnDef, ColumnRef, Field, Schema, TableSchema};
+pub use tuple::{Row, Tuple};
+pub use types::DataType;
+pub use value::Value;

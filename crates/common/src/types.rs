@@ -1,0 +1,112 @@
+//! SQL data types and coercion rules.
+
+use std::fmt;
+
+/// The SQL data types supported by the engine.
+///
+/// This matches the attribute types used by the TLC telecom benchmark and the
+/// SQL fragment BEAS targets (SPJ + aggregates): integers, floats, strings,
+/// booleans and dates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+    /// Calendar date.
+    Date,
+}
+
+impl DataType {
+    /// Whether values of this type can be compared with `<`, `<=`, `>`, `>=`.
+    pub fn is_ordered(&self) -> bool {
+        // Every supported type has a total order (strings lexicographic,
+        // booleans false < true), so ordered comparisons are always allowed
+        // between identical types.
+        true
+    }
+
+    /// Whether this type participates in arithmetic.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+
+    /// The common type two operands are coerced to for comparison or
+    /// arithmetic, if any.
+    pub fn common_type(a: DataType, b: DataType) -> Option<DataType> {
+        use DataType::*;
+        match (a, b) {
+            (x, y) if x == y => Some(x),
+            (Int, Float) | (Float, Int) => Some(Float),
+            // Dates are frequently written as string literals in SQL text
+            // (`date = '2016-07-04'`); comparison coerces the string.
+            (Date, Str) | (Str, Date) => Some(Date),
+            _ => None,
+        }
+    }
+
+    /// SQL-ish name used in error messages and `DESCRIBE`-style output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Str => "VARCHAR",
+            DataType::Bool => "BOOLEAN",
+            DataType::Date => "DATE",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_and_ordered() {
+        assert!(DataType::Int.is_numeric());
+        assert!(DataType::Float.is_numeric());
+        assert!(!DataType::Str.is_numeric());
+        assert!(!DataType::Date.is_numeric());
+        assert!(DataType::Date.is_ordered());
+        assert!(DataType::Str.is_ordered());
+    }
+
+    #[test]
+    fn coercion_rules() {
+        assert_eq!(
+            DataType::common_type(DataType::Int, DataType::Float),
+            Some(DataType::Float)
+        );
+        assert_eq!(
+            DataType::common_type(DataType::Float, DataType::Int),
+            Some(DataType::Float)
+        );
+        assert_eq!(
+            DataType::common_type(DataType::Str, DataType::Date),
+            Some(DataType::Date)
+        );
+        assert_eq!(
+            DataType::common_type(DataType::Int, DataType::Int),
+            Some(DataType::Int)
+        );
+        assert_eq!(DataType::common_type(DataType::Int, DataType::Str), None);
+        assert_eq!(DataType::common_type(DataType::Bool, DataType::Int), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DataType::Int.to_string(), "INT");
+        assert_eq!(DataType::Str.to_string(), "VARCHAR");
+        assert_eq!(DataType::Date.to_string(), "DATE");
+    }
+}

@@ -1,0 +1,455 @@
+//! Runtime SQL values.
+//!
+//! `Value` is the unit of everything the engines move around: base-table
+//! cells, partial tuples fetched through access-constraint indices,
+//! intermediate results and final answers.  It implements SQL-ish comparison
+//! semantics with NULL ordering last, numeric coercion between `Int` and
+//! `Float`, and `Str`/`Date` coercion so that date literals written as
+//! strings compare correctly.
+
+use crate::date::Date;
+use crate::error::{BeasError, Result};
+use crate::types::DataType;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A single SQL value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// Calendar date.
+    Date(Date),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// The data type of this value, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Date(_) => Some(DataType::Date),
+        }
+    }
+
+    /// Whether this value is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Interpret as a boolean (for WHERE / HAVING evaluation).
+    /// NULL maps to `false` under the usual "NULL is not true" semantics.
+    pub fn is_truthy(&self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+
+    /// Extract an `i64`, coercing floats with integral value.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            Value::Float(f) if f.fract() == 0.0 => Ok(*f as i64),
+            other => Err(BeasError::type_err(format!(
+                "expected INT, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// Extract an `f64`, coercing integers.
+    pub fn as_float(&self) -> Result<f64> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Float(f) => Ok(*f),
+            other => Err(BeasError::type_err(format!(
+                "expected FLOAT, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// Extract a string slice.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(BeasError::type_err(format!(
+                "expected VARCHAR, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// Extract a date, coercing string literals of form `YYYY-MM-DD`.
+    pub fn as_date(&self) -> Result<Date> {
+        match self {
+            Value::Date(d) => Ok(*d),
+            Value::Str(s) => s.parse(),
+            other => Err(BeasError::type_err(format!(
+                "expected DATE, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// Extract a boolean.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(BeasError::type_err(format!(
+                "expected BOOLEAN, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// Human-readable type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self.data_type() {
+            Some(t) => t.name(),
+            None => "NULL",
+        }
+    }
+
+    /// Attempt to cast this value to `target`.
+    pub fn cast(&self, target: DataType) -> Result<Value> {
+        match (self, target) {
+            (Value::Null, _) => Ok(Value::Null),
+            (v, t) if v.data_type() == Some(t) => Ok(v.clone()),
+            (Value::Int(i), DataType::Float) => Ok(Value::Float(*i as f64)),
+            (Value::Float(f), DataType::Int) => Ok(Value::Int(*f as i64)),
+            (Value::Str(s), DataType::Date) => Ok(Value::Date(s.parse()?)),
+            (Value::Date(d), DataType::Str) => Ok(Value::Str(d.to_string())),
+            (Value::Int(i), DataType::Str) => Ok(Value::Str(i.to_string())),
+            (Value::Str(s), DataType::Int) => s
+                .trim()
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| BeasError::type_err(format!("cannot cast {s:?} to INT"))),
+            (Value::Str(s), DataType::Float) => s
+                .trim()
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| BeasError::type_err(format!("cannot cast {s:?} to FLOAT"))),
+            (v, t) => Err(BeasError::type_err(format!(
+                "cannot cast {} to {}",
+                v.type_name(),
+                t
+            ))),
+        }
+    }
+
+    /// SQL comparison between two values, coercing numeric and date/string
+    /// operands.  Returns `None` when either side is NULL or the types are
+    /// incomparable (SQL's "unknown").
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Float(a), Float(b)) => a.partial_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Date(a), Date(b)) => Some(a.cmp(b)),
+            (Date(a), Str(b)) => b.parse::<crate::date::Date>().ok().map(|d| a.cmp(&d)),
+            (Str(a), Date(b)) => a.parse::<crate::date::Date>().ok().map(|d| d.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// SQL equality: NULL = anything is unknown (`None`).
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.sql_cmp(other).map(|o| o == Ordering::Equal)
+    }
+
+    /// Total ordering used for sorting / grouping where NULLs must be placed
+    /// deterministically (NULLs sort last, mixed types sort by type tag).
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Bool(_) => 0,
+                Value::Int(_) => 1,
+                Value::Float(_) => 1, // numeric family shares a rank
+                Value::Str(_) => 2,
+                Value::Date(_) => 3,
+                Value::Null => 4,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Null, _) => Ordering::Greater,
+            (_, Value::Null) => Ordering::Less,
+            _ => match self.sql_cmp(other) {
+                Some(o) => o,
+                None => rank(self).cmp(&rank(other)),
+            },
+        }
+    }
+
+    /// Addition with numeric coercion.
+    pub fn add(&self, other: &Value) -> Result<Value> {
+        numeric_binop(self, other, |a, b| a.checked_add(b), |a, b| a + b, "+")
+    }
+
+    /// Subtraction with numeric coercion.
+    pub fn sub(&self, other: &Value) -> Result<Value> {
+        numeric_binop(self, other, |a, b| a.checked_sub(b), |a, b| a - b, "-")
+    }
+
+    /// Multiplication with numeric coercion.
+    pub fn mul(&self, other: &Value) -> Result<Value> {
+        numeric_binop(self, other, |a, b| a.checked_mul(b), |a, b| a * b, "*")
+    }
+
+    /// Division; integer division by zero is an execution error, and integer
+    /// division yields a float to match common analytical expectations.
+    pub fn div(&self, other: &Value) -> Result<Value> {
+        if self.is_null() || other.is_null() {
+            return Ok(Value::Null);
+        }
+        let b = other.as_float()?;
+        if b == 0.0 {
+            return Err(BeasError::execution("division by zero"));
+        }
+        Ok(Value::Float(self.as_float()? / b))
+    }
+
+    /// Render the value as it would appear in query output.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Null => "NULL".to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => format!("{f}"),
+            Value::Str(s) => s.clone(),
+            Value::Bool(b) => b.to_string(),
+            Value::Date(d) => d.to_string(),
+        }
+    }
+}
+
+fn numeric_binop(
+    a: &Value,
+    b: &Value,
+    int_op: impl Fn(i64, i64) -> Option<i64>,
+    float_op: impl Fn(f64, f64) -> f64,
+    op_name: &str,
+) -> Result<Value> {
+    match (a, b) {
+        (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+        (Value::Int(x), Value::Int(y)) => int_op(*x, *y).map(Value::Int).ok_or_else(|| {
+            BeasError::execution(format!("integer overflow evaluating {x} {op_name} {y}"))
+        }),
+        _ => {
+            let (x, y) = (a.as_float()?, b.as_float()?);
+            Ok(Value::Float(float_op(x, y)))
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        // Equality used for grouping / distinct / hash joins: NULL == NULL so
+        // grouping collapses NULL keys, and Int/Float compare numerically
+        // (they also hash identically).  Str/Date coercion is deliberately
+        // *not* applied here — it lives in `sql_eq` — so that `Eq` stays
+        // consistent with `Hash`.
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Null, _) | (_, Value::Null) => false,
+            (Value::Str(_), Value::Date(_)) | (Value::Date(_), Value::Str(_)) => false,
+            _ => self.sql_cmp(other) == Some(Ordering::Equal),
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            // Int and Float that compare equal must hash equal; hash the f64
+            // bits of the numeric value for both.
+            Value::Int(i) => {
+                1u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                1u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+            Value::Bool(b) => {
+                3u8.hash(state);
+                b.hash(state);
+            }
+            Value::Date(d) => {
+                4u8.hash(state);
+                d.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "'{s}'"),
+            other => f.write_str(&other.render()),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<Date> for Value {
+    fn from(v: Date) -> Self {
+        Value::Date(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_coercion_in_comparison() {
+        assert_eq!(Value::Int(3).sql_cmp(&Value::Float(3.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Float(2.5).sql_cmp(&Value::Int(3)), Some(Ordering::Less));
+        assert_eq!(Value::Int(4).sql_eq(&Value::Int(4)), Some(true));
+        assert_eq!(Value::Int(4).sql_eq(&Value::Int(5)), Some(false));
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
+        assert!(!Value::Null.is_truthy());
+    }
+
+    #[test]
+    fn date_string_coercion() {
+        let d = Value::Date(Date::new(2016, 7, 4).unwrap());
+        let s = Value::str("2016-07-04");
+        assert_eq!(d.sql_eq(&s), Some(true));
+        assert_eq!(s.sql_cmp(&Value::Date(Date::new(2016, 8, 1).unwrap())), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn eq_and_hash_consistent_for_numeric_family() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Value::Int(3));
+        assert!(set.contains(&Value::Float(3.0)));
+        assert!(!set.contains(&Value::Float(3.5)));
+    }
+
+    #[test]
+    fn total_cmp_places_nulls_last() {
+        let mut vals = vec![Value::Null, Value::Int(2), Value::Int(1)];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(vals[0], Value::Int(1));
+        assert_eq!(vals[1], Value::Int(2));
+        assert!(vals[2].is_null());
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(Value::Int(2).mul(&Value::Float(1.5)).unwrap(), Value::Float(3.0));
+        assert_eq!(Value::Int(7).sub(&Value::Int(9)).unwrap(), Value::Int(-2));
+        assert!(Value::Int(1).div(&Value::Int(0)).is_err());
+        assert_eq!(Value::Int(7).div(&Value::Int(2)).unwrap(), Value::Float(3.5));
+        assert!(Value::Null.add(&Value::Int(1)).unwrap().is_null());
+        assert!(Value::Int(i64::MAX).add(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(
+            Value::str("2016-07-04").cast(DataType::Date).unwrap(),
+            Value::Date(Date::new(2016, 7, 4).unwrap())
+        );
+        assert_eq!(Value::Int(3).cast(DataType::Float).unwrap(), Value::Float(3.0));
+        assert_eq!(Value::str("42").cast(DataType::Int).unwrap(), Value::Int(42));
+        assert!(Value::str("xyz").cast(DataType::Int).is_err());
+        assert!(Value::Bool(true).cast(DataType::Date).is_err());
+        assert!(Value::Null.cast(DataType::Int).unwrap().is_null());
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(5).as_int().unwrap(), 5);
+        assert_eq!(Value::Float(5.0).as_int().unwrap(), 5);
+        assert!(Value::Float(5.5).as_int().is_err());
+        assert_eq!(Value::str("hi").as_str().unwrap(), "hi");
+        assert!(Value::Int(1).as_str().is_err());
+        assert_eq!(Value::Bool(true).as_bool().unwrap(), true);
+        assert_eq!(
+            Value::str("2017-01-01").as_date().unwrap(),
+            Date::new(2017, 1, 1).unwrap()
+        );
+    }
+
+    #[test]
+    fn display_and_render() {
+        assert_eq!(Value::str("a").to_string(), "'a'");
+        assert_eq!(Value::str("a").render(), "a");
+        assert_eq!(Value::Int(1).to_string(), "1");
+        assert_eq!(Value::Null.render(), "NULL");
+    }
+}

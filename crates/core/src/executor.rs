@@ -1,0 +1,666 @@
+//! The BE Plan Executor: runs bounded plans against the access-constraint
+//! indices.
+//!
+//! Execution maintains a single growing *context* relation `T` (the
+//! intermediate results `T1, T2, ...` of Example 2).  Each `fetch` step looks
+//! up the distinct key values present in `T`, retrieves the associated
+//! partial tuples through the constraint's modified hash index, joins them
+//! back onto `T`, and applies the predicates that have become checkable.
+//! Base data is touched **only** inside `fetch`; every other operator works
+//! on the bounded intermediates.
+//!
+//! Answers are produced under set semantics (distinct rows): constraint
+//! indices store distinct partial tuples, which is also why the checker only
+//! admits distinct-safe aggregates.
+
+use crate::graph::QueryGraph;
+use crate::plan::{BoundedPlan, KeySource, PlannedFetch};
+use beas_access::AccessIndexes;
+use beas_common::{BeasError, Field, Result, Row, Schema, Value};
+use beas_engine::{aggregate, ExecutionMetrics};
+use beas_sql::{evaluate, evaluate_predicate, BoundExpr, BoundQuery};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// The materialized context relation after all fetch steps.
+#[derive(Debug, Clone)]
+pub struct CtxResult {
+    /// Schema of the context relation (fields carry their atom alias).
+    pub schema: Schema,
+    /// Distinct context rows.
+    pub rows: Vec<Row>,
+    /// Per-operator metrics.
+    pub metrics: ExecutionMetrics,
+    /// Total (partial) tuples fetched through constraint indices.
+    pub tuples_accessed: u64,
+}
+
+/// The result of a full bounded execution.
+#[derive(Debug, Clone)]
+pub struct BoundedExecution {
+    /// Output rows (set semantics).
+    pub rows: Vec<Row>,
+    /// Per-operator metrics, including the finalization operators.
+    pub metrics: ExecutionMetrics,
+    /// Total tuples fetched through constraint indices.
+    pub tuples_accessed: u64,
+}
+
+/// Execute the fetch stages of a bounded plan, producing the context
+/// relation.  Used directly by partially bounded evaluation.
+pub fn execute_ctx(
+    plan: &BoundedPlan,
+    query: &BoundQuery,
+    graph: &QueryGraph,
+    indexes: &AccessIndexes,
+) -> Result<CtxResult> {
+    let mut metrics = ExecutionMetrics::new();
+    let mut tuples_accessed: u64 = 0;
+    let mut schema = Schema::empty();
+    let mut rows: Vec<Row> = vec![vec![]];
+    let start_all = Instant::now();
+
+    for fetch in &plan.fetches {
+        let start = Instant::now();
+        let (new_schema, mut new_rows, accessed) =
+            run_fetch(fetch, query, graph, indexes, &schema, &rows)?;
+        tuples_accessed += accessed;
+
+        // Apply the predicates that became checkable after this fetch.
+        for pred in &fetch.post_filters {
+            let rewritten = rewrite_to_ctx(pred, query, graph, &new_schema)?;
+            new_rows.retain(|r| evaluate_predicate(&rewritten, r).unwrap_or(false));
+        }
+        // Set semantics: the context holds distinct rows.
+        new_rows = dedupe(new_rows);
+
+        metrics.record(
+            format!("Fetch({})", fetch.constraint.id()),
+            new_rows.len() as u64,
+            accessed,
+            start.elapsed(),
+        );
+        schema = new_schema;
+        rows = new_rows;
+    }
+
+    metrics.elapsed = start_all.elapsed();
+    Ok(CtxResult {
+        schema,
+        rows,
+        metrics,
+        tuples_accessed,
+    })
+}
+
+/// Execute a bounded plan end to end (fetch stages plus finalization).
+pub fn execute_bounded(
+    plan: &BoundedPlan,
+    query: &BoundQuery,
+    graph: &QueryGraph,
+    indexes: &AccessIndexes,
+) -> Result<BoundedExecution> {
+    let start = Instant::now();
+    let ctx = execute_ctx(plan, query, graph, indexes)?;
+    let mut metrics = ctx.metrics.clone();
+    let mut rows = ctx.rows;
+    let schema = ctx.schema;
+
+    // Residual predicates spanning several atoms.
+    if !plan.residual_predicates.is_empty() {
+        let t = Instant::now();
+        for pred in &plan.residual_predicates {
+            let rewritten = rewrite_to_ctx(pred, query, graph, &schema)?;
+            rows.retain(|r| evaluate_predicate(&rewritten, r).unwrap_or(false));
+        }
+        metrics.record("ResidualFilter", rows.len() as u64, 0, t.elapsed());
+    }
+
+    // Finalization: aggregation / projection / distinct / order / limit,
+    // mirroring the baseline engine's semantics over the bounded context.
+    let t = Instant::now();
+    let mut out: Vec<Row>;
+    if query.is_aggregate {
+        let group_by: Vec<BoundExpr> = query
+            .group_by
+            .iter()
+            .map(|g| rewrite_to_ctx(g, query, graph, &schema))
+            .collect::<Result<_>>()?;
+        let mut aggregates = query.aggregates.clone();
+        for agg in &mut aggregates {
+            if let Some(arg) = &agg.arg {
+                agg.arg = Some(rewrite_to_ctx(arg, query, graph, &schema)?);
+            }
+        }
+        let mut agg_rows = aggregate(&rows, &group_by, &aggregates)?;
+        if let Some(h) = &query.having {
+            agg_rows.retain(|r| evaluate_predicate(h, r).unwrap_or(false));
+        }
+        out = Vec::with_capacity(agg_rows.len());
+        for r in &agg_rows {
+            let mut projected = Vec::with_capacity(query.output.len());
+            for (e, _) in &query.output {
+                projected.push(evaluate(e, r)?);
+            }
+            out.push(projected);
+        }
+    } else {
+        let outputs: Vec<BoundExpr> = query
+            .output
+            .iter()
+            .map(|(e, _)| rewrite_to_ctx(e, query, graph, &schema))
+            .collect::<Result<_>>()?;
+        out = Vec::with_capacity(rows.len());
+        for r in &rows {
+            let mut projected = Vec::with_capacity(outputs.len());
+            for e in &outputs {
+                projected.push(evaluate(e, r)?);
+            }
+            out.push(projected);
+        }
+        // set semantics on the projected answer
+        out = dedupe(out);
+    }
+
+    // ORDER BY / LIMIT.
+    if !query.order_by.is_empty() {
+        out.sort_by(|a, b| {
+            for (idx, asc) in &query.order_by {
+                let ord = a[*idx].total_cmp(&b[*idx]);
+                let ord = if *asc { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    if let Some(limit) = query.limit {
+        out.truncate(limit as usize);
+    }
+    metrics.record("Finalize", out.len() as u64, 0, t.elapsed());
+    metrics.elapsed = start.elapsed();
+
+    Ok(BoundedExecution {
+        rows: out,
+        metrics,
+        tuples_accessed: ctx.tuples_accessed,
+    })
+}
+
+/// Run one fetch step: returns the extended schema, the joined rows and the
+/// number of partial tuples accessed.
+fn run_fetch(
+    fetch: &PlannedFetch,
+    query: &BoundQuery,
+    graph: &QueryGraph,
+    indexes: &AccessIndexes,
+    schema: &Schema,
+    rows: &[Row],
+) -> Result<(Schema, Vec<Row>, u64)> {
+    let index = indexes.for_constraint(&fetch.constraint).ok_or_else(|| {
+        BeasError::execution(format!(
+            "no index built for access constraint {}",
+            fetch.constraint
+        ))
+    })?;
+    let _ = graph;
+
+    // The declared types of the constraint's key attributes: constants coming
+    // from SQL literals (e.g. a date written as a string) are cast to them so
+    // that index lookups compare like with like.
+    let atom_table_schema = &query.tables[fetch.atom].schema;
+    let key_types: Vec<beas_common::DataType> = fetch
+        .constraint
+        .x
+        .iter()
+        .map(|c| {
+            atom_table_schema
+                .column(c)
+                .map(|col| col.data_type)
+                .ok_or_else(|| {
+                    BeasError::execution(format!(
+                        "constraint key {c:?} missing from table {:?}",
+                        atom_table_schema.name
+                    ))
+                })
+        })
+        .collect::<Result<_>>()?;
+
+    // Candidate key values per context row (cartesian product over the key
+    // sources; IN-lists expand, constants are fixed, ctx columns read the row).
+    let mut ctx_key_indices: Vec<Option<usize>> = Vec::with_capacity(fetch.keys.len());
+    for k in &fetch.keys {
+        match k {
+            KeySource::Ctx(atom, col) => {
+                let alias = &query.tables[*atom].alias;
+                let idx = schema.index_of_origin(alias, col).ok_or_else(|| {
+                    BeasError::execution(format!(
+                        "context column {alias}.{col} missing during fetch"
+                    ))
+                })?;
+                ctx_key_indices.push(Some(idx));
+            }
+            _ => ctx_key_indices.push(None),
+        }
+    }
+
+    // Collect the distinct keys across all context rows.
+    let mut distinct_keys: Vec<Vec<Value>> = Vec::new();
+    let mut seen_keys: HashSet<Vec<Value>> = HashSet::new();
+    let mut row_keys: Vec<Vec<Vec<Value>>> = Vec::with_capacity(rows.len());
+    for row in rows {
+        let mut alternatives: Vec<Vec<Value>> = vec![vec![]];
+        for ((k, ctx_idx), key_type) in fetch.keys.iter().zip(&ctx_key_indices).zip(&key_types) {
+            let raw: Vec<Value> = match (k, ctx_idx) {
+                (KeySource::Constant(v), _) => vec![v.clone()],
+                (KeySource::Constants(vs), _) => vs.clone(),
+                (KeySource::Ctx(_, _), Some(i)) => vec![row[*i].clone()],
+                (KeySource::Ctx(_, _), None) => unreachable!("resolved above"),
+            };
+            let options: Vec<Value> = raw
+                .into_iter()
+                .map(|v| if v.is_null() { Ok(v) } else { v.cast(*key_type) })
+                .collect::<Result<_>>()?;
+            let mut next = Vec::with_capacity(alternatives.len() * options.len());
+            for alt in &alternatives {
+                for opt in &options {
+                    let mut key = alt.clone();
+                    key.push(opt.clone());
+                    next.push(key);
+                }
+            }
+            alternatives = next;
+        }
+        for key in &alternatives {
+            if seen_keys.insert(key.clone()) {
+                distinct_keys.push(key.clone());
+            }
+        }
+        row_keys.push(alternatives);
+    }
+
+    // Fetch each distinct key once, counting accessed partial tuples.
+    let mut buckets: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
+    let mut accessed: u64 = 0;
+    for key in &distinct_keys {
+        let bucket = index.fetch(key);
+        accessed += bucket.len() as u64;
+        buckets.insert(key.clone(), bucket.to_vec());
+    }
+
+    // Extend the schema with the fetched atom's X and Y attributes.
+    let alias = &fetch.alias;
+    let atom_schema = &query.tables[fetch.atom].schema;
+    let mut new_fields: Vec<Field> = schema.fields().to_vec();
+    let mut added_cols: Vec<String> = Vec::new();
+    for col in fetch.constraint.x.iter().chain(fetch.constraint.y.iter()) {
+        let dt = atom_schema
+            .column(col)
+            .map(|c| c.data_type)
+            .ok_or_else(|| {
+                BeasError::execution(format!(
+                    "constraint column {col:?} missing from table {:?}",
+                    atom_schema.name
+                ))
+            })?;
+        new_fields.push(Field::base(alias.clone(), col.clone(), dt));
+        added_cols.push(col.clone());
+    }
+    let new_schema = Schema::new(new_fields);
+
+    // Join: every context row × its candidate keys × the key's bucket.
+    let x_len = fetch.constraint.x.len();
+    let mut new_rows = Vec::new();
+    for (row, keys) in rows.iter().zip(&row_keys) {
+        for key in keys {
+            let Some(bucket) = buckets.get(key) else { continue };
+            for partial in bucket {
+                let mut out = row.clone();
+                out.extend(key.iter().take(x_len).cloned());
+                out.extend(partial.iter().cloned());
+                new_rows.push(out);
+            }
+        }
+    }
+    Ok((new_schema, new_rows, accessed))
+}
+
+/// Rewrite an expression bound over the query's flat input schema so that it
+/// reads from the context relation instead.  Columns not present in the
+/// context are substituted through their equivalence class (an equated
+/// context column or a constant).
+pub fn rewrite_to_ctx(
+    expr: &BoundExpr,
+    query: &BoundQuery,
+    graph: &QueryGraph,
+    ctx_schema: &Schema,
+) -> Result<BoundExpr> {
+    let classes = graph.equivalence_classes();
+    let mut substitutions: HashMap<usize, BoundExpr> = HashMap::new();
+    for col in expr.referenced_columns() {
+        let field = query.input_schema.field(col);
+        let alias = field.table.clone().ok_or_else(|| {
+            BeasError::execution(format!("column {} has no table origin", field.name))
+        })?;
+        // direct hit
+        if let Some(i) = ctx_schema.index_of_origin(&alias, &field.name) {
+            substitutions.insert(col, BoundExpr::Column(i));
+            continue;
+        }
+        // through the equivalence class
+        let (atom_idx, _) = crate::graph::atom_of_column(query, col);
+        let term = (atom_idx, field.name.clone());
+        let mut found = None;
+        if let Some(class) = classes.iter().find(|c| c.contains(&term)) {
+            for member in class {
+                let member_alias = &query.tables[member.0].alias;
+                if let Some(i) = ctx_schema.index_of_origin(member_alias, &member.1) {
+                    found = Some(BoundExpr::Column(i));
+                    break;
+                }
+            }
+            if found.is_none() {
+                if let Some(v) = graph.constant_for(&term, &classes) {
+                    found = Some(BoundExpr::Literal(v));
+                }
+            }
+        } else if let Some(v) = graph.constants.get(&term) {
+            found = Some(BoundExpr::Literal(v.clone()));
+        }
+        let replacement = found.ok_or_else(|| {
+            BeasError::execution(format!(
+                "column {}.{} is not available in the bounded context {ctx_schema}",
+                alias, field.name
+            ))
+        })?;
+        substitutions.insert(col, replacement);
+    }
+    Ok(substitute(expr, &substitutions))
+}
+
+fn substitute(expr: &BoundExpr, subs: &HashMap<usize, BoundExpr>) -> BoundExpr {
+    match expr {
+        BoundExpr::Column(i) => subs.get(i).cloned().unwrap_or_else(|| expr.clone()),
+        BoundExpr::Literal(_) => expr.clone(),
+        BoundExpr::Binary { op, left, right } => BoundExpr::Binary {
+            op: *op,
+            left: Box::new(substitute(left, subs)),
+            right: Box::new(substitute(right, subs)),
+        },
+        BoundExpr::Not(e) => BoundExpr::Not(Box::new(substitute(e, subs))),
+        BoundExpr::Negate(e) => BoundExpr::Negate(Box::new(substitute(e, subs))),
+        BoundExpr::IsNull { expr, negated } => BoundExpr::IsNull {
+            expr: Box::new(substitute(expr, subs)),
+            negated: *negated,
+        },
+        BoundExpr::InList {
+            expr,
+            list,
+            negated,
+        } => BoundExpr::InList {
+            expr: Box::new(substitute(expr, subs)),
+            list: list.iter().map(|e| substitute(e, subs)).collect(),
+            negated: *negated,
+        },
+        BoundExpr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => BoundExpr::Between {
+            expr: Box::new(substitute(expr, subs)),
+            low: Box::new(substitute(low, subs)),
+            high: Box::new(substitute(high, subs)),
+            negated: *negated,
+        },
+        BoundExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => BoundExpr::Like {
+            expr: Box::new(substitute(expr, subs)),
+            pattern: Box::new(substitute(pattern, subs)),
+            negated: *negated,
+        },
+    }
+}
+
+fn dedupe(rows: Vec<Row>) -> Vec<Row> {
+    let mut seen = HashSet::new();
+    let mut out = Vec::with_capacity(rows.len());
+    for r in rows {
+        if seen.insert(r.clone()) {
+            out.push(r);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::Checker;
+    use crate::graph::QueryGraph;
+    use crate::planner::generate_bounded_plan;
+    use beas_access::{build_indexes, AccessConstraint, AccessSchema};
+    use beas_common::{ColumnDef, DataType, TableSchema};
+    use beas_sql::{parse_select, Binder};
+    use beas_storage::Database;
+
+    /// A small instance of the Example 1 schema with known answers.
+    fn setup() -> (Database, AccessSchema, AccessIndexes) {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "call",
+                vec![
+                    ColumnDef::new("pnum", DataType::Str),
+                    ColumnDef::new("recnum", DataType::Str),
+                    ColumnDef::new("date", DataType::Date),
+                    ColumnDef::new("region", DataType::Str),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new(
+                "package",
+                vec![
+                    ColumnDef::new("pnum", DataType::Str),
+                    ColumnDef::new("pid", DataType::Int),
+                    ColumnDef::new("start_month", DataType::Int),
+                    ColumnDef::new("end_month", DataType::Int),
+                    ColumnDef::new("year", DataType::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new(
+                "business",
+                vec![
+                    ColumnDef::new("pnum", DataType::Str),
+                    ColumnDef::new("type", DataType::Str),
+                    ColumnDef::new("region", DataType::Str),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+
+        // businesses: two banks in r0 (b1, b2), one hospital (b3)
+        for (p, t, r) in [("b1", "bank", "r0"), ("b2", "bank", "r0"), ("b3", "hospital", "r0")] {
+            db.insert("business", vec![Value::str(p), Value::str(t), Value::str(r)])
+                .unwrap();
+        }
+        // packages: b1 in package 7 covering month 7 of 2016; b2 in package 9
+        for (p, pid, s, e, y) in [
+            ("b1", 7, 1, 12, 2016),
+            ("b2", 9, 6, 8, 2016),
+            ("b1", 7, 1, 12, 2015),
+        ] {
+            db.insert(
+                "package",
+                vec![
+                    Value::str(p),
+                    Value::Int(pid),
+                    Value::Int(s),
+                    Value::Int(e),
+                    Value::Int(y),
+                ],
+            )
+            .unwrap();
+        }
+        // calls on 2016-07-04: b1 calls x (east) and y (west); b2 calls z (east);
+        // b3 calls w (north); b1 also calls q on another date
+        for (p, r, d, reg) in [
+            ("b1", "x", "2016-07-04", "east"),
+            ("b1", "y", "2016-07-04", "west"),
+            ("b2", "z", "2016-07-04", "east"),
+            ("b3", "w", "2016-07-04", "north"),
+            ("b1", "q", "2016-08-01", "south"),
+        ] {
+            db.insert(
+                "call",
+                vec![Value::str(p), Value::str(r), Value::str(d), Value::str(reg)],
+            )
+            .unwrap();
+        }
+
+        let schema = AccessSchema::from_constraints(vec![
+            AccessConstraint::new("call", &["pnum", "date"], &["recnum", "region"], 500).unwrap(),
+            AccessConstraint::new(
+                "package",
+                &["pnum", "year"],
+                &["pid", "start_month", "end_month"],
+                12,
+            )
+            .unwrap(),
+            AccessConstraint::new("business", &["type", "region"], &["pnum"], 2000).unwrap(),
+        ]);
+        let indexes = build_indexes(&db, &schema).unwrap();
+        (db, schema, indexes)
+    }
+
+    fn run(sql: &str) -> BoundedExecution {
+        let (db, schema, indexes) = setup();
+        let bound = Binder::new(&db).bind(&parse_select(sql).unwrap()).unwrap();
+        let graph = QueryGraph::build(&bound).unwrap();
+        let coverage = Checker::new(&schema).check(&bound, &graph);
+        assert!(coverage.covered, "not covered: {:?}", coverage.reasons);
+        let plan = generate_bounded_plan(&bound, &graph, &coverage).unwrap();
+        execute_bounded(&plan, &bound, &graph, &indexes).unwrap()
+    }
+
+    #[test]
+    fn example2_style_query_returns_exact_answer() {
+        // regions of numbers called by banks in r0 on 2016-07-04 that were in
+        // package 7 of 2016 covering month 7 -> only b1 qualifies -> east, west
+        let result = run(
+            "select call.region from call, package, business \
+             where business.type = 'bank' and business.region = 'r0' and \
+             business.pnum = call.pnum and call.date = '2016-07-04' and \
+             call.pnum = package.pnum and package.year = 2016 \
+             and package.start_month <= 7 and package.end_month >= 7 and package.pid = 7",
+        );
+        let mut regions: Vec<String> = result
+            .rows
+            .iter()
+            .map(|r| r[0].as_str().unwrap().to_string())
+            .collect();
+        regions.sort();
+        assert_eq!(regions, vec!["east", "west"]);
+        // tuples accessed: 2 business partial tuples (b1, b2), 2+1 packages
+        // (one per year key hit), 2+1 calls
+        assert!(result.tuples_accessed > 0);
+        assert!(result.tuples_accessed <= 10);
+        assert!(result.metrics.render().contains("Fetch"));
+    }
+
+    #[test]
+    fn single_table_fetch() {
+        let result = run(
+            "select recnum, region from call where pnum = 'b1' and date = '2016-07-04'",
+        );
+        assert_eq!(result.rows.len(), 2);
+        assert_eq!(result.tuples_accessed, 2);
+    }
+
+    #[test]
+    fn fetch_with_in_list_keys() {
+        let result = run(
+            "select recnum from call where pnum in ('b1', 'b2') and date = '2016-07-04' order by recnum",
+        );
+        let names: Vec<&str> = result.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
+        assert_eq!(names, vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn aggregates_over_bounded_context() {
+        let result = run(
+            "select call.region, count(distinct call.recnum) from call, business \
+             where business.type = 'bank' and business.region = 'r0' \
+             and business.pnum = call.pnum and call.date = '2016-07-04' \
+             group by call.region order by call.region",
+        );
+        // banks b1, b2 called: east x (b1), west y (b1), east z (b2)
+        assert_eq!(result.rows.len(), 2);
+        assert_eq!(result.rows[0], vec![Value::str("east"), Value::Int(2)]);
+        assert_eq!(result.rows[1], vec![Value::str("west"), Value::Int(1)]);
+    }
+
+    #[test]
+    fn limit_and_order_are_applied() {
+        let result = run(
+            "select recnum from call where pnum = 'b1' and date = '2016-07-04' \
+             order by recnum desc limit 1",
+        );
+        assert_eq!(result.rows, vec![vec![Value::str("y")]]);
+    }
+
+    #[test]
+    fn empty_key_produces_empty_answer() {
+        let result = run(
+            "select recnum from call where pnum = 'unknown' and date = '2016-07-04'",
+        );
+        assert!(result.rows.is_empty());
+        assert_eq!(result.tuples_accessed, 0);
+    }
+
+    #[test]
+    fn missing_index_is_an_error() {
+        let (db, schema, _) = setup();
+        let bound = Binder::new(&db)
+            .bind(&parse_select("select recnum from call where pnum = 'b1' and date = '2016-07-04'").unwrap())
+            .unwrap();
+        let graph = QueryGraph::build(&bound).unwrap();
+        let coverage = Checker::new(&schema).check(&bound, &graph);
+        let plan = generate_bounded_plan(&bound, &graph, &coverage).unwrap();
+        let empty = AccessIndexes::new();
+        assert!(execute_bounded(&plan, &bound, &graph, &empty).is_err());
+    }
+
+    #[test]
+    fn bounded_answers_match_baseline_engine() {
+        let (db, schema, indexes) = setup();
+        let sql = "select distinct call.region from call, business \
+                   where business.type = 'bank' and business.region = 'r0' \
+                   and business.pnum = call.pnum and call.date = '2016-07-04'";
+        let bound = Binder::new(&db).bind(&parse_select(sql).unwrap()).unwrap();
+        let graph = QueryGraph::build(&bound).unwrap();
+        let coverage = Checker::new(&schema).check(&bound, &graph);
+        let plan = generate_bounded_plan(&bound, &graph, &coverage).unwrap();
+        let bounded = execute_bounded(&plan, &bound, &graph, &indexes).unwrap();
+        let baseline = beas_engine::Engine::default().run(&db, sql).unwrap();
+        let mut a = bounded.rows.clone();
+        let mut b = baseline.rows.clone();
+        a.sort_by(|x, y| x[0].total_cmp(&y[0]));
+        b.sort_by(|x, y| x[0].total_cmp(&y[0]));
+        assert_eq!(a, b);
+        // and the bounded run touched far fewer tuples than the full scans
+        assert!(bounded.tuples_accessed < baseline.metrics.total_tuples_accessed());
+    }
+}

@@ -1,0 +1,433 @@
+//! The query graph: a normalized view of a bound SPJ/aggregate query that the
+//! BE Checker and BE Plan Generator reason over.
+//!
+//! An atom is one occurrence of a relation in the FROM clause.  The graph
+//! records, per atom, which attributes the query *needs* (output columns,
+//! predicate columns, join columns, aggregate inputs and group-by keys),
+//! which attributes are bound to constants, and the equality edges between
+//! attributes of different atoms.  Coverage checking is a fixpoint over this
+//! graph; plan generation replays the fixpoint as a chain of `fetch`
+//! operations.
+
+use beas_common::{BeasError, Result, TableSchema, Value};
+use beas_engine::split_bound_conjuncts;
+use beas_sql::ast::BinaryOperator;
+use beas_sql::{BoundExpr, BoundQuery};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A term of the query graph: column `column` of atom `atom`.
+pub type Term = (usize, String);
+
+/// One relation occurrence in the query.
+#[derive(Debug, Clone)]
+pub struct Atom {
+    /// Index of this atom (position in the FROM clause).
+    pub idx: usize,
+    /// Alias used in the query.
+    pub alias: String,
+    /// Base-table name.
+    pub table: String,
+    /// Base-table schema.
+    pub schema: TableSchema,
+    /// Attributes of this atom the query needs.
+    pub needed: BTreeSet<String>,
+}
+
+/// A single-atom predicate (selection) retained for execution on fetched
+/// partial tuples.
+#[derive(Debug, Clone)]
+pub struct AtomFilter {
+    /// The atom the predicate restricts.
+    pub atom: usize,
+    /// The predicate, bound over the query's flat input schema.
+    pub predicate: BoundExpr,
+}
+
+/// The normalized query graph.
+#[derive(Debug, Clone)]
+pub struct QueryGraph {
+    /// Relation occurrences.
+    pub atoms: Vec<Atom>,
+    /// Attributes bound to a single constant (`col = 'x'`).
+    pub constants: BTreeMap<Term, Value>,
+    /// Attributes bound to a small list of constants (`col IN (...)`).
+    pub in_lists: BTreeMap<Term, Vec<Value>>,
+    /// Equality edges between attributes of *different* atoms.
+    pub equalities: Vec<(Term, Term)>,
+    /// Residual single-atom predicates (ranges, LIKE, `<>`, intra-atom
+    /// equalities, ...).
+    pub filters: Vec<AtomFilter>,
+    /// Predicates spanning several atoms that are not simple equalities;
+    /// they are applied after all fetches and make the query harder to cover
+    /// only in the sense that their columns must be fetched too.
+    pub residual_predicates: Vec<BoundExpr>,
+}
+
+impl QueryGraph {
+    /// Build the graph from a bound query.
+    pub fn build(query: &BoundQuery) -> Result<QueryGraph> {
+        if query.tables.is_empty() {
+            return Err(BeasError::plan("query has no tables"));
+        }
+        let mut atoms: Vec<Atom> = query
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Atom {
+                idx: i,
+                alias: t.alias.clone(),
+                table: t.table.clone(),
+                schema: t.schema.clone(),
+                needed: BTreeSet::new(),
+            })
+            .collect();
+
+        let term_of = |col: usize| -> Term {
+            let (atom_idx, _) = atom_of_column(query, col);
+            (atom_idx, query.input_schema.field(col).name.clone())
+        };
+
+        // Mark needed attributes from every part of the query that reads
+        // base-table columns.
+        let mark_needed = |expr: &BoundExpr, atoms: &mut Vec<Atom>| {
+            for col in expr.referenced_columns() {
+                let (a, name) = term_of(col);
+                atoms[a].needed.insert(name);
+            }
+        };
+        if let Some(f) = &query.filter {
+            mark_needed(f, &mut atoms);
+        }
+        for g in &query.group_by {
+            mark_needed(g, &mut atoms);
+        }
+        for a in &query.aggregates {
+            if let Some(arg) = &a.arg {
+                mark_needed(arg, &mut atoms);
+            }
+        }
+        if !query.is_aggregate {
+            for (e, _) in &query.output {
+                mark_needed(e, &mut atoms);
+            }
+        }
+
+        // Classify the WHERE conjuncts.
+        let mut constants = BTreeMap::new();
+        let mut in_lists = BTreeMap::new();
+        let mut equalities = Vec::new();
+        let mut filters = Vec::new();
+        let mut residual_predicates = Vec::new();
+        let conjuncts = match &query.filter {
+            Some(f) => split_bound_conjuncts(f),
+            None => Vec::new(),
+        };
+        for c in conjuncts {
+            match classify(&c, query) {
+                Classified::Constant(col, v) => {
+                    constants.insert(term_of(col), v);
+                }
+                Classified::InList(col, vs) => {
+                    in_lists.insert(term_of(col), vs);
+                }
+                Classified::Equality(a, b) => {
+                    equalities.push((term_of(a), term_of(b)));
+                }
+                Classified::SingleAtom(atom, expr) => {
+                    filters.push(AtomFilter {
+                        atom,
+                        predicate: expr,
+                    });
+                }
+                Classified::Residual(expr) => residual_predicates.push(expr),
+            }
+        }
+
+        Ok(QueryGraph {
+            atoms,
+            constants,
+            in_lists,
+            equalities,
+            filters,
+            residual_predicates,
+        })
+    }
+
+    /// Equivalence classes of terms under the equality edges; each class also
+    /// records whether it contains a constant-bound term.
+    pub fn equivalence_classes(&self) -> Vec<BTreeSet<Term>> {
+        // union-find over terms appearing in equalities / constants / in-lists
+        let mut classes: Vec<BTreeSet<Term>> = Vec::new();
+        let find = |classes: &Vec<BTreeSet<Term>>, t: &Term| -> Option<usize> {
+            classes.iter().position(|c| c.contains(t))
+        };
+        let add_term = |classes: &mut Vec<BTreeSet<Term>>, t: &Term| {
+            if classes.iter().all(|c| !c.contains(t)) {
+                let mut s = BTreeSet::new();
+                s.insert(t.clone());
+                classes.push(s);
+            }
+        };
+        for (a, b) in &self.equalities {
+            add_term(&mut classes, a);
+            add_term(&mut classes, b);
+            let ia = find(&classes, a).expect("term added above");
+            let ib = find(&classes, b).expect("term added above");
+            if ia != ib {
+                let merged: BTreeSet<Term> = classes[ia].union(&classes[ib]).cloned().collect();
+                let (hi, lo) = if ia > ib { (ia, ib) } else { (ib, ia) };
+                classes.remove(hi);
+                classes.remove(lo);
+                classes.push(merged);
+            }
+        }
+        for t in self.constants.keys().chain(self.in_lists.keys()) {
+            add_term(&mut classes, t);
+        }
+        classes
+    }
+
+    /// The constant value a term is (transitively) bound to, if any.
+    pub fn constant_for(&self, term: &Term, classes: &[BTreeSet<Term>]) -> Option<Value> {
+        if let Some(v) = self.constants.get(term) {
+            return Some(v.clone());
+        }
+        let class = classes.iter().find(|c| c.contains(term))?;
+        class.iter().find_map(|t| self.constants.get(t).cloned())
+    }
+
+    /// All columns of atom `idx` that the query needs, in schema order.
+    pub fn needed_columns(&self, idx: usize) -> Vec<String> {
+        let atom = &self.atoms[idx];
+        atom.schema
+            .column_names()
+            .into_iter()
+            .filter(|c| atom.needed.contains(c))
+            .collect()
+    }
+}
+
+/// Which atom a flat input-schema column belongs to, plus its table name.
+pub fn atom_of_column(query: &BoundQuery, col: usize) -> (usize, &str) {
+    let idx = query
+        .tables
+        .iter()
+        .enumerate()
+        .rev()
+        .find(|(_, t)| col >= t.offset)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    (idx, query.tables[idx].table.as_str())
+}
+
+enum Classified {
+    Constant(usize, Value),
+    InList(usize, Vec<Value>),
+    Equality(usize, usize),
+    SingleAtom(usize, BoundExpr),
+    Residual(BoundExpr),
+}
+
+fn classify(conjunct: &BoundExpr, query: &BoundQuery) -> Classified {
+    // column = literal (either side)
+    if let BoundExpr::Binary {
+        op: BinaryOperator::Eq,
+        left,
+        right,
+    } = conjunct
+    {
+        match (left.as_ref(), right.as_ref()) {
+            (BoundExpr::Column(i), BoundExpr::Literal(v))
+            | (BoundExpr::Literal(v), BoundExpr::Column(i)) => {
+                return Classified::Constant(*i, v.clone());
+            }
+            (BoundExpr::Column(a), BoundExpr::Column(b)) => {
+                let (ta, _) = atom_of_column(query, *a);
+                let (tb, _) = atom_of_column(query, *b);
+                if ta != tb {
+                    return Classified::Equality(*a, *b);
+                }
+            }
+            _ => {}
+        }
+    }
+    // column IN (literals)
+    if let BoundExpr::InList {
+        expr,
+        list,
+        negated: false,
+    } = conjunct
+    {
+        if let BoundExpr::Column(i) = expr.as_ref() {
+            let values: Option<Vec<Value>> = list
+                .iter()
+                .map(|e| match e {
+                    BoundExpr::Literal(v) => Some(v.clone()),
+                    _ => None,
+                })
+                .collect();
+            if let Some(values) = values {
+                if !values.is_empty() {
+                    return Classified::InList(*i, values);
+                }
+            }
+        }
+    }
+    // single-atom predicate?
+    let cols = conjunct.referenced_columns();
+    let atoms: BTreeSet<usize> = cols.iter().map(|&c| atom_of_column(query, c).0).collect();
+    if atoms.len() == 1 {
+        return Classified::SingleAtom(*atoms.iter().next().unwrap(), conjunct.clone());
+    }
+    Classified::Residual(conjunct.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beas_common::{ColumnDef, DataType};
+    use beas_sql::{parse_select, Binder};
+    use beas_storage::Database;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "call",
+                vec![
+                    ColumnDef::new("pnum", DataType::Str),
+                    ColumnDef::new("recnum", DataType::Str),
+                    ColumnDef::new("date", DataType::Date),
+                    ColumnDef::new("region", DataType::Str),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new(
+                "package",
+                vec![
+                    ColumnDef::new("pnum", DataType::Str),
+                    ColumnDef::new("pid", DataType::Int),
+                    ColumnDef::new("start_month", DataType::Int),
+                    ColumnDef::new("end_month", DataType::Int),
+                    ColumnDef::new("year", DataType::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new(
+                "business",
+                vec![
+                    ColumnDef::new("pnum", DataType::Str),
+                    ColumnDef::new("type", DataType::Str),
+                    ColumnDef::new("region", DataType::Str),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn example2_sql() -> &'static str {
+        "select call.region from call, package, business \
+         where business.type = 't0' and business.region = 'r0' and \
+         business.pnum = call.pnum and call.date = '2016-07-04' and \
+         call.pnum = package.pnum and package.year = 2016 \
+         and package.start_month <= 7 and package.end_month >= 7 and package.pid = 3"
+    }
+
+    fn graph(sql: &str) -> QueryGraph {
+        let db = db();
+        let bound = Binder::new(&db).bind(&parse_select(sql).unwrap()).unwrap();
+        QueryGraph::build(&bound).unwrap()
+    }
+
+    #[test]
+    fn builds_example2_graph() {
+        let g = graph(example2_sql());
+        assert_eq!(g.atoms.len(), 3);
+        assert_eq!(g.atoms[0].table, "call");
+        // needed attributes
+        assert!(g.atoms[0].needed.contains("region"));
+        assert!(g.atoms[0].needed.contains("pnum"));
+        assert!(g.atoms[0].needed.contains("date"));
+        assert!(!g.atoms[0].needed.contains("recnum"));
+        assert!(g.atoms[1].needed.contains("start_month"));
+        // constants: business.type, business.region, call.date, package.year, package.pid
+        assert_eq!(g.constants.len(), 5);
+        assert!(g.constants.contains_key(&(2, "type".to_string())));
+        assert!(g.constants.contains_key(&(0, "date".to_string())));
+        // equalities: business.pnum = call.pnum, call.pnum = package.pnum
+        assert_eq!(g.equalities.len(), 2);
+        // filters: start_month <= 7, end_month >= 7
+        assert_eq!(g.filters.len(), 2);
+        assert!(g.filters.iter().all(|f| f.atom == 1));
+        assert!(g.residual_predicates.is_empty());
+    }
+
+    #[test]
+    fn equivalence_classes_merge_join_chains() {
+        let g = graph(example2_sql());
+        let classes = g.equivalence_classes();
+        // one class holds {business.pnum, call.pnum, package.pnum}
+        let pnum_class = classes
+            .iter()
+            .find(|c| c.contains(&(0, "pnum".to_string())))
+            .unwrap();
+        assert_eq!(pnum_class.len(), 3);
+        // constants have singleton classes unless they join
+        assert!(classes.iter().any(|c| c.contains(&(0, "date".to_string()))));
+        // constant lookup propagates through classes
+        let v = g.constant_for(&(2, "type".to_string()), &classes);
+        assert_eq!(v, Some(Value::str("t0")));
+        assert_eq!(g.constant_for(&(0, "pnum".to_string()), &classes), None);
+    }
+
+    #[test]
+    fn needed_columns_in_schema_order() {
+        let g = graph(example2_sql());
+        assert_eq!(g.needed_columns(0), vec!["pnum", "date", "region"]);
+        assert_eq!(
+            g.needed_columns(1),
+            vec!["pnum", "pid", "start_month", "end_month", "year"]
+        );
+    }
+
+    #[test]
+    fn in_list_and_residual_classification() {
+        let g = graph(
+            "select c.region from call c, business b \
+             where c.pnum = b.pnum and b.type in ('bank', 'hospital') \
+             and c.region <> b.region and c.date = '2016-07-04'",
+        );
+        assert_eq!(g.in_lists.len(), 1);
+        assert!(g.in_lists.contains_key(&(1, "type".to_string())));
+        // c.region <> b.region spans two atoms and is not an equality
+        assert_eq!(g.residual_predicates.len(), 1);
+        // needed attributes include both regions
+        assert!(g.atoms[0].needed.contains("region"));
+        assert!(g.atoms[1].needed.contains("region"));
+    }
+
+    #[test]
+    fn aggregate_query_marks_agg_inputs_needed() {
+        let g = graph(
+            "select region, count(distinct recnum) from call where date = '2016-07-04' group by region",
+        );
+        assert!(g.atoms[0].needed.contains("recnum"));
+        assert!(g.atoms[0].needed.contains("region"));
+        assert!(g.atoms[0].needed.contains("date"));
+    }
+
+    #[test]
+    fn intra_atom_equality_is_a_filter() {
+        let g = graph("select region from call where pnum = recnum and date = '2016-07-04'");
+        assert_eq!(g.filters.len(), 1);
+        assert_eq!(g.equalities.len(), 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # beas-core
+//!
+//! The BEAS system itself — the paper's primary contribution: bounded
+//! evaluation of SQL queries under an access schema.
+//!
+//! The online pipeline mirrors Fig. 1 of the paper:
+//!
+//! * [`graph`] — normalizes a bound query into atoms, constants, equality
+//!   edges and needed attributes;
+//! * [`checker`] — the **BE Checker**: the PTIME coverage test of the
+//!   Feasibility Theorem's effective syntax;
+//! * [`planner`] / [`plan`] — the **BE Plan Generator**: bounded plans built
+//!   from `fetch` operations, each annotated with a deduced bound;
+//! * [`executor`] — the **BE Plan Executor**: runs `fetch` against the
+//!   constraint indices and finalizes answers over bounded intermediates;
+//! * [`partial`] — the **BE Plan Optimizer**: partially bounded plans for
+//!   queries that are not covered;
+//! * [`approx`] — resource-bounded approximation under a tuple budget;
+//! * [`analyzer`] — Fig. 3-style performance analyses;
+//! * [`system`] — [`BeasSystem`], the facade tying it all together on top of
+//!   the storage layer and the conventional engine.
+
+pub mod analyzer;
+pub mod approx;
+pub mod checker;
+pub mod executor;
+pub mod graph;
+pub mod partial;
+pub mod plan;
+pub mod planner;
+pub mod system;
+
+pub use analyzer::{PerformanceAnalysis, SystemMeasurement};
+pub use approx::ApproximateExecution;
+pub use checker::{Checker, CoverageResult, FetchStep};
+pub use executor::{execute_bounded, execute_ctx, BoundedExecution, CtxResult};
+pub use graph::{Atom, QueryGraph};
+pub use partial::{execute_partially_bounded, PartialExecution};
+pub use plan::{BoundedPlan, KeySource, PlannedFetch};
+pub use planner::{generate_bounded_plan, generate_plan_for_steps};
+pub use system::{BeasSystem, CheckReport, EvaluationMode, ExecutionOutcome};

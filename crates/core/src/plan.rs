@@ -1,0 +1,177 @@
+//! Bounded query plans.
+//!
+//! A bounded plan answers a query by a sequence of `fetch(X ∈ T, Y, R)`
+//! operations, each controlled by an access constraint, followed by ordinary
+//! relational operators over the (small) fetched intermediates.  Every fetch
+//! is annotated with an upper bound on the number of tuples it may access,
+//! deduced from the cardinality constraints *before execution* — this is what
+//! the demo's budget check (scenario 1(a)) and Fig. 2(B)'s annotated plans
+//! show.
+
+use beas_access::AccessConstraint;
+use beas_common::Value;
+use beas_sql::BoundExpr;
+use std::fmt;
+
+/// Where the key values of a fetch come from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KeySource {
+    /// A single constant from the query (e.g. `type = 't0'`).
+    Constant(Value),
+    /// A small set of constants from an `IN (...)` predicate.
+    Constants(Vec<Value>),
+    /// A column of the running context relation: `(atom index, column name)`
+    /// of an attribute fetched by an earlier step (or equated to one).
+    Ctx(usize, String),
+}
+
+impl fmt::Display for KeySource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeySource::Constant(v) => write!(f, "{v}"),
+            KeySource::Constants(vs) => {
+                let items: Vec<String> = vs.iter().map(|v| v.to_string()).collect();
+                write!(f, "{{{}}}", items.join(", "))
+            }
+            KeySource::Ctx(atom, col) => write!(f, "T.#{atom}.{col}"),
+        }
+    }
+}
+
+/// One planned fetch operation.
+#[derive(Debug, Clone)]
+pub struct PlannedFetch {
+    /// The query atom (FROM-clause position) being fetched.
+    pub atom: usize,
+    /// Alias of the atom.
+    pub alias: String,
+    /// The access constraint whose index performs the fetch.
+    pub constraint: AccessConstraint,
+    /// Key sources, one per attribute of the constraint's `X`, in `X` order.
+    pub keys: Vec<KeySource>,
+    /// Upper bound on the number of (partial) tuples this fetch accesses.
+    pub bound: u64,
+    /// Predicates that become checkable right after this fetch (single-atom
+    /// selections and equality with constants on fetched attributes), bound
+    /// over the query's flat input schema.
+    pub post_filters: Vec<BoundExpr>,
+}
+
+/// A complete bounded plan.
+#[derive(Debug, Clone)]
+pub struct BoundedPlan {
+    /// Fetch steps in execution order.
+    pub fetches: Vec<PlannedFetch>,
+    /// Residual predicates (spanning several atoms, non-equality) applied
+    /// after all fetches, over the flat input schema.
+    pub residual_predicates: Vec<BoundExpr>,
+    /// Total upper bound on tuples accessed by the whole plan
+    /// (`Σ` per-fetch bounds), deduced before execution.
+    pub total_bound: u64,
+    /// Number of distinct access constraints employed.
+    pub constraints_used: usize,
+    /// Human-readable description of the finalization stage
+    /// (aggregation / projection / distinct / order / limit).
+    pub finalization: String,
+}
+
+impl BoundedPlan {
+    /// Render the plan with per-fetch bound annotations, in the style of the
+    /// demo UI (Fig. 2(B)).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "BoundedPlan: {} fetch steps, {} access constraints, total bound {} tuples\n",
+            self.fetches.len(),
+            self.constraints_used,
+            self.total_bound
+        ));
+        for (i, f) in self.fetches.iter().enumerate() {
+            let keys: Vec<String> = f.keys.iter().map(|k| k.to_string()).collect();
+            out.push_str(&format!(
+                "  {}. fetch({} ∈ [{}], {{{}}}, {}) via {}   ≤ {} tuples\n",
+                i + 1,
+                f.constraint.x.join(","),
+                keys.join(", "),
+                f.constraint.y.join(","),
+                f.alias,
+                f.constraint,
+                f.bound
+            ));
+            for p in &f.post_filters {
+                out.push_str(&format!("       then filter {p}\n"));
+            }
+        }
+        for p in &self.residual_predicates {
+            out.push_str(&format!("  residual filter {p}\n"));
+        }
+        out.push_str(&format!("  finalize: {}\n", self.finalization));
+        out
+    }
+
+    /// Whether the plan's deduced bound fits within `budget` tuples.
+    pub fn fits_budget(&self, budget: u64) -> bool {
+        self.total_bound <= budget
+    }
+}
+
+impl fmt::Display for BoundedPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.explain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plan() -> BoundedPlan {
+        let psi3 = AccessConstraint::new("business", &["type", "region"], &["pnum"], 2000).unwrap();
+        BoundedPlan {
+            fetches: vec![PlannedFetch {
+                atom: 2,
+                alias: "business".into(),
+                constraint: psi3,
+                keys: vec![
+                    KeySource::Constant(Value::str("t0")),
+                    KeySource::Constant(Value::str("r0")),
+                ],
+                bound: 2000,
+                post_filters: vec![],
+            }],
+            residual_predicates: vec![],
+            total_bound: 2000,
+            constraints_used: 1,
+            finalization: "project business.pnum, distinct".into(),
+        }
+    }
+
+    #[test]
+    fn explain_contains_bounds_and_keys() {
+        let plan = sample_plan();
+        let s = plan.explain();
+        assert!(s.contains("total bound 2000 tuples"));
+        assert!(s.contains("'t0'"));
+        assert!(s.contains("≤ 2000 tuples"));
+        assert!(s.contains("finalize: project"));
+        assert_eq!(format!("{plan}"), s);
+    }
+
+    #[test]
+    fn budget_check() {
+        let plan = sample_plan();
+        assert!(plan.fits_budget(2000));
+        assert!(plan.fits_budget(1_000_000));
+        assert!(!plan.fits_budget(1999));
+    }
+
+    #[test]
+    fn key_source_display() {
+        assert_eq!(KeySource::Constant(Value::Int(7)).to_string(), "7");
+        assert_eq!(
+            KeySource::Constants(vec![Value::Int(1), Value::Int(2)]).to_string(),
+            "{1, 2}"
+        );
+        assert_eq!(KeySource::Ctx(0, "pnum".into()).to_string(), "T.#0.pnum");
+    }
+}

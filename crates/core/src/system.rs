@@ -1,0 +1,490 @@
+//! The BEAS system facade: the online services (BE Query Planner + BE Plan
+//! Executor) wired to a database, an access schema and its indices.
+//!
+//! This is the API an application uses:
+//!
+//! 1. load (or generate) data into a [`Database`];
+//! 2. register an access schema — hand-written, parsed from text, or
+//!    discovered from a workload — and build its indices;
+//! 3. submit SQL.  BEAS checks coverage; covered queries run as bounded
+//!    plans, everything else runs as a partially bounded plan over the
+//!    conventional engine, exactly as described in §3 of the paper.
+
+use crate::analyzer::{PerformanceAnalysis, SystemMeasurement};
+use crate::approx::{execute_with_budget, ApproximateExecution};
+use crate::checker::{Checker, CoverageResult};
+use crate::executor::execute_bounded;
+use crate::graph::QueryGraph;
+use crate::partial::execute_partially_bounded;
+use crate::plan::BoundedPlan;
+use crate::planner::generate_bounded_plan;
+use beas_access::{build_indexes, discover, AccessIndexes, AccessSchema, DiscoveryConfig};
+use beas_common::{BeasError, Result, Row, Schema};
+use beas_engine::{Engine, ExecutionMetrics, OptimizerProfile};
+use beas_sql::{parse_select, Binder, BoundQuery};
+use beas_storage::Database;
+
+/// How a query was ultimately evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvaluationMode {
+    /// Fully bounded plan: every data access went through an access
+    /// constraint index.
+    Bounded,
+    /// Partially bounded: covered sub-queries were fetched boundedly, the
+    /// residue ran on the conventional engine.
+    PartiallyBounded,
+    /// Pure conventional evaluation (nothing was covered).
+    Conventional,
+}
+
+/// The outcome of executing a query through BEAS.
+#[derive(Debug, Clone)]
+pub struct ExecutionOutcome {
+    /// Answer rows.
+    pub rows: Vec<Row>,
+    /// Output schema.
+    pub schema: Schema,
+    /// Whether the query ran as a fully bounded plan.
+    pub bounded: bool,
+    /// The evaluation mode used.
+    pub mode: EvaluationMode,
+    /// Tuples accessed (fetched through indices plus scanned by any residue).
+    pub tuples_accessed: u64,
+    /// Deduced bound on data access (fully bounded plans only).
+    pub deduced_bound: Option<u64>,
+    /// Number of access constraints employed.
+    pub constraints_used: usize,
+    /// Per-operator metrics.
+    pub metrics: ExecutionMetrics,
+}
+
+/// A coverage / budget check result returned without executing the query
+/// (demo scenario 1(a)).
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Whether the query is boundedly evaluable (covered).
+    pub covered: bool,
+    /// The deduced bound on tuples accessed, when covered.
+    pub deduced_bound: Option<u64>,
+    /// The bounded plan (when covered), with per-fetch bound annotations.
+    pub plan: Option<BoundedPlan>,
+    /// The raw coverage result (fetch sequence, reasons when uncovered).
+    pub coverage: CoverageResult,
+}
+
+/// The BEAS system.
+#[derive(Debug)]
+pub struct BeasSystem {
+    db: Database,
+    schema: AccessSchema,
+    indexes: AccessIndexes,
+    fallback: Engine,
+}
+
+impl BeasSystem {
+    /// Assemble a system from a database, an access schema and pre-built
+    /// indices (see [`beas_access::build_indexes`]).
+    pub fn new(db: Database, schema: AccessSchema, indexes: AccessIndexes) -> Self {
+        BeasSystem {
+            db,
+            schema,
+            indexes,
+            fallback: Engine::new(OptimizerProfile::PgLike),
+        }
+    }
+
+    /// Assemble a system, building the constraint indices in the process.
+    pub fn with_schema(db: Database, schema: AccessSchema) -> Result<Self> {
+        let indexes = build_indexes(&db, &schema)?;
+        Ok(BeasSystem::new(db, schema, indexes))
+    }
+
+    /// Assemble a system by discovering an access schema from a workload.
+    pub fn from_discovery(
+        db: Database,
+        workload: &[String],
+        config: &DiscoveryConfig,
+    ) -> Result<Self> {
+        let (schema, _) = discover(&db, workload, config)?;
+        BeasSystem::with_schema(db, schema)
+    }
+
+    /// Replace the conventional engine used for fallback / residual plans.
+    pub fn with_fallback_profile(mut self, profile: OptimizerProfile) -> Self {
+        self.fallback = Engine::new(profile);
+        self
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The registered access schema.
+    pub fn access_schema(&self) -> &AccessSchema {
+        &self.schema
+    }
+
+    /// The constraint indices.
+    pub fn indexes(&self) -> &AccessIndexes {
+        &self.indexes
+    }
+
+    /// Parse and bind a SQL query.
+    pub fn bind(&self, sql: &str) -> Result<BoundQuery> {
+        let stmt = parse_select(sql)?;
+        Binder::new(&self.db).bind(&stmt)
+    }
+
+    /// Check whether `sql` is boundedly evaluable under the registered access
+    /// schema, without executing it.  When it is, the report carries the
+    /// bounded plan and its deduced bound.
+    pub fn check(&self, sql: &str) -> Result<CheckReport> {
+        let query = self.bind(sql)?;
+        let graph = QueryGraph::build(&query)?;
+        let coverage = Checker::new(&self.schema).check(&query, &graph);
+        if coverage.covered {
+            let plan = generate_bounded_plan(&query, &graph, &coverage)?;
+            Ok(CheckReport {
+                covered: true,
+                deduced_bound: Some(plan.total_bound),
+                plan: Some(plan),
+                coverage,
+            })
+        } else {
+            Ok(CheckReport {
+                covered: false,
+                deduced_bound: None,
+                plan: None,
+                coverage,
+            })
+        }
+    }
+
+    /// Whether `sql` can be answered by accessing at most `budget` tuples,
+    /// decided before execution (demo scenario 1(a)).
+    pub fn can_answer_within(&self, sql: &str, budget: u64) -> Result<bool> {
+        let report = self.check(sql)?;
+        Ok(match report.deduced_bound {
+            Some(bound) => bound <= budget,
+            None => false,
+        })
+    }
+
+    /// The bounded plan for `sql` rendered with per-fetch bounds, or the
+    /// coverage failure reasons when the query is not covered.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let report = self.check(sql)?;
+        Ok(match report.plan {
+            Some(plan) => plan.explain(),
+            None => format!("{}", report.coverage),
+        })
+    }
+
+    /// Execute `sql`: bounded when covered, partially bounded otherwise.
+    pub fn execute_sql(&self, sql: &str) -> Result<ExecutionOutcome> {
+        let query = self.bind(sql)?;
+        self.execute_bound_query(&query)
+    }
+
+    /// Execute an already-bound query.
+    pub fn execute_bound_query(&self, query: &BoundQuery) -> Result<ExecutionOutcome> {
+        let graph = QueryGraph::build(query)?;
+        let coverage = Checker::new(&self.schema).check(query, &graph);
+        if coverage.covered {
+            let plan = generate_bounded_plan(query, &graph, &coverage)?;
+            let result = execute_bounded(&plan, query, &graph, &self.indexes)?;
+            return Ok(ExecutionOutcome {
+                rows: result.rows,
+                schema: query.output_schema.clone(),
+                bounded: true,
+                mode: EvaluationMode::Bounded,
+                tuples_accessed: result.tuples_accessed,
+                deduced_bound: Some(plan.total_bound),
+                constraints_used: plan.constraints_used,
+                metrics: result.metrics,
+            });
+        }
+        // Partially bounded (or conventional) evaluation.
+        let partial = execute_partially_bounded(
+            &self.db,
+            &self.fallback,
+            query,
+            &graph,
+            &coverage,
+            &self.indexes,
+        )?;
+        let mode = if partial.reduced_relations.is_empty() {
+            EvaluationMode::Conventional
+        } else {
+            EvaluationMode::PartiallyBounded
+        };
+        let mut metrics = partial.bounded_metrics.clone();
+        for op in &partial.residual_metrics.operators {
+            metrics.operators.push(op.clone());
+        }
+        metrics.elapsed = partial.bounded_metrics.elapsed + partial.residual_metrics.elapsed;
+        let tuples_accessed = partial.total_tuples_accessed();
+        Ok(ExecutionOutcome {
+            rows: partial.rows,
+            schema: query.output_schema.clone(),
+            bounded: false,
+            mode,
+            tuples_accessed,
+            deduced_bound: None,
+            constraints_used: coverage.constraints_used().len(),
+            metrics,
+        })
+    }
+
+    /// Execute `sql` only if its deduced bound fits within `budget` tuples;
+    /// otherwise return [`BeasError::BudgetExceeded`].
+    pub fn execute_within_budget(&self, sql: &str, budget: u64) -> Result<ExecutionOutcome> {
+        let report = self.check(sql)?;
+        match report.deduced_bound {
+            Some(bound) if bound <= budget => self.execute_sql(sql),
+            Some(bound) => Err(BeasError::BudgetExceeded {
+                required: bound,
+                budget,
+            }),
+            None => Err(BeasError::not_bounded(
+                "query is not boundedly evaluable; no bound can be guaranteed".to_string(),
+            )),
+        }
+    }
+
+    /// Resource-bounded approximation: answer `sql` while fetching at most
+    /// `budget` tuples, reporting a deterministic coverage lower bound.
+    pub fn approximate(&self, sql: &str, budget: u64) -> Result<ApproximateExecution> {
+        let query = self.bind(sql)?;
+        let graph = QueryGraph::build(&query)?;
+        let coverage = Checker::new(&self.schema).check(&query, &graph);
+        if !coverage.covered && coverage.fetch_sequence.is_empty() {
+            return Err(BeasError::not_bounded(
+                "no access constraint applies to this query; approximation is not possible"
+                    .to_string(),
+            ));
+        }
+        // For covered queries use the full plan; otherwise approximate over
+        // the covered portion.
+        let plan = if coverage.covered {
+            generate_bounded_plan(&query, &graph, &coverage)?
+        } else {
+            crate::planner::generate_plan_for_steps(&query, &graph, &coverage, None)?
+        };
+        execute_with_budget(&plan, &query, &graph, &self.indexes, budget)
+    }
+
+    /// Run `sql` through BEAS and through the baseline engine under every
+    /// optimizer profile, producing a Fig. 3-style performance analysis.
+    pub fn analyze(&self, sql: &str) -> Result<PerformanceAnalysis> {
+        self.analyze_against(sql, &OptimizerProfile::all())
+    }
+
+    /// Like [`BeasSystem::analyze`] but against a chosen set of baselines.
+    pub fn analyze_against(
+        &self,
+        sql: &str,
+        profiles: &[OptimizerProfile],
+    ) -> Result<PerformanceAnalysis> {
+        let outcome = self.execute_sql(sql)?;
+        let beas = SystemMeasurement::new("BEAS", outcome.metrics.clone(), outcome.rows.len() as u64);
+        let mut baselines = Vec::new();
+        for profile in profiles {
+            let engine = Engine::new(*profile);
+            let result = engine.run(&self.db, sql)?;
+            baselines.push(SystemMeasurement::new(
+                SystemMeasurement::baseline_label(*profile),
+                result.metrics,
+                result.rows.len() as u64,
+            ));
+        }
+        Ok(PerformanceAnalysis {
+            sql: sql.to_string(),
+            bounded: outcome.bounded,
+            constraints_used: outcome.constraints_used,
+            deduced_bound: outcome.deduced_bound,
+            beas,
+            baselines,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beas_access::AccessConstraint;
+    use beas_common::{ColumnDef, DataType, TableSchema, Value};
+
+    fn system() -> BeasSystem {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "call",
+                vec![
+                    ColumnDef::new("pnum", DataType::Str),
+                    ColumnDef::new("recnum", DataType::Str),
+                    ColumnDef::new("date", DataType::Date),
+                    ColumnDef::new("region", DataType::Str),
+                    ColumnDef::new("duration", DataType::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new(
+                "business",
+                vec![
+                    ColumnDef::new("pnum", DataType::Str),
+                    ColumnDef::new("type", DataType::Str),
+                    ColumnDef::new("region", DataType::Str),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        for i in 0..50 {
+            db.insert(
+                "call",
+                vec![
+                    Value::str(format!("p{}", i % 10)),
+                    Value::str(format!("r{i}")),
+                    Value::str("2016-07-04"),
+                    Value::str(if i % 2 == 0 { "east" } else { "west" }),
+                    Value::Int(i),
+                ],
+            )
+            .unwrap();
+        }
+        for i in 0..10 {
+            db.insert(
+                "business",
+                vec![
+                    Value::str(format!("p{i}")),
+                    Value::str(if i % 2 == 0 { "bank" } else { "shop" }),
+                    Value::str("r0"),
+                ],
+            )
+            .unwrap();
+        }
+        let schema = AccessSchema::from_constraints(vec![
+            AccessConstraint::new("call", &["pnum", "date"], &["recnum", "region"], 500).unwrap(),
+            AccessConstraint::new("business", &["type", "region"], &["pnum"], 2000).unwrap(),
+        ]);
+        BeasSystem::with_schema(db, schema).unwrap()
+    }
+
+    const COVERED: &str = "select distinct call.region from call, business \
+        where business.type = 'bank' and business.region = 'r0' \
+        and business.pnum = call.pnum and call.date = '2016-07-04'";
+
+    const UNCOVERED: &str = "select call.region, sum(call.duration) as total from call, business \
+        where business.type = 'bank' and business.region = 'r0' \
+        and business.pnum = call.pnum and call.date = '2016-07-04' \
+        group by call.region order by call.region";
+
+    #[test]
+    fn covered_query_runs_bounded() {
+        let beas = system();
+        let report = beas.check(COVERED).unwrap();
+        assert!(report.covered);
+        assert!(report.deduced_bound.unwrap() >= 2000);
+        let outcome = beas.execute_sql(COVERED).unwrap();
+        assert!(outcome.bounded);
+        assert_eq!(outcome.mode, EvaluationMode::Bounded);
+        assert_eq!(outcome.constraints_used, 2);
+        assert!(outcome.tuples_accessed < 60);
+        // Banks are the even-numbered pnums and even-numbered calls are all
+        // in the east, so the answer is exactly {east}.
+        assert_eq!(outcome.rows, vec![vec![Value::str("east")]]);
+        assert!(beas.explain(COVERED).unwrap().contains("fetch("));
+    }
+
+    #[test]
+    fn bounded_answers_match_baseline() {
+        let beas = system();
+        let outcome = beas.execute_sql(COVERED).unwrap();
+        let baseline = Engine::default().run(beas.database(), COVERED).unwrap();
+        let mut a = outcome.rows.clone();
+        let mut b = baseline.rows.clone();
+        a.sort_by(|x, y| x[0].total_cmp(&y[0]));
+        b.sort_by(|x, y| x[0].total_cmp(&y[0]));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uncovered_query_runs_partially_bounded_with_exact_answers() {
+        let beas = system();
+        let report = beas.check(UNCOVERED).unwrap();
+        assert!(!report.covered);
+        let outcome = beas.execute_sql(UNCOVERED).unwrap();
+        assert!(!outcome.bounded);
+        assert_eq!(outcome.mode, EvaluationMode::PartiallyBounded);
+        let baseline = Engine::default().run(beas.database(), UNCOVERED).unwrap();
+        assert_eq!(outcome.rows, baseline.rows);
+        assert!(beas.explain(UNCOVERED).unwrap().contains("covered: no"));
+    }
+
+    #[test]
+    fn budget_checks() {
+        let beas = system();
+        assert!(beas.can_answer_within(COVERED, 10_000_000).unwrap());
+        assert!(!beas.can_answer_within(COVERED, 10).unwrap());
+        assert!(!beas.can_answer_within(UNCOVERED, 10_000_000).unwrap());
+        let err = beas.execute_within_budget(COVERED, 10).unwrap_err();
+        assert_eq!(err.kind(), "budget_exceeded");
+        assert!(beas.execute_within_budget(COVERED, 10_000_000).is_ok());
+        assert!(beas.execute_within_budget(UNCOVERED, 10_000_000).is_err());
+    }
+
+    #[test]
+    fn approximation_respects_budget() {
+        let beas = system();
+        let approx = beas.approximate(COVERED, 12).unwrap();
+        assert!(approx.tuples_accessed <= 12);
+        assert!(approx.coverage > 0.0 && approx.coverage < 1.0);
+        assert!(beas
+            .approximate("select region from call where region = 'east'", 100)
+            .is_err());
+    }
+
+    #[test]
+    fn analyze_produces_fig3_style_report() {
+        let beas = system();
+        let analysis = beas.analyze(COVERED).unwrap();
+        assert!(analysis.bounded);
+        assert_eq!(analysis.baselines.len(), 3);
+        let text = analysis.render();
+        assert!(text.contains("BEAS"));
+        assert!(text.contains("PostgreSQL"));
+        assert!(text.contains("tuples accessed"));
+        // BEAS touches strictly less data than every conventional profile
+        for b in &analysis.baselines {
+            assert!(analysis.beas.tuples_accessed < b.tuples_accessed);
+        }
+    }
+
+    #[test]
+    fn discovery_constructor_works_end_to_end() {
+        let base = system();
+        let db = base.database().clone();
+        let beas = BeasSystem::from_discovery(
+            db,
+            &[COVERED.to_string()],
+            &DiscoveryConfig::default(),
+        )
+        .unwrap();
+        assert!(!beas.access_schema().is_empty());
+        let outcome = beas.execute_sql(COVERED).unwrap();
+        let baseline = Engine::default().run(beas.database(), COVERED).unwrap();
+        assert_eq!(outcome.rows.len(), baseline.rows.len());
+    }
+
+    #[test]
+    fn errors_surface_for_bad_sql() {
+        let beas = system();
+        assert!(beas.execute_sql("not sql").is_err());
+        assert!(beas.check("select x from nosuch").is_err());
+    }
+}

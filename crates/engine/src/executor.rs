@@ -1,0 +1,372 @@
+//! Materialized executor for baseline logical plans.
+//!
+//! Each operator consumes fully-materialized input batches and produces an
+//! output batch, recording per-operator metrics (rows produced, base-table
+//! tuples accessed, wall-clock time).  The executor is deliberately
+//! conventional: scans read whole tables, joins touch every input row — the
+//! behaviour whose cost grows with `|D|` and which bounded evaluation avoids.
+
+use crate::metrics::ExecutionMetrics;
+use crate::plan::{JoinAlgorithm, LogicalPlan};
+use beas_common::{BeasError, Result, Row, Value};
+use beas_sql::{evaluate, evaluate_predicate, Accumulator, BoundAggregate, BoundExpr};
+use beas_storage::Database;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Execute a logical plan against a database, recording metrics.
+pub fn execute(plan: &LogicalPlan, db: &Database, metrics: &mut ExecutionMetrics) -> Result<Vec<Row>> {
+    let start = Instant::now();
+    let rows = execute_node(plan, db, metrics)?;
+    metrics.elapsed = start.elapsed();
+    Ok(rows)
+}
+
+fn execute_node(
+    plan: &LogicalPlan,
+    db: &Database,
+    metrics: &mut ExecutionMetrics,
+) -> Result<Vec<Row>> {
+    match plan {
+        LogicalPlan::Scan { table, alias, .. } => {
+            let start = Instant::now();
+            let t = db.table(table)?;
+            let rows: Vec<Row> = t.rows().to_vec();
+            let n = rows.len() as u64;
+            let label = if table == alias {
+                format!("SeqScan({table})")
+            } else {
+                format!("SeqScan({table} AS {alias})")
+            };
+            metrics.record(label, n, n, start.elapsed());
+            Ok(rows)
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let rows = execute_node(input, db, metrics)?;
+            let start = Instant::now();
+            let mut out = Vec::new();
+            for row in rows {
+                if evaluate_predicate(predicate, &row)? {
+                    out.push(row);
+                }
+            }
+            metrics.record(
+                format!("Filter({predicate})"),
+                out.len() as u64,
+                0,
+                start.elapsed(),
+            );
+            Ok(out)
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            keys,
+            algorithm,
+            ..
+        } => {
+            let left_rows = execute_node(left, db, metrics)?;
+            let right_rows = execute_node(right, db, metrics)?;
+            let start = Instant::now();
+            let out = match algorithm {
+                JoinAlgorithm::Hash if !keys.is_empty() => {
+                    hash_join(&left_rows, &right_rows, keys)
+                }
+                _ => nested_loop_join(&left_rows, &right_rows, keys)?,
+            };
+            metrics.record(
+                format!("{}(keys={})", algorithm.name(), keys.len()),
+                out.len() as u64,
+                0,
+                start.elapsed(),
+            );
+            Ok(out)
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+            ..
+        } => {
+            let rows = execute_node(input, db, metrics)?;
+            let start = Instant::now();
+            let out = aggregate(&rows, group_by, aggregates)?;
+            metrics.record("HashAggregate", out.len() as u64, 0, start.elapsed());
+            Ok(out)
+        }
+        LogicalPlan::Project { input, exprs, .. } => {
+            let rows = execute_node(input, db, metrics)?;
+            let start = Instant::now();
+            let mut out = Vec::with_capacity(rows.len());
+            for row in &rows {
+                let mut projected = Vec::with_capacity(exprs.len());
+                for (e, _) in exprs {
+                    projected.push(evaluate(e, row)?);
+                }
+                out.push(projected);
+            }
+            metrics.record("Project", out.len() as u64, 0, start.elapsed());
+            Ok(out)
+        }
+        LogicalPlan::Distinct { input } => {
+            let rows = execute_node(input, db, metrics)?;
+            let start = Instant::now();
+            let mut seen = std::collections::HashSet::new();
+            let mut out = Vec::new();
+            for row in rows {
+                if seen.insert(row.clone()) {
+                    out.push(row);
+                }
+            }
+            metrics.record("Distinct", out.len() as u64, 0, start.elapsed());
+            Ok(out)
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let mut rows = execute_node(input, db, metrics)?;
+            let start = Instant::now();
+            rows.sort_by(|a, b| {
+                for (idx, asc) in keys {
+                    let ord = a[*idx].total_cmp(&b[*idx]);
+                    let ord = if *asc { ord } else { ord.reverse() };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            metrics.record("Sort", rows.len() as u64, 0, start.elapsed());
+            Ok(rows)
+        }
+        LogicalPlan::Limit { input, limit } => {
+            let mut rows = execute_node(input, db, metrics)?;
+            let start = Instant::now();
+            rows.truncate(*limit as usize);
+            metrics.record(format!("Limit({limit})"), rows.len() as u64, 0, start.elapsed());
+            Ok(rows)
+        }
+    }
+}
+
+fn hash_join(left: &[Row], right: &[Row], keys: &[(usize, usize)]) -> Vec<Row> {
+    // Build on the smaller side to keep memory in check; probe with the other.
+    let build_right = right.len() <= left.len();
+    let (build, probe) = if build_right { (right, left) } else { (left, right) };
+    let build_key_idx: Vec<usize> = if build_right {
+        keys.iter().map(|(_, r)| *r).collect()
+    } else {
+        keys.iter().map(|(l, _)| *l).collect()
+    };
+    let probe_key_idx: Vec<usize> = if build_right {
+        keys.iter().map(|(l, _)| *l).collect()
+    } else {
+        keys.iter().map(|(_, r)| *r).collect()
+    };
+
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for (i, row) in build.iter().enumerate() {
+        let key: Vec<Value> = build_key_idx.iter().map(|&k| row[k].clone()).collect();
+        if key.iter().any(|v| v.is_null()) {
+            continue; // NULL keys never join
+        }
+        table.entry(key).or_default().push(i);
+    }
+    let mut out = Vec::new();
+    for probe_row in probe {
+        let key: Vec<Value> = probe_key_idx.iter().map(|&k| probe_row[k].clone()).collect();
+        if key.iter().any(|v| v.is_null()) {
+            continue;
+        }
+        if let Some(matches) = table.get(&key) {
+            for &i in matches {
+                let build_row = &build[i];
+                let (lrow, rrow) = if build_right {
+                    (probe_row, build_row)
+                } else {
+                    (build_row, probe_row)
+                };
+                let mut joined = lrow.clone();
+                joined.extend(rrow.iter().cloned());
+                out.push(joined);
+            }
+        }
+    }
+    out
+}
+
+fn nested_loop_join(left: &[Row], right: &[Row], keys: &[(usize, usize)]) -> Result<Vec<Row>> {
+    let mut out = Vec::new();
+    for l in left {
+        for r in right {
+            let mut matches = true;
+            for (li, ri) in keys {
+                match l[*li].sql_eq(&r[*ri]) {
+                    Some(true) => {}
+                    _ => {
+                        matches = false;
+                        break;
+                    }
+                }
+            }
+            if matches {
+                let mut joined = l.clone();
+                joined.extend(r.iter().cloned());
+                out.push(joined);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Group rows by `group_by` expressions and evaluate `aggregates` per group.
+/// Output rows are group-key values followed by aggregate results.
+pub fn aggregate(
+    rows: &[Row],
+    group_by: &[BoundExpr],
+    aggregates: &[BoundAggregate],
+) -> Result<Vec<Row>> {
+    // Preserve first-seen group order for deterministic output.
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
+    let make_accs = || -> Vec<Accumulator> {
+        aggregates
+            .iter()
+            .map(|a| Accumulator::new(a.func, a.distinct))
+            .collect()
+    };
+    if group_by.is_empty() && rows.is_empty() {
+        // global aggregate over empty input still produces one row
+        let accs = make_accs();
+        let out_row: Row = accs.iter().map(|a| a.finish()).collect();
+        return Ok(vec![out_row]);
+    }
+    for row in rows {
+        let key: Vec<Value> = group_by
+            .iter()
+            .map(|e| evaluate(e, row))
+            .collect::<Result<_>>()?;
+        if !groups.contains_key(&key) {
+            order.push(key.clone());
+            groups.insert(key.clone(), make_accs());
+        }
+        let accs = groups.get_mut(&key).expect("group inserted above");
+        for (acc, agg) in accs.iter_mut().zip(aggregates) {
+            let v = match &agg.arg {
+                Some(a) => evaluate(a, row)?,
+                // COUNT(*): count every row, NULL-free marker value
+                None => Value::Int(1),
+            };
+            acc.update(&v)?;
+        }
+    }
+    if group_by.is_empty() && groups.is_empty() {
+        let accs = make_accs();
+        let out_row: Row = accs.iter().map(|a| a.finish()).collect();
+        return Ok(vec![out_row]);
+    }
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let accs = groups
+            .remove(&key)
+            .ok_or_else(|| BeasError::execution("group disappeared during aggregation"))?;
+        let mut row = key;
+        row.extend(accs.iter().map(|a| a.finish()));
+        out.push(row);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beas_sql::AggregateFunction;
+
+    fn rows() -> Vec<Row> {
+        vec![
+            vec![Value::str("east"), Value::Int(10)],
+            vec![Value::str("east"), Value::Int(20)],
+            vec![Value::str("west"), Value::Int(5)],
+        ]
+    }
+
+    #[test]
+    fn hash_join_basic() {
+        let left = vec![
+            vec![Value::Int(1), Value::str("a")],
+            vec![Value::Int(2), Value::str("b")],
+            vec![Value::Null, Value::str("n")],
+        ];
+        let right = vec![
+            vec![Value::Int(1), Value::str("x")],
+            vec![Value::Int(1), Value::str("y")],
+            vec![Value::Int(3), Value::str("z")],
+            vec![Value::Null, Value::str("w")],
+        ];
+        let out = hash_join(&left, &right, &[(0, 0)]);
+        assert_eq!(out.len(), 2);
+        for row in &out {
+            assert_eq!(row.len(), 4);
+            assert_eq!(row[0], Value::Int(1));
+        }
+        // same result regardless of which side is bigger (build-side swap)
+        let out2 = hash_join(&right, &left, &[(0, 0)]);
+        assert_eq!(out2.len(), 2);
+        assert_eq!(out2[0].len(), 4);
+    }
+
+    #[test]
+    fn nested_loop_matches_hash_join() {
+        let left = vec![
+            vec![Value::Int(1)],
+            vec![Value::Int(2)],
+            vec![Value::Int(2)],
+        ];
+        let right = vec![vec![Value::Int(2)], vec![Value::Int(3)]];
+        let h = hash_join(&left, &right, &[(0, 0)]);
+        let n = nested_loop_join(&left, &right, &[(0, 0)]).unwrap();
+        assert_eq!(h.len(), 2);
+        assert_eq!(n.len(), 2);
+        let cross = nested_loop_join(&left, &right, &[]).unwrap();
+        assert_eq!(cross.len(), 6);
+    }
+
+    #[test]
+    fn aggregate_grouped() {
+        let group = vec![BoundExpr::Column(0)];
+        let aggs = vec![
+            BoundAggregate {
+                func: AggregateFunction::Count,
+                arg: None,
+                distinct: false,
+                display: "COUNT(*)".into(),
+                output_type: beas_common::DataType::Int,
+            },
+            BoundAggregate {
+                func: AggregateFunction::Sum,
+                arg: Some(BoundExpr::Column(1)),
+                distinct: false,
+                display: "SUM(#1)".into(),
+                output_type: beas_common::DataType::Int,
+            },
+        ];
+        let out = aggregate(&rows(), &group, &aggs).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], vec![Value::str("east"), Value::Int(2), Value::Int(30)]);
+        assert_eq!(out[1], vec![Value::str("west"), Value::Int(1), Value::Int(5)]);
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let aggs = vec![BoundAggregate {
+            func: AggregateFunction::Count,
+            arg: None,
+            distinct: false,
+            display: "COUNT(*)".into(),
+            output_type: beas_common::DataType::Int,
+        }];
+        let out = aggregate(&[], &[], &aggs).unwrap();
+        assert_eq!(out, vec![vec![Value::Int(0)]]);
+        // grouped aggregate on empty input produces no rows
+        let out2 = aggregate(&[], &[BoundExpr::Column(0)], &aggs).unwrap();
+        assert!(out2.is_empty());
+    }
+}

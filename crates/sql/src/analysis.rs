@@ -1,0 +1,359 @@
+//! Predicate analysis shared by the baseline optimizer and the BEAS
+//! coverage checker: conjunct splitting and classification of the WHERE
+//! clause into constant bindings, equi-join edges and residual predicates.
+
+use crate::ast::{BinaryOperator, Expr, Literal};
+use crate::binder::literal_to_value;
+use beas_common::Value;
+
+/// Split an expression into its top-level conjuncts (`AND`-separated parts).
+pub fn split_conjuncts(expr: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    fn rec(e: &Expr, out: &mut Vec<Expr>) {
+        match e {
+            Expr::BinaryOp {
+                left,
+                op: BinaryOperator::And,
+                right,
+            } => {
+                rec(left, out);
+                rec(right, out);
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    rec(expr, &mut out);
+    out
+}
+
+/// Rebuild a conjunction from a list of conjuncts (inverse of
+/// [`split_conjuncts`]); returns `None` for an empty list.
+pub fn conjoin(conjuncts: &[Expr]) -> Option<Expr> {
+    let mut iter = conjuncts.iter().cloned();
+    let first = iter.next()?;
+    Some(iter.fold(first, Expr::and))
+}
+
+/// A qualified column reference `(alias, column)` appearing in a predicate.
+pub type QualifiedColumn = (Option<String>, String);
+
+/// Classification of one conjunct of a WHERE clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConjunctClass {
+    /// `column = <literal>` — binds a column to a constant.
+    ColEqConst {
+        /// The column.
+        column: QualifiedColumn,
+        /// The constant value.
+        value: Value,
+    },
+    /// `column IN (<literals>)` — binds a column to a small set of constants.
+    ColInConsts {
+        /// The column.
+        column: QualifiedColumn,
+        /// The constant alternatives.
+        values: Vec<Value>,
+    },
+    /// `column = column` — an equi-join (or intra-table equality) edge.
+    ColEqCol {
+        /// Left column.
+        left: QualifiedColumn,
+        /// Right column.
+        right: QualifiedColumn,
+    },
+    /// A range/selection predicate over a single column
+    /// (`<`, `<=`, `>`, `>=`, `BETWEEN`, `<>`, `LIKE`, `IS NULL`).
+    SingleColumnFilter {
+        /// The column.
+        column: QualifiedColumn,
+        /// The original predicate.
+        predicate: Expr,
+    },
+    /// Anything else (multi-column filters, OR-trees, arithmetic, ...).
+    Other(Expr),
+}
+
+impl ConjunctClass {
+    /// The columns this conjunct mentions.
+    pub fn columns(&self) -> Vec<QualifiedColumn> {
+        match self {
+            ConjunctClass::ColEqConst { column, .. }
+            | ConjunctClass::ColInConsts { column, .. }
+            | ConjunctClass::SingleColumnFilter { column, .. } => vec![column.clone()],
+            ConjunctClass::ColEqCol { left, right } => vec![left.clone(), right.clone()],
+            ConjunctClass::Other(e) => e.column_refs(),
+        }
+    }
+}
+
+fn as_column(e: &Expr) -> Option<QualifiedColumn> {
+    match e {
+        Expr::Column { table, name } => Some((
+            table.as_ref().map(|t| t.to_ascii_lowercase()),
+            name.to_ascii_lowercase(),
+        )),
+        _ => None,
+    }
+}
+
+fn as_literal(e: &Expr) -> Option<Value> {
+    match e {
+        Expr::Literal(l) => Some(literal_to_value(l)),
+        Expr::UnaryOp {
+            op: crate::ast::UnaryOperator::Minus,
+            expr,
+        } => match expr.as_ref() {
+            Expr::Literal(Literal::Int(i)) => Some(Value::Int(-i)),
+            Expr::Literal(Literal::Float(x)) => Some(Value::Float(-x)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Classify a single conjunct.
+pub fn classify_conjunct(e: &Expr) -> ConjunctClass {
+    // column = literal / literal = column / column = column
+    if let Expr::BinaryOp { left, op, right } = e {
+        if *op == BinaryOperator::Eq {
+            match (as_column(left), as_column(right), as_literal(left), as_literal(right)) {
+                (Some(c), None, None, Some(v)) => {
+                    return ConjunctClass::ColEqConst { column: c, value: v }
+                }
+                (None, Some(c), Some(v), None) => {
+                    return ConjunctClass::ColEqConst { column: c, value: v }
+                }
+                (Some(l), Some(r), _, _) => return ConjunctClass::ColEqCol { left: l, right: r },
+                _ => {}
+            }
+        }
+        if op.is_comparison() {
+            // single-column range predicate: column <op> literal or literal <op> column
+            match (as_column(left), as_literal(right), as_literal(left), as_column(right)) {
+                (Some(c), Some(_), _, _) | (_, _, Some(_), Some(c)) => {
+                    return ConjunctClass::SingleColumnFilter {
+                        column: c,
+                        predicate: e.clone(),
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // column IN (literals)
+    if let Expr::InList {
+        expr,
+        list,
+        negated: false,
+    } = e
+    {
+        if let Some(c) = as_column(expr) {
+            let values: Option<Vec<Value>> = list.iter().map(as_literal).collect();
+            if let Some(values) = values {
+                return ConjunctClass::ColInConsts { column: c, values };
+            }
+        }
+    }
+    // single-column BETWEEN / LIKE / IS NULL / NOT IN over literals
+    match e {
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            if let (Some(c), Some(_), Some(_)) = (as_column(expr), as_literal(low), as_literal(high)) {
+                return ConjunctClass::SingleColumnFilter {
+                    column: c,
+                    predicate: e.clone(),
+                };
+            }
+        }
+        Expr::Like { expr, pattern, .. } => {
+            if let (Some(c), Some(_)) = (as_column(expr), as_literal(pattern)) {
+                return ConjunctClass::SingleColumnFilter {
+                    column: c,
+                    predicate: e.clone(),
+                };
+            }
+        }
+        Expr::IsNull { expr, .. } => {
+            if let Some(c) = as_column(expr) {
+                return ConjunctClass::SingleColumnFilter {
+                    column: c,
+                    predicate: e.clone(),
+                };
+            }
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated: true,
+        } => {
+            if let Some(c) = as_column(expr) {
+                if list.iter().all(|x| as_literal(x).is_some()) {
+                    return ConjunctClass::SingleColumnFilter {
+                        column: c,
+                        predicate: e.clone(),
+                    };
+                }
+            }
+        }
+        _ => {}
+    }
+    ConjunctClass::Other(e.clone())
+}
+
+/// Classify every top-level conjunct of a WHERE clause.
+pub fn classify_conjuncts(selection: &Expr) -> Vec<ConjunctClass> {
+    split_conjuncts(selection)
+        .iter()
+        .map(classify_conjunct)
+        .collect()
+}
+
+/// A normalized structural summary of a SELECT statement's predicate,
+/// convenient for both the baseline join planner and the BEAS checker.
+#[derive(Debug, Clone, Default)]
+pub struct QueryShape {
+    /// Columns bound to a single constant.
+    pub constant_bindings: Vec<(QualifiedColumn, Value)>,
+    /// Columns bound to a small IN-list of constants.
+    pub in_list_bindings: Vec<(QualifiedColumn, Vec<Value>)>,
+    /// Equi-join / equality edges between columns.
+    pub equalities: Vec<(QualifiedColumn, QualifiedColumn)>,
+    /// Residual single-column filters.
+    pub filters: Vec<(QualifiedColumn, Expr)>,
+    /// Conjuncts that fit none of the above.
+    pub other: Vec<Expr>,
+}
+
+impl QueryShape {
+    /// Build the shape of a selection predicate (typically
+    /// `SelectStatement::selection` merged with JOIN ON conditions).
+    pub fn from_selection(selection: Option<&Expr>) -> QueryShape {
+        let mut shape = QueryShape::default();
+        let Some(sel) = selection else {
+            return shape;
+        };
+        for class in classify_conjuncts(sel) {
+            match class {
+                ConjunctClass::ColEqConst { column, value } => {
+                    shape.constant_bindings.push((column, value))
+                }
+                ConjunctClass::ColInConsts { column, values } => {
+                    shape.in_list_bindings.push((column, values))
+                }
+                ConjunctClass::ColEqCol { left, right } => shape.equalities.push((left, right)),
+                ConjunctClass::SingleColumnFilter { column, predicate } => {
+                    shape.filters.push((column, predicate))
+                }
+                ConjunctClass::Other(e) => shape.other.push(e),
+            }
+        }
+        shape
+    }
+
+    /// Whether the shape contains disjunctions or other opaque predicates.
+    pub fn has_opaque_predicates(&self) -> bool {
+        !self.other.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_select;
+
+    fn where_clause(sql: &str) -> Expr {
+        parse_select(sql).unwrap().selection.unwrap()
+    }
+
+    #[test]
+    fn split_and_rejoin() {
+        let e = where_clause("SELECT a FROM t WHERE a = 1 AND b = 2 AND (c = 3 OR d = 4)");
+        let cs = split_conjuncts(&e);
+        assert_eq!(cs.len(), 3);
+        let rejoined = conjoin(&cs).unwrap();
+        assert_eq!(split_conjuncts(&rejoined).len(), 3);
+        assert!(conjoin(&[]).is_none());
+    }
+
+    #[test]
+    fn classify_constant_bindings() {
+        let e = where_clause("SELECT a FROM t WHERE t.type = 'bank' AND 2016 = t.year AND x = -5");
+        let cs = classify_conjuncts(&e);
+        assert!(matches!(
+            &cs[0],
+            ConjunctClass::ColEqConst { column, value }
+                if column.1 == "type" && *value == Value::str("bank")
+        ));
+        assert!(matches!(
+            &cs[1],
+            ConjunctClass::ColEqConst { column, value }
+                if column.1 == "year" && *value == Value::Int(2016)
+        ));
+        assert!(matches!(
+            &cs[2],
+            ConjunctClass::ColEqConst { value, .. } if *value == Value::Int(-5)
+        ));
+    }
+
+    #[test]
+    fn classify_join_edges_and_filters() {
+        let e = where_clause(
+            "SELECT a FROM t WHERE t.pnum = s.pnum AND t.start_m <= 7 AND s.x BETWEEN 1 AND 2 \
+             AND s.name LIKE 'a%' AND t.z IS NULL AND t.v IN (1,2) AND t.w NOT IN (3)",
+        );
+        let cs = classify_conjuncts(&e);
+        assert!(matches!(&cs[0], ConjunctClass::ColEqCol { .. }));
+        assert!(matches!(&cs[1], ConjunctClass::SingleColumnFilter { .. }));
+        assert!(matches!(&cs[2], ConjunctClass::SingleColumnFilter { .. }));
+        assert!(matches!(&cs[3], ConjunctClass::SingleColumnFilter { .. }));
+        assert!(matches!(&cs[4], ConjunctClass::SingleColumnFilter { .. }));
+        assert!(matches!(&cs[5], ConjunctClass::ColInConsts { values, .. } if values.len() == 2));
+        assert!(matches!(&cs[6], ConjunctClass::SingleColumnFilter { .. }));
+    }
+
+    #[test]
+    fn classify_other() {
+        let e = where_clause("SELECT a FROM t WHERE a = 1 OR b = 2");
+        let cs = classify_conjuncts(&e);
+        assert_eq!(cs.len(), 1);
+        assert!(matches!(&cs[0], ConjunctClass::Other(_)));
+        let e2 = where_clause("SELECT a FROM t WHERE a + b = 3");
+        assert!(matches!(&classify_conjuncts(&e2)[0], ConjunctClass::Other(_)));
+    }
+
+    #[test]
+    fn query_shape_example2() {
+        let stmt = parse_select(
+            "select call.region from call, package, business \
+             where business.type = 't0' and business.region = 'r0' and \
+             business.pnum = call.pnum and call.date = '2016-07-04' and \
+             call.pnum = package.pnum and package.year = 2016 \
+             and package.start_month <= 7 and package.end_month >= 7 and package.pid = 42",
+        )
+        .unwrap();
+        let shape = QueryShape::from_selection(stmt.selection.as_ref());
+        assert_eq!(shape.constant_bindings.len(), 5);
+        assert_eq!(shape.equalities.len(), 2);
+        assert_eq!(shape.filters.len(), 2);
+        assert!(shape.other.is_empty());
+        assert!(!shape.has_opaque_predicates());
+    }
+
+    #[test]
+    fn empty_selection_shape() {
+        let shape = QueryShape::from_selection(None);
+        assert!(shape.constant_bindings.is_empty());
+        assert!(!shape.has_opaque_predicates());
+    }
+
+    #[test]
+    fn conjunct_columns() {
+        let e = where_clause("SELECT a FROM t WHERE t.a = s.b");
+        let c = classify_conjunct(&split_conjuncts(&e)[0]);
+        let cols = c.columns();
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[0].1, "a");
+        assert_eq!(cols[1].1, "b");
+    }
+}

@@ -1,0 +1,512 @@
+//! Hand-written SQL lexer.
+
+use beas_common::{BeasError, Result};
+use std::fmt;
+
+/// Keywords recognised by the parser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select,
+    Distinct,
+    From,
+    Where,
+    Group,
+    By,
+    Having,
+    Order,
+    Limit,
+    Asc,
+    Desc,
+    And,
+    Or,
+    Not,
+    In,
+    Between,
+    Like,
+    Is,
+    Null,
+    True,
+    False,
+    As,
+    Join,
+    Inner,
+    On,
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl Keyword {
+    fn from_ident(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s.to_ascii_uppercase().as_str() {
+            "SELECT" => Select,
+            "DISTINCT" => Distinct,
+            "FROM" => From,
+            "WHERE" => Where,
+            "GROUP" => Group,
+            "BY" => By,
+            "HAVING" => Having,
+            "ORDER" => Order,
+            "LIMIT" => Limit,
+            "ASC" => Asc,
+            "DESC" => Desc,
+            "AND" => And,
+            "OR" => Or,
+            "NOT" => Not,
+            "IN" => In,
+            "BETWEEN" => Between,
+            "LIKE" => Like,
+            "IS" => Is,
+            "NULL" => Null,
+            "TRUE" => True,
+            "FALSE" => False,
+            "AS" => As,
+            "JOIN" => Join,
+            "INNER" => Inner,
+            "ON" => On,
+            "COUNT" => Count,
+            "SUM" => Sum,
+            "AVG" => Avg,
+            "MIN" => Min,
+            "MAX" => Max,
+            _ => return None,
+        })
+    }
+
+    /// Canonical (upper-case) spelling.
+    pub fn as_str(&self) -> &'static str {
+        use Keyword::*;
+        match self {
+            Select => "SELECT",
+            Distinct => "DISTINCT",
+            From => "FROM",
+            Where => "WHERE",
+            Group => "GROUP",
+            By => "BY",
+            Having => "HAVING",
+            Order => "ORDER",
+            Limit => "LIMIT",
+            Asc => "ASC",
+            Desc => "DESC",
+            And => "AND",
+            Or => "OR",
+            Not => "NOT",
+            In => "IN",
+            Between => "BETWEEN",
+            Like => "LIKE",
+            Is => "IS",
+            Null => "NULL",
+            True => "TRUE",
+            False => "FALSE",
+            As => "AS",
+            Join => "JOIN",
+            Inner => "INNER",
+            On => "ON",
+            Count => "COUNT",
+            Sum => "SUM",
+            Avg => "AVG",
+            Min => "MIN",
+            Max => "MAX",
+        }
+    }
+}
+
+/// Lexical tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A keyword.
+    Keyword(Keyword),
+    /// An identifier (table, alias or column name), lower-cased.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (quotes removed, `''` unescaped).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `;`
+    Semicolon,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{}", k.as_str()),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Comma => write!(f, ","),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Dot => write!(f, "."),
+            Token::Star => write!(f, "*"),
+            Token::Eq => write!(f, "="),
+            Token::NotEq => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::LtEq => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::GtEq => write!(f, ">="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Semicolon => write!(f, ";"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// The lexer: converts SQL text into a token stream.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over the given SQL text.
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Tokenize the whole input, appending a trailing [`Token::Eof`].
+    pub fn tokenize(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_token()?;
+            let done = t == Token::Eof;
+            out.push(t);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_whitespace_and_comments(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                Some(b'-') if self.src.get(self.pos + 1) == Some(&b'-') => {
+                    // line comment
+                    while let Some(c) = self.peek() {
+                        self.pos += 1;
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token> {
+        self.skip_whitespace_and_comments()?;
+        let c = match self.peek() {
+            None => return Ok(Token::Eof),
+            Some(c) => c,
+        };
+        match c {
+            b',' => {
+                self.bump();
+                Ok(Token::Comma)
+            }
+            b'(' => {
+                self.bump();
+                Ok(Token::LParen)
+            }
+            b')' => {
+                self.bump();
+                Ok(Token::RParen)
+            }
+            b'.' => {
+                self.bump();
+                Ok(Token::Dot)
+            }
+            b'*' => {
+                self.bump();
+                Ok(Token::Star)
+            }
+            b'+' => {
+                self.bump();
+                Ok(Token::Plus)
+            }
+            b'-' => {
+                self.bump();
+                Ok(Token::Minus)
+            }
+            b'/' => {
+                self.bump();
+                Ok(Token::Slash)
+            }
+            b';' => {
+                self.bump();
+                Ok(Token::Semicolon)
+            }
+            b'=' => {
+                self.bump();
+                Ok(Token::Eq)
+            }
+            b'!' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Ok(Token::NotEq)
+                } else {
+                    Err(BeasError::parse("unexpected character `!`"))
+                }
+            }
+            b'<' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'=') => {
+                        self.bump();
+                        Ok(Token::LtEq)
+                    }
+                    Some(b'>') => {
+                        self.bump();
+                        Ok(Token::NotEq)
+                    }
+                    _ => Ok(Token::Lt),
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Ok(Token::GtEq)
+                } else {
+                    Ok(Token::Gt)
+                }
+            }
+            b'\'' => self.lex_string(),
+            c if c.is_ascii_digit() => self.lex_number(),
+            c if c.is_ascii_alphabetic() || c == b'_' || c == b'"' => self.lex_ident(),
+            other => Err(BeasError::parse(format!(
+                "unexpected character {:?} at byte {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn lex_string(&mut self) -> Result<Token> {
+        // consume opening quote
+        self.bump();
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(BeasError::parse("unterminated string literal")),
+                Some(b'\'') => {
+                    // `''` is an escaped quote
+                    if self.peek() == Some(b'\'') {
+                        self.bump();
+                        s.push('\'');
+                    } else {
+                        return Ok(Token::Str(s));
+                    }
+                }
+                Some(c) => s.push(c as char),
+            }
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<Token> {
+        let start = self.pos;
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                self.pos += 1;
+            } else if c == b'.'
+                && !is_float
+                && self
+                    .src
+                    .get(self.pos + 1)
+                    .map(|d| d.is_ascii_digit())
+                    .unwrap_or(false)
+            {
+                is_float = true;
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| BeasError::parse("invalid utf-8 in numeric literal"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Token::Float)
+                .map_err(|_| BeasError::parse(format!("invalid float literal {text:?}")))
+        } else {
+            text.parse::<i64>()
+                .map(Token::Int)
+                .map_err(|_| BeasError::parse(format!("invalid integer literal {text:?}")))
+        }
+    }
+
+    fn lex_ident(&mut self) -> Result<Token> {
+        // double-quoted identifier
+        if self.peek() == Some(b'"') {
+            self.bump();
+            let start = self.pos;
+            while let Some(c) = self.peek() {
+                if c == b'"' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.peek() != Some(b'"') {
+                return Err(BeasError::parse("unterminated quoted identifier"));
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos])
+                .map_err(|_| BeasError::parse("invalid utf-8 in identifier"))?
+                .to_string();
+            self.bump();
+            return Ok(Token::Ident(text.to_ascii_lowercase()));
+        }
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| BeasError::parse("invalid utf-8 in identifier"))?;
+        if let Some(kw) = Keyword::from_ident(text) {
+            Ok(Token::Keyword(kw))
+        } else {
+            Ok(Token::Ident(text.to_ascii_lowercase()))
+        }
+    }
+}
+
+/// Tokenize SQL text.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    Lexer::new(sql).tokenize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_simple_select() {
+        let toks = tokenize("SELECT a, b FROM t WHERE a = 1;").unwrap();
+        assert_eq!(toks[0], Token::Keyword(Keyword::Select));
+        assert_eq!(toks[1], Token::Ident("a".into()));
+        assert_eq!(toks[2], Token::Comma);
+        assert!(toks.contains(&Token::Eq));
+        assert!(toks.contains(&Token::Int(1)));
+        assert_eq!(*toks.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn lex_operators() {
+        let toks = tokenize("a <= 1 AND b >= 2 AND c <> 3 AND d != 4 AND e < 5 AND f > 6").unwrap();
+        assert!(toks.contains(&Token::LtEq));
+        assert!(toks.contains(&Token::GtEq));
+        assert_eq!(toks.iter().filter(|t| **t == Token::NotEq).count(), 2);
+        assert!(toks.contains(&Token::Lt));
+        assert!(toks.contains(&Token::Gt));
+    }
+
+    #[test]
+    fn lex_strings_with_escapes() {
+        let toks = tokenize("name = 'o''brien'").unwrap();
+        assert!(toks.contains(&Token::Str("o'brien".into())));
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn lex_numbers() {
+        let toks = tokenize("1 2.5 300").unwrap();
+        assert_eq!(toks[0], Token::Int(1));
+        assert_eq!(toks[1], Token::Float(2.5));
+        assert_eq!(toks[2], Token::Int(300));
+    }
+
+    #[test]
+    fn identifiers_are_lowercased_and_keywords_case_insensitive() {
+        let toks = tokenize("SeLeCt MyCol FROM \"MyTable\"").unwrap();
+        assert_eq!(toks[0], Token::Keyword(Keyword::Select));
+        assert_eq!(toks[1], Token::Ident("mycol".into()));
+        assert_eq!(toks[3], Token::Ident("mytable".into()));
+    }
+
+    #[test]
+    fn line_comments_are_skipped() {
+        let toks = tokenize("SELECT a -- comment here\nFROM t").unwrap();
+        assert_eq!(toks.len(), 5); // SELECT a FROM t EOF
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(tokenize("SELECT @a").is_err());
+        assert!(tokenize("a ! b").is_err());
+    }
+
+    #[test]
+    fn dotted_reference() {
+        let toks = tokenize("call.region").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("call".into()),
+                Token::Dot,
+                Token::Ident("region".into()),
+                Token::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,308 @@
+//! The *modified hash index* of an access constraint `R(X → Y, N)`.
+//!
+//! Per Section 2 of the paper, the index takes the `X` attributes as key and
+//! each key value `ā` points to the bucket `D_Y(X = ā)`: the set of **at most
+//! `N` distinct `Y`-values** (partial tuples) associated with `ā` in `D`.
+//! A `fetch(X ∈ T, Y, R)` operation in a bounded plan retrieves these buckets
+//! and therefore accesses at most `N` tuples per key — this is what makes the
+//! amount of data a bounded plan touches independent of `|D|`.
+
+use crate::table::{estimated_value_bytes, Table};
+use beas_common::{BeasError, Result, Row, Value};
+use std::collections::HashMap;
+
+/// The physical index structure backing one access constraint.
+#[derive(Debug, Clone)]
+pub struct ConstraintIndex {
+    table: String,
+    x_columns: Vec<String>,
+    y_columns: Vec<String>,
+    x_indices: Vec<usize>,
+    y_indices: Vec<usize>,
+    /// X-key -> distinct Y partial tuples.
+    buckets: HashMap<Vec<Value>, Vec<Row>>,
+    /// Largest bucket observed while building/maintaining the index.
+    max_bucket: usize,
+}
+
+impl ConstraintIndex {
+    /// Build the index for `R(X → Y, _)` over the current contents of `table`.
+    ///
+    /// Duplicate `Y`-values for the same key are collapsed (the index stores
+    /// *distinct* partial tuples, which is exactly what `fetch` must return).
+    pub fn build(table: &Table, x_columns: &[String], y_columns: &[String]) -> Result<Self> {
+        if x_columns.is_empty() || y_columns.is_empty() {
+            return Err(BeasError::invalid_argument(
+                "access constraint needs non-empty X and Y attribute sets",
+            ));
+        }
+        let x_indices = table.schema().resolve_columns(x_columns)?;
+        let y_indices = table.schema().resolve_columns(y_columns)?;
+        let mut index = ConstraintIndex {
+            table: table.name().to_string(),
+            x_columns: x_columns.iter().map(|c| c.to_ascii_lowercase()).collect(),
+            y_columns: y_columns.iter().map(|c| c.to_ascii_lowercase()).collect(),
+            x_indices,
+            y_indices,
+            buckets: HashMap::new(),
+            max_bucket: 0,
+        };
+        for (_, row) in table.iter() {
+            index.add_row(row);
+        }
+        Ok(index)
+    }
+
+    /// The indexed table.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// The key (`X`) attributes.
+    pub fn x_columns(&self) -> &[String] {
+        &self.x_columns
+    }
+
+    /// The fetched (`Y`) attributes.
+    pub fn y_columns(&self) -> &[String] {
+        &self.y_columns
+    }
+
+    /// Fetch the distinct `Y` partial tuples for one `X`-key — the primitive
+    /// operation behind the bounded plan `fetch` operator.
+    pub fn fetch(&self, key: &[Value]) -> &[Row] {
+        self.buckets.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Fetch for many keys, returning the union (with the number of partial
+    /// tuples accessed, which bounded-plan accounting reports).
+    pub fn fetch_many<'a>(&self, keys: impl IntoIterator<Item = &'a [Value]>) -> (Vec<Row>, u64) {
+        let mut out = Vec::new();
+        let mut accessed = 0u64;
+        for key in keys {
+            let bucket = self.fetch(key);
+            accessed += bucket.len() as u64;
+            out.extend(bucket.iter().cloned());
+        }
+        (out, accessed)
+    }
+
+    /// Number of distinct keys in the index.
+    pub fn distinct_keys(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Total number of stored partial tuples.
+    pub fn total_entries(&self) -> usize {
+        self.buckets.values().map(|b| b.len()).sum()
+    }
+
+    /// The observed maximum bucket size, i.e. the smallest `N` for which the
+    /// data currently conforms to the cardinality constraint.
+    pub fn observed_max_cardinality(&self) -> usize {
+        self.max_bucket
+    }
+
+    /// Whether the data conforms to `|D_Y(X = ā)| ≤ n` for every key.
+    pub fn conforms_to(&self, n: u64) -> bool {
+        self.max_bucket as u64 <= n
+    }
+
+    /// Keys whose buckets exceed `n` (the conformance violations).
+    pub fn violations(&self, n: u64) -> Vec<(Vec<Value>, usize)> {
+        self.buckets
+            .iter()
+            .filter(|(_, b)| b.len() as u64 > n)
+            .map(|(k, b)| (k.clone(), b.len()))
+            .collect()
+    }
+
+    /// Rough index size in bytes, for the discovery module's storage budget.
+    pub fn estimated_bytes(&self) -> usize {
+        self.buckets
+            .iter()
+            .map(|(k, b)| {
+                k.iter().map(estimated_value_bytes).sum::<usize>()
+                    + b.iter()
+                        .map(|r| r.iter().map(estimated_value_bytes).sum::<usize>())
+                        .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Incrementally index one newly inserted base-table row.
+    pub fn add_row(&mut self, row: &Row) {
+        let key: Vec<Value> = self.x_indices.iter().map(|&i| row[i].clone()).collect();
+        let y: Row = self.y_indices.iter().map(|&i| row[i].clone()).collect();
+        let bucket = self.buckets.entry(key).or_default();
+        if !bucket.contains(&y) {
+            bucket.push(y);
+            self.max_bucket = self.max_bucket.max(bucket.len());
+        }
+    }
+
+    /// Incrementally remove one deleted base-table row.
+    ///
+    /// `remaining_rows` must be the rows of the table *after* the deletion;
+    /// the `Y`-value is only dropped from the bucket if no remaining row with
+    /// the same `X`-key still carries it (several base rows can share the
+    /// same distinct partial tuple).
+    pub fn remove_row(&mut self, row: &Row, remaining_rows: &[Row]) {
+        let key: Vec<Value> = self.x_indices.iter().map(|&i| row[i].clone()).collect();
+        let y: Row = self.y_indices.iter().map(|&i| row[i].clone()).collect();
+        let still_present = remaining_rows.iter().any(|r| {
+            self.x_indices.iter().map(|&i| &r[i]).eq(key.iter())
+                && self.y_indices.iter().map(|&i| &r[i]).eq(y.iter())
+        });
+        if still_present {
+            return;
+        }
+        if let Some(bucket) = self.buckets.get_mut(&key) {
+            bucket.retain(|existing| existing != &y);
+            if bucket.is_empty() {
+                self.buckets.remove(&key);
+            }
+        }
+        // max_bucket is a high-water mark; recompute lazily only when asked
+        // for exact conformance after deletions.
+        self.max_bucket = self.buckets.values().map(|b| b.len()).max().unwrap_or(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beas_common::{ColumnDef, DataType, TableSchema};
+
+    fn call_table() -> Table {
+        let mut t = Table::new(
+            TableSchema::new(
+                "call",
+                vec![
+                    ColumnDef::new("pnum", DataType::Str),
+                    ColumnDef::new("recnum", DataType::Str),
+                    ColumnDef::new("date", DataType::Date),
+                    ColumnDef::new("region", DataType::Str),
+                ],
+            )
+            .unwrap(),
+        );
+        t.insert_many(vec![
+            vec![Value::str("a"), Value::str("x"), Value::str("2016-07-04"), Value::str("east")],
+            vec![Value::str("a"), Value::str("y"), Value::str("2016-07-04"), Value::str("east")],
+            // duplicate partial tuple (a, x) on the same date: must collapse
+            vec![Value::str("a"), Value::str("x"), Value::str("2016-07-04"), Value::str("east")],
+            vec![Value::str("a"), Value::str("z"), Value::str("2016-07-05"), Value::str("west")],
+            vec![Value::str("b"), Value::str("x"), Value::str("2016-07-04"), Value::str("east")],
+        ])
+        .unwrap();
+        t
+    }
+
+    fn index(t: &Table) -> ConstraintIndex {
+        ConstraintIndex::build(
+            t,
+            &["pnum".into(), "date".into()],
+            &["recnum".into(), "region".into()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_collapses_duplicates() {
+        let t = call_table();
+        let idx = index(&t);
+        let d = Value::Date("2016-07-04".parse().unwrap());
+        let bucket = idx.fetch(&[Value::str("a"), d.clone()]);
+        assert_eq!(bucket.len(), 2); // (x, east), (y, east)
+        assert_eq!(idx.distinct_keys(), 3);
+        assert_eq!(idx.total_entries(), 4);
+        assert_eq!(idx.observed_max_cardinality(), 2);
+        assert!(idx.conforms_to(2));
+        assert!(!idx.conforms_to(1));
+        assert_eq!(idx.violations(1).len(), 1);
+        assert!(idx.violations(2).is_empty());
+        assert!(idx.fetch(&[Value::str("zz"), d]).is_empty());
+    }
+
+    #[test]
+    fn fetch_many_counts_accesses() {
+        let t = call_table();
+        let idx = index(&t);
+        let d = Value::Date("2016-07-04".parse().unwrap());
+        let k1 = vec![Value::str("a"), d.clone()];
+        let k2 = vec![Value::str("b"), d];
+        let (rows, accessed) = idx.fetch_many([k1.as_slice(), k2.as_slice()]);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(accessed, 3);
+    }
+
+    #[test]
+    fn incremental_add_and_remove() {
+        let mut t = call_table();
+        let mut idx = index(&t);
+        let id = t
+            .insert(vec![
+                Value::str("a"),
+                Value::str("w"),
+                Value::str("2016-07-04"),
+                Value::str("east"),
+            ])
+            .unwrap();
+        idx.add_row(t.row(id).unwrap());
+        assert_eq!(idx.observed_max_cardinality(), 3);
+
+        // remove one copy of the duplicated (a, x) row: partial tuple remains
+        let removed = t.delete_where(|r| r[0] == Value::str("a") && r[1] == Value::str("x"));
+        assert_eq!(removed.len(), 2);
+        // simulate removing one of them first: the other still exists
+        let mut t2 = call_table();
+        let idx_before = index(&t2);
+        let removed2 = t2.delete_where(|r| r[1] == Value::str("y"));
+        let mut idx2 = idx_before.clone();
+        for (_, row) in &removed2 {
+            idx2.remove_row(row, t2.rows());
+        }
+        let d = Value::Date("2016-07-04".parse().unwrap());
+        assert_eq!(idx2.fetch(&[Value::str("a"), d]).len(), 1);
+        let rebuilt = index(&t2);
+        assert_eq!(rebuilt.total_entries(), idx2.total_entries());
+        assert_eq!(rebuilt.observed_max_cardinality(), idx2.observed_max_cardinality());
+    }
+
+    #[test]
+    fn remove_keeps_shared_partial_tuple() {
+        let mut t = call_table();
+        let idx_full = index(&t);
+        // delete only ONE of the two identical (a, x, 2016-07-04, east) rows
+        let mut deleted_one = false;
+        let removed = t.delete_where(|r| {
+            if !deleted_one && r[0] == Value::str("a") && r[1] == Value::str("x") {
+                deleted_one = true;
+                true
+            } else {
+                false
+            }
+        });
+        assert_eq!(removed.len(), 1);
+        let mut idx = idx_full.clone();
+        idx.remove_row(&removed[0].1, t.rows());
+        // the partial tuple (x, east) is still derivable from the remaining row
+        let d = Value::Date("2016-07-04".parse().unwrap());
+        assert_eq!(idx.fetch(&[Value::str("a"), d]).len(), 2);
+    }
+
+    #[test]
+    fn invalid_construction() {
+        let t = call_table();
+        assert!(ConstraintIndex::build(&t, &[], &["region".into()]).is_err());
+        assert!(ConstraintIndex::build(&t, &["pnum".into()], &[]).is_err());
+        assert!(ConstraintIndex::build(&t, &["nope".into()], &["region".into()]).is_err());
+    }
+
+    #[test]
+    fn estimated_bytes_nonzero() {
+        let t = call_table();
+        assert!(index(&t).estimated_bytes() > 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! The database: a named collection of tables plus cached statistics.
+
+use crate::stats::TableStatistics;
+use crate::table::Table;
+use beas_common::{BeasError, Result, Row, TableSchema};
+use beas_sql::SchemaProvider;
+use std::collections::HashMap;
+
+/// An in-memory database instance.
+///
+/// This plays the role of the "underlying DBMS storage" of the paper: both
+/// the conventional engine and BEAS's bounded plans ultimately read from the
+/// tables stored here (the latter through constraint indices built over them).
+#[derive(Debug, Default, Clone)]
+pub struct Database {
+    tables: HashMap<String, Table>,
+    statistics: HashMap<String, TableStatistics>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Create a table from a schema.  Fails if the name is already taken.
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<()> {
+        let name = schema.name.clone();
+        if self.tables.contains_key(&name) {
+            return Err(BeasError::catalog(format!("table {name:?} already exists")));
+        }
+        self.tables.insert(name, Table::new(schema));
+        Ok(())
+    }
+
+    /// Drop a table.
+    pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        let name = name.to_ascii_lowercase();
+        self.statistics.remove(&name);
+        self.tables
+            .remove(&name)
+            .map(|_| ())
+            .ok_or_else(|| BeasError::catalog(format!("unknown table {name:?}")))
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Immutable access to a table.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        let name = name.to_ascii_lowercase();
+        self.tables
+            .get(&name)
+            .ok_or_else(|| BeasError::catalog(format!("unknown table {name:?}")))
+    }
+
+    /// Mutable access to a table.  Invalidates cached statistics for it.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        let name = name.to_ascii_lowercase();
+        self.statistics.remove(&name);
+        self.tables
+            .get_mut(&name)
+            .ok_or_else(|| BeasError::catalog(format!("unknown table {name:?}")))
+    }
+
+    /// Whether a table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Insert a row into a table, returning its physical id.
+    pub fn insert(&mut self, table: &str, row: Row) -> Result<usize> {
+        self.table_mut(table)?.insert(row)
+    }
+
+    /// Insert many rows into a table.
+    pub fn insert_many(&mut self, table: &str, rows: impl IntoIterator<Item = Row>) -> Result<usize> {
+        self.table_mut(table)?.insert_many(rows)
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(|t| t.row_count()).sum()
+    }
+
+    /// Rough total size in bytes across all tables.
+    pub fn estimated_bytes(&self) -> usize {
+        self.tables.values().map(|t| t.estimated_bytes()).sum()
+    }
+
+    /// Statistics for a table, computed on demand and cached until the table
+    /// is next mutated.
+    pub fn statistics(&mut self, table: &str) -> Result<&TableStatistics> {
+        let name = table.to_ascii_lowercase();
+        if !self.tables.contains_key(&name) {
+            return Err(BeasError::catalog(format!("unknown table {name:?}")));
+        }
+        if !self.statistics.contains_key(&name) {
+            let stats = TableStatistics::collect(&self.tables[&name]);
+            self.statistics.insert(name.clone(), stats);
+        }
+        Ok(&self.statistics[&name])
+    }
+
+    /// Statistics without caching (usable through a shared reference).
+    pub fn statistics_uncached(&self, table: &str) -> Result<TableStatistics> {
+        Ok(TableStatistics::collect(self.table(table)?))
+    }
+}
+
+impl SchemaProvider for Database {
+    fn table_schema(&self, name: &str) -> Option<TableSchema> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .map(|t| t.schema().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beas_common::{ColumnDef, DataType, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "business",
+                vec![
+                    ColumnDef::new("pnum", DataType::Str),
+                    ColumnDef::new("type", DataType::Str),
+                    ColumnDef::new("region", DataType::Str),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_and_lookup() {
+        let mut db = db();
+        assert!(db.has_table("BUSINESS"));
+        assert_eq!(db.table_names(), vec!["business".to_string()]);
+        db.insert(
+            "business",
+            vec![Value::str("p1"), Value::str("bank"), Value::str("east")],
+        )
+        .unwrap();
+        db.insert_many(
+            "business",
+            vec![vec![Value::str("p2"), Value::str("bank"), Value::str("west")]],
+        )
+        .unwrap();
+        assert_eq!(db.table("business").unwrap().row_count(), 2);
+        assert_eq!(db.total_rows(), 2);
+        assert!(db.estimated_bytes() > 0);
+        assert!(db.table("nosuch").is_err());
+        assert!(db.insert("nosuch", vec![]).is_err());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = db();
+        let dup = TableSchema::new("business", vec![ColumnDef::new("x", DataType::Int)]).unwrap();
+        assert!(db.create_table(dup).is_err());
+    }
+
+    #[test]
+    fn drop_table() {
+        let mut db = db();
+        db.drop_table("business").unwrap();
+        assert!(!db.has_table("business"));
+        assert!(db.drop_table("business").is_err());
+    }
+
+    #[test]
+    fn statistics_cache_invalidated_on_mutation() {
+        let mut db = db();
+        db.insert(
+            "business",
+            vec![Value::str("p1"), Value::str("bank"), Value::str("east")],
+        )
+        .unwrap();
+        assert_eq!(db.statistics("business").unwrap().row_count, 1);
+        db.insert(
+            "business",
+            vec![Value::str("p2"), Value::str("bank"), Value::str("east")],
+        )
+        .unwrap();
+        assert_eq!(db.statistics("business").unwrap().row_count, 2);
+        assert_eq!(db.statistics_uncached("business").unwrap().row_count, 2);
+        assert!(db.statistics("nosuch").is_err());
+    }
+
+    #[test]
+    fn schema_provider_impl() {
+        let db = db();
+        assert!(db.table_schema("business").is_some());
+        assert!(db.table_schema("nosuch").is_none());
+    }
+}

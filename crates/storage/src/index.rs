@@ -1,0 +1,141 @@
+//! A generic equality (hash) index over arbitrary key columns of a table.
+//!
+//! The baseline engine uses these for index-nested-loop joins and indexed
+//! selections — the role a B-tree/hash secondary index plays in the
+//! commercial systems BEAS is compared against.  (The *constraint index* of
+//! an access schema is a different structure: see
+//! [`ConstraintIndex`](crate::constraint_index::ConstraintIndex).)
+
+use crate::table::Table;
+use beas_common::{Result, Row, Value};
+use std::collections::HashMap;
+
+/// A hash index mapping key-column values to the physical row ids holding
+/// that key.
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    table: String,
+    key_columns: Vec<String>,
+    key_indices: Vec<usize>,
+    map: HashMap<Vec<Value>, Vec<usize>>,
+    entries: usize,
+}
+
+impl HashIndex {
+    /// Build an index on `key_columns` of `table`.
+    pub fn build(table: &Table, key_columns: &[String]) -> Result<Self> {
+        let key_indices = table.schema().resolve_columns(key_columns)?;
+        let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        let mut entries = 0;
+        for (id, row) in table.iter() {
+            let key: Vec<Value> = key_indices.iter().map(|&i| row[i].clone()).collect();
+            map.entry(key).or_default().push(id);
+            entries += 1;
+        }
+        Ok(HashIndex {
+            table: table.name().to_string(),
+            key_columns: key_columns.iter().map(|c| c.to_ascii_lowercase()).collect(),
+            key_indices,
+            map,
+            entries,
+        })
+    }
+
+    /// The indexed table's name.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// The indexed key columns.
+    pub fn key_columns(&self) -> &[String] {
+        &self.key_columns
+    }
+
+    /// Row ids whose key equals `key`.
+    pub fn lookup(&self, key: &[Value]) -> &[usize] {
+        self.map.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total number of indexed row entries.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Largest number of rows sharing one key (the observed max cardinality,
+    /// used by access-schema discovery to propose constraint bounds).
+    pub fn max_rows_per_key(&self) -> usize {
+        self.map.values().map(|v| v.len()).max().unwrap_or(0)
+    }
+
+    /// Record a newly inserted row.
+    pub fn insert_row(&mut self, id: usize, row: &Row) {
+        let key: Vec<Value> = self.key_indices.iter().map(|&i| row[i].clone()).collect();
+        self.map.entry(key).or_default().push(id);
+        self.entries += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beas_common::{ColumnDef, DataType, TableSchema};
+
+    fn table() -> Table {
+        let mut t = Table::new(
+            TableSchema::new(
+                "business",
+                vec![
+                    ColumnDef::new("pnum", DataType::Str),
+                    ColumnDef::new("type", DataType::Str),
+                    ColumnDef::new("region", DataType::Str),
+                ],
+            )
+            .unwrap(),
+        );
+        t.insert_many(vec![
+            vec![Value::str("p1"), Value::str("bank"), Value::str("east")],
+            vec![Value::str("p2"), Value::str("bank"), Value::str("east")],
+            vec![Value::str("p3"), Value::str("hospital"), Value::str("east")],
+            vec![Value::str("p4"), Value::str("bank"), Value::str("west")],
+        ])
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let t = table();
+        let idx = HashIndex::build(&t, &["type".into(), "region".into()]).unwrap();
+        assert_eq!(idx.table(), "business");
+        assert_eq!(idx.key_columns(), &["type".to_string(), "region".to_string()]);
+        assert_eq!(idx.lookup(&[Value::str("bank"), Value::str("east")]), &[0, 1]);
+        assert_eq!(idx.lookup(&[Value::str("bank"), Value::str("west")]), &[3]);
+        assert!(idx.lookup(&[Value::str("school"), Value::str("east")]).is_empty());
+        assert_eq!(idx.distinct_keys(), 3);
+        assert_eq!(idx.entries(), 4);
+        assert_eq!(idx.max_rows_per_key(), 2);
+    }
+
+    #[test]
+    fn unknown_key_column_errors() {
+        let t = table();
+        assert!(HashIndex::build(&t, &["nope".into()]).is_err());
+    }
+
+    #[test]
+    fn incremental_insert() {
+        let mut t = table();
+        let mut idx = HashIndex::build(&t, &["type".into()]).unwrap();
+        let id = t
+            .insert(vec![Value::str("p5"), Value::str("bank"), Value::str("north")])
+            .unwrap();
+        idx.insert_row(id, t.row(id).unwrap());
+        assert_eq!(idx.lookup(&[Value::str("bank")]).len(), 4);
+        assert_eq!(idx.entries(), 5);
+    }
+}

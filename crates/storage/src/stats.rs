@@ -1,0 +1,183 @@
+//! Table and column statistics.
+//!
+//! The baseline engine's optimizer uses these for cardinality estimation and
+//! join ordering; the AS Catalog's discovery module uses them to profile
+//! candidate access constraints and to estimate index sizes.
+
+use crate::table::Table;
+use beas_common::Value;
+use std::collections::{HashMap, HashSet};
+
+/// Per-column statistics.
+#[derive(Debug, Clone)]
+pub struct ColumnStatistics {
+    /// Column name.
+    pub name: String,
+    /// Number of distinct non-NULL values.
+    pub distinct_count: usize,
+    /// Number of NULLs.
+    pub null_count: usize,
+    /// Minimum value (by total order), if any non-NULL values exist.
+    pub min: Option<Value>,
+    /// Maximum value (by total order), if any non-NULL values exist.
+    pub max: Option<Value>,
+}
+
+/// Per-table statistics.
+#[derive(Debug, Clone)]
+pub struct TableStatistics {
+    /// Table name.
+    pub table: String,
+    /// Row count at collection time.
+    pub row_count: usize,
+    /// Per-column statistics, in schema order.
+    pub columns: Vec<ColumnStatistics>,
+}
+
+impl TableStatistics {
+    /// Collect statistics by scanning the table once.
+    pub fn collect(table: &Table) -> TableStatistics {
+        let arity = table.schema().arity();
+        let mut distinct: Vec<HashSet<Value>> = vec![HashSet::new(); arity];
+        let mut nulls = vec![0usize; arity];
+        let mut mins: Vec<Option<Value>> = vec![None; arity];
+        let mut maxs: Vec<Option<Value>> = vec![None; arity];
+        for (_, row) in table.iter() {
+            for (i, v) in row.iter().enumerate() {
+                if v.is_null() {
+                    nulls[i] += 1;
+                    continue;
+                }
+                distinct[i].insert(v.clone());
+                match &mins[i] {
+                    None => mins[i] = Some(v.clone()),
+                    Some(m) if v.total_cmp(m) == std::cmp::Ordering::Less => {
+                        mins[i] = Some(v.clone())
+                    }
+                    _ => {}
+                }
+                match &maxs[i] {
+                    None => maxs[i] = Some(v.clone()),
+                    Some(m) if v.total_cmp(m) == std::cmp::Ordering::Greater => {
+                        maxs[i] = Some(v.clone())
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let columns = table
+            .schema()
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ColumnStatistics {
+                name: c.name.clone(),
+                distinct_count: distinct[i].len(),
+                null_count: nulls[i],
+                min: mins[i].clone(),
+                max: maxs[i].clone(),
+            })
+            .collect();
+        TableStatistics {
+            table: table.name().to_string(),
+            row_count: table.row_count(),
+            columns,
+        }
+    }
+
+    /// Statistics for one column by name.
+    pub fn column(&self, name: &str) -> Option<&ColumnStatistics> {
+        let name = name.to_ascii_lowercase();
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Estimated selectivity of an equality predicate on `column`
+    /// (1 / distinct values), defaulting to 0.1 when unknown.
+    pub fn equality_selectivity(&self, column: &str) -> f64 {
+        match self.column(column) {
+            Some(c) if c.distinct_count > 0 => 1.0 / c.distinct_count as f64,
+            _ => 0.1,
+        }
+    }
+
+    /// Observed maximum number of distinct `y`-combinations per `x`-key,
+    /// i.e. the tightest `N` for an access constraint `table(X → Y, N)` on
+    /// the current data.  Returns 0 for an empty table.
+    pub fn max_group_cardinality(table: &Table, x: &[String], y: &[String]) -> beas_common::Result<usize> {
+        let xi = table.schema().resolve_columns(x)?;
+        let yi = table.schema().resolve_columns(y)?;
+        let mut groups: HashMap<Vec<Value>, HashSet<Vec<Value>>> = HashMap::new();
+        for (_, row) in table.iter() {
+            let key: Vec<Value> = xi.iter().map(|&i| row[i].clone()).collect();
+            let val: Vec<Value> = yi.iter().map(|&i| row[i].clone()).collect();
+            groups.entry(key).or_default().insert(val);
+        }
+        Ok(groups.values().map(|s| s.len()).max().unwrap_or(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beas_common::{ColumnDef, DataType, TableSchema};
+
+    fn table() -> Table {
+        let mut t = Table::new(
+            TableSchema::new(
+                "pkg",
+                vec![
+                    ColumnDef::new("pnum", DataType::Str),
+                    ColumnDef::new("year", DataType::Int),
+                    ColumnDef::nullable("pid", DataType::Int),
+                ],
+            )
+            .unwrap(),
+        );
+        t.insert_many(vec![
+            vec![Value::str("a"), Value::Int(2016), Value::Int(1)],
+            vec![Value::str("a"), Value::Int(2016), Value::Int(2)],
+            vec![Value::str("a"), Value::Int(2017), Value::Int(1)],
+            vec![Value::str("b"), Value::Int(2016), Value::Null],
+        ])
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn collect_basic_stats() {
+        let s = TableStatistics::collect(&table());
+        assert_eq!(s.row_count, 4);
+        assert_eq!(s.column("pnum").unwrap().distinct_count, 2);
+        assert_eq!(s.column("year").unwrap().distinct_count, 2);
+        assert_eq!(s.column("pid").unwrap().null_count, 1);
+        assert_eq!(s.column("year").unwrap().min, Some(Value::Int(2016)));
+        assert_eq!(s.column("year").unwrap().max, Some(Value::Int(2017)));
+        assert!(s.column("missing").is_none());
+    }
+
+    #[test]
+    fn selectivity() {
+        let s = TableStatistics::collect(&table());
+        assert!((s.equality_selectivity("pnum") - 0.5).abs() < 1e-9);
+        assert!((s.equality_selectivity("unknown") - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_group_cardinality_matches_constraint_semantics() {
+        let t = table();
+        // per (pnum, year): a/2016 has pids {1,2}; a/2017 has {1}; b/2016 has {NULL}
+        let n = TableStatistics::max_group_cardinality(
+            &t,
+            &["pnum".into(), "year".into()],
+            &["pid".into()],
+        )
+        .unwrap();
+        assert_eq!(n, 2);
+        assert!(TableStatistics::max_group_cardinality(&t, &["nope".into()], &["pid".into()]).is_err());
+        let empty = Table::new(t.schema().clone());
+        assert_eq!(
+            TableStatistics::max_group_cardinality(&empty, &["pnum".into()], &["pid".into()]).unwrap(),
+            0
+        );
+    }
+}

@@ -1,0 +1,259 @@
+//! A schema-validated in-memory row store.
+
+use beas_common::{BeasError, DataType, Result, Row, TableSchema, Value};
+
+/// An in-memory table: a schema plus a vector of rows.
+///
+/// Rows are validated on insertion (arity, types, NULLability) so that every
+/// downstream consumer — baseline executor, constraint indices, statistics —
+/// can assume well-typed data.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// Create an empty table with the given schema.
+    pub fn new(schema: TableSchema) -> Self {
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// The table's name.
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows (slice view).
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Row by physical id (position), if it exists.
+    pub fn row(&self, id: usize) -> Option<&Row> {
+        self.rows.get(id)
+    }
+
+    /// Validate a row against the schema without inserting it.
+    pub fn validate_row(&self, row: &Row) -> Result<()> {
+        if row.len() != self.schema.arity() {
+            return Err(BeasError::storage(format!(
+                "row arity {} does not match table {:?} arity {}",
+                row.len(),
+                self.schema.name,
+                self.schema.arity()
+            )));
+        }
+        for (value, col) in row.iter().zip(&self.schema.columns) {
+            if value.is_null() {
+                if !col.nullable {
+                    return Err(BeasError::storage(format!(
+                        "NULL in non-nullable column {:?} of table {:?}",
+                        col.name, self.schema.name
+                    )));
+                }
+                continue;
+            }
+            let vt = value.data_type().expect("non-null value has a type");
+            let compatible = vt == col.data_type
+                || DataType::common_type(vt, col.data_type) == Some(col.data_type);
+            if !compatible {
+                return Err(BeasError::storage(format!(
+                    "type mismatch in column {:?} of table {:?}: expected {}, got {}",
+                    col.name,
+                    self.schema.name,
+                    col.data_type,
+                    value.type_name()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert one row, coercing values to the declared column types
+    /// (e.g. a `'2016-07-04'` string into a `DATE` column).
+    /// Returns the physical row id.
+    pub fn insert(&mut self, row: Row) -> Result<usize> {
+        self.validate_row(&row)?;
+        let coerced: Row = row
+            .into_iter()
+            .zip(&self.schema.columns)
+            .map(|(v, c)| if v.is_null() { Ok(v) } else { v.cast(c.data_type) })
+            .collect::<Result<_>>()?;
+        self.rows.push(coerced);
+        Ok(self.rows.len() - 1)
+    }
+
+    /// Insert many rows; stops at the first invalid row.
+    pub fn insert_many(&mut self, rows: impl IntoIterator<Item = Row>) -> Result<usize> {
+        let mut n = 0;
+        for r in rows {
+            self.insert(r)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Delete all rows matching `predicate`, returning the removed rows with
+    /// their former physical ids (useful for incremental index maintenance).
+    pub fn delete_where(&mut self, mut predicate: impl FnMut(&Row) -> bool) -> Vec<(usize, Row)> {
+        let mut removed = Vec::new();
+        let mut kept = Vec::with_capacity(self.rows.len());
+        for (id, row) in self.rows.drain(..).enumerate() {
+            if predicate(&row) {
+                removed.push((id, row));
+            } else {
+                kept.push(row);
+            }
+        }
+        self.rows = kept;
+        removed
+    }
+
+    /// Project a row id onto the given column names.
+    pub fn project_row(&self, id: usize, columns: &[String]) -> Result<Row> {
+        let idx = self.schema.resolve_columns(columns)?;
+        let row = self
+            .row(id)
+            .ok_or_else(|| BeasError::storage(format!("row id {id} out of bounds")))?;
+        Ok(idx.iter().map(|&i| row[i].clone()).collect())
+    }
+
+    /// Iterate over `(row_id, row)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Row)> {
+        self.rows.iter().enumerate()
+    }
+
+    /// Rough size of the table in bytes (used for storage-budget accounting
+    /// during access-schema discovery).
+    pub fn estimated_bytes(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| r.iter().map(estimated_value_bytes).sum::<usize>())
+            .sum()
+    }
+}
+
+/// Rough in-memory footprint of one value, in bytes.
+pub fn estimated_value_bytes(v: &Value) -> usize {
+    match v {
+        Value::Null => 1,
+        Value::Int(_) | Value::Float(_) => 8,
+        Value::Bool(_) => 1,
+        Value::Date(_) => 8,
+        Value::Str(s) => 24 + s.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beas_common::ColumnDef;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "call",
+            vec![
+                ColumnDef::new("pnum", DataType::Str),
+                ColumnDef::new("date", DataType::Date),
+                ColumnDef::nullable("duration", DataType::Int),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let mut t = Table::new(schema());
+        assert!(t.is_empty());
+        let id = t
+            .insert(vec![Value::str("123"), Value::str("2016-07-04"), Value::Int(60)])
+            .unwrap();
+        assert_eq!(id, 0);
+        assert_eq!(t.row_count(), 1);
+        // date string was coerced into a Date value
+        assert_eq!(t.row(0).unwrap()[1].data_type(), Some(DataType::Date));
+        assert_eq!(t.iter().count(), 1);
+        assert_eq!(t.name(), "call");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut t = Table::new(schema());
+        // wrong arity
+        assert!(t.insert(vec![Value::str("123")]).is_err());
+        // wrong type
+        assert!(t
+            .insert(vec![Value::Int(1), Value::str("2016-07-04"), Value::Int(1)])
+            .is_err());
+        // NULL in non-nullable
+        assert!(t
+            .insert(vec![Value::Null, Value::str("2016-07-04"), Value::Int(1)])
+            .is_err());
+        // NULL in nullable is fine
+        assert!(t
+            .insert(vec![Value::str("1"), Value::str("2016-07-04"), Value::Null])
+            .is_ok());
+        // invalid date literal is a cast error
+        assert!(t
+            .insert(vec![Value::str("1"), Value::str("not-a-date"), Value::Null])
+            .is_err());
+    }
+
+    #[test]
+    fn insert_many_and_delete_where() {
+        let mut t = Table::new(schema());
+        let n = t
+            .insert_many((0..10).map(|i| {
+                vec![
+                    Value::str(format!("p{i}")),
+                    Value::str("2016-07-04"),
+                    Value::Int(i),
+                ]
+            }))
+            .unwrap();
+        assert_eq!(n, 10);
+        let removed = t.delete_where(|r| r[2].as_int().unwrap() % 2 == 0);
+        assert_eq!(removed.len(), 5);
+        assert_eq!(t.row_count(), 5);
+        assert!(t.rows().iter().all(|r| r[2].as_int().unwrap() % 2 == 1));
+    }
+
+    #[test]
+    fn project_row_by_names() {
+        let mut t = Table::new(schema());
+        t.insert(vec![Value::str("123"), Value::str("2016-07-04"), Value::Int(9)])
+            .unwrap();
+        let p = t.project_row(0, &["duration".into(), "pnum".into()]).unwrap();
+        assert_eq!(p, vec![Value::Int(9), Value::str("123")]);
+        assert!(t.project_row(5, &["pnum".into()]).is_err());
+        assert!(t.project_row(0, &["nope".into()]).is_err());
+    }
+
+    #[test]
+    fn estimated_bytes_grows_with_rows() {
+        let mut t = Table::new(schema());
+        let empty = t.estimated_bytes();
+        t.insert(vec![Value::str("12345678"), Value::str("2016-07-04"), Value::Int(1)])
+            .unwrap();
+        assert!(t.estimated_bytes() > empty);
+    }
+}

@@ -1,0 +1,168 @@
+//! The TLC access schema.
+//!
+//! Extends the access schema `A0` of Example 1 (ψ1–ψ3) with constraints that
+//! cover the remaining analytical queries of the benchmark.  The bounds are
+//! the kind of domain knowledge the paper describes: a number calls at most
+//! 500 distinct numbers per day, stays in at most 12 packages a year, a
+//! business type has at most 2000 members per region, a subscriber owns at
+//! most 3 registered devices, and so on.  The synthetic generator
+//! ([`crate::generator`]) produces data conforming to every bound.
+
+use beas_access::{AccessConstraint, AccessSchema};
+
+/// The access schema `A0` of Example 1: ψ1 (call), ψ2 (package), ψ3 (business).
+pub fn example1_access_schema() -> AccessSchema {
+    AccessSchema::from_constraints(vec![
+        AccessConstraint::new(
+            "call",
+            &["pnum", "date"],
+            &["recnum", "region", "duration", "cell_id"],
+            500,
+        )
+        .expect("ψ1 is well-formed"),
+        AccessConstraint::new(
+            "package",
+            &["pnum", "year"],
+            &["pid", "start_month", "end_month", "monthly_fee"],
+            12,
+        )
+        .expect("ψ2 is well-formed"),
+        AccessConstraint::new(
+            "business",
+            &["type", "region"],
+            &["pnum", "name", "vip_level"],
+            2000,
+        )
+        .expect("ψ3 is well-formed"),
+    ])
+}
+
+/// The full TLC access schema used by the benchmark's 11 queries.
+pub fn tlc_access_schema() -> AccessSchema {
+    let mut schema = example1_access_schema();
+    let extra = vec![
+        // ψ4: a phone number identifies exactly one subscriber profile.
+        AccessConstraint::new(
+            "customer",
+            &["pnum"],
+            &["name", "region", "city", "segment", "credit_score", "join_date"],
+            1,
+        ),
+        // ψ5: SMS fan-out per number per day.
+        AccessConstraint::new(
+            "sms",
+            &["pnum", "date"],
+            &["recnum", "length", "sms_type", "delivered"],
+            1000,
+        ),
+        // ψ6: data-usage records per number per day.
+        AccessConstraint::new(
+            "data_usage",
+            &["pnum", "date"],
+            &["mb_down", "mb_up", "sessions", "app_category", "cell_id"],
+            50,
+        ),
+        // ψ7: at most 12 invoices per number per year.
+        AccessConstraint::new(
+            "billing",
+            &["pnum", "year"],
+            &["month", "total_due", "paid", "payment_method"],
+            12,
+        ),
+        // ψ8: the plan catalogue is keyed by pid.
+        AccessConstraint::new(
+            "plan_catalog",
+            &["pid"],
+            &["plan_name", "monthly_fee", "data_gb", "voice_minutes", "tier"],
+            1,
+        ),
+        // ψ9: at most 3 registered devices per number.
+        AccessConstraint::new(
+            "device",
+            &["pnum"],
+            &["brand", "model", "os", "five_g", "purchase_year"],
+            3,
+        ),
+        // ψ10: complaints filed by a number on one day.
+        AccessConstraint::new(
+            "complaint",
+            &["pnum", "date"],
+            &["category", "severity", "resolved", "channel"],
+            20,
+        ),
+        // ψ11: a cell id identifies one tower.
+        AccessConstraint::new(
+            "cell_tower",
+            &["cell_id"],
+            &["region", "city", "technology", "capacity"],
+            1,
+        ),
+        // ψ12: a region has one reference row.
+        AccessConstraint::new(
+            "region_info",
+            &["region"],
+            &["province", "population", "gdp_band", "tower_count"],
+            1,
+        ),
+        // ψ13: calls carried by one tower on one day.
+        AccessConstraint::new(
+            "call",
+            &["cell_id", "date"],
+            &["pnum", "recnum", "duration", "region"],
+            2000,
+        ),
+        // ψ14: subscribers of a segment within a region.
+        AccessConstraint::new(
+            "customer",
+            &["region", "segment"],
+            &["pnum", "city", "credit_score"],
+            50_000,
+        ),
+    ];
+    for c in extra {
+        schema.add(c.expect("TLC access constraint is well-formed"));
+    }
+    schema
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema;
+
+    #[test]
+    fn example1_schema_matches_the_paper() {
+        let a0 = example1_access_schema();
+        assert_eq!(a0.len(), 3);
+        let psi1 = a0.for_table("call")[0];
+        assert_eq!(psi1.n, 500);
+        let psi2 = a0.for_table("package")[0];
+        assert_eq!(psi2.n, 12);
+        let psi3 = a0.for_table("business")[0];
+        assert_eq!(psi3.n, 2000);
+    }
+
+    #[test]
+    fn full_schema_is_small_and_well_formed() {
+        let schema = tlc_access_schema();
+        // "a small access schema": 14 constraints over 12 relations / 285 attrs
+        assert_eq!(schema.len(), 14);
+        // every constraint references existing tables and columns
+        for c in schema.constraints() {
+            let table = crate::schema::all_tables()
+                .into_iter()
+                .find(|t| t.name == c.table)
+                .unwrap_or_else(|| panic!("unknown table {}", c.table));
+            c.validate_against(&table).unwrap();
+        }
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let schema = tlc_access_schema();
+        let text = schema.to_text();
+        let parsed = beas_access::AccessSchema::from_text(&text).unwrap();
+        assert_eq!(parsed.len(), schema.len());
+        let _ = schema::total_attributes();
+    }
+}

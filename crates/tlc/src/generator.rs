@@ -1,0 +1,616 @@
+//! Synthetic TLC data generator.
+//!
+//! The generator produces databases that **conform to the TLC access schema**
+//! ([`crate::access_schema::tlc_access_schema`]) at every scale factor: the
+//! per-key group sizes are controlled by construction (e.g. a number places a
+//! bounded number of calls per day), so scaling the data up grows `|D|`
+//! without growing the data any single bounded fetch may touch — exactly the
+//! property the paper's scale-independence experiment (Fig. 4) relies on.
+
+use crate::schema;
+use beas_common::{Result, Row, Value};
+use beas_storage::Database;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fixed vocabularies used throughout the benchmark (query constants are
+/// drawn from these, so the built-in queries always have matching data).
+pub mod vocab {
+    /// Geographic regions.
+    pub const REGIONS: [&str; 5] = ["east", "west", "north", "south", "central"];
+    /// Business types.
+    pub const BUSINESS_TYPES: [&str; 6] =
+        ["bank", "hospital", "school", "retail", "restaurant", "logistics"];
+    /// Customer segments.
+    pub const SEGMENTS: [&str; 4] = ["consumer", "vip", "enterprise", "youth"];
+    /// SMS types.
+    pub const SMS_TYPES: [&str; 4] = ["personal", "verification", "marketing", "alert"];
+    /// Application categories for data usage.
+    pub const APP_CATEGORIES: [&str; 6] = ["video", "social", "web", "gaming", "music", "maps"];
+    /// Device brands.
+    pub const BRANDS: [&str; 6] = ["huawei", "apple", "samsung", "xiaomi", "oppo", "vivo"];
+    /// Complaint categories.
+    pub const COMPLAINT_CATEGORIES: [&str; 5] =
+        ["billing", "coverage", "speed", "service", "device"];
+    /// Days in the simulated month (July 2016).
+    pub const DAYS: u8 = 28;
+    /// The benchmark year.
+    pub const YEAR: i64 = 2016;
+    /// Number of catalogued plans.
+    pub const PLAN_COUNT: i64 = 50;
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct TlcConfig {
+    /// Scale factor; row counts grow linearly with it (see the `*_rows`
+    /// methods).  The paper's 1–200 GB datasets map onto scale factors 1–200.
+    pub scale_factor: u32,
+    /// RNG seed, so benchmarks are reproducible.
+    pub seed: u64,
+}
+
+impl Default for TlcConfig {
+    fn default() -> Self {
+        TlcConfig {
+            scale_factor: 1,
+            seed: 0xbea5,
+        }
+    }
+}
+
+impl TlcConfig {
+    /// Config at a given scale factor with the default seed.
+    pub fn at_scale(scale_factor: u32) -> Self {
+        TlcConfig {
+            scale_factor,
+            ..Default::default()
+        }
+    }
+
+    /// Number of subscribers (the base population).
+    pub fn customers(&self) -> usize {
+        200 * self.scale_factor as usize
+    }
+
+    /// Number of registered businesses (a subset of the subscribers).
+    pub fn businesses(&self) -> usize {
+        (self.customers() / 10).max(20)
+    }
+
+    /// Number of call detail records.
+    pub fn calls(&self) -> usize {
+        2_000 * self.scale_factor as usize
+    }
+
+    /// Number of SMS records.
+    pub fn sms(&self) -> usize {
+        800 * self.scale_factor as usize
+    }
+
+    /// Number of data-usage records.
+    pub fn data_usage(&self) -> usize {
+        800 * self.scale_factor as usize
+    }
+
+    /// Number of package subscriptions.
+    pub fn packages(&self) -> usize {
+        self.customers() * 2
+    }
+
+    /// Number of billing rows.
+    pub fn billing(&self) -> usize {
+        self.customers() * 6
+    }
+
+    /// Number of devices.
+    pub fn devices(&self) -> usize {
+        (self.customers() as f64 * 1.3) as usize
+    }
+
+    /// Number of complaints.
+    pub fn complaints(&self) -> usize {
+        self.customers() / 2
+    }
+
+    /// Number of cell towers.
+    pub fn towers(&self) -> usize {
+        100 + 5 * self.scale_factor as usize
+    }
+}
+
+/// The phone number of subscriber `i`.
+pub fn pnum(i: usize) -> String {
+    format!("1380{i:07}")
+}
+
+/// The cell id of tower `i`.
+pub fn cell_id(i: usize) -> String {
+    format!("CELL{i:05}")
+}
+
+/// A date in the simulated month.
+pub fn date(day: u8) -> String {
+    format!("2016-07-{:02}", (day % vocab::DAYS) + 1)
+}
+
+fn pick<'a>(rng: &mut StdRng, options: &'a [&str]) -> &'a str {
+    options[rng.gen_range(0..options.len())]
+}
+
+/// Generate a TLC database at the given configuration.
+pub fn generate(config: &TlcConfig) -> Result<Database> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut db = Database::new();
+    for table in schema::all_tables() {
+        db.create_table(table)?;
+    }
+    let customers = config.customers();
+    let towers = config.towers();
+
+    // region_info: one row per region.
+    for (i, region) in vocab::REGIONS.iter().enumerate() {
+        let mut row: Row = vec![
+            Value::str(*region),
+            Value::str(format!("province_{i}")),
+            Value::Int(rng.gen_range(1_000_000..30_000_000)),
+            Value::Float(rng.gen_range(5_000.0..200_000.0)),
+            Value::Float(rng.gen_range(0.3..0.95)),
+            Value::str(pick(&mut rng, &["low", "mid", "high"])),
+            Value::Int((towers / vocab::REGIONS.len()) as i64),
+            Value::Float(rng.gen_range(0.1..0.6)),
+            Value::str(pick(&mut rng, &["low", "mid", "high"])),
+            Value::Int(i as i64 + 1),
+            Value::Float(rng.gen_range(0.01..0.08)),
+            Value::Float(rng.gen_range(0.85..0.999)),
+            Value::Float(rng.gen_range(0.1..0.7)),
+            Value::Float(rng.gen_range(0.001..0.05)),
+            Value::Float(rng.gen_range(30_000.0..120_000.0)),
+            Value::Int(rng.gen_range(20..400)),
+            Value::Float(rng.gen_range(0.7..1.3)),
+            Value::Float(rng.gen_range(20.0..150.0)),
+            Value::Int(rng.gen_range(100..600)),
+            Value::str(pick(&mut rng, &["low", "mid", "high"])),
+            Value::str(pick(&mut rng, &["low", "mid", "high"])),
+        ];
+        for _ in 0..12 {
+            row.push(Value::Int(rng.gen_range(100_000..5_000_000)));
+        }
+        db.insert("region_info", row)?;
+    }
+
+    // cell_tower.
+    for i in 0..towers {
+        let region = vocab::REGIONS[i % vocab::REGIONS.len()];
+        let mut row: Row = vec![
+            Value::str(cell_id(i)),
+            Value::str(region),
+            Value::str(format!("{region}_city_{}", i % 7)),
+            Value::Float(rng.gen_range(20.0..50.0)),
+            Value::Float(rng.gen_range(100.0..125.0)),
+            Value::Int(rng.gen_range(200..2_000)),
+            Value::str(pick(&mut rng, &["4g", "5g", "3g"])),
+            Value::str(pick(&mut rng, &["huawei", "ericsson", "nokia"])),
+            Value::Int(rng.gen_range(2008..2017)),
+            Value::str(pick(&mut rng, &["active", "maintenance"])),
+            Value::Int(rng.gen_range(0..360)),
+            Value::Float(rng.gen_range(15.0..60.0)),
+            Value::Float(rng.gen_range(30.0..46.0)),
+            Value::str(pick(&mut rng, &["fiber", "microwave"])),
+            Value::Int(rng.gen_range(1..4)),
+            Value::Int(rng.gen_range(1..6)),
+            Value::Float(rng.gen_range(100.0..1_200.0)),
+            Value::Float(rng.gen_range(0.1..0.95)),
+            Value::Int(rng.gen_range(0..48)),
+            Value::Bool(rng.gen_bool(0.1)),
+        ];
+        for _ in 0..24 {
+            row.push(Value::Float(rng.gen_range(0.0..1.0)));
+        }
+        db.insert("cell_tower", row)?;
+    }
+
+    // plan_catalog.
+    for pid in 1..=vocab::PLAN_COUNT {
+        db.insert(
+            "plan_catalog",
+            vec![
+                Value::Int(pid),
+                Value::str(format!("plan_{pid}")),
+                Value::Float(19.0 + pid as f64 * 3.0),
+                Value::Int((pid % 20 + 1) * 5),
+                Value::Int((pid % 10 + 1) as i64 * 100),
+                Value::Int((pid % 5 + 1) as i64 * 50),
+                Value::Bool(pid % 4 == 0),
+                Value::Bool(pid % 7 == 0),
+                Value::Int(rng.gen_range(1..25)),
+                Value::str(pick(&mut rng, &["national", "regional"])),
+                Value::str(format!("PROMO{}", pid % 9)),
+                Value::Int(rng.gen_range(2012..2017)),
+                Value::Bool(pid % 11 == 0),
+                Value::Float(rng.gen_range(0.01..0.2)),
+                Value::Int(rng.gen_range(0..300)),
+                Value::Int(rng.gen_range(0..50)),
+                Value::Bool(pid % 3 == 0),
+                Value::str(pick(&mut rng, &["basic", "plus", "premium"])),
+            ],
+        )?;
+    }
+
+    // customer: one row per subscriber (pnum is a key).
+    for i in 0..customers {
+        let region = vocab::REGIONS[i % vocab::REGIONS.len()];
+        let segment = vocab::SEGMENTS[i % vocab::SEGMENTS.len()];
+        let mut row: Row = vec![
+            Value::str(pnum(i)),
+            Value::str(format!("customer_{i}")),
+            Value::str(if i % 2 == 0 { "f" } else { "m" }),
+            Value::Int(rng.gen_range(1950..2000)),
+            Value::str(region),
+            Value::str(format!("{region}_city_{}", i % 7)),
+            Value::str(pick(&mut rng, &["engineer", "teacher", "clerk", "driver", "manager"])),
+            Value::Int(rng.gen_range(300..850)),
+            Value::str(date((i % vocab::DAYS as usize) as u8)),
+            Value::Float(rng.gen_range(0.0..1.0)),
+            Value::str(format!("user{i}@example.com")),
+            Value::str(pick(&mut rng, &["zh", "en"])),
+            Value::str(pick(&mut rng, &["single", "married"])),
+            Value::str(pick(&mut rng, &["secondary", "bachelor", "master"])),
+            Value::str(pick(&mut rng, &["low", "mid", "high"])),
+            Value::str(pnum(rng.gen_range(0..customers))),
+            Value::Int(rng.gen_range(0..10_000)),
+            Value::str(pick(&mut rng, &["active", "suspended"])),
+            Value::str(segment),
+            Value::str(pick(&mut rng, &["app", "web", "store"])),
+            Value::str(pick(&mut rng, &["low", "mid", "high"])),
+            Value::Int(rng.gen_range(1..180)),
+            Value::str(pick(&mut rng, &["national_id", "passport"])),
+            Value::str(format!("{:08x}", rng.gen_range(0..u32::MAX))),
+        ];
+        for _ in 0..12 {
+            row.push(Value::Float(rng.gen_range(10.0..400.0)));
+        }
+        db.insert("customer", row)?;
+    }
+
+    // business: the first `businesses()` subscribers double as business numbers.
+    for i in 0..config.businesses() {
+        let region = vocab::REGIONS[i % vocab::REGIONS.len()];
+        let btype = vocab::BUSINESS_TYPES[i % vocab::BUSINESS_TYPES.len()];
+        let mut row: Row = vec![
+            Value::str(pnum(i)),
+            Value::str(btype),
+            Value::str(region),
+            Value::str(format!("{btype}_{i}")),
+            Value::str(format!("{region}_city_{}", i % 7)),
+            Value::str(format!("{:05}", rng.gen_range(10_000..99_999))),
+            Value::Int(rng.gen_range(1..2_000)),
+            Value::str(pick(&mut rng, &["small", "medium", "large"])),
+            Value::Int(rng.gen_range(1990..2016)),
+            Value::Int(rng.gen_range(0..5)),
+            Value::str(format!("contact{i}@biz.example.com")),
+            Value::Int(rng.gen_range(1000..9999)),
+            Value::str(format!("manager_{}", i % 40)),
+            Value::Float(rng.gen_range(1_000.0..1_000_000.0)),
+            Value::Int(rng.gen_range(1..20)),
+            Value::str(pick(&mut rng, &["bronze", "silver", "gold"])),
+        ];
+        for _ in 0..12 {
+            row.push(Value::Int(rng.gen_range(0..5_000)));
+        }
+        db.insert("business", row)?;
+    }
+
+    // package: ~2 subscriptions per subscriber, spread over 2015/2016.
+    // Conformance to package(pnum, year -> ...) ≤ 12 holds because each
+    // subscriber gets at most 4 packages per year here.
+    for i in 0..config.packages() {
+        let owner = i % customers;
+        let year = if i % 3 == 0 { 2015 } else { vocab::YEAR };
+        let start = rng.gen_range(1..=9);
+        let end = rng.gen_range(start..=12);
+        db.insert(
+            "package",
+            vec![
+                Value::str(pnum(owner)),
+                Value::Int(rng.gen_range(1..=vocab::PLAN_COUNT)),
+                Value::Int(start),
+                Value::Int(end),
+                Value::Int(year),
+                Value::Float(rng.gen_range(19.0..199.0)),
+                Value::Int(rng.gen_range(1..100)),
+                Value::Int(rng.gen_range(100..2_000)),
+                Value::Int(rng.gen_range(50..500)),
+                Value::str(pick(&mut rng, &["prepaid", "postpaid"])),
+                Value::Bool(rng.gen_bool(0.5)),
+                Value::Float(rng.gen_range(0.0..0.3)),
+                Value::str(pick(&mut rng, &["app", "store", "web"])),
+                Value::Int(rng.gen_range(0..1_000)),
+                Value::str(pick(&mut rng, &["active", "expired"])),
+                Value::Bool(rng.gen_bool(0.3)),
+            ],
+        )?;
+    }
+
+    // Every business number additionally holds the benchmark package (pid 7,
+    // covering all of 2016): Q1 (Example 2) and Q9 select on that package, so
+    // their default parameters always match real data.  Each such number now
+    // has at most 3 packages in 2016, well within ψ2's bound of 12.
+    for owner in 0..config.businesses() {
+        db.insert(
+            "package",
+            vec![
+                Value::str(pnum(owner)),
+                Value::Int(7),
+                Value::Int(1),
+                Value::Int(12),
+                Value::Int(vocab::YEAR),
+                Value::Float(59.0),
+                Value::Int(20),
+                Value::Int(500),
+                Value::Int(200),
+                Value::str("postpaid"),
+                Value::Bool(true),
+                Value::Float(0.1),
+                Value::str("store"),
+                Value::Int(0),
+                Value::str("active"),
+                Value::Bool(false),
+            ],
+        )?;
+    }
+
+    // call: bounded calls per (pnum, date) by construction — the caller and
+    // the day are derived from the record index, so each (pnum, day) pair
+    // receives at most `calls / customers / DAYS * fan_in` records, far below
+    // the constraint bound of 500.
+    for i in 0..config.calls() {
+        let caller = i % customers;
+        let day = ((i / customers) % vocab::DAYS as usize) as u8;
+        let callee = rng.gen_range(0..customers);
+        let region = vocab::REGIONS[caller % vocab::REGIONS.len()];
+        let duration = rng.gen_range(5..3_600);
+        db.insert(
+            "call",
+            vec![
+                Value::str(pnum(caller)),
+                Value::str(pnum(callee)),
+                Value::str(date(day)),
+                Value::str(region),
+                Value::Int(duration),
+                Value::Int(rng.gen_range(0..23)),
+                Value::Int(rng.gen_range(0..23)),
+                Value::str(pick(&mut rng, &["local", "long_distance", "international"])),
+                Value::str(cell_id(rng.gen_range(0..towers))),
+                Value::Bool(rng.gen_bool(0.05)),
+                Value::Bool(rng.gen_bool(0.02)),
+                Value::Float(duration as f64 * 0.002),
+                Value::str(pick(&mut rng, &["outgoing", "incoming"])),
+                Value::Int(rng.gen_range(0..5)),
+                Value::str(pick(&mut rng, &["4g", "5g", "volte"])),
+                Value::Int(i as i64),
+            ],
+        )?;
+    }
+
+    // sms.
+    for i in 0..config.sms() {
+        let sender = i % customers;
+        let day = ((i / customers) % vocab::DAYS as usize) as u8;
+        db.insert(
+            "sms",
+            vec![
+                Value::str(pnum(sender)),
+                Value::str(pnum(rng.gen_range(0..customers))),
+                Value::str(date(day)),
+                Value::str(vocab::REGIONS[sender % vocab::REGIONS.len()]),
+                Value::Int(rng.gen_range(1..320)),
+                Value::str(pick(&mut rng, &vocab::SMS_TYPES)),
+                Value::Bool(rng.gen_bool(0.97)),
+                Value::str(cell_id(rng.gen_range(0..towers))),
+                Value::Float(0.01),
+                Value::str(pick(&mut rng, &["gsm7", "ucs2"])),
+                Value::Float(rng.gen_range(0.0..1.0)),
+                Value::Int(rng.gen_range(0..100)),
+                Value::Int(rng.gen_range(0..23)),
+                Value::str(pick(&mut rng, &["outgoing", "incoming"])),
+            ],
+        )?;
+    }
+
+    // data_usage: at most a handful of rows per (pnum, date).
+    for i in 0..config.data_usage() {
+        let owner = i % customers;
+        let day = ((i / customers) % vocab::DAYS as usize) as u8;
+        let down = rng.gen_range(1.0..2_000.0);
+        db.insert(
+            "data_usage",
+            vec![
+                Value::str(pnum(owner)),
+                Value::str(date(day)),
+                Value::str(cell_id(rng.gen_range(0..towers))),
+                Value::str(vocab::REGIONS[owner % vocab::REGIONS.len()]),
+                Value::Float(down),
+                Value::Float(down * 0.1),
+                Value::Int(rng.gen_range(1..200)),
+                Value::Int(rng.gen_range(0..23)),
+                Value::str(pick(&mut rng, &vocab::APP_CATEGORIES)),
+                Value::Bool(rng.gen_bool(0.03)),
+                Value::Bool(rng.gen_bool(0.05)),
+                Value::Float(down * 0.001),
+                Value::Float(rng.gen_range(10.0..200.0)),
+                Value::Float(rng.gen_range(0.0..1.0)),
+                Value::Float(rng.gen_range(0.0..1.0)),
+                Value::Float(rng.gen_range(0.0..0.2)),
+                Value::Int(rng.gen_range(1..100)),
+                Value::Float(rng.gen_range(0.0..1.2)),
+                Value::Float(rng.gen_range(0.0..500.0)),
+                Value::Float(rng.gen_range(0.0..0.8)),
+                Value::Float(rng.gen_range(1.0..5.0)),
+            ],
+        )?;
+    }
+
+    // billing: one row per (pnum, month) for the first six months of 2016.
+    for i in 0..config.billing() {
+        let owner = i % customers;
+        let month = ((i / customers) % 6 + 1) as i64;
+        let voice = rng.gen_range(5.0..80.0);
+        let smsc = rng.gen_range(0.0..10.0);
+        let data = rng.gen_range(10.0..150.0);
+        db.insert(
+            "billing",
+            vec![
+                Value::str(pnum(owner)),
+                Value::Int(vocab::YEAR),
+                Value::Int(month),
+                Value::Float(voice + smsc + data),
+                Value::Float(voice),
+                Value::Float(smsc),
+                Value::Float(data),
+                Value::Float(rng.gen_range(0.0..20.0)),
+                Value::Float(rng.gen_range(0.0..15.0)),
+                Value::Float((voice + smsc + data) * 0.06),
+                Value::Bool(rng.gen_bool(0.9)),
+                Value::str(pick(&mut rng, &["card", "bank", "wallet"])),
+                Value::Int(rng.gen_range(0..30)),
+                Value::Int(i as i64),
+                Value::Float(rng.gen_range(0.0..5.0)),
+                Value::Bool(rng.gen_bool(0.6)),
+                Value::Bool(rng.gen_bool(0.02)),
+                Value::str(pick(&mut rng, &["email", "sms", "paper"])),
+            ],
+        )?;
+    }
+
+    // device: 1-2 devices per subscriber (bounded by 3 per pnum).
+    for i in 0..config.devices() {
+        let owner = i % customers;
+        db.insert(
+            "device",
+            vec![
+                Value::str(pnum(owner)),
+                Value::str(format!("{:015}", rng.gen_range(0..10_u64.pow(15)))),
+                Value::str(pick(&mut rng, &vocab::BRANDS)),
+                Value::str(format!("model_{}", rng.gen_range(1..40))),
+                Value::str(pick(&mut rng, &["android", "ios"])),
+                Value::str(format!("{}.{}", rng.gen_range(8..15), rng.gen_range(0..9))),
+                Value::Int(rng.gen_range(2013..2017)),
+                Value::str(pick(&mut rng, &["store", "online", "carrier"])),
+                Value::Float(rng.gen_range(99.0..1_500.0)),
+                Value::Int(rng.gen_range(12..36)),
+                Value::Bool(rng.gen_bool(0.3)),
+                Value::Bool(rng.gen_bool(0.5)),
+                Value::Float(rng.gen_range(4.7..6.9)),
+                Value::Int(rng.gen_range(2_500..5_500)),
+                Value::Int([64, 128, 256, 512][rng.gen_range(0..4)]),
+                Value::Int([4, 6, 8, 12][rng.gen_range(0..4)]),
+                Value::Bool(rng.gen_bool(0.2)),
+                Value::Bool(rng.gen_bool(0.25)),
+                Value::Float(rng.gen_range(0.0..400.0)),
+                Value::str(pick(&mut rng, &vocab::REGIONS)),
+            ],
+        )?;
+    }
+
+    // complaint: at most a couple per (pnum, date).
+    for i in 0..config.complaints() {
+        let owner = i % customers;
+        let day = ((i / customers) % vocab::DAYS as usize) as u8;
+        db.insert(
+            "complaint",
+            vec![
+                Value::str(pnum(owner)),
+                Value::str(date(day)),
+                Value::str(pick(&mut rng, &vocab::COMPLAINT_CATEGORIES)),
+                Value::Int(rng.gen_range(1..5)),
+                Value::str(pick(&mut rng, &["phone", "app", "store"])),
+                Value::str(vocab::REGIONS[owner % vocab::REGIONS.len()]),
+                Value::Bool(rng.gen_bool(0.8)),
+                Value::Int(rng.gen_range(0..30)),
+                Value::Int(rng.gen_range(1..500)),
+                Value::Int(rng.gen_range(1..5)),
+                Value::Float(rng.gen_range(0.0..50.0)),
+                Value::Bool(rng.gen_bool(0.1)),
+                Value::Bool(rng.gen_bool(0.05)),
+                Value::str(pick(&mut rng, &["network", "billing_error", "agent", "device"])),
+                Value::str(pick(&mut rng, &["voice", "data", "billing", "roaming"])),
+                Value::Bool(rng.gen_bool(0.2)),
+                Value::Bool(rng.gen_bool(0.07)),
+                Value::Bool(owner < config.businesses()),
+                Value::str(format!("manager_{}", owner % 40)),
+                Value::Int(rng.gen_range(0..60)),
+                Value::Bool(rng.gen_bool(0.5)),
+            ],
+        )?;
+    }
+
+    Ok(db)
+}
+
+/// A small fully-populated TLC database for examples, doc tests and unit
+/// tests (`scale ≈ customers/200`).
+pub fn tiny_database(customers_hint: usize) -> Database {
+    let config = TlcConfig {
+        scale_factor: ((customers_hint / 200).max(1)) as u32,
+        seed: 7,
+    };
+    generate(&config).expect("tiny TLC database generation cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access_schema::tlc_access_schema;
+    use beas_access::check_conformance;
+
+    #[test]
+    fn generates_all_tables_with_expected_row_counts() {
+        let config = TlcConfig::at_scale(1);
+        let db = generate(&config).unwrap();
+        assert_eq!(db.table_names().len(), 12);
+        assert_eq!(db.table("customer").unwrap().row_count(), config.customers());
+        assert_eq!(db.table("call").unwrap().row_count(), config.calls());
+        assert_eq!(db.table("region_info").unwrap().row_count(), 5);
+        assert_eq!(db.table("plan_catalog").unwrap().row_count(), 50);
+        assert!(db.total_rows() > 5_000);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generate(&TlcConfig::at_scale(1)).unwrap();
+        let b = generate(&TlcConfig::at_scale(1)).unwrap();
+        assert_eq!(a.table("call").unwrap().rows()[0], b.table("call").unwrap().rows()[0]);
+        let c = generate(&TlcConfig {
+            scale_factor: 1,
+            seed: 99,
+        })
+        .unwrap();
+        assert_ne!(a.table("call").unwrap().rows()[5], c.table("call").unwrap().rows()[5]);
+    }
+
+    #[test]
+    fn scale_factor_grows_data_linearly() {
+        let small = generate(&TlcConfig::at_scale(1)).unwrap();
+        let large = generate(&TlcConfig::at_scale(3)).unwrap();
+        assert_eq!(
+            large.table("call").unwrap().row_count(),
+            3 * small.table("call").unwrap().row_count()
+        );
+        assert!(large.estimated_bytes() > 2 * small.estimated_bytes());
+    }
+
+    #[test]
+    fn generated_data_conforms_to_the_access_schema() {
+        let db = generate(&TlcConfig::at_scale(2)).unwrap();
+        let schema = tlc_access_schema();
+        let report = check_conformance(&db, &schema).unwrap();
+        assert!(report.conforms(), "violations: {report}");
+    }
+
+    #[test]
+    fn tiny_database_helper() {
+        let db = tiny_database(50);
+        assert!(db.table("business").unwrap().row_count() >= 20);
+    }
+}

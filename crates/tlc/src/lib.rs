@@ -1,0 +1,16 @@
+//! # beas-tlc
+//!
+//! The TLC telecom benchmark used in the paper's evaluation, rebuilt
+//! synthetically: 12 relations with 285 attributes, a scale-factor data
+//! generator whose output conforms to the TLC access schema, the access
+//! schema itself (Example 1's `A0` plus the constraints covering the rest of
+//! the workload), and the 11 built-in analytical queries (Q1 = Example 2).
+
+pub mod access_schema;
+pub mod generator;
+pub mod queries;
+pub mod schema;
+
+pub use access_schema::{example1_access_schema, tlc_access_schema};
+pub use generator::{generate, tiny_database, TlcConfig};
+pub use queries::{all_queries, default_params, example2_query, workload, TlcQuery};

@@ -1,0 +1,431 @@
+//! The TLC benchmark schema.
+//!
+//! The paper evaluates BEAS on a commercial telecom benchmark ("TLC") with
+//! 12 relations and 285 attributes in total, plus 11 built-in analytical
+//! queries.  The benchmark itself is proprietary, so this module defines a
+//! synthetic schema with the same shape: 12 relations, 285 attributes, and
+//! the three relations of Example 1 (`call`, `package`, `business`) at its
+//! centre.  Wide "KPI block" attribute groups (hourly tower load, monthly
+//! spend, monthly subscriber counts) model the kind of denormalized columns
+//! real CDR warehouses carry.
+
+use beas_common::{ColumnDef, DataType, TableSchema};
+
+fn cols(defs: Vec<(&str, DataType)>) -> Vec<ColumnDef> {
+    defs.into_iter()
+        .map(|(n, t)| ColumnDef::nullable(n, t))
+        .collect()
+}
+
+fn block(prefix: &str, count: usize, t: DataType) -> Vec<ColumnDef> {
+    (0..count)
+        .map(|i| ColumnDef::nullable(format!("{prefix}{i}"), t))
+        .collect()
+}
+
+/// `call(pnum, recnum, date, region, ...)` — one row per call detail record.
+pub fn call() -> TableSchema {
+    TableSchema::new(
+        "call",
+        cols(vec![
+            ("pnum", DataType::Str),
+            ("recnum", DataType::Str),
+            ("date", DataType::Date),
+            ("region", DataType::Str),
+            ("duration", DataType::Int),
+            ("start_hour", DataType::Int),
+            ("end_hour", DataType::Int),
+            ("call_type", DataType::Str),
+            ("cell_id", DataType::Str),
+            ("roaming", DataType::Bool),
+            ("dropped", DataType::Bool),
+            ("cost", DataType::Float),
+            ("direction", DataType::Str),
+            ("termination_code", DataType::Int),
+            ("network_type", DataType::Str),
+            ("record_id", DataType::Int),
+        ]),
+    )
+    .expect("valid call schema")
+}
+
+/// `package(pnum, pid, start_month, end_month, year, ...)` — service package
+/// subscriptions.
+pub fn package() -> TableSchema {
+    TableSchema::new(
+        "package",
+        cols(vec![
+            ("pnum", DataType::Str),
+            ("pid", DataType::Int),
+            ("start_month", DataType::Int),
+            ("end_month", DataType::Int),
+            ("year", DataType::Int),
+            ("monthly_fee", DataType::Float),
+            ("data_gb", DataType::Int),
+            ("voice_minutes", DataType::Int),
+            ("sms_count", DataType::Int),
+            ("contract_type", DataType::Str),
+            ("auto_renew", DataType::Bool),
+            ("discount", DataType::Float),
+            ("activation_channel", DataType::Str),
+            ("family_group", DataType::Int),
+            ("status", DataType::Str),
+            ("upgrade_eligible", DataType::Bool),
+        ]),
+    )
+    .expect("valid package schema")
+}
+
+/// `business(pnum, type, region, ...)` — registered business numbers.
+pub fn business() -> TableSchema {
+    let mut c = cols(vec![
+        ("pnum", DataType::Str),
+        ("type", DataType::Str),
+        ("region", DataType::Str),
+        ("name", DataType::Str),
+        ("city", DataType::Str),
+        ("postcode", DataType::Str),
+        ("employees", DataType::Int),
+        ("revenue_band", DataType::Str),
+        ("registered_year", DataType::Int),
+        ("vip_level", DataType::Int),
+        ("contact_email", DataType::Str),
+        ("industry_code", DataType::Int),
+        ("account_manager", DataType::Str),
+        ("credit_limit", DataType::Float),
+        ("contract_count", DataType::Int),
+        ("sla_tier", DataType::Str),
+    ]);
+    c.extend(block("calls_m", 12, DataType::Int)); // monthly outbound call KPI
+    TableSchema::new("business", c).expect("valid business schema")
+}
+
+/// `customer(pnum, name, region, segment, ...)` — the subscriber master table.
+pub fn customer() -> TableSchema {
+    let mut c = cols(vec![
+        ("pnum", DataType::Str),
+        ("name", DataType::Str),
+        ("gender", DataType::Str),
+        ("birth_year", DataType::Int),
+        ("region", DataType::Str),
+        ("city", DataType::Str),
+        ("occupation", DataType::Str),
+        ("credit_score", DataType::Int),
+        ("join_date", DataType::Date),
+        ("churn_risk", DataType::Float),
+        ("email", DataType::Str),
+        ("language", DataType::Str),
+        ("marital_status", DataType::Str),
+        ("education", DataType::Str),
+        ("income_band", DataType::Str),
+        ("referrer_pnum", DataType::Str),
+        ("loyalty_points", DataType::Int),
+        ("status", DataType::Str),
+        ("segment", DataType::Str),
+        ("preferred_channel", DataType::Str),
+        ("arpu_band", DataType::Str),
+        ("tenure_months", DataType::Int),
+        ("id_type", DataType::Str),
+        ("address_hash", DataType::Str),
+    ]);
+    c.extend(block("spend_m", 12, DataType::Float)); // monthly spend KPI
+    TableSchema::new("customer", c).expect("valid customer schema")
+}
+
+/// `cell_tower(cell_id, region, ...)` — radio sites, including an hourly load
+/// KPI block.
+pub fn cell_tower() -> TableSchema {
+    let mut c = cols(vec![
+        ("cell_id", DataType::Str),
+        ("region", DataType::Str),
+        ("city", DataType::Str),
+        ("latitude", DataType::Float),
+        ("longitude", DataType::Float),
+        ("capacity", DataType::Int),
+        ("technology", DataType::Str),
+        ("vendor", DataType::Str),
+        ("install_year", DataType::Int),
+        ("status", DataType::Str),
+        ("azimuth", DataType::Int),
+        ("height_m", DataType::Float),
+        ("power_dbm", DataType::Float),
+        ("backhaul_type", DataType::Str),
+        ("sector_count", DataType::Int),
+        ("band_count", DataType::Int),
+        ("max_throughput", DataType::Float),
+        ("avg_load", DataType::Float),
+        ("outage_hours", DataType::Int),
+        ("maintenance_due", DataType::Bool),
+    ]);
+    c.extend(block("load_h", 24, DataType::Float)); // hourly load KPI
+    TableSchema::new("cell_tower", c).expect("valid cell_tower schema")
+}
+
+/// `sms(pnum, recnum, date, ...)` — SMS detail records.
+pub fn sms() -> TableSchema {
+    TableSchema::new(
+        "sms",
+        cols(vec![
+            ("pnum", DataType::Str),
+            ("recnum", DataType::Str),
+            ("date", DataType::Date),
+            ("region", DataType::Str),
+            ("length", DataType::Int),
+            ("sms_type", DataType::Str),
+            ("delivered", DataType::Bool),
+            ("cell_id", DataType::Str),
+            ("cost", DataType::Float),
+            ("encoding", DataType::Str),
+            ("spam_score", DataType::Float),
+            ("campaign_id", DataType::Int),
+            ("hour", DataType::Int),
+            ("direction", DataType::Str),
+        ]),
+    )
+    .expect("valid sms schema")
+}
+
+/// `data_usage(pnum, date, ...)` — daily mobile-data usage records.
+pub fn data_usage() -> TableSchema {
+    TableSchema::new(
+        "data_usage",
+        cols(vec![
+            ("pnum", DataType::Str),
+            ("date", DataType::Date),
+            ("cell_id", DataType::Str),
+            ("region", DataType::Str),
+            ("mb_down", DataType::Float),
+            ("mb_up", DataType::Float),
+            ("sessions", DataType::Int),
+            ("peak_hour", DataType::Int),
+            ("app_category", DataType::Str),
+            ("roaming", DataType::Bool),
+            ("throttled", DataType::Bool),
+            ("cost", DataType::Float),
+            ("avg_latency_ms", DataType::Float),
+            ("video_share", DataType::Float),
+            ("social_share", DataType::Float),
+            ("vpn_share", DataType::Float),
+            ("quota_gb", DataType::Int),
+            ("quota_used_pct", DataType::Float),
+            ("overage_mb", DataType::Float),
+            ("wifi_offload_pct", DataType::Float),
+            ("qoe_score", DataType::Float),
+        ]),
+    )
+    .expect("valid data_usage schema")
+}
+
+/// `billing(pnum, year, month, ...)` — monthly invoices.
+pub fn billing() -> TableSchema {
+    TableSchema::new(
+        "billing",
+        cols(vec![
+            ("pnum", DataType::Str),
+            ("year", DataType::Int),
+            ("month", DataType::Int),
+            ("total_due", DataType::Float),
+            ("voice_charge", DataType::Float),
+            ("sms_charge", DataType::Float),
+            ("data_charge", DataType::Float),
+            ("roaming_charge", DataType::Float),
+            ("discount", DataType::Float),
+            ("tax", DataType::Float),
+            ("paid", DataType::Bool),
+            ("payment_method", DataType::Str),
+            ("overdue_days", DataType::Int),
+            ("invoice_id", DataType::Int),
+            ("credit_applied", DataType::Float),
+            ("autopay", DataType::Bool),
+            ("dispute_flag", DataType::Bool),
+            ("statement_channel", DataType::Str),
+        ]),
+    )
+    .expect("valid billing schema")
+}
+
+/// `plan_catalog(pid, plan_name, ...)` — the catalogue of service packages.
+pub fn plan_catalog() -> TableSchema {
+    TableSchema::new(
+        "plan_catalog",
+        cols(vec![
+            ("pid", DataType::Int),
+            ("plan_name", DataType::Str),
+            ("monthly_fee", DataType::Float),
+            ("data_gb", DataType::Int),
+            ("voice_minutes", DataType::Int),
+            ("sms_count", DataType::Int),
+            ("family_plan", DataType::Bool),
+            ("enterprise", DataType::Bool),
+            ("min_contract_months", DataType::Int),
+            ("region_scope", DataType::Str),
+            ("promo_code", DataType::Str),
+            ("launched_year", DataType::Int),
+            ("retired", DataType::Bool),
+            ("overage_rate", DataType::Float),
+            ("intl_minutes", DataType::Int),
+            ("hotspot_gb", DataType::Int),
+            ("priority_support", DataType::Bool),
+            ("tier", DataType::Str),
+        ]),
+    )
+    .expect("valid plan_catalog schema")
+}
+
+/// `device(pnum, imei, brand, ...)` — handsets registered per number.
+pub fn device() -> TableSchema {
+    TableSchema::new(
+        "device",
+        cols(vec![
+            ("pnum", DataType::Str),
+            ("imei", DataType::Str),
+            ("brand", DataType::Str),
+            ("model", DataType::Str),
+            ("os", DataType::Str),
+            ("os_version", DataType::Str),
+            ("purchase_year", DataType::Int),
+            ("purchase_channel", DataType::Str),
+            ("price", DataType::Float),
+            ("warranty_months", DataType::Int),
+            ("five_g", DataType::Bool),
+            ("dual_sim", DataType::Bool),
+            ("screen_size", DataType::Float),
+            ("battery_mah", DataType::Int),
+            ("storage_gb", DataType::Int),
+            ("ram_gb", DataType::Int),
+            ("esim", DataType::Bool),
+            ("insurance", DataType::Bool),
+            ("trade_in_value", DataType::Float),
+            ("activation_region", DataType::Str),
+        ]),
+    )
+    .expect("valid device schema")
+}
+
+/// `complaint(pnum, date, category, ...)` — customer-care tickets.
+pub fn complaint() -> TableSchema {
+    TableSchema::new(
+        "complaint",
+        cols(vec![
+            ("pnum", DataType::Str),
+            ("date", DataType::Date),
+            ("category", DataType::Str),
+            ("severity", DataType::Int),
+            ("channel", DataType::Str),
+            ("region", DataType::Str),
+            ("resolved", DataType::Bool),
+            ("resolution_days", DataType::Int),
+            ("agent_id", DataType::Int),
+            ("satisfaction", DataType::Int),
+            ("compensation", DataType::Float),
+            ("escalated", DataType::Bool),
+            ("reopened", DataType::Bool),
+            ("root_cause", DataType::Str),
+            ("product_area", DataType::Str),
+            ("followup_due", DataType::Bool),
+            ("sla_breached", DataType::Bool),
+            ("vip_flag", DataType::Bool),
+            ("region_manager", DataType::Str),
+            ("channel_wait_min", DataType::Int),
+            ("csat_followup", DataType::Bool),
+        ]),
+    )
+    .expect("valid complaint schema")
+}
+
+/// `region_info(region, province, ...)` — per-region reference data, with a
+/// monthly subscriber-count KPI block.
+pub fn region_info() -> TableSchema {
+    let mut c = cols(vec![
+        ("region", DataType::Str),
+        ("province", DataType::Str),
+        ("population", DataType::Int),
+        ("area_km2", DataType::Float),
+        ("urban_ratio", DataType::Float),
+        ("gdp_band", DataType::Str),
+        ("tower_count", DataType::Int),
+        ("competitor_share", DataType::Float),
+        ("arpu_band", DataType::Str),
+        ("manager_id", DataType::Int),
+        ("churn_rate", DataType::Float),
+        ("coverage_pct", DataType::Float),
+        ("five_g_pct", DataType::Float),
+        ("complaint_rate", DataType::Float),
+        ("avg_income", DataType::Float),
+        ("retail_stores", DataType::Int),
+        ("mobile_penetration", DataType::Float),
+        ("avg_speed_mbps", DataType::Float),
+        ("spectrum_mhz", DataType::Int),
+        ("capex_band", DataType::Str),
+        ("opex_band", DataType::Str),
+    ]);
+    c.extend(block("subscribers_m", 12, DataType::Int)); // monthly KPI
+    TableSchema::new("region_info", c).expect("valid region_info schema")
+}
+
+/// All 12 TLC relations.
+pub fn all_tables() -> Vec<TableSchema> {
+    vec![
+        call(),
+        package(),
+        business(),
+        customer(),
+        cell_tower(),
+        sms(),
+        data_usage(),
+        billing(),
+        plan_catalog(),
+        device(),
+        complaint(),
+        region_info(),
+    ]
+}
+
+/// Total number of attributes across the schema (the paper reports 285).
+pub fn total_attributes() -> usize {
+    all_tables().iter().map(|t| t.arity()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_relations_285_attributes() {
+        let tables = all_tables();
+        assert_eq!(tables.len(), 12);
+        assert_eq!(total_attributes(), 285);
+    }
+
+    #[test]
+    fn example1_relations_present_with_expected_keys() {
+        let call = call();
+        assert!(call.column("pnum").is_some());
+        assert!(call.column("recnum").is_some());
+        assert!(call.column("date").is_some());
+        assert!(call.column("region").is_some());
+        let package = package();
+        assert!(package.column("pid").is_some());
+        assert!(package.column("year").is_some());
+        let business = business();
+        assert!(business.column("type").is_some());
+        assert!(business.column("region").is_some());
+    }
+
+    #[test]
+    fn kpi_blocks_expand() {
+        assert!(cell_tower().column("load_h0").is_some());
+        assert!(cell_tower().column("load_h23").is_some());
+        assert!(customer().column("spend_m11").is_some());
+        assert!(region_info().column("subscribers_m0").is_some());
+        assert!(business().column("calls_m5").is_some());
+    }
+
+    #[test]
+    fn table_names_are_unique() {
+        let mut names: Vec<String> = all_tables().iter().map(|t| t.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+}

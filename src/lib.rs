@@ -1,0 +1,53 @@
+//! # BEAS — Bounded Evaluation of SQL Queries
+//!
+//! A from-scratch Rust reproduction of the BEAS system (SIGMOD 2017 demo):
+//! querying relations with *bounded resources* under an access schema — a set
+//! of cardinality constraints with associated indices.
+//!
+//! This facade crate re-exports the public API of the workspace crates so
+//! that applications can depend on a single `beas` crate:
+//!
+//! * [`common`] — values, types, schemas, tuples;
+//! * [`sql`] — SQL lexer/parser/binder for the supported fragment;
+//! * [`storage`] — in-memory tables, catalog and indices;
+//! * [`engine`] — the conventional (baseline) DBMS engine;
+//! * [`access`] — access constraints, conformance, discovery, maintenance;
+//! * [`core`] — the BEAS bounded-evaluation layer (checker, planner, executor);
+//! * [`tlc`] — the TLC telecom benchmark used in the paper's evaluation.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use beas::prelude::*;
+//!
+//! // A small TLC database (Example 1's schema plus the other 9 relations).
+//! let db = beas::tlc::tiny_database(200);
+//! let access_schema = beas::tlc::tlc_access_schema();
+//!
+//! // Build the constraint indices and assemble the BEAS system.
+//! let system = BeasSystem::with_schema(db, access_schema).unwrap();
+//!
+//! // Q1 is the query of Example 2 in the paper; it is boundedly evaluable.
+//! let (btype, region, pid, date) = beas::tlc::default_params();
+//! let q1 = beas::tlc::example2_query(btype, region, pid, date);
+//! assert!(system.check(&q1).unwrap().covered);
+//! let outcome = system.execute_sql(&q1).unwrap();
+//! assert!(outcome.bounded);
+//! ```
+
+pub use beas_access as access;
+pub use beas_common as common;
+pub use beas_core as core;
+pub use beas_engine as engine;
+pub use beas_sql as sql;
+pub use beas_storage as storage;
+pub use beas_tlc as tlc;
+
+/// Commonly used items, for glob import in examples and applications.
+pub mod prelude {
+    pub use beas_access::{AccessConstraint, AccessSchema};
+    pub use beas_common::{BeasError, DataType, Result, Row, Schema, TableSchema, Value};
+    pub use beas_core::{BeasSystem, ExecutionOutcome};
+    pub use beas_engine::{Engine, OptimizerProfile};
+    pub use beas_storage::Database;
+}

@@ -1,0 +1,186 @@
+//! Cross-crate integration tests: SQL in, answers out, through both the
+//! conventional engine and BEAS, on generated TLC data.
+
+use beas::prelude::*;
+
+fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
+    rows.sort_by(|a, b| {
+        for (x, y) in a.iter().zip(b.iter()) {
+            let o = x.total_cmp(y);
+            if o != std::cmp::Ordering::Equal {
+                return o;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    rows
+}
+
+fn distinct(rows: Vec<Row>) -> Vec<Row> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for r in rows {
+        if seen.insert(r.clone()) {
+            out.push(r);
+        }
+    }
+    out
+}
+
+fn tlc_system(scale: u32) -> BeasSystem {
+    let db = beas::tlc::generate(&beas::tlc::TlcConfig::at_scale(scale)).unwrap();
+    BeasSystem::with_schema(db, beas::tlc::tlc_access_schema()).unwrap()
+}
+
+#[test]
+fn all_eleven_tlc_queries_run_and_match_the_baseline() {
+    let system = tlc_system(2);
+    let engine = Engine::new(OptimizerProfile::PgLike);
+    for q in beas::tlc::all_queries() {
+        let report = system.check(&q.sql).unwrap();
+        assert_eq!(
+            report.covered, q.expect_covered,
+            "{}: coverage expectation mismatch ({:?})",
+            q.id, report.coverage.reasons
+        );
+        let outcome = system.execute_sql(&q.sql).unwrap();
+        let baseline = engine.run(system.database(), &q.sql).unwrap();
+        // BEAS computes set-semantics answers; the benchmark queries are
+        // written with DISTINCT / distinct-safe aggregates so the comparison
+        // is exact, except that we normalize row order.
+        assert_eq!(
+            sorted(outcome.rows.clone()),
+            sorted(distinct(baseline.rows.clone())),
+            "{}: answers differ",
+            q.id
+        );
+        if report.covered {
+            assert!(outcome.bounded, "{} should run bounded", q.id);
+            assert!(
+                outcome.tuples_accessed <= report.deduced_bound.unwrap(),
+                "{}: accessed {} tuples, deduced bound {}",
+                q.id,
+                outcome.tuples_accessed,
+                report.deduced_bound.unwrap()
+            );
+            assert!(
+                outcome.tuples_accessed < baseline.metrics.total_tuples_accessed(),
+                "{}: bounded run should touch less data than the full scans",
+                q.id
+            );
+        }
+    }
+}
+
+#[test]
+fn more_than_ninety_percent_of_the_workload_is_covered() {
+    let system = tlc_system(1);
+    let queries = beas::tlc::all_queries();
+    let covered = queries
+        .iter()
+        .filter(|q| system.check(&q.sql).unwrap().covered)
+        .count();
+    assert!(covered * 100 / queries.len() >= 90);
+}
+
+#[test]
+fn bounded_access_is_scale_independent_while_baseline_grows() {
+    let (btype, region, pid, date) = beas::tlc::default_params();
+    let q1 = beas::tlc::example2_query(btype, region, pid, date);
+    let mut beas_access = Vec::new();
+    let mut baseline_access = Vec::new();
+    for scale in [1u32, 4] {
+        let system = tlc_system(scale);
+        let outcome = system.execute_sql(&q1).unwrap();
+        let baseline = Engine::default().run(system.database(), &q1).unwrap();
+        beas_access.push(outcome.tuples_accessed);
+        baseline_access.push(baseline.metrics.total_tuples_accessed());
+    }
+    // the baseline scans ~4x more data at 4x scale…
+    assert!(baseline_access[1] >= baseline_access[0] * 3);
+    // …while the bounded plan's data access stays within the same order
+    assert!(beas_access[1] <= beas_access[0] * 2 + 16);
+}
+
+#[test]
+fn budget_checks_and_approximation_work_end_to_end() {
+    let system = tlc_system(1);
+    let (btype, region, pid, date) = beas::tlc::default_params();
+    let q1 = beas::tlc::example2_query(btype, region, pid, date);
+    let report = system.check(&q1).unwrap();
+    let bound = report.deduced_bound.unwrap();
+    assert!(system.can_answer_within(&q1, bound).unwrap());
+    assert!(!system.can_answer_within(&q1, 10).unwrap());
+    let exact = system.execute_sql(&q1).unwrap();
+    let approx = system.approximate(&q1, bound).unwrap();
+    assert_eq!(sorted(approx.rows.clone()), sorted(exact.rows.clone()));
+    assert!((approx.coverage - 1.0).abs() < 1e-9);
+    let tight = system.approximate(&q1, 50).unwrap();
+    assert!(tight.tuples_accessed <= 50);
+    assert!(tight.coverage <= 1.0);
+}
+
+#[test]
+fn discovered_schema_supports_bounded_evaluation() {
+    let db = beas::tlc::generate(&beas::tlc::TlcConfig::at_scale(1)).unwrap();
+    let system = BeasSystem::from_discovery(
+        db,
+        &beas::tlc::workload(),
+        &beas::access::DiscoveryConfig::default(),
+    )
+    .unwrap();
+    assert!(!system.access_schema().is_empty());
+    let covered = beas::tlc::all_queries()
+        .iter()
+        .filter(|q| system.check(&q.sql).unwrap().covered)
+        .count();
+    // the discovered schema covers a solid majority of the workload
+    assert!(covered >= 6, "only {covered} of 11 covered");
+    // and the covered queries still return baseline-identical answers
+    let engine = Engine::default();
+    for q in beas::tlc::all_queries() {
+        if system.check(&q.sql).unwrap().covered {
+            let outcome = system.execute_sql(&q.sql).unwrap();
+            let baseline = engine.run(system.database(), &q.sql).unwrap();
+            assert_eq!(sorted(outcome.rows), sorted(distinct(baseline.rows)), "{}", q.id);
+        }
+    }
+}
+
+#[test]
+fn maintenance_keeps_bounded_answers_correct_under_updates() {
+    let mut db = beas::tlc::generate(&beas::tlc::TlcConfig::at_scale(1)).unwrap();
+    let mut schema = beas::tlc::tlc_access_schema();
+    let mut indexes = beas::access::build_indexes(&db, &schema).unwrap();
+    let maintainer = beas::access::Maintainer::new(beas::access::MaintenancePolicy::AutoAdjust);
+
+    // Insert fresh call records for a bank number on the benchmark date.
+    let new_rows: Vec<Row> = db.table("call").unwrap().rows()[..50].to_vec();
+    maintainer
+        .insert_rows(&mut db, &mut schema, &mut indexes, "call", new_rows)
+        .unwrap();
+    // Delete some of the original rows.
+    maintainer
+        .delete_rows(&mut db, &schema, &mut indexes, "call", |r| {
+            r[4].as_int().unwrap_or(0) % 97 == 0
+        })
+        .unwrap();
+
+    let system = BeasSystem::new(db.clone(), schema.clone(), indexes);
+    let (btype, region, pid, date) = beas::tlc::default_params();
+    let q1 = beas::tlc::example2_query(btype, region, pid, date);
+    let outcome = system.execute_sql(&q1).unwrap();
+    let baseline = Engine::default().run(&db, &q1).unwrap();
+    assert_eq!(sorted(outcome.rows), sorted(distinct(baseline.rows)));
+}
+
+#[test]
+fn conformance_violations_are_detected_on_tlc_data() {
+    let db = beas::tlc::generate(&beas::tlc::TlcConfig::at_scale(1)).unwrap();
+    // An absurdly tight bound must be reported as a violation.
+    let mut schema = beas::tlc::tlc_access_schema();
+    schema.add(beas::access::AccessConstraint::new("call", &["region"], &["pnum"], 1).unwrap());
+    let report = beas::access::check_conformance(&db, &schema).unwrap();
+    assert!(!report.conforms());
+    assert!(beas::access::require_conformance(&db, &schema).is_err());
+}
