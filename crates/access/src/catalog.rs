@@ -248,9 +248,8 @@ mod tests {
     fn discover_and_register_end_to_end() {
         let mut catalog = AsCatalog::new();
         let db = db();
-        let workload = vec![
-            "SELECT pnum FROM business WHERE type = 'bank' AND region = 'east'".to_string(),
-        ];
+        let workload =
+            vec!["SELECT pnum FROM business WHERE type = 'bank' AND region = 'east'".to_string()];
         let (report, entry) = catalog
             .discover_and_register("tlc", &db, &workload, &DiscoveryConfig::default())
             .unwrap();

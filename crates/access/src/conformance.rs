@@ -59,11 +59,13 @@ impl fmt::Display for ConformanceReport {
 }
 
 /// Check conformance of one constraint against the current data.
-pub fn check_constraint(db: &Database, constraint: &AccessConstraint) -> Result<ConstraintConformance> {
+pub fn check_constraint(
+    db: &Database,
+    constraint: &AccessConstraint,
+) -> Result<ConstraintConformance> {
     let table = db.table(&constraint.table)?;
     constraint.validate_against(table.schema())?;
-    let observed_max =
-        TableStatistics::max_group_cardinality(table, &constraint.x, &constraint.y)?;
+    let observed_max = TableStatistics::max_group_cardinality(table, &constraint.x, &constraint.y)?;
     Ok(ConstraintConformance {
         constraint: constraint.clone(),
         observed_max,
@@ -167,6 +169,73 @@ mod tests {
         assert!(report.conforms());
         assert_eq!(report.entries.len(), 2);
         assert!(report.to_string().contains("OK"));
+    }
+
+    #[test]
+    fn violation_report_names_the_offending_constraint() {
+        // Two constraints over the same table, only one of them violated: the
+        // report and the `require_conformance` error must single it out.
+        let db = db();
+        let violated = AccessConstraint::new("call", &["pnum", "date"], &["recnum"], 2).unwrap();
+        let satisfied = AccessConstraint::new("call", &["pnum"], &["date"], 10).unwrap();
+        let schema = AccessSchema::from_constraints(vec![satisfied.clone(), violated.clone()]);
+
+        let report = check_conformance(&db, &schema).unwrap();
+        assert!(!report.conforms());
+        let violations = report.violations();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].constraint.id(), violated.id());
+        assert_eq!(violations[0].observed_max, 3);
+
+        let err = require_conformance(&db, &schema).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&violated.to_string()),
+            "error must name the violated constraint, got: {msg}"
+        );
+        assert!(msg.contains("observed 3"), "got: {msg}");
+        assert!(
+            !msg.contains(&satisfied.to_string()),
+            "error must not implicate the satisfied constraint, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn insert_past_bound_is_flagged_with_the_constraint() {
+        // Maintenance counterpart: an insert pushing a group past `N` under
+        // the Flag policy records (constraint id, observed cardinality), and
+        // re-validation then reports the same constraint as violated.
+        use crate::indexes::build_indexes;
+        use crate::maintenance::{Maintainer, MaintenancePolicy};
+
+        let mut db = db();
+        let constraint = AccessConstraint::new("call", &["pnum", "date"], &["recnum"], 3).unwrap();
+        let mut schema = AccessSchema::from_constraints(vec![constraint.clone()]);
+        let mut indexes = build_indexes(&db, &schema).unwrap();
+        assert!(require_conformance(&db, &schema).is_ok());
+
+        // p1 already has 3 distinct recnums on 2016-07-04; a 4th breaks N=3.
+        let m = Maintainer::new(MaintenancePolicy::Flag);
+        let out = m
+            .insert_rows(
+                &mut db,
+                &mut schema,
+                &mut indexes,
+                "call",
+                vec![vec![
+                    Value::str("p1"),
+                    Value::str("d"),
+                    Value::str("2016-07-04"),
+                ]],
+            )
+            .unwrap();
+        assert_eq!(out.rows_affected, 1);
+        assert_eq!(out.flagged, vec![(constraint.id(), 4)]);
+
+        let report = check_conformance(&db, &schema).unwrap();
+        assert!(!report.conforms());
+        assert_eq!(report.violations()[0].constraint.id(), constraint.id());
+        assert!(require_conformance(&db, &schema).is_err());
     }
 
     #[test]

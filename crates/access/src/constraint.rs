@@ -51,12 +51,7 @@ impl AccessConstraint {
     /// A stable identifier for the constraint, used as the index key in the
     /// AS catalog, e.g. `call(pnum,date->recnum,region)`.
     pub fn id(&self) -> String {
-        format!(
-            "{}({}->{})",
-            self.table,
-            self.x.join(","),
-            self.y.join(",")
-        )
+        format!("{}({}->{})", self.table, self.x.join(","), self.y.join(","))
     }
 
     /// Check that every referenced attribute exists in `schema` and that the
@@ -96,7 +91,9 @@ impl AccessConstraint {
             .find('(')
             .ok_or_else(|| BeasError::parse(format!("invalid access constraint: {s:?}")))?;
         if !s.ends_with(')') {
-            return Err(BeasError::parse(format!("invalid access constraint: {s:?}")));
+            return Err(BeasError::parse(format!(
+                "invalid access constraint: {s:?}"
+            )));
         }
         let table = &s[..open];
         let body = &s[open + 1..s.len() - 1];
@@ -119,10 +116,10 @@ impl AccessConstraint {
             )));
         }
         let (y, n_str) = rest.split_at(rest.len() - 1);
-        let n: u64 = n_str[0]
-            .parse()
-            .map_err(|_| BeasError::parse(format!("invalid bound {:?} in constraint {s:?}", n_str[0])))?;
-        AccessConstraint::new(table, &x, &y.to_vec(), n)
+        let n: u64 = n_str[0].parse().map_err(|_| {
+            BeasError::parse(format!("invalid bound {:?} in constraint {s:?}", n_str[0]))
+        })?;
+        AccessConstraint::new(table, &x, y, n)
     }
 }
 
@@ -145,13 +142,7 @@ mod tests {
     use beas_common::{ColumnDef, DataType};
 
     fn psi1() -> AccessConstraint {
-        AccessConstraint::new(
-            "call",
-            &["pnum", "date"],
-            &["recnum", "region"],
-            500,
-        )
-        .unwrap()
+        AccessConstraint::new("call", &["pnum", "date"], &["recnum", "region"], 500).unwrap()
     }
 
     #[test]

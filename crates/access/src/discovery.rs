@@ -17,8 +17,8 @@
 //!    (queries helped) / (index bytes).
 
 use crate::constraint::AccessConstraint;
-use crate::schema::AccessSchema;
 use crate::indexes::build_index;
+use crate::schema::AccessSchema;
 use beas_common::{BeasError, Result};
 use beas_sql::{parse_select, QueryShape, SchemaProvider, SelectStatement};
 use beas_storage::{Database, TableStatistics};
@@ -206,7 +206,7 @@ fn candidates_for_statement(
                 let matches: Vec<&String> = alias_to_table
                     .iter()
                     .filter(|(_, tbl)| {
-                        db.table_schema(*tbl)
+                        db.table_schema(tbl)
                             .map(|s| s.column_index(col).is_some())
                             .unwrap_or(false)
                     })
@@ -231,7 +231,10 @@ fn candidates_for_statement(
         .iter()
         .map(|(c, v)| (c.clone(), v.clone()))
         .chain(shape.in_list_bindings.iter().map(|(c, v)| {
-            (c.clone(), v.first().cloned().unwrap_or(beas_common::Value::Null))
+            (
+                c.clone(),
+                v.first().cloned().unwrap_or(beas_common::Value::Null),
+            )
         }))
     {
         if let Some(alias) = resolve_alias(&qual, &col) {
@@ -242,7 +245,10 @@ fn candidates_for_statement(
     for (l, r) in &shape.equalities {
         for (qual, col) in [l, r] {
             if let Some(alias) = resolve_alias(qual, col) {
-                join_cols.entry(alias.clone()).or_default().insert(col.clone());
+                join_cols
+                    .entry(alias.clone())
+                    .or_default()
+                    .insert(col.clone());
                 note_used(&alias, col, &mut used);
             }
         }
@@ -263,7 +269,11 @@ fn candidates_for_statement(
         }
     }
     // GROUP BY / ORDER BY columns.
-    for e in stmt.group_by.iter().chain(stmt.order_by.iter().map(|o| &o.expr)) {
+    for e in stmt
+        .group_by
+        .iter()
+        .chain(stmt.order_by.iter().map(|o| &o.expr))
+    {
         for (qual, col) in e.column_refs() {
             if let Some(alias) = resolve_alias(&qual, &col) {
                 note_used(&alias, &col, &mut used);
@@ -273,18 +283,31 @@ fn candidates_for_statement(
 
     let mut out = Vec::new();
     for (alias, table) in &alias_to_table {
-        let used_cols: Vec<String> = used.get(alias).map(|s| s.iter().cloned().collect()).unwrap_or_default();
+        let used_cols: Vec<String> = used
+            .get(alias)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default();
         if used_cols.is_empty() {
             continue;
         }
-        let bound_cols: Vec<String> = bound.get(alias).map(|s| s.iter().cloned().collect()).unwrap_or_default();
-        let jcols: Vec<String> = join_cols.get(alias).map(|s| s.iter().cloned().collect()).unwrap_or_default();
+        let bound_cols: Vec<String> = bound
+            .get(alias)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default();
+        let jcols: Vec<String> = join_cols
+            .get(alias)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default();
 
         let push_candidate = |x: Vec<String>, out: &mut Vec<_>| {
             if x.is_empty() {
                 return;
             }
-            let y: Vec<String> = used_cols.iter().filter(|c| !x.contains(c)).cloned().collect();
+            let y: Vec<String> = used_cols
+                .iter()
+                .filter(|c| !x.contains(c))
+                .cloned()
+                .collect();
             if y.is_empty() {
                 return;
             }

@@ -141,7 +141,9 @@ mod tests {
         let idx = build_indexes(&db, &schema).unwrap();
         assert_eq!(idx.len(), 1);
         assert!(!idx.is_empty());
-        let rows = idx.fetch(&psi3(), &[Value::str("bank"), Value::str("east")]).unwrap();
+        let rows = idx
+            .fetch(&psi3(), &[Value::str("bank"), Value::str("east")])
+            .unwrap();
         assert_eq!(rows.len(), 5); // p0, p2, p4, p6, p8
         assert!(idx.estimated_bytes() > 0);
         assert!(idx.get(&psi3().id()).is_some());
@@ -152,18 +154,30 @@ mod tests {
     #[test]
     fn build_fails_for_bad_constraint() {
         let db = db();
-        let bad_col =
-            AccessSchema::from_constraints(vec![AccessConstraint::new("business", &["nope"], &["pnum"], 5).unwrap()]);
+        let bad_col = AccessSchema::from_constraints(vec![AccessConstraint::new(
+            "business",
+            &["nope"],
+            &["pnum"],
+            5,
+        )
+        .unwrap()]);
         assert!(build_indexes(&db, &bad_col).is_err());
-        let bad_table =
-            AccessSchema::from_constraints(vec![AccessConstraint::new("nosuch", &["a"], &["b"], 5).unwrap()]);
+        let bad_table = AccessSchema::from_constraints(vec![AccessConstraint::new(
+            "nosuch",
+            &["a"],
+            &["b"],
+            5,
+        )
+        .unwrap()]);
         assert!(build_indexes(&db, &bad_table).is_err());
     }
 
     #[test]
     fn fetch_without_index_errors() {
         let idx = AccessIndexes::new();
-        assert!(idx.fetch(&psi3(), &[Value::str("bank"), Value::str("east")]).is_err());
+        assert!(idx
+            .fetch(&psi3(), &[Value::str("bank"), Value::str("east")])
+            .is_err());
     }
 
     #[test]

@@ -30,7 +30,9 @@ pub use conformance::{
     ConstraintConformance,
 };
 pub use constraint::AccessConstraint;
-pub use discovery::{discover, discover_from_statements, Candidate, DiscoveryConfig, DiscoveryReport};
+pub use discovery::{
+    discover, discover_from_statements, Candidate, DiscoveryConfig, DiscoveryReport,
+};
 pub use indexes::{build_index, build_indexes, AccessIndexes};
-pub use maintenance::{MaintenanceOutcome, MaintenancePolicy, Maintainer};
+pub use maintenance::{Maintainer, MaintenanceOutcome, MaintenancePolicy};
 pub use schema::AccessSchema;

@@ -87,7 +87,13 @@ impl Maintainer {
                         let coerced: Row = row
                             .iter()
                             .zip(&tbl.schema().columns)
-                            .map(|(v, col)| if v.is_null() { Ok(v.clone()) } else { v.cast(col.data_type) })
+                            .map(|(v, col)| {
+                                if v.is_null() {
+                                    Ok(v.clone())
+                                } else {
+                                    v.cast(col.data_type)
+                                }
+                            })
                             .collect::<Result<_>>()?;
                         probe.add_row(&coerced);
                     }
@@ -235,8 +241,11 @@ mod tests {
         )
         .unwrap();
         for (p, r) in [("p1", "a"), ("p1", "b"), ("p2", "a")] {
-            db.insert("call", vec![Value::str(p), Value::str(r), Value::str("2016-07-04")])
-                .unwrap();
+            db.insert(
+                "call",
+                vec![Value::str(p), Value::str(r), Value::str("2016-07-04")],
+            )
+            .unwrap();
         }
         let schema = AccessSchema::from_constraints(vec![AccessConstraint::new(
             "call",
@@ -258,7 +267,13 @@ mod tests {
         let (mut db, mut schema, mut indexes) = setup();
         let m = Maintainer::default();
         let out = m
-            .insert_rows(&mut db, &mut schema, &mut indexes, "call", vec![row("p2", "b")])
+            .insert_rows(
+                &mut db,
+                &mut schema,
+                &mut indexes,
+                "call",
+                vec![row("p2", "b")],
+            )
             .unwrap();
         assert_eq!(out.rows_affected, 1);
         // incrementally maintained index == rebuilt-from-scratch index

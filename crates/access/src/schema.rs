@@ -111,9 +111,8 @@ impl AccessSchema {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let c = AccessConstraint::parse(line).map_err(|e| {
-                BeasError::parse(format!("line {}: {e}", lineno + 1))
-            })?;
+            let c = AccessConstraint::parse(line)
+                .map_err(|e| BeasError::parse(format!("line {}: {e}", lineno + 1)))?;
             schema.add(c);
         }
         Ok(schema)
@@ -134,8 +133,13 @@ mod tests {
         // The access schema A0 of Example 1 in the paper.
         AccessSchema::from_constraints(vec![
             AccessConstraint::new("call", &["pnum", "date"], &["recnum", "region"], 500).unwrap(),
-            AccessConstraint::new("package", &["pnum", "year"], &["pid", "start_month", "end_month"], 12)
-                .unwrap(),
+            AccessConstraint::new(
+                "package",
+                &["pnum", "year"],
+                &["pid", "start_month", "end_month"],
+                12,
+            )
+            .unwrap(),
             AccessConstraint::new("business", &["type", "region"], &["pnum"], 2000).unwrap(),
         ])
     }
@@ -168,12 +172,18 @@ mod tests {
     fn applicable_requires_key_availability() {
         let s = example_schema();
         // with type and region known, ψ3 on business is applicable
-        let a = s.applicable("business", &["type".into(), "region".into(), "extra".into()]);
+        let a = s.applicable(
+            "business",
+            &["type".into(), "region".into(), "extra".into()],
+        );
         assert_eq!(a.len(), 1);
         assert_eq!(a[0].table, "business");
         // with only pnum known, ψ1 on call is not applicable (needs date too)
         assert!(s.applicable("call", &["pnum".into()]).is_empty());
-        assert_eq!(s.applicable("call", &["pnum".into(), "date".into()]).len(), 1);
+        assert_eq!(
+            s.applicable("call", &["pnum".into(), "date".into()]).len(),
+            1
+        );
     }
 
     #[test]

@@ -18,7 +18,15 @@ fn fig4(c: &mut Criterion) {
         });
         let engine = Engine::new(OptimizerProfile::PgLike);
         group.bench_with_input(BenchmarkId::new("pg_like", scale), &scale, |b, _| {
-            b.iter(|| black_box(engine.run(&env.baseline_db, black_box(&q1)).unwrap().rows.len()))
+            b.iter(|| {
+                black_box(
+                    engine
+                        .run(&env.baseline_db, black_box(&q1))
+                        .unwrap()
+                        .rows
+                        .len(),
+                )
+            })
         });
     }
     group.finish();

@@ -2,8 +2,8 @@
 //! bounded plan generation, single fetches through a constraint index,
 //! access-schema discovery and conformance checking.
 
-use beas_bench::BenchEnv;
 use beas_access::{check_conformance, discover, DiscoveryConfig};
+use beas_bench::BenchEnv;
 use beas_common::Value;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -21,7 +21,13 @@ fn micro(c: &mut Criterion) {
         b.iter(|| black_box(env.system.explain(black_box(&q1)).unwrap().len()))
     });
     group.bench_function("budget_check_q1", |b| {
-        b.iter(|| black_box(env.system.can_answer_within(black_box(&q1), 50_000_000).unwrap()))
+        b.iter(|| {
+            black_box(
+                env.system
+                    .can_answer_within(black_box(&q1), 50_000_000)
+                    .unwrap(),
+            )
+        })
     });
 
     // A single fetch through ψ3's index (business by type + region).
@@ -60,10 +66,14 @@ fn micro(c: &mut Criterion) {
     group.bench_function("discovery_from_workload", |b| {
         b.iter(|| {
             black_box(
-                discover(env.system.database(), &workload, &DiscoveryConfig::default())
-                    .unwrap()
-                    .0
-                    .len(),
+                discover(
+                    env.system.database(),
+                    &workload,
+                    &DiscoveryConfig::default(),
+                )
+                .unwrap()
+                .0
+                .len(),
             )
         })
     });

@@ -16,7 +16,15 @@ fn tlc_queries(c: &mut Criterion) {
             b.iter(|| black_box(env.system.execute_sql(black_box(sql)).unwrap().rows.len()))
         });
         group.bench_with_input(BenchmarkId::new("pg_like", q.id), &q.sql, |b, sql| {
-            b.iter(|| black_box(engine.run(&env.baseline_db, black_box(sql)).unwrap().rows.len()))
+            b.iter(|| {
+                black_box(
+                    engine
+                        .run(&env.baseline_db, black_box(sql))
+                        .unwrap()
+                        .rows
+                        .len(),
+                )
+            })
         });
     }
     group.finish();

@@ -19,15 +19,14 @@ fn main() {
     println!("database: {} rows total\n", env.total_rows);
 
     let q1 = env.q1();
-    let analysis = env
-        .system
-        .analyze(&q1)
-        .expect("analysis of Q1 succeeds");
+    let analysis = env.system.analyze(&q1).expect("analysis of Q1 succeeds");
     println!("{analysis}");
 
     println!("paper reference point (20 GB TLC, authors' testbed):");
     println!("  BEAS 96.13 ms; 1953x vs PostgreSQL, 6562x vs MySQL, 5135x vs MariaDB;");
     println!("  bounded plan accesses ≤ 12,026,000 tuples via 3 access constraints.");
     println!("expected shape here: BEAS wins by orders of magnitude on every profile,");
-    println!("its deduced bound is 2000 + 24,000 + 12,000,000 tuples, and it employs 3 constraints.");
+    println!(
+        "its deduced bound is 2000 + 24,000 + 12,000,000 tuples, and it employs 3 constraints."
+    );
 }

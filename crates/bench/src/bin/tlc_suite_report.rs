@@ -18,7 +18,14 @@ fn main() {
     let env = BenchEnv::prepare(scale);
     println!(
         "{:<4} {:<9} {:>10} {:>14} | {:>10} {:>14} | {:>9} {:>10}",
-        "id", "mode", "BEAS time", "BEAS tuples", "DBMS time", "DBMS tuples", "speedup", "access cut"
+        "id",
+        "mode",
+        "BEAS time",
+        "BEAS tuples",
+        "DBMS time",
+        "DBMS tuples",
+        "speedup",
+        "access cut"
     );
     let mut faster = 0usize;
     let mut covered = 0usize;
@@ -52,5 +59,7 @@ fn main() {
         covered as f64 * 100.0 / queries.len() as f64
     );
     println!("paper reference: all 11 TLC queries are boundedly evaluable under a small access");
-    println!("schema, and BEAS beats the commercial systems by orders of magnitude on >90% of them.");
+    println!(
+        "schema, and BEAS beats the commercial systems by orders of magnitude on >90% of them."
+    );
 }

@@ -39,8 +39,8 @@ impl BenchEnv {
         let db = generate(&TlcConfig::at_scale(scale_factor)).expect("TLC generation succeeds");
         let total_rows = db.total_rows();
         let baseline_db = db.clone();
-        let system =
-            BeasSystem::with_schema(db, tlc_access_schema()).expect("TLC data conforms to the schema");
+        let system = BeasSystem::with_schema(db, tlc_access_schema())
+            .expect("TLC data conforms to the schema");
         BenchEnv {
             scale_factor,
             total_rows,
@@ -58,7 +58,10 @@ impl BenchEnv {
     /// Run a query through BEAS, returning (elapsed, tuples accessed, rows).
     pub fn run_beas(&self, sql: &str) -> (Duration, u64, usize) {
         let start = Instant::now();
-        let outcome = self.system.execute_sql(sql).expect("BEAS execution succeeds");
+        let outcome = self
+            .system
+            .execute_sql(sql)
+            .expect("BEAS execution succeeds");
         (start.elapsed(), outcome.tuples_accessed, outcome.rows.len())
     }
 
@@ -66,7 +69,9 @@ impl BenchEnv {
     pub fn run_baseline(&self, profile: OptimizerProfile, sql: &str) -> (Duration, QueryResult) {
         let engine = Engine::new(profile);
         let start = Instant::now();
-        let result = engine.run(&self.baseline_db, sql).expect("baseline execution succeeds");
+        let result = engine
+            .run(&self.baseline_db, sql)
+            .expect("baseline execution succeeds");
         (start.elapsed(), result)
     }
 }

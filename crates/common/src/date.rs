@@ -63,8 +63,8 @@ impl Date {
         self.day
     }
 
-    /// Number of days since 0000-03-01 (an internal epoch that makes leap-year
-    /// handling simple).  Only used for ordering and day arithmetic.
+    /// Number of days since 1970-01-01 (negative before the epoch).  Only
+    /// used for ordering and day arithmetic.
     pub fn to_ordinal(&self) -> i64 {
         // Algorithm adapted from Howard Hinnant's `days_from_civil`.
         let y = if self.month <= 2 {
@@ -120,21 +120,26 @@ impl fmt::Display for Date {
 impl FromStr for Date {
     type Err = BeasError;
 
+    /// Strict `YYYY-MM-DD` only: exactly 4-2-2 ASCII digits separated by `-`,
+    /// no signs, padding, surrounding whitespace or trailing garbage.
     fn from_str(s: &str) -> Result<Self> {
-        let parts: Vec<&str> = s.split('-').collect();
-        if parts.len() != 3 {
-            return Err(BeasError::parse(format!("invalid date literal: {s:?}")));
+        let bytes = s.as_bytes();
+        let well_formed = bytes.len() == 10
+            && bytes[4] == b'-'
+            && bytes[7] == b'-'
+            && bytes
+                .iter()
+                .enumerate()
+                .all(|(i, b)| i == 4 || i == 7 || b.is_ascii_digit());
+        if !well_formed {
+            return Err(BeasError::parse(format!(
+                "invalid date literal (expected YYYY-MM-DD): {s:?}"
+            )));
         }
-        let year: i32 = parts[0]
-            .parse()
-            .map_err(|_| BeasError::parse(format!("invalid year in date literal: {s:?}")))?;
-        let month: u8 = parts[1]
-            .parse()
-            .map_err(|_| BeasError::parse(format!("invalid month in date literal: {s:?}")))?;
-        let day: u8 = parts[2]
-            .parse()
-            .map_err(|_| BeasError::parse(format!("invalid day in date literal: {s:?}")))?;
-        Date::new(year, month, day)
+        let digits = |range: std::ops::Range<usize>| -> i32 {
+            s[range].bytes().fold(0, |n, b| n * 10 + (b - b'0') as i32)
+        };
+        Date::new(digits(0..4), digits(5..7) as u8, digits(8..10) as u8)
     }
 }
 
@@ -170,6 +175,55 @@ mod tests {
         assert!("2016/01/31".parse::<Date>().is_err());
         assert!("2016-1".parse::<Date>().is_err());
         assert!("abcd-ef-gh".parse::<Date>().is_err());
+    }
+
+    #[test]
+    fn parse_is_strict_yyyy_mm_dd() {
+        // Unpadded fields used to be accepted; they must not be.
+        assert!("2024-2-3".parse::<Date>().is_err());
+        assert!("2024-02-3".parse::<Date>().is_err());
+        assert!("24-02-03".parse::<Date>().is_err());
+        // Signs, whitespace and trailing garbage are rejected.
+        assert!("+2024-02-03".parse::<Date>().is_err());
+        assert!("2024-+2-03".parse::<Date>().is_err());
+        assert!(" 2024-02-03".parse::<Date>().is_err());
+        assert!("2024-02-03 ".parse::<Date>().is_err());
+        assert!("2024-02-03x".parse::<Date>().is_err());
+        assert!("2024-02-033".parse::<Date>().is_err());
+        assert!("".parse::<Date>().is_err());
+        // The canonical form still parses, including on boundaries.
+        assert_eq!(
+            "2024-02-29".parse::<Date>().unwrap(),
+            Date::new(2024, 2, 29).unwrap()
+        );
+        assert_eq!(
+            "0001-01-01".parse::<Date>().unwrap(),
+            Date::new(1, 1, 1).unwrap()
+        );
+    }
+
+    #[test]
+    fn leap_year_day_arithmetic() {
+        // Crossing Feb 29 in a leap year…
+        let d = Date::new(2024, 2, 28).unwrap();
+        assert_eq!(d.add_days(1), Date::new(2024, 2, 29).unwrap());
+        assert_eq!(d.add_days(2), Date::new(2024, 3, 1).unwrap());
+        // …and from Feb 29 itself, forwards and backwards.
+        let leap = Date::new(2024, 2, 29).unwrap();
+        assert_eq!(leap.add_days(1), Date::new(2024, 3, 1).unwrap());
+        assert_eq!(leap.add_days(-1), Date::new(2024, 2, 28).unwrap());
+        assert_eq!(leap.add_days(365), Date::new(2025, 2, 28).unwrap());
+        assert_eq!(leap.add_days(366), Date::new(2025, 3, 1).unwrap());
+        // Century boundaries: 2000 was a leap year, 1900 and 2100 are not.
+        let feb28_2000 = Date::new(2000, 2, 28).unwrap();
+        assert_eq!(feb28_2000.add_days(1), Date::new(2000, 2, 29).unwrap());
+        let feb28_1900 = Date::new(1900, 2, 28).unwrap();
+        assert_eq!(feb28_1900.add_days(1), Date::new(1900, 3, 1).unwrap());
+        let feb28_2100 = Date::new(2100, 2, 28).unwrap();
+        assert_eq!(feb28_2100.add_days(1), Date::new(2100, 3, 1).unwrap());
+        // Whole leap cycles: 2024-02-29 ↔ 2028-02-29 is 1461 days.
+        assert_eq!(leap.add_days(1461), Date::new(2028, 2, 29).unwrap());
+        assert_eq!(Date::new(2028, 2, 29).unwrap().days_since(&leap), 1461);
     }
 
     #[test]

@@ -304,7 +304,8 @@ mod tests {
         assert_eq!(s.column_index("missing"), None);
         assert_eq!(s.column("date").unwrap().data_type, DataType::Date);
         assert_eq!(
-            s.resolve_columns(&["pnum".into(), "region".into()]).unwrap(),
+            s.resolve_columns(&["pnum".into(), "region".into()])
+                .unwrap(),
             vec![0, 3]
         );
         assert!(s.resolve_columns(&["nope".into()]).is_err());

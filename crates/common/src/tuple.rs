@@ -110,9 +110,15 @@ pub fn render_rows(headers: &[String], rows: &[Row]) -> String {
             .collect::<Vec<_>>()
             .join(" | ")
     };
-    out.push_str(&fmt_line(&headers.to_vec(), &widths));
+    out.push_str(&fmt_line(headers, &widths));
     out.push('\n');
-    out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+    out.push_str(
+        &widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("-+-"),
+    );
     out.push('\n');
     for r in &rendered {
         out.push_str(&fmt_line(r, &widths));
@@ -144,7 +150,10 @@ mod tests {
             Value::str("east"),
         ]);
         let p = t.project(&[1, 3]).unwrap();
-        assert_eq!(p, Tuple::new(vec![Value::str("13900000001"), Value::str("east")]));
+        assert_eq!(
+            p,
+            Tuple::new(vec![Value::str("13900000001"), Value::str("east")])
+        );
         assert!(t.project(&[9]).is_err());
         // order of indices is respected
         let p2 = t.project(&[3, 1]).unwrap();
@@ -154,7 +163,10 @@ mod tests {
     #[test]
     fn project_row_helper() {
         let row = vec![Value::Int(1), Value::Int(2), Value::Int(3)];
-        assert_eq!(project_row(&row, &[2, 0]), vec![Value::Int(3), Value::Int(1)]);
+        assert_eq!(
+            project_row(&row, &[2, 0]),
+            vec![Value::Int(3), Value::Int(1)]
+        );
     }
 
     #[test]

@@ -163,8 +163,8 @@ impl Value {
             (Null, _) | (_, Null) => None,
             (Int(a), Int(b)) => Some(a.cmp(b)),
             (Float(a), Float(b)) => a.partial_cmp(b),
-            (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
-            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Int(a), Float(b)) if !b.is_nan() => Some(cmp_i64_f64(*a, *b)),
+            (Float(a), Int(b)) if !a.is_nan() => Some(cmp_i64_f64(*b, *a).reverse()),
             (Str(a), Str(b)) => Some(a.cmp(b)),
             (Bool(a), Bool(b)) => Some(a.cmp(b)),
             (Date(a), Date(b)) => Some(a.cmp(b)),
@@ -180,7 +180,15 @@ impl Value {
     }
 
     /// Total ordering used for sorting / grouping where NULLs must be placed
-    /// deterministically (NULLs sort last, mixed types sort by type tag).
+    /// deterministically: booleans < numerics (Int/Float compared exactly as
+    /// one family, NaN after every number) < strings < dates < NULL, and
+    /// values of different type families compare by type tag alone.
+    ///
+    /// Unlike [`Value::sql_cmp`] this never coerces a `Str` to a `Date` —
+    /// coercing some string/date pairs but falling back to type tags for
+    /// unparsable strings creates ordering cycles.  Every pair of values gets
+    /// a verdict consistent with antisymmetry and transitivity, so sorting
+    /// helpers built on this comparator can never panic or mis-sort.
     pub fn total_cmp(&self, other: &Value) -> Ordering {
         fn rank(v: &Value) -> u8 {
             match v {
@@ -192,14 +200,19 @@ impl Value {
                 Value::Null => 4,
             }
         }
+        use Value::*;
         match (self, other) {
-            (Value::Null, Value::Null) => Ordering::Equal,
-            (Value::Null, _) => Ordering::Greater,
-            (_, Value::Null) => Ordering::Less,
-            _ => match self.sql_cmp(other) {
-                Some(o) => o,
-                None => rank(self).cmp(&rank(other)),
-            },
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Greater,
+            (_, Null) => Ordering::Less,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Int(a), Float(b)) => cmp_i64_f64_total(*a, *b),
+            (Float(a), Int(b)) => cmp_i64_f64_total(*b, *a).reverse(),
+            (Float(a), Float(b)) => cmp_f64_total(*a, *b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            _ => rank(self).cmp(&rank(other)),
         }
     }
 
@@ -241,6 +254,57 @@ impl Value {
             Value::Bool(b) => b.to_string(),
             Value::Date(d) => d.to_string(),
         }
+    }
+}
+
+/// Exact comparison of an `i64` against a non-NaN `f64`, with no rounding of
+/// the integer through an `as f64` cast (which collapses distinct values near
+/// `2^63` and breaks transitivity).
+fn cmp_i64_f64(a: i64, b: f64) -> Ordering {
+    debug_assert!(!b.is_nan());
+    // Outside i64's range (including infinities) the verdict is immediate.
+    // 2^63 and -2^63 are exactly representable.
+    const TWO_63: f64 = 9_223_372_036_854_775_808.0;
+    if b >= TWO_63 {
+        return Ordering::Less;
+    }
+    if b < -TWO_63 {
+        return Ordering::Greater;
+    }
+    // |b| < 2^63, so truncation fits in i64 exactly.
+    let t = b.trunc() as i64;
+    match a.cmp(&t) {
+        Ordering::Equal => {
+            let frac = b - b.trunc();
+            if frac > 0.0 {
+                Ordering::Less
+            } else if frac < 0.0 {
+                Ordering::Greater
+            } else {
+                Ordering::Equal
+            }
+        }
+        o => o,
+    }
+}
+
+/// [`cmp_i64_f64`] extended to a total order: NaN sorts after every number.
+fn cmp_i64_f64_total(a: i64, b: f64) -> Ordering {
+    if b.is_nan() {
+        Ordering::Less
+    } else {
+        cmp_i64_f64(a, b)
+    }
+}
+
+/// Total order on floats: NaN sorts after every number, NaN == NaN, and
+/// (unlike `f64::total_cmp`) -0.0 == 0.0 so the order refines `PartialEq`.
+fn cmp_f64_total(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.partial_cmp(&b).unwrap(),
     }
 }
 
@@ -368,8 +432,14 @@ mod tests {
 
     #[test]
     fn numeric_coercion_in_comparison() {
-        assert_eq!(Value::Int(3).sql_cmp(&Value::Float(3.0)), Some(Ordering::Equal));
-        assert_eq!(Value::Float(2.5).sql_cmp(&Value::Int(3)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Int(3).sql_cmp(&Value::Float(3.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float(2.5).sql_cmp(&Value::Int(3)),
+            Some(Ordering::Less)
+        );
         assert_eq!(Value::Int(4).sql_eq(&Value::Int(4)), Some(true));
         assert_eq!(Value::Int(4).sql_eq(&Value::Int(5)), Some(false));
     }
@@ -386,7 +456,10 @@ mod tests {
         let d = Value::Date(Date::new(2016, 7, 4).unwrap());
         let s = Value::str("2016-07-04");
         assert_eq!(d.sql_eq(&s), Some(true));
-        assert_eq!(s.sql_cmp(&Value::Date(Date::new(2016, 8, 1).unwrap())), Some(Ordering::Less));
+        assert_eq!(
+            s.sql_cmp(&Value::Date(Date::new(2016, 8, 1).unwrap())),
+            Some(Ordering::Less)
+        );
     }
 
     #[test]
@@ -400,7 +473,7 @@ mod tests {
 
     #[test]
     fn total_cmp_places_nulls_last() {
-        let mut vals = vec![Value::Null, Value::Int(2), Value::Int(1)];
+        let mut vals = [Value::Null, Value::Int(2), Value::Int(1)];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(vals[0], Value::Int(1));
         assert_eq!(vals[1], Value::Int(2));
@@ -408,12 +481,108 @@ mod tests {
     }
 
     #[test]
+    fn total_cmp_is_a_total_order() {
+        // A pool covering every variant, NaN, signed zero, values near the
+        // i64/f64 precision boundary, and strings that look like dates.
+        let pool = vec![
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(i64::MIN),
+            Value::Int(-1),
+            Value::Int(0),
+            Value::Int(3),
+            Value::Int(i64::MAX - 1),
+            Value::Int(i64::MAX),
+            Value::Float(f64::NEG_INFINITY),
+            Value::Float(-0.0),
+            Value::Float(0.0),
+            Value::Float(2.5),
+            Value::Float(3.0),
+            Value::Float(9.223372036854776e18), // 2^63, rounds from i64::MAX
+            Value::Float(f64::INFINITY),
+            Value::Float(f64::NAN),
+            Value::str(""),
+            Value::str("1000-01-01"),
+            Value::str("2999-01-01"),
+            Value::str("abc"),
+            Value::Date(Date::new(1000, 1, 1).unwrap()),
+            Value::Date(Date::new(2999, 1, 1).unwrap()),
+        ];
+        for a in &pool {
+            assert_eq!(a.total_cmp(a), Ordering::Equal, "{a} != itself");
+            for b in &pool {
+                // antisymmetry
+                assert_eq!(a.total_cmp(b), b.total_cmp(a).reverse(), "{a} vs {b}");
+                for c in &pool {
+                    // transitivity: a <= b <= c implies a <= c
+                    if a.total_cmp(b) != Ordering::Greater && b.total_cmp(c) != Ordering::Greater {
+                        assert_ne!(
+                            a.total_cmp(c),
+                            Ordering::Greater,
+                            "cycle: {a} <= {b} <= {c} but {a} > {c}"
+                        );
+                    }
+                }
+            }
+        }
+        // Sorting never panics and places the families in rank order.
+        let mut sorted = pool.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        assert!(sorted.last().unwrap().is_null());
+    }
+
+    #[test]
+    fn mixed_numeric_comparison_is_exact_near_i64_max() {
+        // i64::MAX as f64 rounds up to 2^63; the comparison must not.
+        let two_63 = Value::Float(9.223372036854776e18);
+        assert_eq!(Value::Int(i64::MAX).total_cmp(&two_63), Ordering::Less);
+        assert_eq!(Value::Int(i64::MAX).sql_cmp(&two_63), Some(Ordering::Less));
+        assert_eq!(
+            Value::Float(f64::INFINITY).total_cmp(&Value::Int(i64::MAX)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            Value::Int(i64::MIN).total_cmp(&Value::Float(-9.3e18)),
+            Ordering::Greater
+        );
+        assert_eq!(Value::Int(3).total_cmp(&Value::Float(3.0)), Ordering::Equal);
+        assert_eq!(Value::Int(3).total_cmp(&Value::Float(3.5)), Ordering::Less);
+        assert_eq!(
+            Value::Int(4).total_cmp(&Value::Float(3.5)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            Value::Int(-3).total_cmp(&Value::Float(-3.5)),
+            Ordering::Greater
+        );
+        // NaN stays inside the numeric rank: after every number, before
+        // Str/Date/NULL.
+        assert_eq!(
+            Value::Float(f64::NAN).total_cmp(&Value::Int(i64::MAX)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            Value::Float(f64::NAN).total_cmp(&Value::str("")),
+            Ordering::Less
+        );
+        // SQL comparison with NaN stays unknown.
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Float(f64::NAN)), None);
+    }
+
+    #[test]
     fn arithmetic() {
         assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
-        assert_eq!(Value::Int(2).mul(&Value::Float(1.5)).unwrap(), Value::Float(3.0));
+        assert_eq!(
+            Value::Int(2).mul(&Value::Float(1.5)).unwrap(),
+            Value::Float(3.0)
+        );
         assert_eq!(Value::Int(7).sub(&Value::Int(9)).unwrap(), Value::Int(-2));
         assert!(Value::Int(1).div(&Value::Int(0)).is_err());
-        assert_eq!(Value::Int(7).div(&Value::Int(2)).unwrap(), Value::Float(3.5));
+        assert_eq!(
+            Value::Int(7).div(&Value::Int(2)).unwrap(),
+            Value::Float(3.5)
+        );
         assert!(Value::Null.add(&Value::Int(1)).unwrap().is_null());
         assert!(Value::Int(i64::MAX).add(&Value::Int(1)).is_err());
     }
@@ -424,8 +593,14 @@ mod tests {
             Value::str("2016-07-04").cast(DataType::Date).unwrap(),
             Value::Date(Date::new(2016, 7, 4).unwrap())
         );
-        assert_eq!(Value::Int(3).cast(DataType::Float).unwrap(), Value::Float(3.0));
-        assert_eq!(Value::str("42").cast(DataType::Int).unwrap(), Value::Int(42));
+        assert_eq!(
+            Value::Int(3).cast(DataType::Float).unwrap(),
+            Value::Float(3.0)
+        );
+        assert_eq!(
+            Value::str("42").cast(DataType::Int).unwrap(),
+            Value::Int(42)
+        );
         assert!(Value::str("xyz").cast(DataType::Int).is_err());
         assert!(Value::Bool(true).cast(DataType::Date).is_err());
         assert!(Value::Null.cast(DataType::Int).unwrap().is_null());
@@ -438,7 +613,7 @@ mod tests {
         assert!(Value::Float(5.5).as_int().is_err());
         assert_eq!(Value::str("hi").as_str().unwrap(), "hi");
         assert!(Value::Int(1).as_str().is_err());
-        assert_eq!(Value::Bool(true).as_bool().unwrap(), true);
+        assert!(Value::Bool(true).as_bool().unwrap());
         assert_eq!(
             Value::str("2017-01-01").as_date().unwrap(),
             Date::new(2017, 1, 1).unwrap()

@@ -184,7 +184,9 @@ mod tests {
             baselines: vec![SystemMeasurement::new("base", metrics(10, 10), 0)],
         };
         assert!(analysis.speedup_over(&analysis.baselines[0]).is_finite());
-        assert!(analysis.access_reduction_over(&analysis.baselines[0]).is_finite());
+        assert!(analysis
+            .access_reduction_over(&analysis.baselines[0])
+            .is_finite());
         assert!(analysis.render().contains("n/a"));
     }
 }

@@ -74,7 +74,12 @@ pub fn execute_with_budget(
             .constraint
             .x
             .iter()
-            .map(|c| atom_schema.column(c).map(|col| col.data_type).unwrap_or(beas_common::DataType::Str))
+            .map(|c| {
+                atom_schema
+                    .column(c)
+                    .map(|col| col.data_type)
+                    .unwrap_or(beas_common::DataType::Str)
+            })
             .collect();
 
         // Resolve ctx key positions.
@@ -104,7 +109,13 @@ pub fn execute_with_budget(
                 };
                 let opts: Vec<Value> = opts
                     .into_iter()
-                    .map(|v| if v.is_null() { v } else { v.cast(*kt).unwrap_or(v) })
+                    .map(|v| {
+                        if v.is_null() {
+                            v
+                        } else {
+                            v.cast(*kt).unwrap_or(v)
+                        }
+                    })
                     .collect();
                 let mut next = Vec::new();
                 for a in &alts {
@@ -152,8 +163,15 @@ pub fn execute_with_budget(
         // Extend the schema and join, exactly as the exact executor does.
         let mut new_fields = schema.fields().to_vec();
         for col in fetch.constraint.x.iter().chain(fetch.constraint.y.iter()) {
-            let dt = atom_schema.column(col).map(|c| c.data_type).unwrap_or(beas_common::DataType::Str);
-            new_fields.push(beas_common::Field::base(fetch.alias.clone(), col.clone(), dt));
+            let dt = atom_schema
+                .column(col)
+                .map(|c| c.data_type)
+                .unwrap_or(beas_common::DataType::Str);
+            new_fields.push(beas_common::Field::base(
+                fetch.alias.clone(),
+                col.clone(),
+                dt,
+            ));
         }
         let new_schema = beas_common::Schema::new(new_fields);
         let x_len = fetch.constraint.x.len();
@@ -163,7 +181,9 @@ pub fn execute_with_budget(
                 if !allowed.contains(key) {
                     continue;
                 }
-                let Some(bucket) = buckets.get(key) else { continue };
+                let Some(bucket) = buckets.get(key) else {
+                    continue;
+                };
                 for partial in bucket {
                     let mut out = row.clone();
                     out.extend(key.iter().take(x_len).cloned());
@@ -337,7 +357,7 @@ mod tests {
         assert!(result.tuples_accessed <= 20);
         assert!(result.coverage < 1.0);
         assert!(result.coverage >= 0.25); // at least budget/need of the keys
-        // soundness: every approximate answer is a genuine answer
+                                          // soundness: every approximate answer is a genuine answer
         let (plan2, query2, graph2, indexes2) = prepare(SQL);
         let exact = crate::executor::execute_bounded(&plan2, &query2, &graph2, &indexes2).unwrap();
         let exact_set: HashSet<Row> = exact.rows.into_iter().collect();

@@ -69,7 +69,11 @@ impl CoverageResult {
 impl fmt::Display for CoverageResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.covered {
-            writeln!(f, "covered: yes ({} fetch steps)", self.fetch_sequence.len())?;
+            writeln!(
+                f,
+                "covered: yes ({} fetch steps)",
+                self.fetch_sequence.len()
+            )?;
         } else {
             writeln!(f, "covered: no")?;
             for r in &self.reasons {
@@ -102,10 +106,8 @@ impl<'a> Checker<'a> {
         // Aggregate safety under distinct (set) semantics.
         if query.is_aggregate {
             for agg in &query.aggregates {
-                let safe = matches!(
-                    agg.func,
-                    AggregateFunction::Min | AggregateFunction::Max
-                ) || (agg.func == AggregateFunction::Count && agg.distinct);
+                let safe = matches!(agg.func, AggregateFunction::Min | AggregateFunction::Max)
+                    || (agg.func == AggregateFunction::Count && agg.distinct);
                 if !safe {
                     reasons.push(format!(
                         "aggregate {} is not exact over distinct partial tuples; \
@@ -333,10 +335,7 @@ mod tests {
         assert!(!result.reasons.is_empty());
         assert!(result.to_string().contains("covered: no"));
         // business.pnum is needed but cannot be fetched
-        assert!(result
-            .missing
-            .iter()
-            .any(|(_, c)| c == "pnum"));
+        assert!(result.missing.iter().any(|(_, c)| c == "pnum"));
     }
 
     #[test]

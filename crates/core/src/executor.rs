@@ -260,7 +260,13 @@ fn run_fetch(
             };
             let options: Vec<Value> = raw
                 .into_iter()
-                .map(|v| if v.is_null() { Ok(v) } else { v.cast(*key_type) })
+                .map(|v| {
+                    if v.is_null() {
+                        Ok(v)
+                    } else {
+                        v.cast(*key_type)
+                    }
+                })
                 .collect::<Result<_>>()?;
             let mut next = Vec::with_capacity(alternatives.len() * options.len());
             for alt in &alternatives {
@@ -314,7 +320,9 @@ fn run_fetch(
     let mut new_rows = Vec::new();
     for (row, keys) in rows.iter().zip(&row_keys) {
         for key in keys {
-            let Some(bucket) = buckets.get(key) else { continue };
+            let Some(bucket) = buckets.get(key) else {
+                continue;
+            };
             for partial in bucket {
                 let mut out = row.clone();
                 out.extend(key.iter().take(x_len).cloned());
@@ -492,9 +500,16 @@ mod tests {
         .unwrap();
 
         // businesses: two banks in r0 (b1, b2), one hospital (b3)
-        for (p, t, r) in [("b1", "bank", "r0"), ("b2", "bank", "r0"), ("b3", "hospital", "r0")] {
-            db.insert("business", vec![Value::str(p), Value::str(t), Value::str(r)])
-                .unwrap();
+        for (p, t, r) in [
+            ("b1", "bank", "r0"),
+            ("b2", "bank", "r0"),
+            ("b3", "hospital", "r0"),
+        ] {
+            db.insert(
+                "business",
+                vec![Value::str(p), Value::str(t), Value::str(r)],
+            )
+            .unwrap();
         }
         // packages: b1 in package 7 covering month 7 of 2016; b2 in package 9
         for (p, pid, s, e, y) in [
@@ -559,13 +574,11 @@ mod tests {
     fn example2_style_query_returns_exact_answer() {
         // regions of numbers called by banks in r0 on 2016-07-04 that were in
         // package 7 of 2016 covering month 7 -> only b1 qualifies -> east, west
-        let result = run(
-            "select call.region from call, package, business \
+        let result = run("select call.region from call, package, business \
              where business.type = 'bank' and business.region = 'r0' and \
              business.pnum = call.pnum and call.date = '2016-07-04' and \
              call.pnum = package.pnum and package.year = 2016 \
-             and package.start_month <= 7 and package.end_month >= 7 and package.pid = 7",
-        );
+             and package.start_month <= 7 and package.end_month >= 7 and package.pid = 7");
         let mut regions: Vec<String> = result
             .rows
             .iter()
@@ -582,9 +595,8 @@ mod tests {
 
     #[test]
     fn single_table_fetch() {
-        let result = run(
-            "select recnum, region from call where pnum = 'b1' and date = '2016-07-04'",
-        );
+        let result =
+            run("select recnum, region from call where pnum = 'b1' and date = '2016-07-04'");
         assert_eq!(result.rows.len(), 2);
         assert_eq!(result.tuples_accessed, 2);
     }
@@ -623,9 +635,7 @@ mod tests {
 
     #[test]
     fn empty_key_produces_empty_answer() {
-        let result = run(
-            "select recnum from call where pnum = 'unknown' and date = '2016-07-04'",
-        );
+        let result = run("select recnum from call where pnum = 'unknown' and date = '2016-07-04'");
         assert!(result.rows.is_empty());
         assert_eq!(result.tuples_accessed, 0);
     }
@@ -634,7 +644,10 @@ mod tests {
     fn missing_index_is_an_error() {
         let (db, schema, _) = setup();
         let bound = Binder::new(&db)
-            .bind(&parse_select("select recnum from call where pnum = 'b1' and date = '2016-07-04'").unwrap())
+            .bind(
+                &parse_select("select recnum from call where pnum = 'b1' and date = '2016-07-04'")
+                    .unwrap(),
+            )
             .unwrap();
         let graph = QueryGraph::build(&bound).unwrap();
         let coverage = Checker::new(&schema).check(&bound, &graph);

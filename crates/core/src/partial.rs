@@ -145,9 +145,10 @@ fn materialize_atom(
         .collect();
     // Sanity: every *needed* column must be present.
     for needed in &graph.atoms[atom].needed {
-        let i = table.schema.column_index(needed).ok_or_else(|| {
-            BeasError::plan(format!("unknown needed column {needed:?}"))
-        })?;
+        let i = table
+            .schema
+            .column_index(needed)
+            .ok_or_else(|| BeasError::plan(format!("unknown needed column {needed:?}")))?;
         if positions[i].is_none() {
             return Err(BeasError::plan(format!(
                 "covered atom {alias} is missing needed column {needed:?} in the bounded context"

@@ -385,7 +385,10 @@ mod tests {
         assert!(matches!(plan.fetches[0].keys[1], KeySource::Constant(_)));
         // step 2: package keyed by (ctx pnum, constant 2016)
         assert!(matches!(plan.fetches[1].keys[0], KeySource::Ctx(_, _)));
-        assert_eq!(plan.fetches[1].keys[1], KeySource::Constant(Value::Int(2016)));
+        assert_eq!(
+            plan.fetches[1].keys[1],
+            KeySource::Constant(Value::Int(2016))
+        );
         // step 3: call keyed by (ctx pnum, constant date)
         assert!(matches!(plan.fetches[2].keys[0], KeySource::Ctx(_, _)));
         assert!(matches!(plan.fetches[2].keys[1], KeySource::Constant(_)));

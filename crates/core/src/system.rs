@@ -288,7 +288,8 @@ impl BeasSystem {
         profiles: &[OptimizerProfile],
     ) -> Result<PerformanceAnalysis> {
         let outcome = self.execute_sql(sql)?;
-        let beas = SystemMeasurement::new("BEAS", outcome.metrics.clone(), outcome.rows.len() as u64);
+        let beas =
+            SystemMeasurement::new("BEAS", outcome.metrics.clone(), outcome.rows.len() as u64);
         let mut baselines = Vec::new();
         for profile in profiles {
             let engine = Engine::new(*profile);
@@ -469,12 +470,9 @@ mod tests {
     fn discovery_constructor_works_end_to_end() {
         let base = system();
         let db = base.database().clone();
-        let beas = BeasSystem::from_discovery(
-            db,
-            &[COVERED.to_string()],
-            &DiscoveryConfig::default(),
-        )
-        .unwrap();
+        let beas =
+            BeasSystem::from_discovery(db, &[COVERED.to_string()], &DiscoveryConfig::default())
+                .unwrap();
         assert!(!beas.access_schema().is_empty());
         let outcome = beas.execute_sql(COVERED).unwrap();
         let baseline = Engine::default().run(beas.database(), COVERED).unwrap();

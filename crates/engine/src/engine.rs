@@ -154,10 +154,17 @@ mod tests {
             )
             .unwrap();
         }
-        let businesses = vec![("p1", "bank", "east"), ("p2", "hospital", "west"), ("p9", "bank", "east")];
+        let businesses = vec![
+            ("p1", "bank", "east"),
+            ("p2", "hospital", "west"),
+            ("p9", "bank", "east"),
+        ];
         for (p, t, r) in businesses {
-            db.insert("business", vec![Value::str(p), Value::str(t), Value::str(r)])
-                .unwrap();
+            db.insert(
+                "business",
+                vec![Value::str(p), Value::str(t), Value::str(r)],
+            )
+            .unwrap();
         }
         db
     }
@@ -201,16 +208,28 @@ mod tests {
             .unwrap();
         assert_eq!(res.rows.len(), 3);
         // east and west both have 2 calls; ties broken by region name
-        assert_eq!(res.rows[0], vec![Value::str("east"), Value::Int(2), Value::Int(75)]);
-        assert_eq!(res.rows[1], vec![Value::str("west"), Value::Int(2), Value::Int(100)]);
-        assert_eq!(res.rows[2], vec![Value::str("north"), Value::Int(1), Value::Int(120)]);
+        assert_eq!(
+            res.rows[0],
+            vec![Value::str("east"), Value::Int(2), Value::Int(75)]
+        );
+        assert_eq!(
+            res.rows[1],
+            vec![Value::str("west"), Value::Int(2), Value::Int(100)]
+        );
+        assert_eq!(
+            res.rows[2],
+            vec![Value::str("north"), Value::Int(1), Value::Int(120)]
+        );
     }
 
     #[test]
     fn distinct_limit_and_having() {
         let db = db();
         let res = Engine::default()
-            .run(&db, "SELECT DISTINCT region FROM call ORDER BY region LIMIT 2")
+            .run(
+                &db,
+                "SELECT DISTINCT region FROM call ORDER BY region LIMIT 2",
+            )
             .unwrap();
         assert_eq!(
             res.rows,
@@ -222,7 +241,10 @@ mod tests {
                 "SELECT region FROM call GROUP BY region HAVING COUNT(*) > 1 ORDER BY region",
             )
             .unwrap();
-        assert_eq!(res2.rows, vec![vec![Value::str("east")], vec![Value::str("west")]]);
+        assert_eq!(
+            res2.rows,
+            vec![vec![Value::str("east")], vec![Value::str("west")]]
+        );
     }
 
     #[test]
@@ -253,7 +275,11 @@ mod tests {
             .unwrap();
         assert_eq!(
             res.rows,
-            vec![vec![Value::str("r1")], vec![Value::str("r2")], vec![Value::str("r3")]]
+            vec![
+                vec![Value::str("r1")],
+                vec![Value::str("r2")],
+                vec![Value::str("r3")]
+            ]
         );
     }
 
@@ -262,11 +288,17 @@ mod tests {
         let db = db();
         let engine = Engine::default();
         let plan = engine
-            .explain(&db, "SELECT c.recnum FROM call c, business b WHERE b.pnum = c.pnum")
+            .explain(
+                &db,
+                "SELECT c.recnum FROM call c, business b WHERE b.pnum = c.pnum",
+            )
             .unwrap();
         assert!(plan.contains("HashJoin"));
         let res = engine
-            .run(&db, "SELECT c.recnum FROM call c, business b WHERE b.pnum = c.pnum")
+            .run(
+                &db,
+                "SELECT c.recnum FROM call c, business b WHERE b.pnum = c.pnum",
+            )
             .unwrap();
         // a conventional plan must have scanned both tables in full
         assert_eq!(res.metrics.total_tuples_accessed(), 5 + 3);
@@ -286,9 +318,15 @@ mod tests {
     fn date_comparison_in_where() {
         let db = db();
         let res = Engine::default()
-            .run(&db, "SELECT recnum FROM call WHERE date = '2016-07-05' ORDER BY recnum")
+            .run(
+                &db,
+                "SELECT recnum FROM call WHERE date = '2016-07-05' ORDER BY recnum",
+            )
             .unwrap();
-        assert_eq!(res.rows, vec![vec![Value::str("r3")], vec![Value::str("r4")]]);
+        assert_eq!(
+            res.rows,
+            vec![vec![Value::str("r3")], vec![Value::str("r4")]]
+        );
         let res2 = Engine::default()
             .run(&db, "SELECT recnum FROM call WHERE date > '2016-07-04'")
             .unwrap();

@@ -15,7 +15,11 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 /// Execute a logical plan against a database, recording metrics.
-pub fn execute(plan: &LogicalPlan, db: &Database, metrics: &mut ExecutionMetrics) -> Result<Vec<Row>> {
+pub fn execute(
+    plan: &LogicalPlan,
+    db: &Database,
+    metrics: &mut ExecutionMetrics,
+) -> Result<Vec<Row>> {
     let start = Instant::now();
     let rows = execute_node(plan, db, metrics)?;
     metrics.elapsed = start.elapsed();
@@ -69,9 +73,7 @@ fn execute_node(
             let right_rows = execute_node(right, db, metrics)?;
             let start = Instant::now();
             let out = match algorithm {
-                JoinAlgorithm::Hash if !keys.is_empty() => {
-                    hash_join(&left_rows, &right_rows, keys)
-                }
+                JoinAlgorithm::Hash if !keys.is_empty() => hash_join(&left_rows, &right_rows, keys),
                 _ => nested_loop_join(&left_rows, &right_rows, keys)?,
             };
             metrics.record(
@@ -141,7 +143,12 @@ fn execute_node(
             let mut rows = execute_node(input, db, metrics)?;
             let start = Instant::now();
             rows.truncate(*limit as usize);
-            metrics.record(format!("Limit({limit})"), rows.len() as u64, 0, start.elapsed());
+            metrics.record(
+                format!("Limit({limit})"),
+                rows.len() as u64,
+                0,
+                start.elapsed(),
+            );
             Ok(rows)
         }
     }
@@ -150,7 +157,11 @@ fn execute_node(
 fn hash_join(left: &[Row], right: &[Row], keys: &[(usize, usize)]) -> Vec<Row> {
     // Build on the smaller side to keep memory in check; probe with the other.
     let build_right = right.len() <= left.len();
-    let (build, probe) = if build_right { (right, left) } else { (left, right) };
+    let (build, probe) = if build_right {
+        (right, left)
+    } else {
+        (left, right)
+    };
     let build_key_idx: Vec<usize> = if build_right {
         keys.iter().map(|(_, r)| *r).collect()
     } else {
@@ -172,7 +183,10 @@ fn hash_join(left: &[Row], right: &[Row], keys: &[(usize, usize)]) -> Vec<Row> {
     }
     let mut out = Vec::new();
     for probe_row in probe {
-        let key: Vec<Value> = probe_key_idx.iter().map(|&k| probe_row[k].clone()).collect();
+        let key: Vec<Value> = probe_key_idx
+            .iter()
+            .map(|&k| probe_row[k].clone())
+            .collect();
         if key.iter().any(|v| v.is_null()) {
             continue;
         }
@@ -350,8 +364,14 @@ mod tests {
         ];
         let out = aggregate(&rows(), &group, &aggs).unwrap();
         assert_eq!(out.len(), 2);
-        assert_eq!(out[0], vec![Value::str("east"), Value::Int(2), Value::Int(30)]);
-        assert_eq!(out[1], vec![Value::str("west"), Value::Int(1), Value::Int(5)]);
+        assert_eq!(
+            out[0],
+            vec![Value::str("east"), Value::Int(2), Value::Int(30)]
+        );
+        assert_eq!(
+            out[1],
+            vec![Value::str("west"), Value::Int(1), Value::Int(5)]
+        );
     }
 
     #[test]

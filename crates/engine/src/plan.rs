@@ -188,10 +188,7 @@ impl LogicalPlan {
                 input.explain_into(out, indent + 1);
             }
             LogicalPlan::Project { input, exprs, .. } => {
-                let e: Vec<String> = exprs
-                    .iter()
-                    .map(|(x, n)| format!("{x} AS {n}"))
-                    .collect();
+                let e: Vec<String> = exprs.iter().map(|(x, n)| format!("{x} AS {n}")).collect();
                 out.push_str(&format!("{pad}Project({})\n", e.join(", ")));
                 input.explain_into(out, indent + 1);
             }

@@ -123,10 +123,8 @@ impl<'a> Planner<'a> {
             .into_iter()
             .map(|expr| {
                 let cols = expr.referenced_columns();
-                let tables: HashSet<usize> = cols
-                    .iter()
-                    .map(|&c| table_of_column(query, c))
-                    .collect();
+                let tables: HashSet<usize> =
+                    cols.iter().map(|&c| table_of_column(query, c)).collect();
                 let eq_edge = match &expr {
                     BoundExpr::Binary {
                         op: BinaryOperator::Eq,
@@ -153,7 +151,12 @@ impl<'a> Planner<'a> {
 
     /// Estimated number of rows a table contributes after its pushed-down
     /// single-table predicates.
-    fn estimated_table_rows(&self, query: &BoundQuery, table_idx: usize, conjuncts: &[Conjunct]) -> f64 {
+    fn estimated_table_rows(
+        &self,
+        query: &BoundQuery,
+        table_idx: usize,
+        conjuncts: &[Conjunct],
+    ) -> f64 {
         let t = &query.tables[table_idx];
         let base = self
             .db
@@ -248,7 +251,7 @@ impl<'a> Planner<'a> {
         query: &BoundQuery,
         table_idx: usize,
         conjuncts: &[Conjunct],
-        consumed: &mut Vec<bool>,
+        consumed: &mut [bool],
     ) -> Result<LogicalPlan> {
         let t = &query.tables[table_idx];
         let schema = Schema::from_table(&t.alias, &t.schema);
@@ -413,9 +416,10 @@ pub fn table_of_column(query: &BoundQuery, col: usize) -> usize {
 /// table alias + column name origin).
 pub fn plan_index_of(query: &BoundQuery, schema: &Schema, col: usize) -> Result<usize> {
     let field = query.input_schema.field(col);
-    let table = field.table.as_deref().ok_or_else(|| {
-        BeasError::plan(format!("column {} has no table origin", field.name))
-    })?;
+    let table = field
+        .table
+        .as_deref()
+        .ok_or_else(|| BeasError::plan(format!("column {} has no table origin", field.name)))?;
     schema.index_of_origin(table, &field.name).ok_or_else(|| {
         BeasError::plan(format!(
             "column {table}.{} not found in plan schema {schema}",
@@ -522,7 +526,9 @@ mod tests {
     fn plans_simple_scan_filter_project() {
         let db = test_db();
         let q = bind(&db, "SELECT region FROM call WHERE pnum = 'p1'");
-        let plan = Planner::new(&db, OptimizerProfile::PgLike).plan(&q).unwrap();
+        let plan = Planner::new(&db, OptimizerProfile::PgLike)
+            .plan(&q)
+            .unwrap();
         let s = plan.explain();
         assert!(s.contains("Project"));
         assert!(s.contains("Filter"));
@@ -537,7 +543,9 @@ mod tests {
             &db,
             "SELECT c.region FROM call c, business b WHERE b.pnum = c.pnum AND b.type = 'bank'",
         );
-        let plan = Planner::new(&db, OptimizerProfile::PgLike).plan(&q).unwrap();
+        let plan = Planner::new(&db, OptimizerProfile::PgLike)
+            .plan(&q)
+            .unwrap();
         let s = plan.explain();
         // business (5 rows) should be the left/first input under pg-like
         let biz_pos = s.find("SeqScan(business").unwrap();
@@ -553,7 +561,9 @@ mod tests {
             &db,
             "SELECT c.region FROM call c, business b WHERE b.pnum = c.pnum AND b.type = 'bank'",
         );
-        let plan = Planner::new(&db, OptimizerProfile::MySqlLike).plan(&q).unwrap();
+        let plan = Planner::new(&db, OptimizerProfile::MySqlLike)
+            .plan(&q)
+            .unwrap();
         let s = plan.explain();
         let biz_pos = s.find("SeqScan(business").unwrap();
         let call_pos = s.find("SeqScan(call").unwrap();
@@ -567,7 +577,9 @@ mod tests {
             &db,
             "SELECT c.region FROM call c, business b WHERE b.pnum = c.pnum AND b.type = 'bank'",
         );
-        let plan = Planner::new(&db, OptimizerProfile::MariaLike).plan(&q).unwrap();
+        let plan = Planner::new(&db, OptimizerProfile::MariaLike)
+            .plan(&q)
+            .unwrap();
         let s = plan.explain();
         assert!(s.contains("NestedLoopJoin"));
         // the type = 'bank' filter must appear above the join, not under the scan
@@ -583,7 +595,9 @@ mod tests {
             &db,
             "SELECT region, COUNT(*) AS n FROM call GROUP BY region HAVING COUNT(*) > 1 ORDER BY n LIMIT 2",
         );
-        let plan = Planner::new(&db, OptimizerProfile::PgLike).plan(&q).unwrap();
+        let plan = Planner::new(&db, OptimizerProfile::PgLike)
+            .plan(&q)
+            .unwrap();
         let s = plan.explain();
         assert!(s.contains("HashAggregate"));
         assert!(s.contains("Limit(2)"));
@@ -598,7 +612,9 @@ mod tests {
     fn cross_join_when_no_keys() {
         let db = test_db();
         let q = bind(&db, "SELECT c.region FROM call c, business b");
-        let plan = Planner::new(&db, OptimizerProfile::PgLike).plan(&q).unwrap();
+        let plan = Planner::new(&db, OptimizerProfile::PgLike)
+            .plan(&q)
+            .unwrap();
         match find_join(&plan) {
             Some((keys, alg)) => {
                 assert!(keys.is_empty());
@@ -626,7 +642,10 @@ mod tests {
     #[test]
     fn helper_functions() {
         let db = test_db();
-        let q = bind(&db, "SELECT c.region FROM call c, business b WHERE b.pnum = c.pnum");
+        let q = bind(
+            &db,
+            "SELECT c.region FROM call c, business b WHERE b.pnum = c.pnum",
+        );
         assert_eq!(table_of_column(&q, 0), 0);
         assert_eq!(table_of_column(&q, 4), 1);
         let conjs = split_bound_conjuncts(q.filter.as_ref().unwrap());

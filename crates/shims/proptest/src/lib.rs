@@ -1,0 +1,208 @@
+//! Minimal, dependency-free stand-in for the parts of `proptest` the BEAS
+//! integration suite uses (the build environment has no registry access).
+//!
+//! Supports the `proptest! { #![proptest_config(...)] #[test] fn f(x in
+//! strategy, ...) { ... } }` form with half-open integer-range strategies,
+//! plus `prop_assert!` / `prop_assert_eq!`. Cases are generated from a
+//! deterministic PRNG seeded per test, so runs are reproducible; shrinking is
+//! not implemented — on failure the offending arguments are printed instead.
+
+/// Runner-side plumbing used by the generated test bodies.
+pub mod test_runner {
+    /// Error produced by a failing `prop_assert!` inside a case closure.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// splitmix64 — deterministic case generator.
+    #[derive(Debug, Clone)]
+    pub struct Prng(u64);
+
+    impl Prng {
+        pub fn new(seed: u64) -> Self {
+            Prng(seed)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Seed a per-test PRNG from the test's name (stable across runs).
+    pub fn seed_from_name(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// Input strategies: half-open ranges over the primitive integer types.
+pub mod strategy {
+    use super::test_runner::Prng;
+    use std::ops::Range;
+
+    pub trait Strategy {
+        type Value: std::fmt::Debug;
+        fn sample(&self, rng: &mut Prng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty => $wide:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut Prng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                    let offset = rng.next_u64() % span;
+                    ((self.start as $wide).wrapping_add(offset as $wide)) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(
+        u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+        i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+    );
+}
+
+/// Per-`proptest!` block configuration (only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Accepted for source compatibility; unused (no shrinking).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 32,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::Prng::new(
+                $crate::test_runner::seed_from_name(stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                let __args = format!(
+                    concat!($(stringify!($arg), " = {:?}, "),+),
+                    $(&$arg),+
+                );
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                if let Err(e) = __outcome {
+                    panic!(
+                        "proptest case {}/{} of `{}` failed: {}\n  inputs: {}",
+                        __case + 1, __config.cases, stringify!($name), e, __args,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: `{:?}` == `{:?}`", l, r);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_are_respected(a in 3u64..17, b in -5i64..5, c in 0usize..2) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!(c < 2);
+            prop_assert_eq!(a, a);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_works(x in 0u8..10) {
+            prop_assert!(x < 10);
+        }
+    }
+}

@@ -116,12 +116,23 @@ pub fn classify_conjunct(e: &Expr) -> ConjunctClass {
     // column = literal / literal = column / column = column
     if let Expr::BinaryOp { left, op, right } = e {
         if *op == BinaryOperator::Eq {
-            match (as_column(left), as_column(right), as_literal(left), as_literal(right)) {
+            match (
+                as_column(left),
+                as_column(right),
+                as_literal(left),
+                as_literal(right),
+            ) {
                 (Some(c), None, None, Some(v)) => {
-                    return ConjunctClass::ColEqConst { column: c, value: v }
+                    return ConjunctClass::ColEqConst {
+                        column: c,
+                        value: v,
+                    }
                 }
                 (None, Some(c), Some(v), None) => {
-                    return ConjunctClass::ColEqConst { column: c, value: v }
+                    return ConjunctClass::ColEqConst {
+                        column: c,
+                        value: v,
+                    }
                 }
                 (Some(l), Some(r), _, _) => return ConjunctClass::ColEqCol { left: l, right: r },
                 _ => {}
@@ -129,7 +140,12 @@ pub fn classify_conjunct(e: &Expr) -> ConjunctClass {
         }
         if op.is_comparison() {
             // single-column range predicate: column <op> literal or literal <op> column
-            match (as_column(left), as_literal(right), as_literal(left), as_column(right)) {
+            match (
+                as_column(left),
+                as_literal(right),
+                as_literal(left),
+                as_column(right),
+            ) {
                 (Some(c), Some(_), _, _) | (_, _, Some(_), Some(c)) => {
                     return ConjunctClass::SingleColumnFilter {
                         column: c,
@@ -159,7 +175,9 @@ pub fn classify_conjunct(e: &Expr) -> ConjunctClass {
         Expr::Between {
             expr, low, high, ..
         } => {
-            if let (Some(c), Some(_), Some(_)) = (as_column(expr), as_literal(low), as_literal(high)) {
+            if let (Some(c), Some(_), Some(_)) =
+                (as_column(expr), as_literal(low), as_literal(high))
+            {
                 return ConjunctClass::SingleColumnFilter {
                     column: c,
                     predicate: e.clone(),
@@ -319,7 +337,10 @@ mod tests {
         assert_eq!(cs.len(), 1);
         assert!(matches!(&cs[0], ConjunctClass::Other(_)));
         let e2 = where_clause("SELECT a FROM t WHERE a + b = 3");
-        assert!(matches!(&classify_conjuncts(&e2)[0], ConjunctClass::Other(_)));
+        assert!(matches!(
+            &classify_conjuncts(&e2)[0],
+            ConjunctClass::Other(_)
+        ));
     }
 
     #[test]

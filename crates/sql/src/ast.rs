@@ -345,9 +345,7 @@ impl Expr {
             }
             Expr::Between {
                 expr, low, high, ..
-            } => {
-                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
-            }
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             Expr::Like { expr, pattern, .. } => {
                 expr.contains_aggregate() || pattern.contains_aggregate()
             }
@@ -517,7 +515,10 @@ mod tests {
     fn expr_helpers_and_display() {
         let e = Expr::and(
             Expr::eq(Expr::qcol("call", "pnum"), Expr::qcol("package", "pnum")),
-            Expr::eq(Expr::col("date"), Expr::Literal(Literal::Str("2016-07-04".into()))),
+            Expr::eq(
+                Expr::col("date"),
+                Expr::Literal(Literal::Str("2016-07-04".into())),
+            ),
         );
         let s = e.to_string();
         assert!(s.contains("call.pnum = package.pnum"));

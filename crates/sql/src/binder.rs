@@ -123,20 +123,18 @@ impl<'a> Binder<'a> {
         // 1. Resolve table factors and build the flat input schema.
         let mut tables = Vec::new();
         let mut input_schema = Schema::empty();
-        let mut all_refs: Vec<(crate::ast::TableRef, Option<Expr>)> = stmt
-            .from
-            .iter()
-            .map(|t| (t.clone(), None))
-            .collect();
+        let mut all_refs: Vec<(crate::ast::TableRef, Option<Expr>)> =
+            stmt.from.iter().map(|t| (t.clone(), None)).collect();
         for j in &stmt.joins {
             all_refs.push((j.table.clone(), Some(j.on.clone())));
         }
         let mut join_conditions = Vec::new();
         for (tref, on) in &all_refs {
             let name = tref.name.to_ascii_lowercase();
-            let schema = self.provider.table_schema(&name).ok_or_else(|| {
-                BeasError::binding(format!("unknown table {name:?}"))
-            })?;
+            let schema = self
+                .provider
+                .table_schema(&name)
+                .ok_or_else(|| BeasError::binding(format!("unknown table {name:?}")))?;
             let alias = tref.effective_alias().to_ascii_lowercase();
             if tables.iter().any(|t: &BoundTable| t.alias == alias) {
                 return Err(BeasError::binding(format!(
@@ -226,7 +224,10 @@ impl<'a> Binder<'a> {
             let bound = self.bind_scalar(g, &input_schema)?;
             let field = match &bound {
                 BoundExpr::Column(i) => input_schema.field(*i).clone(),
-                _ => Field::derived(g.to_string().to_ascii_lowercase(), infer_type(&bound, &input_schema)),
+                _ => Field::derived(
+                    g.to_string().to_ascii_lowercase(),
+                    infer_type(&bound, &input_schema),
+                ),
             };
             group_fields.push(field);
             group_by.push(bound);
@@ -692,7 +693,7 @@ fn collect_aggregates(expr: &Expr, out: &mut Vec<Expr>) {
 
 /// Structural equivalence of AST expressions up to case of identifiers.
 fn exprs_equivalent(a: &Expr, b: &Expr) -> bool {
-    a.to_string().to_ascii_lowercase() == b.to_string().to_ascii_lowercase()
+    a.to_string().eq_ignore_ascii_case(&b.to_string())
 }
 
 fn default_name(e: &Expr) -> String {
@@ -708,7 +709,12 @@ pub fn infer_type(expr: &BoundExpr, schema: &Schema) -> DataType {
         BoundExpr::Column(i) => schema.field(*i).data_type,
         BoundExpr::Literal(v) => v.data_type().unwrap_or(DataType::Str),
         BoundExpr::Binary { op, left, right } => {
-            if op.is_comparison() || matches!(op, crate::ast::BinaryOperator::And | crate::ast::BinaryOperator::Or) {
+            if op.is_comparison()
+                || matches!(
+                    op,
+                    crate::ast::BinaryOperator::And | crate::ast::BinaryOperator::Or
+                )
+            {
                 DataType::Bool
             } else {
                 let l = infer_type(left, schema);
@@ -771,7 +777,8 @@ mod tests {
 
     #[test]
     fn bind_simple_projection_and_filter() {
-        let q = bind("SELECT region, duration FROM call WHERE pnum = '123' AND duration > 60").unwrap();
+        let q =
+            bind("SELECT region, duration FROM call WHERE pnum = '123' AND duration > 60").unwrap();
         assert_eq!(q.tables.len(), 1);
         assert_eq!(q.output.len(), 2);
         assert!(!q.is_aggregate);
@@ -874,7 +881,8 @@ mod tests {
 
     #[test]
     fn count_distinct_and_duplicate_aggregates_deduplicated() {
-        let q = bind("SELECT COUNT(DISTINCT pnum), COUNT(DISTINCT pnum), COUNT(*) FROM call").unwrap();
+        let q =
+            bind("SELECT COUNT(DISTINCT pnum), COUNT(DISTINCT pnum), COUNT(*) FROM call").unwrap();
         assert_eq!(q.aggregates.len(), 2);
         assert!(q.aggregates[0].distinct);
         assert!(q.aggregates[0].arg.is_some());
@@ -894,7 +902,8 @@ mod tests {
 
     #[test]
     fn expression_over_aggregates() {
-        let q = bind("SELECT region, SUM(duration) / COUNT(*) AS mean FROM call GROUP BY region").unwrap();
+        let q = bind("SELECT region, SUM(duration) / COUNT(*) AS mean FROM call GROUP BY region")
+            .unwrap();
         assert_eq!(q.aggregates.len(), 2);
         assert_eq!(q.output[1].1, "mean");
     }

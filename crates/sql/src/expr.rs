@@ -112,7 +112,10 @@ impl BoundExpr {
 
     /// Rewrite column indices through `mapping` (old index -> new index).
     /// Returns `None` if the expression references a column not in `mapping`.
-    pub fn remap_columns(&self, mapping: &std::collections::HashMap<usize, usize>) -> Option<BoundExpr> {
+    pub fn remap_columns(
+        &self,
+        mapping: &std::collections::HashMap<usize, usize>,
+    ) -> Option<BoundExpr> {
         Some(match self {
             BoundExpr::Column(i) => BoundExpr::Column(*mapping.get(i)?),
             BoundExpr::Literal(v) => BoundExpr::Literal(v.clone()),
@@ -377,9 +380,7 @@ pub fn like_match(s: &str, pattern: &str) -> bool {
     fn rec(s: &[char], p: &[char]) -> bool {
         match p.split_first() {
             None => s.is_empty(),
-            Some(('%', rest)) => {
-                (0..=s.len()).any(|i| rec(&s[i..], rest))
-            }
+            Some(('%', rest)) => (0..=s.len()).any(|i| rec(&s[i..], rest)),
             Some(('_', rest)) => match s.split_first() {
                 Some((_, srest)) => rec(srest, rest),
                 None => false,
@@ -532,9 +533,7 @@ impl Accumulator {
                     Value::Null
                 } else {
                     // count > 0, so division cannot fail
-                    self.sum
-                        .div(&Value::Int(self.count))
-                        .unwrap_or(Value::Null)
+                    self.sum.div(&Value::Int(self.count)).unwrap_or(Value::Null)
                 }
             }
             AggregateFunction::Min => self.min.clone().unwrap_or(Value::Null),
@@ -558,7 +557,10 @@ mod tests {
 
     #[test]
     fn evaluate_columns_and_literals() {
-        assert_eq!(evaluate(&BoundExpr::Column(0), &row()).unwrap(), Value::Int(10));
+        assert_eq!(
+            evaluate(&BoundExpr::Column(0), &row()).unwrap(),
+            Value::Int(10)
+        );
         assert!(evaluate(&BoundExpr::Column(9), &row()).is_err());
         assert_eq!(
             evaluate(&BoundExpr::Literal(Value::str("x")), &row()).unwrap(),
@@ -684,7 +686,14 @@ mod tests {
         let mut min = Accumulator::new(AggregateFunction::Min, false);
         let mut max = Accumulator::new(AggregateFunction::Max, false);
         for v in &vals {
-            for acc in [&mut count, &mut count_d, &mut sum, &mut avg, &mut min, &mut max] {
+            for acc in [
+                &mut count,
+                &mut count_d,
+                &mut sum,
+                &mut avg,
+                &mut min,
+                &mut max,
+            ] {
                 acc.update(v).unwrap();
             }
         }
@@ -698,15 +707,27 @@ mod tests {
 
     #[test]
     fn empty_group_aggregates() {
-        assert_eq!(Accumulator::new(AggregateFunction::Count, false).finish(), Value::Int(0));
-        assert!(Accumulator::new(AggregateFunction::Sum, false).finish().is_null());
-        assert!(Accumulator::new(AggregateFunction::Avg, false).finish().is_null());
-        assert!(Accumulator::new(AggregateFunction::Min, false).finish().is_null());
+        assert_eq!(
+            Accumulator::new(AggregateFunction::Count, false).finish(),
+            Value::Int(0)
+        );
+        assert!(Accumulator::new(AggregateFunction::Sum, false)
+            .finish()
+            .is_null());
+        assert!(Accumulator::new(AggregateFunction::Avg, false)
+            .finish()
+            .is_null());
+        assert!(Accumulator::new(AggregateFunction::Min, false)
+            .finish()
+            .is_null());
     }
 
     #[test]
     fn aggregate_function_metadata() {
-        assert_eq!(AggregateFunction::from_name("count"), Some(AggregateFunction::Count));
+        assert_eq!(
+            AggregateFunction::from_name("count"),
+            Some(AggregateFunction::Count)
+        );
         assert_eq!(AggregateFunction::from_name("median"), None);
         assert_eq!(AggregateFunction::Count.output_type(None), DataType::Int);
         assert_eq!(

@@ -25,8 +25,8 @@ pub mod parser;
 
 pub use analysis::{classify_conjuncts, split_conjuncts, ConjunctClass, QueryShape};
 pub use ast::{
-    BinaryOperator, Expr, JoinClause, Literal, OrderByItem, SelectItem, SelectStatement,
-    Statement, TableRef, UnaryOperator,
+    BinaryOperator, Expr, JoinClause, Literal, OrderByItem, SelectItem, SelectStatement, Statement,
+    TableRef, UnaryOperator,
 };
 pub use binder::{Binder, BoundAggregate, BoundQuery, BoundTable, SchemaProvider};
 pub use expr::{evaluate, evaluate_predicate, Accumulator, AggregateFunction, BoundExpr};

@@ -52,9 +52,7 @@ impl Parser {
         if &t == expected {
             Ok(())
         } else {
-            Err(BeasError::parse(format!(
-                "expected {expected}, found {t}"
-            )))
+            Err(BeasError::parse(format!("expected {expected}, found {t}")))
         }
     }
 
@@ -93,11 +91,7 @@ impl Parser {
     pub fn parse_statement(&mut self) -> Result<Statement> {
         let stmt = match self.peek() {
             Token::Keyword(Keyword::Select) => Statement::Select(self.parse_select_statement()?),
-            other => {
-                return Err(BeasError::parse(format!(
-                    "expected SELECT, found {other}"
-                )))
-            }
+            other => return Err(BeasError::parse(format!("expected SELECT, found {other}"))),
         };
         // optional trailing semicolon
         self.consume(&Token::Semicolon);
@@ -556,7 +550,8 @@ mod tests {
 
     #[test]
     fn parse_joins_and_aliases() {
-        let sql = "SELECT c.region FROM call c JOIN business b ON b.pnum = c.pnum WHERE b.type = 'bank'";
+        let sql =
+            "SELECT c.region FROM call c JOIN business b ON b.pnum = c.pnum WHERE b.type = 'bank'";
         let stmt = parse_select(sql).unwrap();
         assert_eq!(stmt.from.len(), 1);
         assert_eq!(stmt.joins.len(), 1);
@@ -621,13 +616,13 @@ mod tests {
     fn parse_count_distinct() {
         let stmt = parse_select("SELECT COUNT(DISTINCT pnum) FROM call").unwrap();
         match &stmt.projection[0] {
-            SelectItem::Expr { expr, .. } => match expr {
-                Expr::Function { distinct, name, .. } => {
-                    assert!(*distinct);
-                    assert_eq!(name, "COUNT");
-                }
-                _ => panic!(),
-            },
+            SelectItem::Expr {
+                expr: Expr::Function { distinct, name, .. },
+                ..
+            } => {
+                assert!(*distinct);
+                assert_eq!(name, "COUNT");
+            }
             _ => panic!(),
         }
     }

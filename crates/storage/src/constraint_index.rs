@@ -188,12 +188,37 @@ mod tests {
             .unwrap(),
         );
         t.insert_many(vec![
-            vec![Value::str("a"), Value::str("x"), Value::str("2016-07-04"), Value::str("east")],
-            vec![Value::str("a"), Value::str("y"), Value::str("2016-07-04"), Value::str("east")],
+            vec![
+                Value::str("a"),
+                Value::str("x"),
+                Value::str("2016-07-04"),
+                Value::str("east"),
+            ],
+            vec![
+                Value::str("a"),
+                Value::str("y"),
+                Value::str("2016-07-04"),
+                Value::str("east"),
+            ],
             // duplicate partial tuple (a, x) on the same date: must collapse
-            vec![Value::str("a"), Value::str("x"), Value::str("2016-07-04"), Value::str("east")],
-            vec![Value::str("a"), Value::str("z"), Value::str("2016-07-05"), Value::str("west")],
-            vec![Value::str("b"), Value::str("x"), Value::str("2016-07-04"), Value::str("east")],
+            vec![
+                Value::str("a"),
+                Value::str("x"),
+                Value::str("2016-07-04"),
+                Value::str("east"),
+            ],
+            vec![
+                Value::str("a"),
+                Value::str("z"),
+                Value::str("2016-07-05"),
+                Value::str("west"),
+            ],
+            vec![
+                Value::str("b"),
+                Value::str("x"),
+                Value::str("2016-07-04"),
+                Value::str("east"),
+            ],
         ])
         .unwrap();
         t
@@ -267,7 +292,10 @@ mod tests {
         assert_eq!(idx2.fetch(&[Value::str("a"), d]).len(), 1);
         let rebuilt = index(&t2);
         assert_eq!(rebuilt.total_entries(), idx2.total_entries());
-        assert_eq!(rebuilt.observed_max_cardinality(), idx2.observed_max_cardinality());
+        assert_eq!(
+            rebuilt.observed_max_cardinality(),
+            idx2.observed_max_cardinality()
+        );
     }
 
     #[test]

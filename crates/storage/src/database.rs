@@ -78,7 +78,11 @@ impl Database {
     }
 
     /// Insert many rows into a table.
-    pub fn insert_many(&mut self, table: &str, rows: impl IntoIterator<Item = Row>) -> Result<usize> {
+    pub fn insert_many(
+        &mut self,
+        table: &str,
+        rows: impl IntoIterator<Item = Row>,
+    ) -> Result<usize> {
         self.table_mut(table)?.insert_many(rows)
     }
 
@@ -154,7 +158,11 @@ mod tests {
         .unwrap();
         db.insert_many(
             "business",
-            vec![vec![Value::str("p2"), Value::str("bank"), Value::str("west")]],
+            vec![vec![
+                Value::str("p2"),
+                Value::str("bank"),
+                Value::str("west"),
+            ]],
         )
         .unwrap();
         assert_eq!(db.table("business").unwrap().row_count(), 2);

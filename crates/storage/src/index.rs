@@ -112,10 +112,18 @@ mod tests {
         let t = table();
         let idx = HashIndex::build(&t, &["type".into(), "region".into()]).unwrap();
         assert_eq!(idx.table(), "business");
-        assert_eq!(idx.key_columns(), &["type".to_string(), "region".to_string()]);
-        assert_eq!(idx.lookup(&[Value::str("bank"), Value::str("east")]), &[0, 1]);
+        assert_eq!(
+            idx.key_columns(),
+            &["type".to_string(), "region".to_string()]
+        );
+        assert_eq!(
+            idx.lookup(&[Value::str("bank"), Value::str("east")]),
+            &[0, 1]
+        );
         assert_eq!(idx.lookup(&[Value::str("bank"), Value::str("west")]), &[3]);
-        assert!(idx.lookup(&[Value::str("school"), Value::str("east")]).is_empty());
+        assert!(idx
+            .lookup(&[Value::str("school"), Value::str("east")])
+            .is_empty());
         assert_eq!(idx.distinct_keys(), 3);
         assert_eq!(idx.entries(), 4);
         assert_eq!(idx.max_rows_per_key(), 2);
@@ -132,7 +140,11 @@ mod tests {
         let mut t = table();
         let mut idx = HashIndex::build(&t, &["type".into()]).unwrap();
         let id = t
-            .insert(vec![Value::str("p5"), Value::str("bank"), Value::str("north")])
+            .insert(vec![
+                Value::str("p5"),
+                Value::str("bank"),
+                Value::str("north"),
+            ])
             .unwrap();
         idx.insert_row(id, t.row(id).unwrap());
         assert_eq!(idx.lookup(&[Value::str("bank")]).len(), 4);

@@ -103,7 +103,11 @@ impl TableStatistics {
     /// Observed maximum number of distinct `y`-combinations per `x`-key,
     /// i.e. the tightest `N` for an access constraint `table(X → Y, N)` on
     /// the current data.  Returns 0 for an empty table.
-    pub fn max_group_cardinality(table: &Table, x: &[String], y: &[String]) -> beas_common::Result<usize> {
+    pub fn max_group_cardinality(
+        table: &Table,
+        x: &[String],
+        y: &[String],
+    ) -> beas_common::Result<usize> {
         let xi = table.schema().resolve_columns(x)?;
         let yi = table.schema().resolve_columns(y)?;
         let mut groups: HashMap<Vec<Value>, HashSet<Vec<Value>>> = HashMap::new();
@@ -173,10 +177,13 @@ mod tests {
         )
         .unwrap();
         assert_eq!(n, 2);
-        assert!(TableStatistics::max_group_cardinality(&t, &["nope".into()], &["pid".into()]).is_err());
+        assert!(
+            TableStatistics::max_group_cardinality(&t, &["nope".into()], &["pid".into()]).is_err()
+        );
         let empty = Table::new(t.schema().clone());
         assert_eq!(
-            TableStatistics::max_group_cardinality(&empty, &["pnum".into()], &["pid".into()]).unwrap(),
+            TableStatistics::max_group_cardinality(&empty, &["pnum".into()], &["pid".into()])
+                .unwrap(),
             0
         );
     }

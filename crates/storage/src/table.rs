@@ -96,7 +96,13 @@ impl Table {
         let coerced: Row = row
             .into_iter()
             .zip(&self.schema.columns)
-            .map(|(v, c)| if v.is_null() { Ok(v) } else { v.cast(c.data_type) })
+            .map(|(v, c)| {
+                if v.is_null() {
+                    Ok(v)
+                } else {
+                    v.cast(c.data_type)
+                }
+            })
             .collect::<Result<_>>()?;
         self.rows.push(coerced);
         Ok(self.rows.len() - 1)
@@ -185,7 +191,11 @@ mod tests {
         let mut t = Table::new(schema());
         assert!(t.is_empty());
         let id = t
-            .insert(vec![Value::str("123"), Value::str("2016-07-04"), Value::Int(60)])
+            .insert(vec![
+                Value::str("123"),
+                Value::str("2016-07-04"),
+                Value::Int(60),
+            ])
             .unwrap();
         assert_eq!(id, 0);
         assert_eq!(t.row_count(), 1);
@@ -240,9 +250,15 @@ mod tests {
     #[test]
     fn project_row_by_names() {
         let mut t = Table::new(schema());
-        t.insert(vec![Value::str("123"), Value::str("2016-07-04"), Value::Int(9)])
+        t.insert(vec![
+            Value::str("123"),
+            Value::str("2016-07-04"),
+            Value::Int(9),
+        ])
+        .unwrap();
+        let p = t
+            .project_row(0, &["duration".into(), "pnum".into()])
             .unwrap();
-        let p = t.project_row(0, &["duration".into(), "pnum".into()]).unwrap();
         assert_eq!(p, vec![Value::Int(9), Value::str("123")]);
         assert!(t.project_row(5, &["pnum".into()]).is_err());
         assert!(t.project_row(0, &["nope".into()]).is_err());
@@ -252,8 +268,12 @@ mod tests {
     fn estimated_bytes_grows_with_rows() {
         let mut t = Table::new(schema());
         let empty = t.estimated_bytes();
-        t.insert(vec![Value::str("12345678"), Value::str("2016-07-04"), Value::Int(1)])
-            .unwrap();
+        t.insert(vec![
+            Value::str("12345678"),
+            Value::str("2016-07-04"),
+            Value::Int(1),
+        ])
+        .unwrap();
         assert!(t.estimated_bytes() > empty);
     }
 }

@@ -45,7 +45,14 @@ pub fn tlc_access_schema() -> AccessSchema {
         AccessConstraint::new(
             "customer",
             &["pnum"],
-            &["name", "region", "city", "segment", "credit_score", "join_date"],
+            &[
+                "name",
+                "region",
+                "city",
+                "segment",
+                "credit_score",
+                "join_date",
+            ],
             1,
         ),
         // ψ5: SMS fan-out per number per day.
@@ -73,7 +80,13 @@ pub fn tlc_access_schema() -> AccessSchema {
         AccessConstraint::new(
             "plan_catalog",
             &["pid"],
-            &["plan_name", "monthly_fee", "data_gb", "voice_minutes", "tier"],
+            &[
+                "plan_name",
+                "monthly_fee",
+                "data_gb",
+                "voice_minutes",
+                "tier",
+            ],
             1,
         ),
         // ψ9: at most 3 registered devices per number.

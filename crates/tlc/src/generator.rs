@@ -19,8 +19,14 @@ pub mod vocab {
     /// Geographic regions.
     pub const REGIONS: [&str; 5] = ["east", "west", "north", "south", "central"];
     /// Business types.
-    pub const BUSINESS_TYPES: [&str; 6] =
-        ["bank", "hospital", "school", "retail", "restaurant", "logistics"];
+    pub const BUSINESS_TYPES: [&str; 6] = [
+        "bank",
+        "hospital",
+        "school",
+        "retail",
+        "restaurant",
+        "logistics",
+    ];
     /// Customer segments.
     pub const SEGMENTS: [&str; 4] = ["consumer", "vip", "enterprise", "youth"];
     /// SMS types.
@@ -219,8 +225,8 @@ pub fn generate(config: &TlcConfig) -> Result<Database> {
                 Value::str(format!("plan_{pid}")),
                 Value::Float(19.0 + pid as f64 * 3.0),
                 Value::Int((pid % 20 + 1) * 5),
-                Value::Int((pid % 10 + 1) as i64 * 100),
-                Value::Int((pid % 5 + 1) as i64 * 50),
+                Value::Int((pid % 10 + 1) * 100),
+                Value::Int((pid % 5 + 1) * 50),
                 Value::Bool(pid % 4 == 0),
                 Value::Bool(pid % 7 == 0),
                 Value::Int(rng.gen_range(1..25)),
@@ -248,7 +254,10 @@ pub fn generate(config: &TlcConfig) -> Result<Database> {
             Value::Int(rng.gen_range(1950..2000)),
             Value::str(region),
             Value::str(format!("{region}_city_{}", i % 7)),
-            Value::str(pick(&mut rng, &["engineer", "teacher", "clerk", "driver", "manager"])),
+            Value::str(pick(
+                &mut rng,
+                &["engineer", "teacher", "clerk", "driver", "manager"],
+            )),
             Value::Int(rng.gen_range(300..850)),
             Value::str(date((i % vocab::DAYS as usize) as u8)),
             Value::Float(rng.gen_range(0.0..1.0)),
@@ -503,8 +512,8 @@ pub fn generate(config: &TlcConfig) -> Result<Database> {
                 Value::Bool(rng.gen_bool(0.5)),
                 Value::Float(rng.gen_range(4.7..6.9)),
                 Value::Int(rng.gen_range(2_500..5_500)),
-                Value::Int([64, 128, 256, 512][rng.gen_range(0..4)]),
-                Value::Int([4, 6, 8, 12][rng.gen_range(0..4)]),
+                Value::Int([64, 128, 256, 512][rng.gen_range(0..4usize)]),
+                Value::Int([4, 6, 8, 12][rng.gen_range(0..4usize)]),
                 Value::Bool(rng.gen_bool(0.2)),
                 Value::Bool(rng.gen_bool(0.25)),
                 Value::Float(rng.gen_range(0.0..400.0)),
@@ -533,7 +542,10 @@ pub fn generate(config: &TlcConfig) -> Result<Database> {
                 Value::Float(rng.gen_range(0.0..50.0)),
                 Value::Bool(rng.gen_bool(0.1)),
                 Value::Bool(rng.gen_bool(0.05)),
-                Value::str(pick(&mut rng, &["network", "billing_error", "agent", "device"])),
+                Value::str(pick(
+                    &mut rng,
+                    &["network", "billing_error", "agent", "device"],
+                )),
                 Value::str(pick(&mut rng, &["voice", "data", "billing", "roaming"])),
                 Value::Bool(rng.gen_bool(0.2)),
                 Value::Bool(rng.gen_bool(0.07)),
@@ -569,7 +581,10 @@ mod tests {
         let config = TlcConfig::at_scale(1);
         let db = generate(&config).unwrap();
         assert_eq!(db.table_names().len(), 12);
-        assert_eq!(db.table("customer").unwrap().row_count(), config.customers());
+        assert_eq!(
+            db.table("customer").unwrap().row_count(),
+            config.customers()
+        );
         assert_eq!(db.table("call").unwrap().row_count(), config.calls());
         assert_eq!(db.table("region_info").unwrap().row_count(), 5);
         assert_eq!(db.table("plan_catalog").unwrap().row_count(), 50);
@@ -580,13 +595,19 @@ mod tests {
     fn generation_is_deterministic_per_seed() {
         let a = generate(&TlcConfig::at_scale(1)).unwrap();
         let b = generate(&TlcConfig::at_scale(1)).unwrap();
-        assert_eq!(a.table("call").unwrap().rows()[0], b.table("call").unwrap().rows()[0]);
+        assert_eq!(
+            a.table("call").unwrap().rows()[0],
+            b.table("call").unwrap().rows()[0]
+        );
         let c = generate(&TlcConfig {
             scale_factor: 1,
             seed: 99,
         })
         .unwrap();
-        assert_ne!(a.table("call").unwrap().rows()[5], c.table("call").unwrap().rows()[5]);
+        assert_ne!(
+            a.table("call").unwrap().rows()[5],
+            c.table("call").unwrap().rows()[5]
+        );
     }
 
     #[test]

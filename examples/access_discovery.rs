@@ -39,7 +39,10 @@ fn main() -> Result<()> {
         .iter()
         .filter(|sql| system.check(sql).map(|r| r.covered).unwrap_or(false))
         .count();
-    println!("\n{covered} of {} workload queries are covered by the discovered schema", workload.len());
+    println!(
+        "\n{covered} of {} workload queries are covered by the discovered schema",
+        workload.len()
+    );
 
     // Incremental maintenance: insert new call records and keep indices fresh.
     let mut db = db;

@@ -15,7 +15,10 @@ fn main() -> Result<()> {
     let system = BeasSystem::with_schema(db, beas::tlc::tlc_access_schema())?;
 
     let mut covered = 0usize;
-    println!("{:<4} {:<9} {:>9} {:>16} {:>14}  description", "id", "mode", "answers", "tuples accessed", "deduced bound");
+    println!(
+        "{:<4} {:<9} {:>9} {:>16} {:>14}  description",
+        "id", "mode", "answers", "tuples accessed", "deduced bound"
+    );
     for q in beas::tlc::all_queries() {
         let report = system.check(&q.sql)?;
         let outcome = system.execute_sql(&q.sql)?;

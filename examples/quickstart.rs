@@ -22,7 +22,11 @@ fn main() -> Result<()> {
 
     // 2. Register the TLC access schema and build its constraint indices.
     let access_schema = beas::tlc::tlc_access_schema();
-    println!("\naccess schema ({} constraints):\n{}", access_schema.len(), access_schema);
+    println!(
+        "\naccess schema ({} constraints):\n{}",
+        access_schema.len(),
+        access_schema
+    );
     let system = BeasSystem::with_schema(db, access_schema)?;
 
     // 3. Check bounded evaluability of Example 2's query and show the plan.
@@ -59,7 +63,12 @@ fn main() -> Result<()> {
     println!(
         "\nanswers:\n{}",
         beas::common::tuple::render_rows(
-            &outcome.schema.fields().iter().map(|f| f.name.clone()).collect::<Vec<_>>(),
+            &outcome
+                .schema
+                .fields()
+                .iter()
+                .map(|f| f.name.clone())
+                .collect::<Vec<_>>(),
             &outcome.rows
         )
     );

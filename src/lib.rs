@@ -43,11 +43,29 @@ pub use beas_sql as sql;
 pub use beas_storage as storage;
 pub use beas_tlc as tlc;
 
+// `beas_core` and `beas_engine` both expose `plan`, `planner` and `executor`
+// modules — the bounded layer and the conventional layer mirror each other by
+// design.  Re-export each family under a distinct top-level name so callers
+// can reach either without spelling out `beas::core::plan` vs
+// `beas::engine::plan`, and so no pair of facade re-exports collides.
+pub use beas_core::{
+    executor as bounded_executor, plan as bounded_plan, planner as bounded_planner,
+};
+pub use beas_engine::{
+    executor as engine_executor, plan as engine_plan, planner as engine_planner,
+};
+
 /// Commonly used items, for glob import in examples and applications.
+///
+/// Every name here is re-exported exactly once (selective re-exports, never
+/// two globs over the mirrored `core`/`engine` module trees), so
+/// `use beas::prelude::*` can never produce an ambiguous-name error.
 pub mod prelude {
     pub use beas_access::{AccessConstraint, AccessSchema};
-    pub use beas_common::{BeasError, DataType, Result, Row, Schema, TableSchema, Value};
-    pub use beas_core::{BeasSystem, ExecutionOutcome};
-    pub use beas_engine::{Engine, OptimizerProfile};
-    pub use beas_storage::Database;
+    pub use beas_common::{BeasError, DataType, Date, Result, Row, Schema, TableSchema, Value};
+    pub use beas_core::{
+        BeasSystem, BoundedPlan, CheckReport, CoverageResult, EvaluationMode, ExecutionOutcome,
+    };
+    pub use beas_engine::{Engine, ExecutionMetrics, LogicalPlan, OptimizerProfile, QueryResult};
+    pub use beas_storage::{Database, Table};
 }

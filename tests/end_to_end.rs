@@ -142,7 +142,12 @@ fn discovered_schema_supports_bounded_evaluation() {
         if system.check(&q.sql).unwrap().covered {
             let outcome = system.execute_sql(&q.sql).unwrap();
             let baseline = engine.run(system.database(), &q.sql).unwrap();
-            assert_eq!(sorted(outcome.rows), sorted(distinct(baseline.rows)), "{}", q.id);
+            assert_eq!(
+                sorted(outcome.rows),
+                sorted(distinct(baseline.rows)),
+                "{}",
+                q.id
+            );
         }
     }
 }

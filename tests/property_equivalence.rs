@@ -22,7 +22,9 @@ fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
 
 fn distinct(rows: Vec<Row>) -> Vec<Row> {
     let mut seen = std::collections::HashSet::new();
-    rows.into_iter().filter(|r| seen.insert(r.clone())).collect()
+    rows.into_iter()
+        .filter(|r| seen.insert(r.clone()))
+        .collect()
 }
 
 fn build_system(seed: u64) -> BeasSystem {
