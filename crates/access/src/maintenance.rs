@@ -148,6 +148,11 @@ impl Maintainer {
     }
 
     /// Delete rows matching `predicate` from `table`, updating indices.
+    ///
+    /// Index repair is restricted to the buckets whose `X`-key appears among
+    /// the removed rows: each affected constraint rebuilds only those
+    /// buckets in one pass over the post-deletion table, without cloning the
+    /// remaining rows.
     pub fn delete_rows(
         &self,
         db: &mut Database,
@@ -158,11 +163,11 @@ impl Maintainer {
     ) -> Result<MaintenanceOutcome> {
         let table = table.to_ascii_lowercase();
         let removed = db.table_mut(&table)?.delete_where(predicate);
-        let remaining: Vec<Row> = db.table(&table)?.rows().to_vec();
-        for c in schema.for_table(&table) {
-            if let Some(idx) = indexes.get_mut(&c.id()) {
-                for (_, row) in &removed {
-                    idx.remove_row(row, &remaining);
+        if !removed.is_empty() {
+            let t = db.table(&table)?;
+            for c in schema.for_table(&table) {
+                if let Some(idx) = indexes.get_mut(&c.id()) {
+                    idx.remove_rows(removed.iter().map(|(_, row)| row), t);
                 }
             }
         }
@@ -363,6 +368,76 @@ mod tests {
             indexes.get(&id).unwrap().total_entries(),
             rebuilt.get(&id).unwrap().total_entries()
         );
+    }
+
+    #[test]
+    fn interleaved_insert_delete_batches_match_rebuild() {
+        let (mut db, mut schema, mut indexes) = setup();
+        let m = Maintainer::new(MaintenancePolicy::AutoAdjust);
+        let id = schema.constraints()[0].id();
+
+        // interleave insert and delete batches, checking full bucket-level
+        // equality with a from-scratch rebuild after every step
+        let steps: Vec<(&str, Vec<Row>)> = vec![
+            (
+                "insert",
+                vec![row("p2", "b"), row("p3", "a"), row("p3", "b")],
+            ),
+            ("delete-p1", vec![]),
+            (
+                "insert",
+                vec![row("p1", "x"), row("p1", "y"), row("p4", "a")],
+            ),
+            ("delete-b", vec![]),
+            ("insert", vec![row("p2", "c")]),
+            ("delete-p3", vec![]),
+        ];
+        for (step, rows) in steps {
+            match step {
+                "insert" => {
+                    m.insert_rows(&mut db, &mut schema, &mut indexes, "call", rows)
+                        .unwrap();
+                }
+                "delete-p1" => {
+                    m.delete_rows(&mut db, &schema, &mut indexes, "call", |r| {
+                        r[0] == Value::str("p1")
+                    })
+                    .unwrap();
+                }
+                "delete-b" => {
+                    m.delete_rows(&mut db, &schema, &mut indexes, "call", |r| {
+                        r[1] == Value::str("b")
+                    })
+                    .unwrap();
+                }
+                "delete-p3" => {
+                    m.delete_rows(&mut db, &schema, &mut indexes, "call", |r| {
+                        r[0] == Value::str("p3")
+                    })
+                    .unwrap();
+                }
+                _ => unreachable!(),
+            }
+            let rebuilt = build_indexes(&db, &schema).unwrap();
+            let maintained = indexes.get(&id).unwrap();
+            let reference = rebuilt.get(&id).unwrap();
+            // bucket-level equality, not just aggregate counts
+            assert_eq!(
+                maintained.sorted_entries(),
+                reference.sorted_entries(),
+                "divergence after step {step}"
+            );
+            assert_eq!(
+                maintained.observed_max_cardinality(),
+                reference.observed_max_cardinality(),
+                "max cardinality divergence after step {step}"
+            );
+        }
+        // deleting everything empties the index the same way
+        m.delete_rows(&mut db, &schema, &mut indexes, "call", |_| true)
+            .unwrap();
+        assert_eq!(indexes.get(&id).unwrap().total_entries(), 0);
+        assert_eq!(indexes.get(&id).unwrap().observed_max_cardinality(), 0);
     }
 
     #[test]

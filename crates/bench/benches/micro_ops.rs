@@ -1,10 +1,13 @@
 //! Micro-benchmarks of the individual BEAS components: coverage checking,
 //! bounded plan generation, single fetches through a constraint index,
-//! access-schema discovery and conformance checking.
+//! access-schema discovery and conformance checking — plus the baseline
+//! executor's hot paths (scan, join, distinct, sort+limit) over the shared
+//! pipelined row representation.
 
 use beas_access::{check_conformance, discover, DiscoveryConfig};
 use beas_bench::BenchEnv;
 use beas_common::Value;
+use beas_engine::OptimizerProfile;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -75,6 +78,32 @@ fn micro(c: &mut Criterion) {
                 .0
                 .len(),
             )
+        })
+    });
+
+    // Baseline-executor hot paths over the pipelined row representation:
+    // these are the operators the `RowRef` refactor targets (no full-table
+    // `to_vec` on the scan path, segment-concatenation joins, top-k sort
+    // under limit, clone-free distinct).
+    let run = |sql: &str| {
+        let (_, result) = env.run_baseline(OptimizerProfile::PgLike, sql);
+        result.rows.len()
+    };
+    group.bench_function("baseline_scan_filter", |b| {
+        b.iter(|| black_box(run("select recnum from call where region = 'east'")))
+    });
+    group.bench_function("baseline_hash_join_q1", |b| {
+        let q1 = env.q1();
+        b.iter(|| black_box(run(&q1)))
+    });
+    group.bench_function("baseline_distinct", |b| {
+        b.iter(|| black_box(run("select distinct region from call")))
+    });
+    group.bench_function("baseline_sort_limit_topk", |b| {
+        b.iter(|| {
+            black_box(run(
+                "select recnum, duration from call order by duration desc limit 10",
+            ))
         })
     });
     group.finish();

@@ -1,0 +1,227 @@
+//! Canonical equality-key normalization shared by every keyed path.
+//!
+//! Three different code paths hash or compare rows on equality keys: the
+//! baseline hash join, the baseline nested-loop join, and the bounded
+//! executor's `fetch` pipeline (via the constraint indices).  Historically
+//! each used a slightly different notion of equality — the hash join used
+//! structural [`Value`] map-key equality while the nested-loop join used the
+//! coercing [`Value::sql_cmp`], so a `'2016-07-04'` string key would join a
+//! `DATE` column under one algorithm but not the other.  This module is the
+//! single place where key equality is defined; all three paths normalize
+//! through it, so they agree by construction.
+//!
+//! Normalization rules (applied per key value):
+//!
+//! * strings that parse as strict `YYYY-MM-DD` dates become [`Value::Date`]
+//!   (date literals are written as strings in SQL, and the parse is
+//!   canonical: each date has exactly one string form, so two strings are
+//!   lexically equal iff their normalized forms are equal);
+//! * `-0.0` becomes `0.0` (they compare equal, so they must also hash equal);
+//! * integral floats within `i64` range become [`Value::Int`] so the numeric
+//!   family hashes uniformly (`Value`'s own `Eq`/`Hash` already treat
+//!   `Int(3)` and `Float(3.0)` as the same key — this keeps the invariant
+//!   visible and cheap);
+//! * everything else is kept as-is.
+//!
+//! [`joinable`] additionally defines which values participate in equi-joins
+//! at all: SQL `NULL` never equals anything (not even itself), and `NaN`
+//! compares as *unknown* under [`Value::sql_cmp`], so neither produces join
+//! matches on any path.
+
+use crate::value::Value;
+
+/// Exclusive upper bound of the `f64` values that round-trip through `i64`
+/// truncation: `2^63` is exactly representable, `i64::MAX` is not.
+const TWO_63: f64 = 9_223_372_036_854_775_808.0;
+
+/// Cheap structural pre-filter for `YYYY-MM-DD`: exactly the strings that
+/// could parse as a strict date, so non-date strings (the common case for
+/// key values) skip the parse attempt entirely.
+fn has_date_shape(s: &str) -> bool {
+    let b = s.as_bytes();
+    b.len() == 10
+        && b[4] == b'-'
+        && b[7] == b'-'
+        && b.iter()
+            .enumerate()
+            .all(|(i, c)| i == 4 || i == 7 || c.is_ascii_digit())
+}
+
+/// Whether a value is already in canonical key form, i.e.
+/// [`canonical_key_value`] would return it unchanged.  Lets hot lookup paths
+/// skip key reconstruction for the common all-canonical case.
+pub fn is_canonical_key_value(v: &Value) -> bool {
+    match v {
+        Value::Str(s) => !has_date_shape(s),
+        Value::Float(f) => !(*f == 0.0 || (f.fract() == 0.0 && *f >= -TWO_63 && *f < TWO_63)),
+        _ => true,
+    }
+}
+
+/// Normalize one key value to its canonical form for hashing/equality.
+///
+/// For any two non-NULL, non-NaN values `a` and `b`:
+/// `canonical_key_value(a) == canonical_key_value(b)` iff
+/// `a.sql_eq(&b) == Some(true)`.  This is the property the join-agreement
+/// property tests pin.
+pub fn canonical_key_value(v: &Value) -> Value {
+    match v {
+        Value::Str(s) if has_date_shape(s) => match s.parse::<crate::date::Date>() {
+            Ok(d) => Value::Date(d),
+            Err(_) => v.clone(),
+        },
+        Value::Float(f) => {
+            if *f == 0.0 {
+                // collapses -0.0 into +0.0
+                Value::Int(0)
+            } else if f.fract() == 0.0 && *f >= -TWO_63 && *f < TWO_63 {
+                Value::Int(*f as i64)
+            } else {
+                v.clone()
+            }
+        }
+        other => other.clone(),
+    }
+}
+
+/// Whether a value can match anything in an equi-join: NULL and NaN cannot.
+pub fn joinable(v: &Value) -> bool {
+    match v {
+        Value::Null => false,
+        Value::Float(f) => !f.is_nan(),
+        _ => true,
+    }
+}
+
+/// Build the canonical join key of `row` over the columns `indices`, or
+/// `None` if any key value is unjoinable (NULL / NaN, or out of bounds) —
+/// such rows produce no join matches on any path.
+pub fn join_key<R: crate::rowref::ValueRow + ?Sized>(
+    row: &R,
+    indices: &[usize],
+) -> Option<Vec<Value>> {
+    let mut key = Vec::with_capacity(indices.len());
+    for &i in indices {
+        let v = row.value_at(i)?;
+        if !joinable(v) {
+            return None;
+        }
+        key.push(canonical_key_value(v));
+    }
+    Some(key)
+}
+
+/// Canonicalize an index key in place-of: unlike [`join_key`] this keeps NULL
+/// (grouping semantics — a constraint index groups rows by key the way
+/// DISTINCT does, so NULL keys share a bucket).
+pub fn index_key(values: impl IntoIterator<Item = impl std::borrow::Borrow<Value>>) -> Vec<Value> {
+    values
+        .into_iter()
+        .map(|v| canonical_key_value(v.borrow()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::date::Date;
+
+    #[test]
+    fn date_strings_normalize_to_dates() {
+        let d = Value::Date(Date::new(2016, 7, 4).unwrap());
+        assert_eq!(canonical_key_value(&Value::str("2016-07-04")), d);
+        assert_eq!(canonical_key_value(&d), d);
+        // non-date strings stay strings
+        assert_eq!(canonical_key_value(&Value::str("abc")), Value::str("abc"));
+    }
+
+    #[test]
+    fn numeric_normalization_is_exact() {
+        assert_eq!(canonical_key_value(&Value::Float(3.0)), Value::Int(3));
+        assert_eq!(canonical_key_value(&Value::Float(-0.0)), Value::Int(0));
+        assert_eq!(canonical_key_value(&Value::Float(0.0)), Value::Int(0));
+        assert_eq!(canonical_key_value(&Value::Float(3.5)), Value::Float(3.5));
+        // 2^63 is not representable as i64 and must stay a float
+        let big = Value::Float(9.223372036854776e18);
+        assert_eq!(canonical_key_value(&big), big);
+        assert_eq!(
+            canonical_key_value(&Value::Float(f64::INFINITY)),
+            Value::Float(f64::INFINITY)
+        );
+    }
+
+    #[test]
+    fn canonical_matches_sql_eq() {
+        let pool = [
+            Value::Int(1),
+            Value::Int(0),
+            Value::Int(i64::MAX),
+            Value::Float(1.0),
+            Value::Float(-0.0),
+            Value::Float(2.5),
+            Value::Float(9.223372036854776e18),
+            Value::str("2016-07-04"),
+            Value::str("abc"),
+            Value::Date(Date::new(2016, 7, 4).unwrap()),
+            Value::Bool(true),
+        ];
+        for a in &pool {
+            for b in &pool {
+                let canon_eq = canonical_key_value(a) == canonical_key_value(b);
+                let sql_eq = a.sql_eq(b) == Some(true);
+                assert_eq!(canon_eq, sql_eq, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_detection_matches_canonicalization() {
+        let pool = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(42),
+            Value::Float(2.5),
+            Value::Float(3.0),
+            Value::Float(-0.0),
+            Value::Float(f64::NAN),
+            Value::str("bank"),
+            Value::str("2016-07-04"),
+            Value::str("2016-99-99"), // date-shaped but unparsable
+            Value::str("2016-07-4"),  // not date-shaped
+            Value::Date(Date::new(2016, 7, 4).unwrap()),
+        ];
+        for v in &pool {
+            if is_canonical_key_value(v) {
+                // fast-path values must be fixed points of canonicalization
+                // (total_cmp: NaN is a fixed point but never == itself)
+                assert_eq!(
+                    canonical_key_value(v).total_cmp(v),
+                    std::cmp::Ordering::Equal,
+                    "{v} not a fixed point"
+                );
+            }
+        }
+        assert!(is_canonical_key_value(&Value::str("bank")));
+        assert!(!is_canonical_key_value(&Value::str("2016-07-04")));
+        assert!(!is_canonical_key_value(&Value::Float(3.0)));
+        assert!(is_canonical_key_value(&Value::Float(2.5)));
+    }
+
+    #[test]
+    fn join_key_rejects_null_and_nan() {
+        let row = vec![Value::Int(1), Value::Null, Value::Float(f64::NAN)];
+        assert!(join_key(&row, &[0]).is_some());
+        assert!(join_key(&row, &[0, 1]).is_none());
+        assert!(join_key(&row, &[2]).is_none());
+        assert!(!joinable(&Value::Null));
+        assert!(!joinable(&Value::Float(f64::NAN)));
+        assert!(joinable(&Value::Int(1)));
+    }
+
+    #[test]
+    fn index_key_keeps_nulls() {
+        let key = index_key([Value::Null, Value::str("2016-07-04")]);
+        assert!(key[0].is_null());
+        assert_eq!(key[1].data_type(), Some(crate::types::DataType::Date));
+    }
+}

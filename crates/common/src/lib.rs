@@ -11,6 +11,8 @@
 
 pub mod date;
 pub mod error;
+pub mod key;
+pub mod rowref;
 pub mod schema;
 pub mod tuple;
 pub mod types;
@@ -18,6 +20,8 @@ pub mod value;
 
 pub use date::Date;
 pub use error::{BeasError, Result};
+pub use key::{canonical_key_value, index_key, is_canonical_key_value, join_key, joinable};
+pub use rowref::{dedupe, RowRef, RowSeg, ValueRow};
 pub use schema::{ColumnDef, ColumnRef, Field, Schema, TableSchema};
 pub use tuple::{Row, Tuple};
 pub use types::DataType;

@@ -357,7 +357,16 @@ impl Hash for Value {
             }
             Value::Float(f) => {
                 1u8.hash(state);
-                f.to_bits().hash(state);
+                // -0.0 == 0.0 under `eq`, so they must hash identically;
+                // canonicalize NaN bit patterns for the same reason.
+                let canonical = if *f == 0.0 {
+                    0.0f64
+                } else if f.is_nan() {
+                    f64::NAN
+                } else {
+                    *f
+                };
+                canonical.to_bits().hash(state);
             }
             Value::Str(s) => {
                 2u8.hash(state);
@@ -469,6 +478,20 @@ mod tests {
         set.insert(Value::Int(3));
         assert!(set.contains(&Value::Float(3.0)));
         assert!(!set.contains(&Value::Float(3.5)));
+    }
+
+    #[test]
+    fn eq_and_hash_consistent_for_signed_zero() {
+        use std::collections::HashSet;
+        assert_eq!(Value::Float(0.0), Value::Float(-0.0));
+        let mut set = HashSet::new();
+        set.insert(Value::Float(-0.0));
+        // eq values must hash equal, or sets/maps would keep both zeros
+        assert!(set.contains(&Value::Float(0.0)));
+        assert!(set.contains(&Value::Int(0)));
+        // NaN never equals anything (including itself), so inserts pile up —
+        // but canonical hashing keeps different NaN payloads in one bucket.
+        assert_ne!(Value::Float(f64::NAN), Value::Float(f64::NAN));
     }
 
     #[test]

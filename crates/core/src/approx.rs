@@ -17,12 +17,13 @@
 //!   processed, a deterministic lower bound on the fraction of the exact
 //!   answer set that was explored.
 
+use crate::executor::retain_matching;
 use crate::graph::QueryGraph;
 use crate::plan::{BoundedPlan, KeySource};
 use beas_access::AccessIndexes;
 use beas_common::{BeasError, Result, Row, Value};
 use beas_engine::{aggregate, ExecutionMetrics};
-use beas_sql::{evaluate, evaluate_predicate, BoundExpr, BoundQuery};
+use beas_sql::{evaluate, BoundExpr, BoundQuery};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
@@ -194,10 +195,9 @@ pub fn execute_with_budget(
         }
         for pred in &fetch.post_filters {
             let rewritten = crate::executor::rewrite_to_ctx(pred, query, graph, &new_schema)?;
-            new_rows.retain(|r| evaluate_predicate(&rewritten, r).unwrap_or(false));
+            new_rows = retain_matching(new_rows, &rewritten)?;
         }
-        let mut seen_rows = HashSet::new();
-        new_rows.retain(|r| seen_rows.insert(r.clone()));
+        new_rows = beas_common::dedupe(new_rows);
         metrics.record(
             format!("ApproxFetch({})", fetch.constraint.id()),
             new_rows.len() as u64,
@@ -208,10 +208,11 @@ pub fn execute_with_budget(
         rows = new_rows;
     }
 
-    // Finalization (same semantics as the exact bounded executor).
+    // Finalization (same semantics as the exact bounded executor, including
+    // predicate-error propagation).
     for pred in &plan.residual_predicates {
         let rewritten = crate::executor::rewrite_to_ctx(pred, query, graph, &schema)?;
-        rows.retain(|r| evaluate_predicate(&rewritten, r).unwrap_or(false));
+        rows = retain_matching(rows, &rewritten)?;
     }
     let mut out: Vec<Row>;
     if query.is_aggregate {
@@ -228,7 +229,7 @@ pub fn execute_with_budget(
         }
         let mut agg_rows = aggregate(&rows, &group_by, &aggs)?;
         if let Some(h) = &query.having {
-            agg_rows.retain(|r| evaluate_predicate(h, r).unwrap_or(false));
+            agg_rows = retain_matching(agg_rows, h)?;
         }
         out = Vec::new();
         for r in &agg_rows {

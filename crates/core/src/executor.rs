@@ -16,19 +16,25 @@
 use crate::graph::QueryGraph;
 use crate::plan::{BoundedPlan, KeySource, PlannedFetch};
 use beas_access::AccessIndexes;
-use beas_common::{BeasError, Field, Result, Row, Schema, Value};
+use beas_common::{dedupe, BeasError, Field, Result, Row, RowRef, Schema, Value};
 use beas_engine::{aggregate, ExecutionMetrics};
 use beas_sql::{evaluate, evaluate_predicate, BoundExpr, BoundQuery};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 
-/// The materialized context relation after all fetch steps.
+/// The context relation after all fetch steps.
+///
+/// Context rows are pipelined [`RowRef`]s whose segments borrow the partial
+/// tuples straight out of the constraint-index buckets (lifetime `'a` is the
+/// index's) — each fetch extends rows by appending segments instead of
+/// cloning every value through every stage.
 #[derive(Debug, Clone)]
-pub struct CtxResult {
+pub struct CtxResult<'a> {
     /// Schema of the context relation (fields carry their atom alias).
     pub schema: Schema,
     /// Distinct context rows.
-    pub rows: Vec<Row>,
+    pub rows: Vec<RowRef<'a>>,
     /// Per-operator metrics.
     pub metrics: ExecutionMetrics,
     /// Total (partial) tuples fetched through constraint indices.
@@ -48,16 +54,16 @@ pub struct BoundedExecution {
 
 /// Execute the fetch stages of a bounded plan, producing the context
 /// relation.  Used directly by partially bounded evaluation.
-pub fn execute_ctx(
+pub fn execute_ctx<'a>(
     plan: &BoundedPlan,
     query: &BoundQuery,
     graph: &QueryGraph,
-    indexes: &AccessIndexes,
-) -> Result<CtxResult> {
+    indexes: &'a AccessIndexes,
+) -> Result<CtxResult<'a>> {
     let mut metrics = ExecutionMetrics::new();
     let mut tuples_accessed: u64 = 0;
     let mut schema = Schema::empty();
-    let mut rows: Vec<Row> = vec![vec![]];
+    let mut rows: Vec<RowRef<'a>> = vec![RowRef::empty()];
     let start_all = Instant::now();
 
     for fetch in &plan.fetches {
@@ -67,9 +73,11 @@ pub fn execute_ctx(
         tuples_accessed += accessed;
 
         // Apply the predicates that became checkable after this fetch.
+        // Evaluation errors (e.g. a type error in a predicate) propagate,
+        // matching the baseline engine, instead of silently dropping rows.
         for pred in &fetch.post_filters {
             let rewritten = rewrite_to_ctx(pred, query, graph, &new_schema)?;
-            new_rows.retain(|r| evaluate_predicate(&rewritten, r).unwrap_or(false));
+            new_rows = retain_matching(new_rows, &rewritten)?;
         }
         // Set semantics: the context holds distinct rows.
         new_rows = dedupe(new_rows);
@@ -106,12 +114,13 @@ pub fn execute_bounded(
     let mut rows = ctx.rows;
     let schema = ctx.schema;
 
-    // Residual predicates spanning several atoms.
+    // Residual predicates spanning several atoms; errors propagate like the
+    // baseline's Filter operator.
     if !plan.residual_predicates.is_empty() {
         let t = Instant::now();
         for pred in &plan.residual_predicates {
             let rewritten = rewrite_to_ctx(pred, query, graph, &schema)?;
-            rows.retain(|r| evaluate_predicate(&rewritten, r).unwrap_or(false));
+            rows = retain_matching(rows, &rewritten)?;
         }
         metrics.record("ResidualFilter", rows.len() as u64, 0, t.elapsed());
     }
@@ -134,7 +143,7 @@ pub fn execute_bounded(
         }
         let mut agg_rows = aggregate(&rows, &group_by, &aggregates)?;
         if let Some(h) = &query.having {
-            agg_rows.retain(|r| evaluate_predicate(h, r).unwrap_or(false));
+            agg_rows = retain_matching(agg_rows, h)?;
         }
         out = Vec::with_capacity(agg_rows.len());
         for r in &agg_rows {
@@ -188,16 +197,40 @@ pub fn execute_bounded(
     })
 }
 
+/// Keep the rows satisfying `pred`, propagating evaluation errors — the
+/// baseline engine's Filter semantics.  Shared by the exact bounded executor
+/// and the resource-bounded approximation so neither swallows type errors.
+pub(crate) fn retain_matching<R: beas_common::ValueRow>(
+    rows: Vec<R>,
+    pred: &BoundExpr,
+) -> Result<Vec<R>> {
+    let mut kept = Vec::with_capacity(rows.len());
+    for r in rows {
+        if evaluate_predicate(pred, &r)? {
+            kept.push(r);
+        }
+    }
+    Ok(kept)
+}
+
+/// Distinct fetch key → (shared X-prefix segment, borrowed index bucket).
+type FetchBuckets<'a> = HashMap<Vec<Value>, (Arc<[Value]>, &'a [Row])>;
+
 /// Run one fetch step: returns the extended schema, the joined rows and the
 /// number of partial tuples accessed.
-fn run_fetch(
+///
+/// The join is pipelined: every output row is the context row's segments
+/// plus one shared `Arc` segment for the key's X-values plus one segment
+/// borrowing the partial tuple straight out of the index bucket.  Neither
+/// the bucket nor the context row is cloned value-by-value.
+fn run_fetch<'a>(
     fetch: &PlannedFetch,
     query: &BoundQuery,
     graph: &QueryGraph,
-    indexes: &AccessIndexes,
+    indexes: &'a AccessIndexes,
     schema: &Schema,
-    rows: &[Row],
-) -> Result<(Schema, Vec<Row>, u64)> {
+    rows: &[RowRef<'a>],
+) -> Result<(Schema, Vec<RowRef<'a>>, u64)> {
     let index = indexes.for_constraint(&fetch.constraint).ok_or_else(|| {
         BeasError::execution(format!(
             "no index built for access constraint {}",
@@ -245,7 +278,10 @@ fn run_fetch(
         }
     }
 
-    // Collect the distinct keys across all context rows.
+    // Collect the distinct keys across all context rows.  Keys are
+    // canonicalized through the shared key module (`beas_common::key`) so
+    // the lookup agrees with the index and with the baseline joins on
+    // numeric/date coercion.
     let mut distinct_keys: Vec<Vec<Value>> = Vec::new();
     let mut seen_keys: HashSet<Vec<Value>> = HashSet::new();
     let mut row_keys: Vec<Vec<Vec<Value>>> = Vec::with_capacity(rows.len());
@@ -255,7 +291,12 @@ fn run_fetch(
             let raw: Vec<Value> = match (k, ctx_idx) {
                 (KeySource::Constant(v), _) => vec![v.clone()],
                 (KeySource::Constants(vs), _) => vs.clone(),
-                (KeySource::Ctx(_, _), Some(i)) => vec![row[*i].clone()],
+                (KeySource::Ctx(_, _), Some(i)) => {
+                    vec![row
+                        .get(*i)
+                        .cloned()
+                        .ok_or_else(|| BeasError::execution("context key out of bounds"))?]
+                }
                 (KeySource::Ctx(_, _), None) => unreachable!("resolved above"),
             };
             let options: Vec<Value> = raw
@@ -265,6 +306,7 @@ fn run_fetch(
                         Ok(v)
                     } else {
                         v.cast(*key_type)
+                            .map(|c| beas_common::canonical_key_value(&c))
                     }
                 })
                 .collect::<Result<_>>()?;
@@ -286,13 +328,17 @@ fn run_fetch(
         row_keys.push(alternatives);
     }
 
-    // Fetch each distinct key once, counting accessed partial tuples.
-    let mut buckets: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
+    // Fetch each distinct key once, counting accessed partial tuples.  The
+    // bucket slices are borrowed from the index — no copy — and the key's
+    // X-prefix becomes a single shared segment reused by every joined row.
+    let x_len = fetch.constraint.x.len();
+    let mut buckets: FetchBuckets<'a> = HashMap::new();
     let mut accessed: u64 = 0;
     for key in &distinct_keys {
         let bucket = index.fetch(key);
         accessed += bucket.len() as u64;
-        buckets.insert(key.clone(), bucket.to_vec());
+        let x_prefix: Arc<[Value]> = key[..x_len].to_vec().into();
+        buckets.insert(key.clone(), (x_prefix, bucket));
     }
 
     // Extend the schema with the fetched atom's X and Y attributes.
@@ -316,17 +362,16 @@ fn run_fetch(
     let new_schema = Schema::new(new_fields);
 
     // Join: every context row × its candidate keys × the key's bucket.
-    let x_len = fetch.constraint.x.len();
     let mut new_rows = Vec::new();
     for (row, keys) in rows.iter().zip(&row_keys) {
         for key in keys {
-            let Some(bucket) = buckets.get(key) else {
+            let Some((x_prefix, bucket)) = buckets.get(key) else {
                 continue;
             };
-            for partial in bucket {
+            for partial in *bucket {
                 let mut out = row.clone();
-                out.extend(key.iter().take(x_len).cloned());
-                out.extend(partial.iter().cloned());
+                out.push_shared(Arc::clone(x_prefix));
+                out.push_slice(partial);
                 new_rows.push(out);
             }
         }
@@ -432,17 +477,6 @@ fn substitute(expr: &BoundExpr, subs: &HashMap<usize, BoundExpr>) -> BoundExpr {
             negated: *negated,
         },
     }
-}
-
-fn dedupe(rows: Vec<Row>) -> Vec<Row> {
-    let mut seen = HashSet::new();
-    let mut out = Vec::with_capacity(rows.len());
-    for r in rows {
-        if seen.insert(r.clone()) {
-            out.push(r);
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -654,6 +688,28 @@ mod tests {
         let plan = generate_bounded_plan(&bound, &graph, &coverage).unwrap();
         let empty = AccessIndexes::new();
         assert!(execute_bounded(&plan, &bound, &graph, &empty).is_err());
+    }
+
+    #[test]
+    fn type_error_predicates_propagate_like_the_baseline() {
+        // `region` is a Str column; comparing it to an Int is a runtime type
+        // error.  The bounded executor used to swallow it via
+        // `unwrap_or(false)` and silently return an empty answer while the
+        // baseline errored — the two engines must fail identically instead.
+        let (db, schema, indexes) = setup();
+        let sql = "select recnum from call \
+                   where pnum = 'b1' and date = '2016-07-04' and region > 5";
+        let bound = Binder::new(&db).bind(&parse_select(sql).unwrap()).unwrap();
+        let graph = QueryGraph::build(&bound).unwrap();
+        let coverage = Checker::new(&schema).check(&bound, &graph);
+        assert!(coverage.covered, "not covered: {:?}", coverage.reasons);
+        let plan = generate_bounded_plan(&bound, &graph, &coverage).unwrap();
+        let bounded = execute_bounded(&plan, &bound, &graph, &indexes);
+        let baseline = beas_engine::Engine::default().run(&db, sql);
+        let bounded_err = bounded.expect_err("bounded must propagate the type error");
+        let baseline_err = baseline.expect_err("baseline must propagate the type error");
+        assert_eq!(bounded_err.kind(), baseline_err.kind());
+        assert_eq!(bounded_err.kind(), "type");
     }
 
     #[test]

@@ -15,9 +15,9 @@ use crate::graph::QueryGraph;
 use crate::planner::generate_plan_for_steps;
 use beas_common::{BeasError, ColumnDef, Result, Row, TableSchema, Value};
 use beas_engine::{Engine, ExecutionMetrics};
-use beas_sql::{Binder, BoundQuery};
+use beas_sql::{AggregateFunction, Binder, BoundQuery};
 use beas_storage::Database;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashSet};
 
 /// The result of a partially bounded execution.
 #[derive(Debug, Clone)]
@@ -78,6 +78,16 @@ pub fn execute_partially_bounded(
     //    distinct partial tuples the bounded stage produced (columns the
     //    query does not need are NULL — by definition of coverage the
     //    residual query never reads them).
+    //
+    //    The bounded stage only knows *distinct* tuples, so for queries
+    //    whose answer depends on input multiplicities (bag-sensitive
+    //    aggregates like COUNT(*)/SUM, or non-DISTINCT projections) a
+    //    relation may only be swapped for its distinct subset when that
+    //    provably loses nothing — i.e. when the needed-column projection of
+    //    the base table is duplicate-free.  Otherwise the reduction would
+    //    silently change answer values (e.g. COUNT(*) = 1 instead of 2 when
+    //    two base rows share one partial tuple).
+    let bag_sensitive = multiplicity_matters(query);
     let mut reduced = Database::new();
     let mut reduced_relations = Vec::new();
     let covered: BTreeSet<usize> = coverage.covered_atoms.clone();
@@ -97,7 +107,13 @@ pub fn execute_partially_bounded(
         if reduced.has_table(&table.table) {
             continue;
         }
-        if covered.contains(&idx) && all_occurrences_covered {
+        // short-circuit: the duplicate-freeness scan only runs for atoms
+        // that are actually candidates for reduction
+        if covered.contains(&idx)
+            && all_occurrences_covered
+            && (!bag_sensitive
+                || projection_is_duplicate_free(db, &table.table, &graph.atoms[idx].needed)?)
+        {
             let schema = nullable_copy(&table.schema);
             reduced.create_table(schema)?;
             let rows = materialize_atom(&ctx, query, graph, idx)?;
@@ -125,10 +141,52 @@ pub fn execute_partially_bounded(
     })
 }
 
+/// Whether the query's answer depends on input multiplicities.  Distinct
+/// projections and distinct-safe aggregates (MIN / MAX / COUNT DISTINCT —
+/// the same set the checker admits for fully bounded plans) are insensitive
+/// to duplicate rows; everything else is bag-sensitive.
+fn multiplicity_matters(query: &BoundQuery) -> bool {
+    if query.is_aggregate {
+        query.aggregates.iter().any(|a| {
+            !(matches!(a.func, AggregateFunction::Min | AggregateFunction::Max)
+                || (a.func == AggregateFunction::Count && a.distinct))
+        })
+    } else {
+        !query.distinct
+    }
+}
+
+/// Whether projecting `table` onto its `needed` columns is duplicate-free,
+/// i.e. replacing the relation by its distinct needed-tuples provably
+/// preserves join and aggregate multiplicities.  One pass, no row copies.
+fn projection_is_duplicate_free(
+    db: &Database,
+    table: &str,
+    needed: &BTreeSet<String>,
+) -> Result<bool> {
+    let t = db.table(table)?;
+    let idx: Vec<usize> = needed
+        .iter()
+        .map(|c| {
+            t.schema()
+                .column_index(c)
+                .ok_or_else(|| BeasError::plan(format!("unknown needed column {c:?}")))
+        })
+        .collect::<Result<_>>()?;
+    let mut seen: HashSet<Vec<&Value>> = HashSet::with_capacity(t.row_count());
+    for (_, row) in t.iter() {
+        let proj: Vec<&Value> = idx.iter().map(|&i| &row[i]).collect();
+        if !seen.insert(proj) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
 /// The distinct rows of one covered atom, reconstructed from the context
 /// relation at full table arity (unneeded columns NULL).
 fn materialize_atom(
-    ctx: &crate::executor::CtxResult,
+    ctx: &crate::executor::CtxResult<'_>,
     query: &BoundQuery,
     graph: &QueryGraph,
     atom: usize,
@@ -155,21 +213,16 @@ fn materialize_atom(
             )));
         }
     }
-    let mut out = Vec::new();
-    let mut seen = std::collections::HashSet::new();
-    for row in &ctx.rows {
-        let projected: Row = positions
+    let projected = ctx.rows.iter().map(|row| {
+        positions
             .iter()
             .map(|p| match p {
-                Some(i) => row[*i].clone(),
+                Some(i) => row.get(*i).cloned().unwrap_or(Value::Null),
                 None => Value::Null,
             })
-            .collect();
-        if seen.insert(projected.clone()) {
-            out.push(projected);
-        }
-    }
-    Ok(out)
+            .collect::<Row>()
+    });
+    Ok(beas_common::dedupe(projected))
 }
 
 /// Copy of a table schema with every column nullable (reduced relations carry
@@ -311,6 +364,36 @@ mod tests {
         assert_eq!(partial.tuples_fetched, 0);
         let baseline = engine.run(&db, sql).unwrap();
         assert_eq!(partial.rows.len(), baseline.rows.len());
+    }
+
+    #[test]
+    fn bag_sensitive_reduction_is_skipped_when_duplicates_exist() {
+        // Duplicate one business row: its needed-column projection is no
+        // longer duplicate-free, so swapping `business` for its distinct
+        // partial tuples would halve p0's contribution to SUM().  The
+        // partial evaluator must detect this and keep the full relation.
+        let (mut db, schema, _) = setup();
+        db.insert(
+            "business",
+            vec![Value::str("p0"), Value::str("bank"), Value::str("r0")],
+        )
+        .unwrap();
+        let indexes = build_indexes(&db, &schema).unwrap();
+        let engine = Engine::default();
+        let sql = "select c.region, sum(c.duration) as total from call c, business b \
+                   where b.type = 'bank' and b.region = 'r0' and b.pnum = c.pnum \
+                   and c.date = '2016-07-04' group by c.region order by c.region";
+        let bound = Binder::new(&db).bind(&parse_select(sql).unwrap()).unwrap();
+        let graph = QueryGraph::build(&bound).unwrap();
+        let coverage = Checker::new(&schema).check(&bound, &graph);
+        assert!(!coverage.covered);
+        let partial =
+            execute_partially_bounded(&db, &engine, &bound, &graph, &coverage, &indexes).unwrap();
+        let baseline = engine.run(&db, sql).unwrap();
+        // answers agree — the duplicated bank double-counts on both paths
+        assert_eq!(partial.rows, baseline.rows);
+        // and the unsound reduction was skipped
+        assert!(partial.reduced_relations.is_empty());
     }
 
     #[test]

@@ -1,16 +1,32 @@
-//! Materialized executor for baseline logical plans.
+//! Pipelined executor for baseline logical plans.
 //!
-//! Each operator consumes fully-materialized input batches and produces an
-//! output batch, recording per-operator metrics (rows produced, base-table
-//! tuples accessed, wall-clock time).  The executor is deliberately
-//! conventional: scans read whole tables, joins touch every input row — the
-//! behaviour whose cost grows with `|D|` and which bounded evaluation avoids.
+//! Operators exchange batches of [`RowRef`]s — the shared row representation
+//! from `beas_common` — instead of owned `Vec<Vec<Value>>` batches:
+//!
+//! * **Scan** yields one borrowed `RowRef` per table row; the table is never
+//!   copied (the old executor started every query with `t.rows().to_vec()`).
+//! * **Join** concatenates the two sides by appending row segments; no value
+//!   is cloned per output row.  Both join algorithms derive their keys from
+//!   the shared canonical form in [`beas_common::key`], so hash join and
+//!   nested-loop join agree on numeric/date coercion by construction.
+//! * **Sort + Limit** collapses into a bounded top-k heap, and a limit hint
+//!   is pushed down through `Project`/`Filter`/`Distinct` so upstream
+//!   operators stop producing once the limit is satisfied (a `Scan` under a
+//!   pushed-down limit reads only `k` tuples).
+//! * **Distinct** hashes the `RowRef`s themselves; duplicate elimination
+//!   clones segment lists (a few pointers), not values.
+//!
+//! The executor remains deliberately conventional in *what* it computes:
+//! scans read whole tables and joins touch every input row — the behaviour
+//! whose cost grows with `|D|` and which bounded evaluation avoids.  Rows
+//! materialize back into owned `Vec<Value>` form only at the query boundary.
 
 use crate::metrics::ExecutionMetrics;
 use crate::plan::{JoinAlgorithm, LogicalPlan};
-use beas_common::{BeasError, Result, Row, Value};
+use beas_common::{join_key, BeasError, Result, Row, RowRef, Value};
 use beas_sql::{evaluate, evaluate_predicate, Accumulator, BoundAggregate, BoundExpr};
 use beas_storage::Database;
+use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -21,21 +37,42 @@ pub fn execute(
     metrics: &mut ExecutionMetrics,
 ) -> Result<Vec<Row>> {
     let start = Instant::now();
-    let rows = execute_node(plan, db, metrics)?;
+    let rows = execute_node(plan, db, metrics, None)?;
+    // Single materialization point: pipelined rows become owned rows only
+    // when they leave the executor.
+    let out: Vec<Row> = rows.iter().map(|r| r.to_row()).collect();
     metrics.elapsed = start.elapsed();
-    Ok(rows)
+    Ok(out)
 }
 
-fn execute_node(
+/// Execute one plan node.  `limit` is the pushed-down row-count hint: when
+/// `Some(k)`, the parent will discard everything after the first `k` output
+/// rows, so order-preserving operators may stop early.
+///
+/// Stopping early gives LIMIT the *lazy prefix* semantics of production
+/// engines: rows that can never appear in the answer are not processed, so a
+/// runtime error (e.g. a type error) lurking in such a row is not raised.
+/// The bounded executor evaluates its whole (already bounded) context, so
+/// under a LIMIT the two engines agree on answers but may differ on whether
+/// a doomed row's error surfaces — the error-parity guarantee is pinned for
+/// the un-limited case (`type_error_predicates_propagate_like_the_baseline`).
+fn execute_node<'a>(
     plan: &LogicalPlan,
-    db: &Database,
+    db: &'a Database,
     metrics: &mut ExecutionMetrics,
-) -> Result<Vec<Row>> {
+    limit: Option<usize>,
+) -> Result<Vec<RowRef<'a>>> {
     match plan {
         LogicalPlan::Scan { table, alias, .. } => {
             let start = Instant::now();
             let t = db.table(table)?;
-            let rows: Vec<Row> = t.rows().to_vec();
+            let take = limit.unwrap_or(usize::MAX);
+            let rows: Vec<RowRef<'a>> = t
+                .rows()
+                .iter()
+                .take(take)
+                .map(|r| RowRef::borrowed(r))
+                .collect();
             let n = rows.len() as u64;
             let label = if table == alias {
                 format!("SeqScan({table})")
@@ -46,10 +83,16 @@ fn execute_node(
             Ok(rows)
         }
         LogicalPlan::Filter { input, predicate } => {
-            let rows = execute_node(input, db, metrics)?;
+            // The hint cannot pass through (the filter drops rows), but the
+            // filter itself can stop once it has produced `k` survivors.
+            let rows = execute_node(input, db, metrics, None)?;
             let start = Instant::now();
+            let cap = limit.unwrap_or(usize::MAX);
             let mut out = Vec::new();
             for row in rows {
+                if out.len() >= cap {
+                    break;
+                }
                 if evaluate_predicate(predicate, &row)? {
                     out.push(row);
                 }
@@ -69,12 +112,14 @@ fn execute_node(
             algorithm,
             ..
         } => {
-            let left_rows = execute_node(left, db, metrics)?;
-            let right_rows = execute_node(right, db, metrics)?;
+            let left_rows = execute_node(left, db, metrics, None)?;
+            let right_rows = execute_node(right, db, metrics, None)?;
             let start = Instant::now();
             let out = match algorithm {
-                JoinAlgorithm::Hash if !keys.is_empty() => hash_join(&left_rows, &right_rows, keys),
-                _ => nested_loop_join(&left_rows, &right_rows, keys)?,
+                JoinAlgorithm::Hash if !keys.is_empty() => {
+                    hash_join(&left_rows, &right_rows, keys, limit)
+                }
+                _ => nested_loop_join(&left_rows, &right_rows, keys, limit),
             };
             metrics.record(
                 format!("{}(keys={})", algorithm.name(), keys.len()),
@@ -90,14 +135,21 @@ fn execute_node(
             aggregates,
             ..
         } => {
-            let rows = execute_node(input, db, metrics)?;
+            // Aggregation must consume all input; only the *output* groups
+            // can be cut at the limit (first-seen group order is preserved).
+            let rows = execute_node(input, db, metrics, None)?;
             let start = Instant::now();
-            let out = aggregate(&rows, group_by, aggregates)?;
+            let mut out = aggregate(&rows, group_by, aggregates)?;
+            if let Some(k) = limit {
+                out.truncate(k);
+            }
+            let out: Vec<RowRef<'a>> = out.into_iter().map(RowRef::owned).collect();
             metrics.record("HashAggregate", out.len() as u64, 0, start.elapsed());
             Ok(out)
         }
         LogicalPlan::Project { input, exprs, .. } => {
-            let rows = execute_node(input, db, metrics)?;
+            // Projection is 1:1, so the limit hint passes straight through.
+            let rows = execute_node(input, db, metrics, limit)?;
             let start = Instant::now();
             let mut out = Vec::with_capacity(rows.len());
             for row in &rows {
@@ -105,17 +157,22 @@ fn execute_node(
                 for (e, _) in exprs {
                     projected.push(evaluate(e, row)?);
                 }
-                out.push(projected);
+                out.push(RowRef::owned(projected));
             }
             metrics.record("Project", out.len() as u64, 0, start.elapsed());
             Ok(out)
         }
         LogicalPlan::Distinct { input } => {
-            let rows = execute_node(input, db, metrics)?;
+            let rows = execute_node(input, db, metrics, None)?;
             let start = Instant::now();
+            let cap = limit.unwrap_or(usize::MAX);
             let mut seen = std::collections::HashSet::new();
             let mut out = Vec::new();
             for row in rows {
+                if out.len() >= cap {
+                    break;
+                }
+                // Cloning a RowRef copies its segment list, not its values.
                 if seen.insert(row.clone()) {
                     out.push(row);
                 }
@@ -124,37 +181,110 @@ fn execute_node(
             Ok(out)
         }
         LogicalPlan::Sort { input, keys } => {
-            let mut rows = execute_node(input, db, metrics)?;
+            let rows = execute_node(input, db, metrics, None)?;
             let start = Instant::now();
-            rows.sort_by(|a, b| {
-                for (idx, asc) in keys {
-                    let ord = a[*idx].total_cmp(&b[*idx]);
-                    let ord = if *asc { ord } else { ord.reverse() };
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
+            let cmp = |a: &RowRef<'a>, b: &RowRef<'a>| sort_cmp(a, b, keys);
+            let rows = match limit {
+                // Sort under a limit: bounded top-k heap instead of a full
+                // O(n log n) sort of the whole input.
+                Some(k) if k < rows.len() => top_k_by(rows, k, cmp),
+                _ => {
+                    let mut rows = rows;
+                    rows.sort_by(cmp);
+                    rows
                 }
-                std::cmp::Ordering::Equal
-            });
+            };
             metrics.record("Sort", rows.len() as u64, 0, start.elapsed());
             Ok(rows)
         }
-        LogicalPlan::Limit { input, limit } => {
-            let mut rows = execute_node(input, db, metrics)?;
+        LogicalPlan::Limit { input, limit: k } => {
+            let k = *k as usize;
+            let mut rows = execute_node(input, db, metrics, Some(k))?;
             let start = Instant::now();
-            rows.truncate(*limit as usize);
-            metrics.record(
-                format!("Limit({limit})"),
-                rows.len() as u64,
-                0,
-                start.elapsed(),
-            );
+            rows.truncate(k);
+            metrics.record(format!("Limit({k})"), rows.len() as u64, 0, start.elapsed());
             Ok(rows)
         }
     }
 }
 
-fn hash_join(left: &[Row], right: &[Row], keys: &[(usize, usize)]) -> Vec<Row> {
+/// Compare two rows on the sort keys `(column index, ascending)`.
+fn sort_cmp(a: &RowRef<'_>, b: &RowRef<'_>, keys: &[(usize, bool)]) -> Ordering {
+    for (idx, asc) in keys {
+        let av = a.get(*idx).expect("sort key within row arity");
+        let bv = b.get(*idx).expect("sort key within row arity");
+        let ord = av.total_cmp(bv);
+        let ord = if *asc { ord } else { ord.reverse() };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// The `k` smallest items under `cmp`, in ascending order, via a bounded
+/// max-heap: the root is the worst row currently kept, and better rows
+/// replace it.  O(n log k) comparisons and O(k) memory beyond the input.
+///
+/// *Stable*: ties under `cmp` are broken by input position, so the output is
+/// exactly `sort_by(cmp)` (a stable sort) followed by `truncate(k)` — the
+/// answer must not depend on which execution strategy the limit hint picked.
+fn top_k_by<T>(items: Vec<T>, k: usize, mut cmp: impl FnMut(&T, &T) -> Ordering) -> Vec<T> {
+    if k == 0 {
+        return Vec::new();
+    }
+    // (input position, item); the position makes the order strict, which is
+    // what stability means for a selection algorithm.
+    let mut full = |a: &(usize, T), b: &(usize, T)| cmp(&a.1, &b.1).then(a.0.cmp(&b.0));
+    let mut heap: Vec<(usize, T)> = Vec::with_capacity(k);
+    for entry in items.into_iter().enumerate() {
+        if heap.len() < k {
+            heap.push(entry);
+            // sift up
+            let mut i = heap.len() - 1;
+            while i > 0 {
+                let parent = (i - 1) / 2;
+                if full(&heap[i], &heap[parent]) == Ordering::Greater {
+                    heap.swap(i, parent);
+                    i = parent;
+                } else {
+                    break;
+                }
+            }
+        } else if full(&entry, &heap[0]) == Ordering::Less {
+            heap[0] = entry;
+            // sift down
+            let mut i = 0;
+            loop {
+                let (l, r) = (2 * i + 1, 2 * i + 2);
+                let mut largest = i;
+                if l < heap.len() && full(&heap[l], &heap[largest]) == Ordering::Greater {
+                    largest = l;
+                }
+                if r < heap.len() && full(&heap[r], &heap[largest]) == Ordering::Greater {
+                    largest = r;
+                }
+                if largest == i {
+                    break;
+                }
+                heap.swap(i, largest);
+                i = largest;
+            }
+        }
+    }
+    heap.sort_by(|a, b| full(a, b));
+    heap.into_iter().map(|(_, item)| item).collect()
+}
+
+/// Hash join over pipelined rows.  Keys are canonicalized through
+/// [`beas_common::key`], so the algorithms agree on coercion; output rows are
+/// segment concatenations, not value copies.  `limit` cuts the output prefix.
+fn hash_join<'a>(
+    left: &[RowRef<'a>],
+    right: &[RowRef<'a>],
+    keys: &[(usize, usize)],
+    limit: Option<usize>,
+) -> Vec<RowRef<'a>> {
     // Build on the smaller side to keep memory in check; probe with the other.
     let build_right = right.len() <= left.len();
     let (build, probe) = if build_right {
@@ -175,21 +305,17 @@ fn hash_join(left: &[Row], right: &[Row], keys: &[(usize, usize)]) -> Vec<Row> {
 
     let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
     for (i, row) in build.iter().enumerate() {
-        let key: Vec<Value> = build_key_idx.iter().map(|&k| row[k].clone()).collect();
-        if key.iter().any(|v| v.is_null()) {
-            continue; // NULL keys never join
+        // NULL / NaN keys never join
+        if let Some(key) = join_key(row, &build_key_idx) {
+            table.entry(key).or_default().push(i);
         }
-        table.entry(key).or_default().push(i);
     }
+    let cap = limit.unwrap_or(usize::MAX);
     let mut out = Vec::new();
-    for probe_row in probe {
-        let key: Vec<Value> = probe_key_idx
-            .iter()
-            .map(|&k| probe_row[k].clone())
-            .collect();
-        if key.iter().any(|v| v.is_null()) {
+    'probe: for probe_row in probe {
+        let Some(key) = join_key(probe_row, &probe_key_idx) else {
             continue;
-        }
+        };
         if let Some(matches) = table.get(&key) {
             for &i in matches {
                 let build_row = &build[i];
@@ -198,43 +324,64 @@ fn hash_join(left: &[Row], right: &[Row], keys: &[(usize, usize)]) -> Vec<Row> {
                 } else {
                     (build_row, probe_row)
                 };
-                let mut joined = lrow.clone();
-                joined.extend(rrow.iter().cloned());
-                out.push(joined);
+                out.push(lrow.concat(rrow));
+                if out.len() >= cap {
+                    break 'probe;
+                }
             }
         }
     }
     out
 }
 
-fn nested_loop_join(left: &[Row], right: &[Row], keys: &[(usize, usize)]) -> Result<Vec<Row>> {
+/// Nested-loop join.  Keys go through the same canonical form as
+/// [`hash_join`], so the two algorithms return identical answers on every
+/// input — the property `hash_equals_nested_loop_on_mixed_keys` pins.
+fn nested_loop_join<'a>(
+    left: &[RowRef<'a>],
+    right: &[RowRef<'a>],
+    keys: &[(usize, usize)],
+    limit: Option<usize>,
+) -> Vec<RowRef<'a>> {
+    let left_idx: Vec<usize> = keys.iter().map(|(l, _)| *l).collect();
+    let right_idx: Vec<usize> = keys.iter().map(|(_, r)| *r).collect();
+    // Canonicalize each side's keys once instead of per pair.
+    let left_keys: Vec<Option<Vec<Value>>> = left.iter().map(|r| join_key(r, &left_idx)).collect();
+    let right_keys: Vec<Option<Vec<Value>>> =
+        right.iter().map(|r| join_key(r, &right_idx)).collect();
+    let cap = limit.unwrap_or(usize::MAX);
     let mut out = Vec::new();
-    for l in left {
-        for r in right {
-            let mut matches = true;
-            for (li, ri) in keys {
-                match l[*li].sql_eq(&r[*ri]) {
-                    Some(true) => {}
-                    _ => {
-                        matches = false;
-                        break;
-                    }
+    'outer: for (l, lk) in left.iter().zip(&left_keys) {
+        if keys.is_empty() {
+            // cross product
+            for r in right {
+                out.push(l.concat(r));
+                if out.len() >= cap {
+                    break 'outer;
                 }
             }
-            if matches {
-                let mut joined = l.clone();
-                joined.extend(r.iter().cloned());
-                out.push(joined);
+            continue;
+        }
+        let Some(lk) = lk else { continue };
+        for (r, rk) in right.iter().zip(&right_keys) {
+            if rk.as_ref() == Some(lk) {
+                out.push(l.concat(r));
+                if out.len() >= cap {
+                    break 'outer;
+                }
             }
         }
     }
-    Ok(out)
+    out
 }
 
 /// Group rows by `group_by` expressions and evaluate `aggregates` per group.
 /// Output rows are group-key values followed by aggregate results.
-pub fn aggregate(
-    rows: &[Row],
+///
+/// Generic over the row representation so the bounded executor can aggregate
+/// its pipelined context rows and tests can pass plain `Vec<Value>` rows.
+pub fn aggregate<R: beas_common::ValueRow>(
+    rows: &[R],
     group_by: &[BoundExpr],
     aggregates: &[BoundAggregate],
 ) -> Result<Vec<Row>> {
@@ -292,7 +439,10 @@ pub fn aggregate(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use beas_common::Date;
     use beas_sql::AggregateFunction;
+    use proptest::test_runner::Prng;
+    use proptest::{prop_assert, prop_assert_eq};
 
     fn rows() -> Vec<Row> {
         vec![
@@ -300,6 +450,10 @@ mod tests {
             vec![Value::str("east"), Value::Int(20)],
             vec![Value::str("west"), Value::Int(5)],
         ]
+    }
+
+    fn refs(rows: &[Row]) -> Vec<RowRef<'_>> {
+        rows.iter().map(|r| RowRef::borrowed(r)).collect()
     }
 
     #[test]
@@ -315,16 +469,19 @@ mod tests {
             vec![Value::Int(3), Value::str("z")],
             vec![Value::Null, Value::str("w")],
         ];
-        let out = hash_join(&left, &right, &[(0, 0)]);
+        let out = hash_join(&refs(&left), &refs(&right), &[(0, 0)], None);
         assert_eq!(out.len(), 2);
         for row in &out {
             assert_eq!(row.len(), 4);
-            assert_eq!(row[0], Value::Int(1));
+            assert_eq!(row.get(0), Some(&Value::Int(1)));
         }
         // same result regardless of which side is bigger (build-side swap)
-        let out2 = hash_join(&right, &left, &[(0, 0)]);
+        let out2 = hash_join(&refs(&right), &refs(&left), &[(0, 0)], None);
         assert_eq!(out2.len(), 2);
         assert_eq!(out2[0].len(), 4);
+        // limit cuts the output prefix
+        let out3 = hash_join(&refs(&left), &refs(&right), &[(0, 0)], Some(1));
+        assert_eq!(out3.len(), 1);
     }
 
     #[test]
@@ -335,12 +492,131 @@ mod tests {
             vec![Value::Int(2)],
         ];
         let right = vec![vec![Value::Int(2)], vec![Value::Int(3)]];
-        let h = hash_join(&left, &right, &[(0, 0)]);
-        let n = nested_loop_join(&left, &right, &[(0, 0)]).unwrap();
+        let h = hash_join(&refs(&left), &refs(&right), &[(0, 0)], None);
+        let n = nested_loop_join(&refs(&left), &refs(&right), &[(0, 0)], None);
         assert_eq!(h.len(), 2);
         assert_eq!(n.len(), 2);
-        let cross = nested_loop_join(&left, &right, &[]).unwrap();
+        let cross = nested_loop_join(&refs(&left), &refs(&right), &[], None);
         assert_eq!(cross.len(), 6);
+        let cross_cut = nested_loop_join(&refs(&left), &refs(&right), &[], Some(4));
+        assert_eq!(cross_cut.len(), 4);
+    }
+
+    #[test]
+    fn join_algorithms_coerce_dates_and_numerics_identically() {
+        // The historical divergence: '2016-07-04' (Str) vs DATE keys joined
+        // under nested-loop (sql_eq coerces) but not under hash join
+        // (structural map-key equality).  Both now use the canonical form.
+        let left = vec![
+            vec![Value::str("2016-07-04")],
+            vec![Value::Float(1.0)],
+            vec![Value::Float(f64::NAN)],
+        ];
+        let right = vec![
+            vec![Value::Date(Date::new(2016, 7, 4).unwrap())],
+            vec![Value::Int(1)],
+            vec![Value::Float(f64::NAN)],
+        ];
+        let h = hash_join(&refs(&left), &refs(&right), &[(0, 0)], None);
+        let n = nested_loop_join(&refs(&left), &refs(&right), &[(0, 0)], None);
+        // str-date joins date, float 1.0 joins int 1, NaN joins nothing
+        assert_eq!(h.len(), 2);
+        assert_eq!(n.len(), 2);
+        let sorted = |rows: &[RowRef<'_>]| {
+            let mut v: Vec<Row> = rows.iter().map(|r| r.to_row()).collect();
+            v.sort_by(|a, b| a[0].total_cmp(&b[0]));
+            v
+        };
+        assert_eq!(sorted(&h), sorted(&n));
+    }
+
+    /// Deterministic mixed-type join input for the equivalence proptest.
+    fn mixed_key_rows(rng: &mut Prng, n: usize) -> Vec<Row> {
+        (0..n)
+            .map(|_| {
+                let k = (rng.next_u64() % 5) as i64;
+                let key = match rng.next_u64() % 6 {
+                    0 => Value::Int(k),
+                    1 => Value::Float(k as f64),
+                    2 => Value::Float(k as f64 + 0.5),
+                    3 => Value::Date(Date::new(2016, 7, 1 + k as u8).unwrap()),
+                    4 => Value::str(format!("2016-07-0{}", 1 + k)),
+                    _ => Value::Null,
+                };
+                let payload = Value::Int((rng.next_u64() % 100) as i64);
+                vec![key, payload]
+            })
+            .collect()
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig { cases: 64, ..Default::default() })]
+
+        /// Satellite: hash join ≡ nested-loop join on mixed Int/Float/Date
+        /// (and date-string, NULL) keys — the two algorithms must return the
+        /// same multiset of rows for every input.
+        #[test]
+        fn hash_equals_nested_loop_on_mixed_keys(seed in 0u64..1_000_000, ln in 0usize..24, rn in 0usize..24) {
+            let mut rng = Prng::new(seed);
+            let left = mixed_key_rows(&mut rng, ln);
+            let right = mixed_key_rows(&mut rng, rn);
+            let h = hash_join(&refs(&left), &refs(&right), &[(0, 0)], None);
+            let n = nested_loop_join(&refs(&left), &refs(&right), &[(0, 0)], None);
+            let canon = |rows: &[RowRef<'_>]| {
+                let mut v: Vec<Row> = rows.iter().map(|r| r.to_row()).collect();
+                v.sort_by(|a, b| {
+                    a.iter()
+                        .zip(b.iter())
+                        .map(|(x, y)| x.total_cmp(y))
+                        .find(|o| *o != Ordering::Equal)
+                        .unwrap_or(Ordering::Equal)
+                });
+                v
+            };
+            let (hc, nc) = (canon(&h), canon(&n));
+            prop_assert_eq!(hc.len(), nc.len());
+            for (a, b) in hc.iter().zip(nc.iter()) {
+                // compare through total_cmp: rows may carry NaN, which is
+                // never == itself under Value's PartialEq
+                prop_assert!(a.iter().zip(b.iter()).all(|(x, y)| x.total_cmp(y) == Ordering::Equal));
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_returns_smallest_sorted() {
+        let items = vec![5, 1, 9, 3, 7, 2, 8];
+        let out = top_k_by(items.clone(), 3, |a, b| a.cmp(b));
+        assert_eq!(out, vec![1, 2, 3]);
+        // k >= n degrades to a full sort
+        let all = top_k_by(items.clone(), 10, |a, b| a.cmp(b));
+        assert_eq!(all, vec![1, 2, 3, 5, 7, 8, 9]);
+        assert!(top_k_by(items, 0, |a, b| a.cmp(b)).is_empty());
+        // descending comparator keeps the largest
+        let desc = top_k_by(vec![5, 1, 9, 3], 2, |a, b| b.cmp(a));
+        assert_eq!(desc, vec![9, 5]);
+    }
+
+    #[test]
+    fn top_k_is_stable_like_sort_then_truncate() {
+        // ties under the comparator must come out in input order, exactly as
+        // a stable sort + truncate would produce — the limit-hint execution
+        // strategy must not change the answer
+        let items: Vec<(i64, &str)> = vec![
+            (5, "b"),
+            (1, "a1"),
+            (1, "a2"),
+            (0, "z1"),
+            (1, "a3"),
+            (0, "z2"),
+        ];
+        for k in 0..=items.len() {
+            let via_heap = top_k_by(items.clone(), k, |a, b| a.0.cmp(&b.0));
+            let mut via_sort = items.clone();
+            via_sort.sort_by_key(|a| a.0);
+            via_sort.truncate(k);
+            assert_eq!(via_heap, via_sort, "k = {k}");
+        }
     }
 
     #[test]
@@ -372,6 +648,10 @@ mod tests {
             out[1],
             vec![Value::str("west"), Value::Int(1), Value::Int(5)]
         );
+        // identical through the pipelined representation
+        let base = rows();
+        let out2 = aggregate(&refs(&base), &group, &aggs).unwrap();
+        assert_eq!(out, out2);
     }
 
     #[test]
@@ -383,10 +663,10 @@ mod tests {
             display: "COUNT(*)".into(),
             output_type: beas_common::DataType::Int,
         }];
-        let out = aggregate(&[], &[], &aggs).unwrap();
+        let out = aggregate::<Row>(&[], &[], &aggs).unwrap();
         assert_eq!(out, vec![vec![Value::Int(0)]]);
         // grouped aggregate on empty input produces no rows
-        let out2 = aggregate(&[], &[BoundExpr::Column(0)], &aggs).unwrap();
+        let out2 = aggregate::<Row>(&[], &[BoundExpr::Column(0)], &aggs).unwrap();
         assert!(out2.is_empty());
     }
 }

@@ -7,7 +7,7 @@
 //! invariant the property tests rely on.
 
 use crate::ast::BinaryOperator;
-use beas_common::{BeasError, DataType, Result, Value};
+use beas_common::{BeasError, DataType, Result, Value, ValueRow};
 use std::cmp::Ordering;
 use std::collections::HashSet;
 use std::fmt;
@@ -216,12 +216,16 @@ impl fmt::Display for BoundExpr {
 }
 
 /// Evaluate a bound expression against a row.
-pub fn evaluate(expr: &BoundExpr, row: &[Value]) -> Result<Value> {
+///
+/// Generic over [`ValueRow`] so both executors can evaluate expressions
+/// directly on their pipelined [`beas_common::RowRef`] rows as well as on
+/// plain `Vec<Value>` rows, without materializing either.
+pub fn evaluate<R: ValueRow + ?Sized>(expr: &BoundExpr, row: &R) -> Result<Value> {
     match expr {
-        BoundExpr::Column(i) => row.get(*i).cloned().ok_or_else(|| {
+        BoundExpr::Column(i) => row.value_at(*i).cloned().ok_or_else(|| {
             BeasError::execution(format!(
                 "column #{i} out of bounds for row of arity {}",
-                row.len()
+                row.arity()
             ))
         }),
         BoundExpr::Literal(v) => Ok(v.clone()),
@@ -315,7 +319,7 @@ pub fn evaluate(expr: &BoundExpr, row: &[Value]) -> Result<Value> {
 }
 
 /// Evaluate a predicate expression, treating NULL (unknown) as `false`.
-pub fn evaluate_predicate(expr: &BoundExpr, row: &[Value]) -> Result<bool> {
+pub fn evaluate_predicate<R: ValueRow + ?Sized>(expr: &BoundExpr, row: &R) -> Result<bool> {
     Ok(evaluate(expr, row)?.is_truthy())
 }
 

@@ -8,8 +8,8 @@
 //! amount of data a bounded plan touches independent of `|D|`.
 
 use crate::table::{estimated_value_bytes, Table};
-use beas_common::{BeasError, Result, Row, Value};
-use std::collections::HashMap;
+use beas_common::{index_key, BeasError, Result, Row, Value};
+use std::collections::{HashMap, HashSet};
 
 /// The physical index structure backing one access constraint.
 #[derive(Debug, Clone)]
@@ -70,8 +70,21 @@ impl ConstraintIndex {
 
     /// Fetch the distinct `Y` partial tuples for one `X`-key — the primitive
     /// operation behind the bounded plan `fetch` operator.
+    ///
+    /// The key is canonicalized through the shared key module
+    /// (`beas_common::key`), so callers may pass e.g. a `'2016-07-04'`
+    /// string for a `DATE` key attribute and still hit the right bucket —
+    /// the same coercion rule the join paths use.
     pub fn fetch(&self, key: &[Value]) -> &[Row] {
-        self.buckets.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+        // Fast path: already-canonical keys (no date-shaped strings, no
+        // normalizable floats) look up directly without rebuilding the key.
+        if key.iter().all(beas_common::is_canonical_key_value) {
+            return self.buckets.get(key).map(|v| v.as_slice()).unwrap_or(&[]);
+        }
+        self.buckets
+            .get(&index_key(key))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Fetch for many keys, returning the union (with the number of partial
@@ -130,9 +143,14 @@ impl ConstraintIndex {
             .sum()
     }
 
+    /// The canonical bucket key of a base-table row.
+    fn x_key(&self, row: &Row) -> Vec<Value> {
+        index_key(self.x_indices.iter().map(|&i| &row[i]))
+    }
+
     /// Incrementally index one newly inserted base-table row.
     pub fn add_row(&mut self, row: &Row) {
-        let key: Vec<Value> = self.x_indices.iter().map(|&i| row[i].clone()).collect();
+        let key = self.x_key(row);
         let y: Row = self.y_indices.iter().map(|&i| row[i].clone()).collect();
         let bucket = self.buckets.entry(key).or_default();
         if !bucket.contains(&y) {
@@ -146,14 +164,15 @@ impl ConstraintIndex {
     /// `remaining_rows` must be the rows of the table *after* the deletion;
     /// the `Y`-value is only dropped from the bucket if no remaining row with
     /// the same `X`-key still carries it (several base rows can share the
-    /// same distinct partial tuple).
+    /// same distinct partial tuple).  For whole delete batches prefer
+    /// [`ConstraintIndex::remove_rows`], which repairs each affected bucket
+    /// once instead of rescanning the table per removed row.
     pub fn remove_row(&mut self, row: &Row, remaining_rows: &[Row]) {
-        let key: Vec<Value> = self.x_indices.iter().map(|&i| row[i].clone()).collect();
+        let key = self.x_key(row);
         let y: Row = self.y_indices.iter().map(|&i| row[i].clone()).collect();
-        let still_present = remaining_rows.iter().any(|r| {
-            self.x_indices.iter().map(|&i| &r[i]).eq(key.iter())
-                && self.y_indices.iter().map(|&i| &r[i]).eq(y.iter())
-        });
+        let still_present = remaining_rows
+            .iter()
+            .any(|r| self.x_key(r) == key && self.y_indices.iter().map(|&i| &r[i]).eq(y.iter()));
         if still_present {
             return;
         }
@@ -163,9 +182,62 @@ impl ConstraintIndex {
                 self.buckets.remove(&key);
             }
         }
-        // max_bucket is a high-water mark; recompute lazily only when asked
-        // for exact conformance after deletions.
+        // exact maximum must be recomputed after deletions (it can shrink)
         self.max_bucket = self.buckets.values().map(|b| b.len()).max().unwrap_or(0);
+    }
+
+    /// Repair the index after a batch of deletions.
+    ///
+    /// Only the buckets whose `X`-key appears among `removed` are touched:
+    /// those buckets are dropped and rebuilt from the post-deletion `table`
+    /// in a single pass.  Unaffected buckets — the overwhelming majority for
+    /// selective deletes — are left untouched, and no copy of the table is
+    /// made (the old maintenance path cloned every remaining row, then
+    /// rescanned that clone once per removed row).
+    pub fn remove_rows<'r>(&mut self, removed: impl IntoIterator<Item = &'r Row>, table: &Table) {
+        let affected: HashSet<Vec<Value>> = removed.into_iter().map(|r| self.x_key(r)).collect();
+        if affected.is_empty() {
+            return;
+        }
+        for key in &affected {
+            self.buckets.remove(key);
+        }
+        for (_, row) in table.iter() {
+            let key = self.x_key(row);
+            if affected.contains(&key) {
+                let y: Row = self.y_indices.iter().map(|&i| row[i].clone()).collect();
+                let bucket = self.buckets.entry(key).or_default();
+                if !bucket.contains(&y) {
+                    bucket.push(y);
+                }
+            }
+        }
+        // exact maximum must be recomputed after deletions (it can shrink)
+        self.max_bucket = self.buckets.values().map(|b| b.len()).max().unwrap_or(0);
+    }
+
+    /// Deterministic dump of the whole index — keys and bucket contents in
+    /// sorted order — used by tests to assert that incrementally maintained
+    /// indices equal indices rebuilt from scratch.
+    pub fn sorted_entries(&self) -> Vec<(Vec<Value>, Vec<Row>)> {
+        fn cmp_rows(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
+            a.iter()
+                .zip(b.iter())
+                .map(|(x, y)| x.total_cmp(y))
+                .find(|o| *o != std::cmp::Ordering::Equal)
+                .unwrap_or_else(|| a.len().cmp(&b.len()))
+        }
+        let mut out: Vec<(Vec<Value>, Vec<Row>)> = self
+            .buckets
+            .iter()
+            .map(|(k, b)| {
+                let mut b = b.clone();
+                b.sort_by(|x, y| cmp_rows(x, y));
+                (k.clone(), b)
+            })
+            .collect();
+        out.sort_by(|x, y| cmp_rows(&x.0, &y.0));
+        out
     }
 }
 

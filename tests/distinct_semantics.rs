@@ -1,0 +1,138 @@
+//! Set-semantics edge cases for `DISTINCT` / dedupe value hashing.
+//!
+//! Distinct answers flow through hash sets keyed by `Value`, so `Eq`/`Hash`
+//! consistency is load-bearing: `0.0` and `-0.0` compare equal and must
+//! collapse to one row, `NaN` never equals anything (itself included) and
+//! must not collapse, and `Int`-valued `Float`s share the numeric family's
+//! hash.  Each case is pinned on *both* execution paths — the bounded
+//! executor's context dedupe and the baseline engine's `Distinct` operator —
+//! which must agree row for row.
+
+use beas::common::{dedupe, ColumnDef};
+use beas::prelude::*;
+use std::cmp::Ordering;
+
+fn float_db() -> (Database, AccessSchema) {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "m",
+            vec![
+                ColumnDef::new("pnum", DataType::Str),
+                ColumnDef::new("val", DataType::Float),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    for v in [0.0, -0.0, f64::NAN, f64::NAN, 1.0, 1.0, 2.5] {
+        db.insert("m", vec![Value::str("a"), Value::Float(v)])
+            .unwrap();
+    }
+    db.insert("m", vec![Value::str("b"), Value::Float(3.0)])
+        .unwrap();
+    // A NaN-free table for predicates over the float column: the baseline
+    // full-scans its input, so a NaN anywhere in a compared column is a
+    // query-wide type error (NaN comparisons are "unknown" on both engines).
+    db.create_table(
+        TableSchema::new(
+            "z",
+            vec![
+                ColumnDef::new("pnum", DataType::Str),
+                ColumnDef::new("val", DataType::Float),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    for v in [0.0, -0.0, 7.5] {
+        db.insert("z", vec![Value::str("z"), Value::Float(v)])
+            .unwrap();
+    }
+    let schema = AccessSchema::from_constraints(vec![
+        AccessConstraint::new("m", &["pnum"], &["val"], 10).unwrap(),
+        AccessConstraint::new("z", &["pnum"], &["val"], 10).unwrap(),
+    ]);
+    (db, schema)
+}
+
+/// Rows may contain NaN, which is never `==` itself — compare via the total
+/// order instead.
+fn assert_same_rows(mut a: Vec<Row>, mut b: Vec<Row>) {
+    let cmp = |x: &Row, y: &Row| {
+        x.iter()
+            .zip(y.iter())
+            .map(|(u, v)| u.total_cmp(v))
+            .find(|o| *o != Ordering::Equal)
+            .unwrap_or_else(|| x.len().cmp(&y.len()))
+    };
+    a.sort_by(cmp);
+    b.sort_by(cmp);
+    assert_eq!(a.len(), b.len(), "row counts differ: {a:?} vs {b:?}");
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.len(), y.len());
+        assert!(
+            x.iter()
+                .zip(y.iter())
+                .all(|(u, v)| u.total_cmp(v) == Ordering::Equal),
+            "rows differ: {x:?} vs {y:?}"
+        );
+    }
+}
+
+#[test]
+fn distinct_float_edge_cases_agree_on_both_paths() {
+    let (db, schema) = float_db();
+    let sql = "select distinct val from m where pnum = 'a'";
+
+    let baseline = Engine::default().run(&db, sql).unwrap();
+    let system = BeasSystem::with_schema(db, schema).unwrap();
+    let outcome = system.execute_sql(sql).unwrap();
+    assert!(outcome.bounded);
+
+    // 0.0 and -0.0 collapse; the two NaNs do not; duplicate 1.0 collapses:
+    // {0.0, NaN, NaN, 1.0, 2.5}
+    assert_eq!(baseline.rows.len(), 5);
+    assert_same_rows(outcome.rows, baseline.rows);
+}
+
+#[test]
+fn group_by_collapses_signed_zero_on_both_paths() {
+    let (db, schema) = float_db();
+    // 0.0 and -0.0 must form ONE group of size 2 (eq values must hash equal)
+    let sql = "select val, count(*) from z where pnum = 'z' and val < 1 group by val";
+
+    let baseline = Engine::default().run(&db, sql).unwrap();
+    assert_eq!(baseline.rows.len(), 1);
+    assert_eq!(baseline.rows[0][1], Value::Int(2));
+
+    let system = BeasSystem::with_schema(db, schema).unwrap();
+    let outcome = system.execute_sql(sql).unwrap();
+    assert_same_rows(outcome.rows, baseline.rows);
+}
+
+#[test]
+fn dedupe_treats_int_valued_floats_as_one_key() {
+    // Int(1) and Float(1.0) compare equal and must therefore dedupe to a
+    // single row; Float(1.5) stays distinct.
+    let rows = vec![
+        vec![Value::Int(1)],
+        vec![Value::Float(1.0)],
+        vec![Value::Float(1.5)],
+        vec![Value::Int(1)],
+    ];
+    let out = dedupe(rows);
+    assert_eq!(out, vec![vec![Value::Int(1)], vec![Value::Float(1.5)]]);
+
+    // signed zero: one survivor across representations
+    let zeros = vec![
+        vec![Value::Float(-0.0)],
+        vec![Value::Float(0.0)],
+        vec![Value::Int(0)],
+    ];
+    assert_eq!(dedupe(zeros).len(), 1);
+
+    // NaN never equals itself: nothing collapses
+    let nans = vec![vec![Value::Float(f64::NAN)], vec![Value::Float(f64::NAN)]];
+    assert_eq!(dedupe(nans).len(), 2);
+}
