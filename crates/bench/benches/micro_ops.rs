@@ -92,6 +92,15 @@ fn micro(c: &mut Criterion) {
     group.bench_function("baseline_scan_filter", |b| {
         b.iter(|| black_box(run("select recnum from call where region = 'east'")))
     });
+    // The pull-based pipeline's headline win: a LIMIT under a filter stops
+    // the scan after ~20 rows instead of reading the whole call table.
+    group.bench_function("baseline_scan_filter_limit", |b| {
+        b.iter(|| {
+            black_box(run(
+                "select recnum from call where region = 'east' limit 10",
+            ))
+        })
+    });
     group.bench_function("baseline_hash_join_q1", |b| {
         let q1 = env.q1();
         b.iter(|| black_box(run(&q1)))

@@ -1,0 +1,81 @@
+//! Bench regression gate: compare a fresh criterion-shim JSON report
+//! against a committed baseline and fail (exit 1) when any benchmark
+//! slowed down by more than the allowed factor.
+//!
+//! ```text
+//! bench_gate <baseline.json> <current.json> [--max-ratio 2.0] [--min-ns 100000]
+//! ```
+//!
+//! Benchmarks whose baseline mean is below `--min-ns` are skipped (timer
+//! noise), and benchmarks present in only one report are reported but
+//! never fatal — suites may grow and shrink.
+
+use beas_bench::report::{gate, parse_report};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut max_ratio = 2.0f64;
+    let mut min_ns = 100_000u128;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--max-ratio" => {
+                i += 1;
+                max_ratio = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--max-ratio needs a number"));
+            }
+            "--min-ns" => {
+                i += 1;
+                min_ns = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--min-ns needs an integer"));
+            }
+            p => paths.push(p.to_string()),
+        }
+        i += 1;
+    }
+    if paths.len() != 2 {
+        usage::<()>("expected exactly two report paths");
+    }
+
+    let read = |path: &str| -> Vec<_> {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| usage(&format!("cannot read {path}: {e}")));
+        parse_report(&text).unwrap_or_else(|e| usage(&format!("cannot parse {path}: {e}")))
+    };
+    let baseline = read(&paths[0]);
+    let current = read(&paths[1]);
+
+    let report = gate(&baseline, &current, max_ratio, min_ns);
+    println!(
+        "bench gate: {} compared, {} skipped (baseline < {min_ns}ns), max ratio {max_ratio}x",
+        report.compared, report.skipped
+    );
+    for name in &report.missing {
+        println!("  note: {name} missing from current report");
+    }
+    if report.passed() {
+        println!("bench gate: PASS");
+        ExitCode::SUCCESS
+    } else {
+        for r in &report.regressions {
+            println!("  REGRESSION {r}");
+        }
+        println!(
+            "bench gate: FAIL ({} regressions)",
+            report.regressions.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn usage<T>(msg: &str) -> T {
+    eprintln!("bench_gate: {msg}");
+    eprintln!("usage: bench_gate <baseline.json> <current.json> [--max-ratio R] [--min-ns N]");
+    std::process::exit(2)
+}

@@ -15,6 +15,8 @@
 //! Shared setup helpers live here so binaries and benches measure the same
 //! configurations.
 
+pub mod report;
+
 use beas_core::BeasSystem;
 use beas_engine::{Engine, OptimizerProfile, QueryResult};
 use beas_storage::Database;

@@ -1,0 +1,215 @@
+//! Reading and comparing the criterion-shim JSON bench reports.
+//!
+//! The shim (`BEAS_BENCH_JSON=<path>`) writes a flat list of
+//! `{group, bench, mean_ns, iterations}` records.  This module parses that
+//! format (no JSON dependency — the format is ours) and implements the CI
+//! regression gate: comparing a fresh report against a committed baseline
+//! and flagging every benchmark that slowed down by more than an allowed
+//! factor.
+
+use std::fmt;
+
+/// One benchmark record from a shim JSON report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Benchmark group (e.g. `micro_ops`).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub bench: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: u128,
+}
+
+impl BenchRecord {
+    /// Fully qualified name, used for matching across reports.
+    pub fn qualified(&self) -> String {
+        format!("{}/{}", self.group, self.bench)
+    }
+}
+
+/// Parse a shim JSON report.  Unknown fields are ignored; records missing
+/// `group`, `bench` or `mean_ns` are rejected.
+pub fn parse_report(text: &str) -> Result<Vec<BenchRecord>, String> {
+    let mut out = Vec::new();
+    // Records never nest and never contain `{` / `}` inside strings (bench
+    // ids are identifiers and SQL-free), so object spans are delimited by
+    // the braces following the opening `[`.
+    let body = match text.find('[') {
+        Some(i) => &text[i..],
+        None => return Err("report has no benches array".to_string()),
+    };
+    let mut rest = body;
+    while let Some(start) = rest.find('{') {
+        let end = match rest[start..].find('}') {
+            Some(e) => start + e,
+            None => return Err("unterminated record".to_string()),
+        };
+        let obj = &rest[start + 1..end];
+        let group = string_field(obj, "group").ok_or("record missing group")?;
+        let bench = string_field(obj, "bench").ok_or("record missing bench")?;
+        let mean_ns = number_field(obj, "mean_ns").ok_or("record missing mean_ns")?;
+        out.push(BenchRecord {
+            group,
+            bench,
+            mean_ns,
+        });
+        rest = &rest[end + 1..];
+    }
+    Ok(out)
+}
+
+fn string_field(obj: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\"");
+    let at = obj.find(&marker)? + marker.len();
+    let after_colon = obj[at..].find(':')? + at + 1;
+    let open = obj[after_colon..].find('"')? + after_colon + 1;
+    let close = obj[open..].find('"')? + open;
+    Some(obj[open..close].to_string())
+}
+
+fn number_field(obj: &str, key: &str) -> Option<u128> {
+    let marker = format!("\"{key}\"");
+    let at = obj.find(&marker)? + marker.len();
+    let after_colon = obj[at..].find(':')? + at + 1;
+    let digits: String = obj[after_colon..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// A benchmark that slowed down past the allowed ratio.
+#[derive(Debug, Clone)]
+pub struct Regression {
+    /// Fully qualified bench name.
+    pub name: String,
+    /// Baseline mean (ns).
+    pub baseline_ns: u128,
+    /// Current mean (ns).
+    pub current_ns: u128,
+    /// current / baseline.
+    pub ratio: f64,
+}
+
+impl fmt::Display for Regression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}ns -> {}ns ({:.2}x)",
+            self.name, self.baseline_ns, self.current_ns, self.ratio
+        )
+    }
+}
+
+/// The outcome of gating `current` against `baseline`.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Benchmarks slower than the allowed ratio.
+    pub regressions: Vec<Regression>,
+    /// Benchmarks compared (present in both reports, above the floor).
+    pub compared: usize,
+    /// Baseline benchmarks skipped as too fast to gate reliably.
+    pub skipped: usize,
+    /// Baseline benchmarks absent from the current report.
+    pub missing: Vec<String>,
+}
+
+impl GateReport {
+    /// Whether the gate passes (no regressions).
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compare `current` against `baseline`: any benchmark whose current mean
+/// exceeds `max_ratio` × its baseline mean is a regression.  Benchmarks
+/// with a baseline mean below `min_ns` are skipped — sub-floor means are
+/// dominated by timer noise and would gate on jitter.  Benchmarks that
+/// exist only in one report are never failures (the suite may grow or
+/// shrink), but baseline entries missing from `current` are listed.
+pub fn gate(
+    baseline: &[BenchRecord],
+    current: &[BenchRecord],
+    max_ratio: f64,
+    min_ns: u128,
+) -> GateReport {
+    let mut report = GateReport::default();
+    for base in baseline {
+        let name = base.qualified();
+        let Some(cur) = current.iter().find(|c| c.qualified() == name) else {
+            report.missing.push(name);
+            continue;
+        };
+        if base.mean_ns < min_ns {
+            report.skipped += 1;
+            continue;
+        }
+        report.compared += 1;
+        let ratio = cur.mean_ns as f64 / base.mean_ns.max(1) as f64;
+        if ratio > max_ratio {
+            report.regressions.push(Regression {
+                name,
+                baseline_ns: base.mean_ns,
+                current_ns: cur.mean_ns,
+                ratio,
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "benches": [
+    {"group": "micro_ops", "bench": "a", "mean_ns": 1000000, "iterations": 20},
+    {"group": "micro_ops", "bench": "b", "mean_ns": 200, "iterations": 20},
+    {"group": "tlc_workload", "bench": "beas/Q1", "mean_ns": 5000000, "iterations": 10}
+  ]
+}"#;
+
+    #[test]
+    fn parses_shim_reports() {
+        let records = parse_report(SAMPLE).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].qualified(), "micro_ops/a");
+        assert_eq!(records[0].mean_ns, 1_000_000);
+        assert_eq!(records[2].bench, "beas/Q1");
+        assert!(parse_report("no array here").is_err());
+        assert!(parse_report("[{\"group\": \"g\"}]").is_err());
+        assert!(parse_report("[]").unwrap().is_empty());
+    }
+
+    #[test]
+    fn gate_flags_slowdowns_and_skips_noise() {
+        let baseline = parse_report(SAMPLE).unwrap();
+        let mut current = baseline.clone();
+        current[0].mean_ns = 2_500_000; // 2.5x slower
+        current[1].mean_ns = 100_000; // 500x slower but under the floor
+        let report = gate(&baseline, &current, 2.0, 100_000);
+        assert!(!report.passed());
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].name, "micro_ops/a");
+        assert!(report.regressions[0].ratio > 2.4);
+        assert_eq!(report.skipped, 1);
+        assert_eq!(report.compared, 2);
+        assert!(report.regressions[0].to_string().contains("2.50x"));
+    }
+
+    #[test]
+    fn gate_passes_within_ratio_and_reports_missing() {
+        let baseline = parse_report(SAMPLE).unwrap();
+        let mut current = baseline.clone();
+        current[0].mean_ns = 1_900_000; // 1.9x: within the 2x gate
+        current.remove(2);
+        let report = gate(&baseline, &current, 2.0, 100_000);
+        assert!(report.passed());
+        assert_eq!(report.missing, vec!["tlc_workload/beas/Q1".to_string()]);
+        // faster is never a regression
+        current[0].mean_ns = 10;
+        assert!(gate(&baseline, &current, 2.0, 100_000).passed());
+    }
+}

@@ -14,6 +14,7 @@ pub mod error;
 pub mod key;
 pub mod rowref;
 pub mod schema;
+pub mod stream;
 pub mod tuple;
 pub mod types;
 pub mod value;
@@ -23,6 +24,7 @@ pub use error::{BeasError, Result};
 pub use key::{canonical_key_value, index_key, is_canonical_key_value, join_key, joinable};
 pub use rowref::{dedupe, RowRef, RowSeg, ValueRow};
 pub use schema::{ColumnDef, ColumnRef, Field, Schema, TableSchema};
+pub use stream::{DedupeStream, FilterStream, MapStream, RowStream, TakeStream, VecStream};
 pub use tuple::{Row, Tuple};
 pub use types::DataType;
 pub use value::Value;

@@ -108,15 +108,14 @@ pub fn execute_with_budget(
                     (KeySource::Ctx(_, _), Some(i)) => vec![row[*i].clone()],
                     (KeySource::Ctx(_, _), None) => vec![Value::Null],
                 };
+                // NULL key values are dropped, matching the exact bounded
+                // executor: SQL equality never matches NULL, so a NULL key
+                // fetches nothing (the index's NULL bucket groups rows the
+                // baseline joins exclude).
                 let opts: Vec<Value> = opts
                     .into_iter()
-                    .map(|v| {
-                        if v.is_null() {
-                            v
-                        } else {
-                            v.cast(*kt).unwrap_or(v)
-                        }
-                    })
+                    .filter(|v| !v.is_null())
+                    .map(|v| v.cast(*kt).unwrap_or(v))
                     .collect();
                 let mut next = Vec::new();
                 for a in &alts {

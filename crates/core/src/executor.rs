@@ -16,12 +16,25 @@
 use crate::graph::QueryGraph;
 use crate::plan::{BoundedPlan, KeySource, PlannedFetch};
 use beas_access::AccessIndexes;
-use beas_common::{dedupe, BeasError, Field, Result, Row, RowRef, Schema, Value};
+use beas_common::{
+    dedupe, BeasError, DedupeStream, Field, FilterStream, Result, Row, RowRef, RowStream, Schema,
+    Value,
+};
 use beas_engine::{aggregate, ExecutionMetrics};
 use beas_sql::{evaluate, evaluate_predicate, BoundExpr, BoundQuery};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Minimum number of distinct fetch keys before the key set is partitioned
+/// across scoped worker threads.  Spawning a scope's worth of OS threads
+/// costs on the order of 100µs, and each key is only a canonicalized hash
+/// lookup (~100ns), so parallelism pays for itself only on key sets in the
+/// thousands — typical TLC fetches (tens to hundreds of keys) stay serial.
+const PARALLEL_FETCH_MIN_KEYS: usize = 1024;
+
+/// Upper bound on fetch worker threads.
+const PARALLEL_FETCH_MAX_WORKERS: usize = 8;
 
 /// The context relation after all fetch steps.
 ///
@@ -68,19 +81,9 @@ pub fn execute_ctx<'a>(
 
     for fetch in &plan.fetches {
         let start = Instant::now();
-        let (new_schema, mut new_rows, accessed) =
+        let (new_schema, new_rows, accessed) =
             run_fetch(fetch, query, graph, indexes, &schema, &rows)?;
         tuples_accessed += accessed;
-
-        // Apply the predicates that became checkable after this fetch.
-        // Evaluation errors (e.g. a type error in a predicate) propagate,
-        // matching the baseline engine, instead of silently dropping rows.
-        for pred in &fetch.post_filters {
-            let rewritten = rewrite_to_ctx(pred, query, graph, &new_schema)?;
-            new_rows = retain_matching(new_rows, &rewritten)?;
-        }
-        // Set semantics: the context holds distinct rows.
-        new_rows = dedupe(new_rows);
 
         metrics.record(
             format!("Fetch({})", fetch.constraint.id()),
@@ -216,13 +219,118 @@ pub(crate) fn retain_matching<R: beas_common::ValueRow>(
 /// Distinct fetch key → (shared X-prefix segment, borrowed index bucket).
 type FetchBuckets<'a> = HashMap<Vec<Value>, (Arc<[Value]>, &'a [Row])>;
 
-/// Run one fetch step: returns the extended schema, the joined rows and the
-/// number of partial tuples accessed.
+/// Fetch the buckets of `keys`, partitioning the key set across scoped
+/// worker threads when it is large enough to pay for them.
 ///
-/// The join is pipelined: every output row is the context row's segments
-/// plus one shared `Arc` segment for the key's X-values plus one segment
-/// borrowing the partial tuple straight out of the index bucket.  Neither
-/// the bucket nor the context row is cloned value-by-value.
+/// The merge is deterministic: workers own contiguous chunks of the key
+/// list and return buckets positionally aligned with their chunk, so the
+/// assembled map and the total access count are identical to a serial
+/// `fetch_buckets` over the whole list regardless of thread scheduling.
+fn fetch_buckets_keyed<'a>(
+    index: &'a beas_storage::ConstraintIndex,
+    keys: &[Vec<Value>],
+    x_len: usize,
+) -> (FetchBuckets<'a>, u64) {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(PARALLEL_FETCH_MAX_WORKERS);
+    let fetched: Vec<(Vec<&'a [Row]>, u64)> = if keys.len() < PARALLEL_FETCH_MIN_KEYS || workers < 2
+    {
+        vec![index.fetch_buckets(keys.iter().map(|k| k.as_slice()))]
+    } else {
+        let chunk = keys.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = keys
+                .chunks(chunk)
+                .map(|part| s.spawn(move || index.fetch_buckets(part.iter().map(|k| k.as_slice()))))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fetch worker panicked"))
+                .collect()
+        })
+    };
+    let mut buckets: FetchBuckets<'a> = HashMap::with_capacity(keys.len());
+    let mut accessed = 0u64;
+    let mut key_iter = keys.iter();
+    for (chunk_buckets, chunk_accessed) in fetched {
+        accessed += chunk_accessed;
+        for bucket in chunk_buckets {
+            let key = key_iter.next().expect("bucket per key");
+            let x_prefix: Arc<[Value]> = key[..x_len].to_vec().into();
+            buckets.insert(key.clone(), (x_prefix, bucket));
+        }
+    }
+    (buckets, accessed)
+}
+
+/// The pipelined fetch join: context rows × their candidate keys × the
+/// key's bucket, yielded lazily.  Every output row is the context row's
+/// segments plus one shared `Arc` segment for the key's X-values plus one
+/// segment borrowing the partial tuple straight out of the index bucket —
+/// neither the bucket nor the context row is cloned value-by-value.
+struct FetchJoinStream<'s, 'a> {
+    rows: &'s [RowRef<'a>],
+    row_keys: &'s [Vec<Vec<Value>>],
+    buckets: &'s FetchBuckets<'a>,
+    /// Cursor: (context row, candidate key of that row, position in bucket).
+    row: usize,
+    key: usize,
+    pos: usize,
+}
+
+impl<'s, 'a> FetchJoinStream<'s, 'a> {
+    fn new(
+        rows: &'s [RowRef<'a>],
+        row_keys: &'s [Vec<Vec<Value>>],
+        buckets: &'s FetchBuckets<'a>,
+    ) -> Self {
+        FetchJoinStream {
+            rows,
+            row_keys,
+            buckets,
+            row: 0,
+            key: 0,
+            pos: 0,
+        }
+    }
+}
+
+impl<'a> RowStream<'a> for FetchJoinStream<'_, 'a> {
+    fn next(&mut self) -> Result<Option<RowRef<'a>>> {
+        while self.row < self.rows.len() {
+            let keys = &self.row_keys[self.row];
+            while self.key < keys.len() {
+                if let Some((x_prefix, bucket)) = self.buckets.get(&keys[self.key]) {
+                    if self.pos < bucket.len() {
+                        let mut out = self.rows[self.row].clone();
+                        out.push_shared(Arc::clone(x_prefix));
+                        out.push_slice(&bucket[self.pos]);
+                        self.pos += 1;
+                        return Ok(Some(out));
+                    }
+                }
+                self.key += 1;
+                self.pos = 0;
+            }
+            self.row += 1;
+            self.key = 0;
+            self.pos = 0;
+        }
+        Ok(None)
+    }
+}
+
+/// Run one fetch step: returns the extended schema, the joined (filtered,
+/// deduplicated) rows and the number of partial tuples accessed.
+///
+/// The join → post-filter → dedupe chain runs as one pull-based pipeline
+/// over [`RowStream`] adapters: each joined row is checked against the
+/// predicates that became checkable after this fetch and deduplicated
+/// incrementally, without materializing the unfiltered join.  Evaluation
+/// errors (e.g. a type error in a predicate) propagate, matching the
+/// baseline engine, instead of silently dropping rows.
 fn run_fetch<'a>(
     fetch: &PlannedFetch,
     query: &BoundQuery,
@@ -281,7 +389,11 @@ fn run_fetch<'a>(
     // Collect the distinct keys across all context rows.  Keys are
     // canonicalized through the shared key module (`beas_common::key`) so
     // the lookup agrees with the index and with the baseline joins on
-    // numeric/date coercion.
+    // numeric/date coercion.  NULL key values are *dropped*: a fetch key
+    // stands for an equi-join (or equality predicate) on the constraint's X
+    // attributes, and SQL equality never matches NULL — whereas the index
+    // groups NULLs with DISTINCT semantics, so looking NULL up would
+    // resurrect exactly the rows the baseline joins exclude.
     let mut distinct_keys: Vec<Vec<Value>> = Vec::new();
     let mut seen_keys: HashSet<Vec<Value>> = HashSet::new();
     let mut row_keys: Vec<Vec<Vec<Value>>> = Vec::with_capacity(rows.len());
@@ -301,13 +413,11 @@ fn run_fetch<'a>(
             };
             let options: Vec<Value> = raw
                 .into_iter()
+                // NULL never equals anything: it contributes no key option
+                .filter(|v| !v.is_null())
                 .map(|v| {
-                    if v.is_null() {
-                        Ok(v)
-                    } else {
-                        v.cast(*key_type)
-                            .map(|c| beas_common::canonical_key_value(&c))
-                    }
+                    v.cast(*key_type)
+                        .map(|c| beas_common::canonical_key_value(&c))
                 })
                 .collect::<Result<_>>()?;
             let mut next = Vec::with_capacity(alternatives.len() * options.len());
@@ -318,6 +428,8 @@ fn run_fetch<'a>(
                     next.push(key);
                 }
             }
+            // a key position with no non-NULL option leaves the row keyless:
+            // it joins nothing, exactly like a NULL join key in the baseline
             alternatives = next;
         }
         for key in &alternatives {
@@ -331,15 +443,9 @@ fn run_fetch<'a>(
     // Fetch each distinct key once, counting accessed partial tuples.  The
     // bucket slices are borrowed from the index — no copy — and the key's
     // X-prefix becomes a single shared segment reused by every joined row.
+    // Large key sets are partitioned across scoped worker threads.
     let x_len = fetch.constraint.x.len();
-    let mut buckets: FetchBuckets<'a> = HashMap::new();
-    let mut accessed: u64 = 0;
-    for key in &distinct_keys {
-        let bucket = index.fetch(key);
-        accessed += bucket.len() as u64;
-        let x_prefix: Arc<[Value]> = key[..x_len].to_vec().into();
-        buckets.insert(key.clone(), (x_prefix, bucket));
-    }
+    let (buckets, accessed) = fetch_buckets_keyed(index, &distinct_keys, x_len);
 
     // Extend the schema with the fetched atom's X and Y attributes.
     let alias = &fetch.alias;
@@ -361,21 +467,20 @@ fn run_fetch<'a>(
     }
     let new_schema = Schema::new(new_fields);
 
-    // Join: every context row × its candidate keys × the key's bucket.
-    let mut new_rows = Vec::new();
-    for (row, keys) in rows.iter().zip(&row_keys) {
-        for key in keys {
-            let Some((x_prefix, bucket)) = buckets.get(key) else {
-                continue;
-            };
-            for partial in *bucket {
-                let mut out = row.clone();
-                out.push_shared(Arc::clone(x_prefix));
-                out.push_slice(partial);
-                new_rows.push(out);
-            }
-        }
+    // Join → post-filter → dedupe as one pull-based pipeline.
+    let mut filters = Vec::with_capacity(fetch.post_filters.len());
+    for pred in &fetch.post_filters {
+        filters.push(rewrite_to_ctx(pred, query, graph, &new_schema)?);
     }
+    let mut stream: Box<dyn RowStream<'a> + '_> =
+        Box::new(FetchJoinStream::new(rows, &row_keys, &buckets));
+    for pred in filters {
+        stream = Box::new(FilterStream::new(stream, move |row: &RowRef<'a>| {
+            evaluate_predicate(&pred, row)
+        }));
+    }
+    // Set semantics: the context holds distinct rows.
+    let new_rows = DedupeStream::new(stream).collect_rows()?;
     Ok((new_schema, new_rows, accessed))
 }
 
@@ -710,6 +815,154 @@ mod tests {
         let baseline_err = baseline.expect_err("baseline must propagate the type error");
         assert_eq!(bounded_err.kind(), baseline_err.kind());
         assert_eq!(bounded_err.kind(), "type");
+    }
+
+    #[test]
+    fn null_fetch_keys_join_nothing_like_the_baseline() {
+        // business.pnum is nullable; the fetch of `call` is keyed on the
+        // context's pnum values.  The constraint index groups NULLs
+        // (DISTINCT semantics), but SQL equality never matches NULL — a NULL
+        // context key must fetch nothing, exactly like the baseline join.
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "call",
+                vec![
+                    ColumnDef::nullable("pnum", DataType::Str),
+                    ColumnDef::new("recnum", DataType::Str),
+                    ColumnDef::new("date", DataType::Date),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new(
+                "business",
+                vec![
+                    ColumnDef::nullable("pnum", DataType::Str),
+                    ColumnDef::new("type", DataType::Str),
+                    ColumnDef::new("region", DataType::Str),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        // one bank with a NULL pnum — it must not join the NULL-pnum call
+        for (p, t, r) in [
+            (Value::str("b1"), "bank", "r0"),
+            (Value::Null, "bank", "r0"),
+        ] {
+            db.insert("business", vec![p, Value::str(t), Value::str(r)])
+                .unwrap();
+        }
+        for (p, rec) in [
+            (Value::str("b1"), "x"),
+            (Value::Null, "null-call"),
+            (Value::str("b2"), "y"),
+        ] {
+            db.insert("call", vec![p, Value::str(rec), Value::str("2016-07-04")])
+                .unwrap();
+        }
+        let schema = AccessSchema::from_constraints(vec![
+            AccessConstraint::new("call", &["pnum", "date"], &["recnum"], 500).unwrap(),
+            AccessConstraint::new("business", &["type", "region"], &["pnum"], 2000).unwrap(),
+        ]);
+        let indexes = build_indexes(&db, &schema).unwrap();
+        let sql = "select distinct call.recnum from call, business \
+                   where business.type = 'bank' and business.region = 'r0' \
+                   and business.pnum = call.pnum and call.date = '2016-07-04'";
+        let bound = Binder::new(&db).bind(&parse_select(sql).unwrap()).unwrap();
+        let graph = QueryGraph::build(&bound).unwrap();
+        let coverage = Checker::new(&schema).check(&bound, &graph);
+        assert!(coverage.covered, "not covered: {:?}", coverage.reasons);
+        let plan = generate_bounded_plan(&bound, &graph, &coverage).unwrap();
+        let bounded = execute_bounded(&plan, &bound, &graph, &indexes).unwrap();
+        let baseline = beas_engine::Engine::default().run(&db, sql).unwrap();
+        let canon = |mut rows: Vec<Row>| {
+            rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+            rows
+        };
+        assert_eq!(canon(bounded.rows.clone()), canon(baseline.rows));
+        // only the b1 call qualifies; the NULL-keyed call must be absent
+        assert_eq!(bounded.rows, vec![vec![Value::str("x")]]);
+    }
+
+    #[test]
+    fn parallel_fetch_over_many_keys_matches_baseline() {
+        // Enough distinct context keys to cross PARALLEL_FETCH_MIN_KEYS, so
+        // the second fetch partitions its key set across worker threads.
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "call",
+                vec![
+                    ColumnDef::new("pnum", DataType::Str),
+                    ColumnDef::new("recnum", DataType::Str),
+                    ColumnDef::new("date", DataType::Date),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new(
+                "business",
+                vec![
+                    ColumnDef::new("pnum", DataType::Str),
+                    ColumnDef::new("type", DataType::Str),
+                    ColumnDef::new("region", DataType::Str),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let n = PARALLEL_FETCH_MIN_KEYS * 3;
+        for i in 0..n {
+            db.insert(
+                "business",
+                vec![
+                    Value::str(format!("p{i}")),
+                    Value::str("bank"),
+                    Value::str("r0"),
+                ],
+            )
+            .unwrap();
+            for r in 0..2 {
+                db.insert(
+                    "call",
+                    vec![
+                        Value::str(format!("p{i}")),
+                        Value::str(format!("rec{i}_{r}")),
+                        Value::str("2016-07-04"),
+                    ],
+                )
+                .unwrap();
+            }
+        }
+        let schema = AccessSchema::from_constraints(vec![
+            AccessConstraint::new("call", &["pnum", "date"], &["recnum"], 10).unwrap(),
+            AccessConstraint::new("business", &["type", "region"], &["pnum"], 5000).unwrap(),
+        ]);
+        let indexes = build_indexes(&db, &schema).unwrap();
+        let sql = "select distinct call.recnum from call, business \
+                   where business.type = 'bank' and business.region = 'r0' \
+                   and business.pnum = call.pnum and call.date = '2016-07-04'";
+        let bound = Binder::new(&db).bind(&parse_select(sql).unwrap()).unwrap();
+        let graph = QueryGraph::build(&bound).unwrap();
+        let coverage = Checker::new(&schema).check(&bound, &graph);
+        assert!(coverage.covered, "not covered: {:?}", coverage.reasons);
+        let plan = generate_bounded_plan(&bound, &graph, &coverage).unwrap();
+        let bounded = execute_bounded(&plan, &bound, &graph, &indexes).unwrap();
+        assert_eq!(bounded.rows.len(), n * 2);
+        let baseline = beas_engine::Engine::default().run(&db, sql).unwrap();
+        let canon = |mut rows: Vec<Row>| {
+            rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+            rows
+        };
+        assert_eq!(canon(bounded.rows), canon(baseline.rows));
+        // every (pnum, date) bucket was fetched exactly once
+        assert_eq!(bounded.tuples_accessed, (n + n * 2) as u64);
     }
 
     #[test]

@@ -18,11 +18,17 @@ use crate::graph::QueryGraph;
 use crate::partial::execute_partially_bounded;
 use crate::plan::BoundedPlan;
 use crate::planner::generate_bounded_plan;
-use beas_access::{build_indexes, discover, AccessIndexes, AccessSchema, DiscoveryConfig};
+use beas_access::{
+    build_indexes, discover, AccessIndexes, AccessSchema, DiscoveryConfig, Maintainer,
+    MaintenanceOutcome, MaintenancePolicy,
+};
 use beas_common::{BeasError, Result, Row, Schema};
-use beas_engine::{Engine, ExecutionMetrics, OptimizerProfile};
+use beas_engine::{Engine, ExecutionMetrics, OptimizerProfile, PlanCacheStats};
 use beas_sql::{parse_select, Binder, BoundQuery};
 use beas_storage::Database;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// How a query was ultimately evaluated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +78,135 @@ pub struct CheckReport {
     pub coverage: CoverageResult,
 }
 
+/// A fully prepared query — the output of parse → bind → graph → check →
+/// plan, pinned at the database write generation it was computed against.
+/// Cached entries are shared (`Arc`), so a cache hit costs one hash lookup
+/// and no cloning.
+#[derive(Debug)]
+struct PreparedQuery {
+    /// `Database::generation()` at preparation time; a later generation
+    /// means maintenance wrote to the database and the entry is stale.
+    generation: u64,
+    query: BoundQuery,
+    graph: QueryGraph,
+    coverage: CoverageResult,
+    /// The bounded plan when the query is covered.
+    plan: Option<BoundedPlan>,
+}
+
+/// Keyed plan cache: normalized SQL text → prepared query.
+///
+/// TLC-style workloads repeat a handful of query shapes endlessly; without
+/// the cache every submission re-runs parse → bind → check → plan
+/// (`budget_check_q1` in `BENCH_micro.json` shows that cost).  Entries are
+/// validated against the database write generation on every lookup, so
+/// maintenance writes (inserts/deletes through the [`Maintainer`])
+/// invalidate them without any explicit hook.
+#[derive(Debug, Default)]
+struct PlanCache {
+    entries: Mutex<HashMap<String, Arc<PreparedQuery>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+/// Bound on cached entries; prevents unbounded growth under ad-hoc
+/// workloads (repeating workloads hold far fewer shapes than this).
+const PLAN_CACHE_CAP: usize = 256;
+
+impl PlanCache {
+    /// Fetch a live entry for `key`, counting the lookup.  A stale entry
+    /// (older generation) is evicted and counted as an invalidation.
+    fn lookup(&self, key: &str, generation: u64) -> Option<Arc<PreparedQuery>> {
+        let mut entries = self.entries.lock().expect("plan cache lock");
+        match entries.get(key) {
+            Some(entry) if entry.generation == generation => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(entry))
+            }
+            Some(_) => {
+                entries.remove(key);
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn insert(&self, key: String, entry: Arc<PreparedQuery>) {
+        let mut entries = self.entries.lock().expect("plan cache lock");
+        if entries.len() >= PLAN_CACHE_CAP {
+            entries.clear();
+        }
+        entries.insert(key, entry);
+    }
+
+    fn clear(&self) {
+        self.entries.lock().expect("plan cache lock").clear();
+    }
+
+    fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Normalize SQL text into a cache key: `--` line comments are dropped,
+/// whitespace runs collapse to one space, and everything *outside*
+/// single-quoted literals is lowercased, so reformatted or re-cased
+/// submissions of the same query share an entry.  Literal contents are
+/// preserved byte-for-byte — `'East'` and `'east'` are different queries.
+/// Comments must be stripped, not kept: an apostrophe inside one would
+/// otherwise flip the literal tracking and let different queries collide
+/// on one cache key.
+fn normalize_sql(sql: &str) -> String {
+    let mut out = String::with_capacity(sql.len());
+    let mut chars = sql.chars().peekable();
+    let mut in_literal = false;
+    let mut pending_space = false;
+    while let Some(c) = chars.next() {
+        if in_literal {
+            out.push(c);
+            if c == '\'' {
+                in_literal = false;
+            }
+            continue;
+        }
+        if c == '-' && chars.peek() == Some(&'-') {
+            // line comment (same rule as the lexer): acts as whitespace
+            for skipped in chars.by_ref() {
+                if skipped == '\n' {
+                    break;
+                }
+            }
+            pending_space = true;
+            continue;
+        }
+        if c.is_whitespace() {
+            pending_space = true;
+            continue;
+        }
+        if pending_space && !out.is_empty() {
+            out.push(' ');
+        }
+        pending_space = false;
+        if c == '\'' {
+            in_literal = true;
+            out.push(c);
+        } else {
+            out.extend(c.to_lowercase());
+        }
+    }
+    out
+}
+
 /// The BEAS system.
 #[derive(Debug)]
 pub struct BeasSystem {
@@ -79,6 +214,8 @@ pub struct BeasSystem {
     schema: AccessSchema,
     indexes: AccessIndexes,
     fallback: Engine,
+    plan_cache: PlanCache,
+    maintenance_policy: MaintenancePolicy,
 }
 
 impl BeasSystem {
@@ -90,6 +227,8 @@ impl BeasSystem {
             schema,
             indexes,
             fallback: Engine::new(OptimizerProfile::PgLike),
+            plan_cache: PlanCache::default(),
+            maintenance_policy: MaintenancePolicy::Strict,
         }
     }
 
@@ -136,29 +275,67 @@ impl BeasSystem {
         Binder::new(&self.db).bind(&stmt)
     }
 
-    /// Check whether `sql` is boundedly evaluable under the registered access
-    /// schema, without executing it.  When it is, the report carries the
-    /// bounded plan and its deduced bound.
-    pub fn check(&self, sql: &str) -> Result<CheckReport> {
+    /// Prepare `sql` — parse → bind → graph → coverage check → bounded plan
+    /// — through the keyed plan cache.  Repeated submissions of the same
+    /// (normalized) SQL against an unchanged database reuse the cached
+    /// result; a database write generation mismatch evicts the stale entry
+    /// and re-prepares.
+    fn prepare(&self, sql: &str) -> Result<Arc<PreparedQuery>> {
+        let key = normalize_sql(sql);
+        let generation = self.db.generation();
+        if let Some(entry) = self.plan_cache.lookup(&key, generation) {
+            return Ok(entry);
+        }
         let query = self.bind(sql)?;
         let graph = QueryGraph::build(&query)?;
         let coverage = Checker::new(&self.schema).check(&query, &graph);
-        if coverage.covered {
-            let plan = generate_bounded_plan(&query, &graph, &coverage)?;
-            Ok(CheckReport {
+        let plan = if coverage.covered {
+            Some(generate_bounded_plan(&query, &graph, &coverage)?)
+        } else {
+            None
+        };
+        let entry = Arc::new(PreparedQuery {
+            generation,
+            query,
+            graph,
+            coverage,
+            plan,
+        });
+        self.plan_cache.insert(key, Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Hit/miss/invalidation counters of the plan cache.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// Drop every cached plan (maintenance that changes the *access schema*
+    /// — e.g. bound adjustment — calls this; data writes are caught by the
+    /// write-generation check instead).
+    pub fn clear_plan_cache(&self) {
+        self.plan_cache.clear();
+    }
+
+    /// Check whether `sql` is boundedly evaluable under the registered access
+    /// schema, without executing it.  When it is, the report carries the
+    /// bounded plan and its deduced bound.  Served from the plan cache.
+    pub fn check(&self, sql: &str) -> Result<CheckReport> {
+        let prepared = self.prepare(sql)?;
+        Ok(match &prepared.plan {
+            Some(plan) => CheckReport {
                 covered: true,
                 deduced_bound: Some(plan.total_bound),
-                plan: Some(plan),
-                coverage,
-            })
-        } else {
-            Ok(CheckReport {
+                plan: Some(plan.clone()),
+                coverage: prepared.coverage.clone(),
+            },
+            None => CheckReport {
                 covered: false,
                 deduced_bound: None,
                 plan: None,
-                coverage,
-            })
-        }
+                coverage: prepared.coverage.clone(),
+            },
+        })
     }
 
     /// Whether `sql` can be answered by accessing at most `budget` tuples,
@@ -182,18 +359,39 @@ impl BeasSystem {
     }
 
     /// Execute `sql`: bounded when covered, partially bounded otherwise.
+    /// The parse → bind → check → plan stage is served from the plan cache.
     pub fn execute_sql(&self, sql: &str) -> Result<ExecutionOutcome> {
-        let query = self.bind(sql)?;
-        self.execute_bound_query(&query)
+        let prepared = self.prepare(sql)?;
+        self.execute_prepared(&prepared)
     }
 
-    /// Execute an already-bound query.
+    /// Execute an already-bound query (bypasses the plan cache — the query
+    /// was bound outside the system, so there is no SQL text to key on).
     pub fn execute_bound_query(&self, query: &BoundQuery) -> Result<ExecutionOutcome> {
         let graph = QueryGraph::build(query)?;
         let coverage = Checker::new(&self.schema).check(query, &graph);
-        if coverage.covered {
-            let plan = generate_bounded_plan(query, &graph, &coverage)?;
-            let result = execute_bounded(&plan, query, &graph, &self.indexes)?;
+        let plan = if coverage.covered {
+            Some(generate_bounded_plan(query, &graph, &coverage)?)
+        } else {
+            None
+        };
+        let prepared = PreparedQuery {
+            generation: self.db.generation(),
+            query: query.clone(),
+            graph,
+            coverage,
+            plan,
+        };
+        self.execute_prepared(&prepared)
+    }
+
+    /// Execute a prepared (possibly cached) query.
+    fn execute_prepared(&self, prepared: &PreparedQuery) -> Result<ExecutionOutcome> {
+        let query = &prepared.query;
+        let graph = &prepared.graph;
+        let coverage = &prepared.coverage;
+        if let Some(plan) = &prepared.plan {
+            let result = execute_bounded(plan, query, graph, &self.indexes)?;
             return Ok(ExecutionOutcome {
                 rows: result.rows,
                 schema: query.output_schema.clone(),
@@ -210,8 +408,8 @@ impl BeasSystem {
             &self.db,
             &self.fallback,
             query,
-            &graph,
-            &coverage,
+            graph,
+            coverage,
             &self.indexes,
         )?;
         let mode = if partial.reduced_relations.is_empty() {
@@ -251,6 +449,80 @@ impl BeasSystem {
                 "query is not boundedly evaluable; no bound can be guaranteed".to_string(),
             )),
         }
+    }
+
+    /// Choose the policy applied when maintenance writes would violate a
+    /// cardinality bound (default: [`MaintenancePolicy::Strict`]).
+    pub fn with_maintenance_policy(mut self, policy: MaintenancePolicy) -> Self {
+        self.maintenance_policy = policy;
+        self
+    }
+
+    /// Insert rows through the maintenance module: the base table and every
+    /// affected constraint index are updated together, and the write bumps
+    /// the database generation, so cached plans for this system re-prepare
+    /// on their next use.
+    pub fn insert_rows(&mut self, table: &str, rows: Vec<Row>) -> Result<MaintenanceOutcome> {
+        let maintainer = Maintainer::new(self.maintenance_policy);
+        let outcome = maintainer.insert_rows(
+            &mut self.db,
+            &mut self.schema,
+            &mut self.indexes,
+            table,
+            rows,
+        )?;
+        // AutoAdjust may have raised constraint bounds, which changes
+        // deduced plan bounds — drop the entries rather than serve them.
+        if !outcome.adjusted.is_empty() {
+            self.clear_plan_cache();
+        }
+        Ok(outcome)
+    }
+
+    /// Delete the rows of `table` matching `predicate`, keeping every
+    /// affected constraint index consistent.  Bumps the database
+    /// generation, invalidating cached plans.
+    pub fn delete_rows(
+        &mut self,
+        table: &str,
+        predicate: impl FnMut(&Row) -> bool,
+    ) -> Result<MaintenanceOutcome> {
+        let maintainer = Maintainer::new(self.maintenance_policy);
+        maintainer.delete_rows(
+            &mut self.db,
+            &self.schema,
+            &mut self.indexes,
+            table,
+            predicate,
+        )
+    }
+
+    /// Tighten (or relax) every constraint bound to the observed
+    /// cardinality times `headroom`.  Changes deduced plan bounds, so the
+    /// plan cache is cleared (the data itself did not move, hence no
+    /// generation bump to catch it).
+    pub fn adjust_bounds(&mut self, headroom: f64) -> Result<Vec<(String, u64, u64)>> {
+        let maintainer = Maintainer::new(self.maintenance_policy);
+        let changes = maintainer.adjust_bounds(&self.db, &mut self.schema, headroom)?;
+        if !changes.is_empty() {
+            self.clear_plan_cache();
+        }
+        Ok(changes)
+    }
+
+    /// Mutable access to the underlying database for bulk loads.  Any
+    /// mutation bumps the write generation (invalidating cached plans), but
+    /// bypasses index maintenance — call [`BeasSystem::rebuild_indexes`]
+    /// afterwards, or use [`BeasSystem::insert_rows`] /
+    /// [`BeasSystem::delete_rows`] for incrementally maintained writes.
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Rebuild every constraint index from the current database contents.
+    pub fn rebuild_indexes(&mut self) -> Result<()> {
+        self.indexes = build_indexes(&self.db, &self.schema)?;
+        Ok(())
     }
 
     /// Resource-bounded approximation: answer `sql` while fetching at most
@@ -484,5 +756,153 @@ mod tests {
         let beas = system();
         assert!(beas.execute_sql("not sql").is_err());
         assert!(beas.check("select x from nosuch").is_err());
+    }
+
+    #[test]
+    fn normalize_sql_collapses_case_and_whitespace_outside_literals() {
+        assert_eq!(
+            normalize_sql("SELECT  x\n FROM   t WHERE r = 'East  WING'"),
+            "select x from t where r = 'East  WING'"
+        );
+        assert_eq!(normalize_sql("  select 1  "), "select 1");
+        // literal case is preserved, so these are distinct keys
+        assert_ne!(
+            normalize_sql("select * from t where r = 'east'"),
+            normalize_sql("select * from t where r = 'EAST'")
+        );
+        // differently formatted versions of one query share a key
+        assert_eq!(
+            normalize_sql("Select Region\tFrom call"),
+            normalize_sql("select region from call")
+        );
+        // line comments are stripped — an apostrophe inside one must not
+        // flip literal tracking and make different literals collide
+        assert_eq!(
+            normalize_sql("select x from t -- note\nwhere r = 'East'"),
+            "select x from t where r = 'East'"
+        );
+        assert_ne!(
+            normalize_sql("select x from t -- it's a probe\nwhere r = 'East'"),
+            normalize_sql("select x from t -- it's a probe\nwhere r = 'east'")
+        );
+        // a comment at the very end (no trailing newline) is dropped too
+        assert_eq!(normalize_sql("select 1 -- tail"), "select 1");
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeated_queries() {
+        let beas = system();
+        assert_eq!(beas.plan_cache_stats().lookups(), 0);
+        let first = beas.execute_sql(COVERED).unwrap();
+        let stats = beas.plan_cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 0);
+        // repeated + reformatted submissions hit the cache
+        let again = beas.execute_sql(COVERED).unwrap();
+        let reformatted = COVERED
+            .to_uppercase()
+            .replace("'BANK'", "'bank'")
+            .replace("'R0'", "'r0'");
+        let third = beas.execute_sql(&reformatted).unwrap();
+        assert_eq!(first.rows, again.rows);
+        assert_eq!(first.rows, third.rows);
+        let stats = beas.plan_cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+        assert!(stats.hit_rate() > 0.6);
+        // check() shares the same cache
+        assert!(beas.check(COVERED).unwrap().covered);
+        assert_eq!(beas.plan_cache_stats().hits, 3);
+    }
+
+    #[test]
+    fn maintenance_writes_invalidate_cached_plans_and_answers_stay_fresh() {
+        let mut beas = system();
+        let before = beas.execute_sql(COVERED).unwrap();
+        assert_eq!(before.rows, vec![vec![Value::str("east")]]);
+        assert_eq!(beas.execute_sql(COVERED).unwrap().rows, before.rows);
+        assert_eq!(beas.plan_cache_stats().hits, 1);
+
+        // Insert a bank whose call lands in a brand-new region: the cached
+        // plan must not be reused against the stale generation.
+        beas.insert_rows(
+            "business",
+            vec![vec![
+                Value::str("p77"),
+                Value::str("bank"),
+                Value::str("r0"),
+            ]],
+        )
+        .unwrap();
+        beas.insert_rows(
+            "call",
+            vec![vec![
+                Value::str("p77"),
+                Value::str("r999"),
+                Value::str("2016-07-04"),
+                Value::str("north"),
+                Value::Int(1),
+            ]],
+        )
+        .unwrap();
+        let after = beas.execute_sql(COVERED).unwrap();
+        let mut regions: Vec<String> = after
+            .rows
+            .iter()
+            .map(|r| r[0].as_str().unwrap().to_string())
+            .collect();
+        regions.sort();
+        assert_eq!(regions, vec!["east".to_string(), "north".to_string()]);
+        let stats = beas.plan_cache_stats();
+        assert!(stats.invalidations >= 1, "stale entry must be evicted");
+        // and the fresh answer matches the baseline engine
+        let baseline = Engine::default().run(beas.database(), COVERED).unwrap();
+        let mut a: Vec<Row> = after.rows.clone();
+        let mut b = baseline.rows;
+        a.sort_by(|x, y| x[0].total_cmp(&y[0]));
+        b.sort_by(|x, y| x[0].total_cmp(&y[0]));
+        assert_eq!(a, b);
+
+        // deletes invalidate too
+        beas.delete_rows("call", |r| r[1] == Value::str("r999"))
+            .unwrap();
+        let reverted = beas.execute_sql(COVERED).unwrap();
+        assert_eq!(reverted.rows, vec![vec![Value::str("east")]]);
+    }
+
+    #[test]
+    fn bulk_mutation_through_database_mut_invalidates_via_generation() {
+        let mut beas = system();
+        let before = beas.execute_sql(COVERED).unwrap();
+        // bulk-load outside maintenance, then rebuild indices
+        beas.database_mut()
+            .insert(
+                "call",
+                vec![
+                    Value::str("p0"),
+                    Value::str("rX"),
+                    Value::str("2016-07-04"),
+                    Value::str("west"),
+                    Value::Int(5),
+                ],
+            )
+            .unwrap();
+        beas.rebuild_indexes().unwrap();
+        let after = beas.execute_sql(COVERED).unwrap();
+        assert_eq!(after.rows.len(), before.rows.len() + 1);
+        assert!(beas.plan_cache_stats().invalidations >= 1);
+    }
+
+    #[test]
+    fn adjust_bounds_clears_cached_deduced_bounds() {
+        let mut beas = system().with_maintenance_policy(MaintenancePolicy::AutoAdjust);
+        let loose = beas.check(COVERED).unwrap().deduced_bound.unwrap();
+        let changes = beas.adjust_bounds(1.0).unwrap();
+        assert!(!changes.is_empty());
+        let tight = beas.check(COVERED).unwrap().deduced_bound.unwrap();
+        assert!(
+            tight < loose,
+            "tightened bounds must re-plan, not serve the cached bound ({tight} vs {loose})"
+        );
     }
 }

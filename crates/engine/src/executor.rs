@@ -1,34 +1,50 @@
-//! Pipelined executor for baseline logical plans.
+//! Pull-based pipelined executor for baseline logical plans.
 //!
-//! Operators exchange batches of [`RowRef`]s — the shared row representation
-//! from `beas_common` — instead of owned `Vec<Vec<Value>>` batches:
+//! Every operator implements [`RowStream`]: a lazy `next()` over the shared
+//! [`RowRef`] representation.  Rows are *pulled* through the operator tree
+//! one at a time, so demand propagates downwards — when the consumer stops
+//! pulling (a `LIMIT` is satisfied), every upstream operator stops
+//! producing, including the base-table scan:
 //!
-//! * **Scan** yields one borrowed `RowRef` per table row; the table is never
-//!   copied (the old executor started every query with `t.rows().to_vec()`).
-//! * **Join** concatenates the two sides by appending row segments; no value
-//!   is cloned per output row.  Both join algorithms derive their keys from
-//!   the shared canonical form in [`beas_common::key`], so hash join and
-//!   nested-loop join agree on numeric/date coercion by construction.
-//! * **Sort + Limit** collapses into a bounded top-k heap, and a limit hint
-//!   is pushed down through `Project`/`Filter`/`Distinct` so upstream
-//!   operators stop producing once the limit is satisfied (a `Scan` under a
-//!   pushed-down limit reads only `k` tuples).
-//! * **Distinct** hashes the `RowRef`s themselves; duplicate elimination
-//!   clones segment lists (a few pointers), not values.
+//! * **Scan** yields one borrowed `RowRef` per pull; a scan under a
+//!   satisfied `LIMIT` — even through filters and projections — reads only
+//!   the rows actually demanded.  Its `tuples accessed` metric counts the
+//!   rows it truly read, which is how the early-termination tests observe
+//!   the pipeline stopping.
+//! * **Filter / Project / Distinct** are fully streaming: one input row is
+//!   examined per output pull, nothing is buffered (`Distinct` keeps only
+//!   the `seen` hash of emitted rows).
+//! * **Join** streams its *left* (probe) input and materializes only the
+//!   right (build) side: hash join builds its table on first pull, nested-
+//!   loop join buffers the right rows.  Output order is left-major for both
+//!   algorithms, so they agree on order by construction.  Keys go through
+//!   [`beas_common::key`], so the algorithms agree on numeric/date coercion
+//!   too.
+//! * **Sort** and **Aggregate** are pipeline breakers: they drain their
+//!   input on first pull, then stream the result.  Sort under a limit hint
+//!   collapses into a bounded top-k heap.
+//!
+//! Per-operator metrics are collected when the pipeline finishes: each
+//! operator counts its output rows (and a scan its accessed tuples);
+//! blocking operators additionally record the wall-clock time of their
+//! blocking phase.  Fully streaming operators interleave with the rest of
+//! the pipeline, so they report zero own-time — the total is on
+//! [`ExecutionMetrics::elapsed`].
 //!
 //! The executor remains deliberately conventional in *what* it computes:
-//! scans read whole tables and joins touch every input row — the behaviour
-//! whose cost grows with `|D|` and which bounded evaluation avoids.  Rows
-//! materialize back into owned `Vec<Value>` form only at the query boundary.
+//! un-limited scans read whole tables and joins touch every input row — the
+//! behaviour whose cost grows with `|D|` and which bounded evaluation
+//! avoids.  Rows materialize back into owned `Vec<Value>` form only at the
+//! query boundary.
 
 use crate::metrics::ExecutionMetrics;
 use crate::plan::{JoinAlgorithm, LogicalPlan};
-use beas_common::{join_key, BeasError, Result, Row, RowRef, Value};
+use beas_common::{join_key, BeasError, Result, Row, RowRef, RowStream, Value};
 use beas_sql::{evaluate, evaluate_predicate, Accumulator, BoundAggregate, BoundExpr};
 use beas_storage::Database;
 use std::cmp::Ordering;
-use std::collections::HashMap;
-use std::time::Instant;
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
 
 /// Execute a logical plan against a database, recording metrics.
 pub fn execute(
@@ -37,17 +53,32 @@ pub fn execute(
     metrics: &mut ExecutionMetrics,
 ) -> Result<Vec<Row>> {
     let start = Instant::now();
-    let rows = execute_node(plan, db, metrics, None)?;
+    let mut root = build_operator(plan, db, None)?;
     // Single materialization point: pipelined rows become owned rows only
     // when they leave the executor.
-    let out: Vec<Row> = rows.iter().map(|r| r.to_row()).collect();
+    let mut out: Vec<Row> = Vec::new();
+    while let Some(row) = root.next()? {
+        out.push(row.to_row());
+    }
+    root.record(metrics);
     metrics.elapsed = start.elapsed();
     Ok(out)
 }
 
-/// Execute one plan node.  `limit` is the pushed-down row-count hint: when
-/// `Some(k)`, the parent will discard everything after the first `k` output
-/// rows, so order-preserving operators may stop early.
+/// An executable operator: a row stream that can also report its metrics
+/// once the pipeline has finished (post-order, inputs before self, matching
+/// the execution order the batch executor used to record).
+trait Operator<'a>: RowStream<'a> {
+    fn record(&mut self, metrics: &mut ExecutionMetrics);
+}
+
+type BoxedOperator<'a> = Box<dyn Operator<'a> + 'a>;
+
+/// Build the operator tree for a plan node.  `limit` is the pushed-down
+/// row-count hint: `Some(k)` means the consumer will pull at most `k` rows,
+/// which lets blocking operators choose bounded algorithms (top-k sort).
+/// Streaming operators need no hint — laziness is the mechanism: they simply
+/// stop being pulled.
 ///
 /// Stopping early gives LIMIT the *lazy prefix* semantics of production
 /// engines: rows that can never appear in the answer are not processed, so a
@@ -56,54 +87,35 @@ pub fn execute(
 /// under a LIMIT the two engines agree on answers but may differ on whether
 /// a doomed row's error surfaces — the error-parity guarantee is pinned for
 /// the un-limited case (`type_error_predicates_propagate_like_the_baseline`).
-fn execute_node<'a>(
-    plan: &LogicalPlan,
+fn build_operator<'a>(
+    plan: &'a LogicalPlan,
     db: &'a Database,
-    metrics: &mut ExecutionMetrics,
     limit: Option<usize>,
-) -> Result<Vec<RowRef<'a>>> {
-    match plan {
+) -> Result<BoxedOperator<'a>> {
+    Ok(match plan {
         LogicalPlan::Scan { table, alias, .. } => {
-            let start = Instant::now();
             let t = db.table(table)?;
-            let take = limit.unwrap_or(usize::MAX);
-            let rows: Vec<RowRef<'a>> = t
-                .rows()
-                .iter()
-                .take(take)
-                .map(|r| RowRef::borrowed(r))
-                .collect();
-            let n = rows.len() as u64;
             let label = if table == alias {
                 format!("SeqScan({table})")
             } else {
                 format!("SeqScan({table} AS {alias})")
             };
-            metrics.record(label, n, n, start.elapsed());
-            Ok(rows)
+            Box::new(ScanOp {
+                iter: t.rows().iter(),
+                label,
+                produced: 0,
+            })
         }
         LogicalPlan::Filter { input, predicate } => {
-            // The hint cannot pass through (the filter drops rows), but the
-            // filter itself can stop once it has produced `k` survivors.
-            let rows = execute_node(input, db, metrics, None)?;
-            let start = Instant::now();
-            let cap = limit.unwrap_or(usize::MAX);
-            let mut out = Vec::new();
-            for row in rows {
-                if out.len() >= cap {
-                    break;
-                }
-                if evaluate_predicate(predicate, &row)? {
-                    out.push(row);
-                }
-            }
-            metrics.record(
-                format!("Filter({predicate})"),
-                out.len() as u64,
-                0,
-                start.elapsed(),
-            );
-            Ok(out)
+            // The hint cannot pass through (the filter drops rows), but
+            // demand still does: the filter pulls from its input only while
+            // the consumer keeps pulling from it.
+            let input = build_operator(input, db, None)?;
+            Box::new(FilterOp {
+                input,
+                predicate,
+                rows_out: 0,
+            })
         }
         LogicalPlan::Join {
             left,
@@ -112,22 +124,25 @@ fn execute_node<'a>(
             algorithm,
             ..
         } => {
-            let left_rows = execute_node(left, db, metrics, None)?;
-            let right_rows = execute_node(right, db, metrics, None)?;
-            let start = Instant::now();
-            let out = match algorithm {
-                JoinAlgorithm::Hash if !keys.is_empty() => {
-                    hash_join(&left_rows, &right_rows, keys, limit)
-                }
-                _ => nested_loop_join(&left_rows, &right_rows, keys, limit),
-            };
-            metrics.record(
-                format!("{}(keys={})", algorithm.name(), keys.len()),
-                out.len() as u64,
-                0,
-                start.elapsed(),
-            );
-            Ok(out)
+            let left = build_operator(left, db, None)?;
+            let right = build_operator(right, db, None)?;
+            let label = format!("{}(keys={})", algorithm.name(), keys.len());
+            match algorithm {
+                JoinAlgorithm::Hash if !keys.is_empty() => Box::new(HashJoinOp::new(
+                    left,
+                    right,
+                    keys.iter().map(|(l, _)| *l).collect(),
+                    keys.iter().map(|(_, r)| *r).collect(),
+                    label,
+                )),
+                _ => Box::new(NestedLoopJoinOp::new(
+                    left,
+                    right,
+                    keys.iter().map(|(l, _)| *l).collect(),
+                    keys.iter().map(|(_, r)| *r).collect(),
+                    label,
+                )),
+            }
         }
         LogicalPlan::Aggregate {
             input,
@@ -136,55 +151,450 @@ fn execute_node<'a>(
             ..
         } => {
             // Aggregation must consume all input; only the *output* groups
-            // can be cut at the limit (first-seen group order is preserved).
-            let rows = execute_node(input, db, metrics, None)?;
-            let start = Instant::now();
-            let mut out = aggregate(&rows, group_by, aggregates)?;
-            if let Some(k) = limit {
-                out.truncate(k);
-            }
-            let out: Vec<RowRef<'a>> = out.into_iter().map(RowRef::owned).collect();
-            metrics.record("HashAggregate", out.len() as u64, 0, start.elapsed());
-            Ok(out)
+            // are streamed (first-seen group order), so a downstream LIMIT
+            // cuts groups lazily.
+            let input = build_operator(input, db, None)?;
+            Box::new(AggregateOp {
+                input,
+                started: false,
+                group_by,
+                aggregates,
+                out: Vec::new().into_iter(),
+                rows_out: 0,
+                elapsed: Duration::ZERO,
+            })
         }
         LogicalPlan::Project { input, exprs, .. } => {
             // Projection is 1:1, so the limit hint passes straight through.
-            let rows = execute_node(input, db, metrics, limit)?;
-            let start = Instant::now();
-            let mut out = Vec::with_capacity(rows.len());
-            for row in &rows {
-                let mut projected = Vec::with_capacity(exprs.len());
-                for (e, _) in exprs {
-                    projected.push(evaluate(e, row)?);
-                }
-                out.push(RowRef::owned(projected));
-            }
-            metrics.record("Project", out.len() as u64, 0, start.elapsed());
-            Ok(out)
+            let input = build_operator(input, db, limit)?;
+            Box::new(ProjectOp {
+                input,
+                exprs,
+                rows_out: 0,
+            })
         }
         LogicalPlan::Distinct { input } => {
-            let rows = execute_node(input, db, metrics, None)?;
-            let start = Instant::now();
-            let cap = limit.unwrap_or(usize::MAX);
-            let mut seen = std::collections::HashSet::new();
-            let mut out = Vec::new();
-            for row in rows {
-                if out.len() >= cap {
-                    break;
-                }
-                // Cloning a RowRef copies its segment list, not its values.
-                if seen.insert(row.clone()) {
-                    out.push(row);
-                }
-            }
-            metrics.record("Distinct", out.len() as u64, 0, start.elapsed());
-            Ok(out)
+            let input = build_operator(input, db, None)?;
+            Box::new(DistinctOp {
+                input,
+                seen: HashSet::new(),
+                rows_out: 0,
+            })
         }
         LogicalPlan::Sort { input, keys } => {
-            let rows = execute_node(input, db, metrics, None)?;
+            let input = build_operator(input, db, None)?;
+            Box::new(SortOp {
+                input,
+                started: false,
+                keys,
+                limit,
+                out: Vec::new().into_iter(),
+                rows_out: 0,
+                elapsed: Duration::ZERO,
+            })
+        }
+        LogicalPlan::Limit { input, limit: k } => {
+            let k = *k as usize;
+            let input = build_operator(input, db, Some(k))?;
+            Box::new(LimitOp {
+                input,
+                remaining: k,
+                label: format!("Limit({k})"),
+                rows_out: 0,
+            })
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Operators
+// ---------------------------------------------------------------------------
+
+/// Base-table scan: one borrowed row per pull, no copy of the table.
+struct ScanOp<'a> {
+    iter: std::slice::Iter<'a, Row>,
+    label: String,
+    produced: u64,
+}
+
+impl<'a> RowStream<'a> for ScanOp<'a> {
+    fn next(&mut self) -> Result<Option<RowRef<'a>>> {
+        match self.iter.next() {
+            Some(r) => {
+                self.produced += 1;
+                Ok(Some(RowRef::borrowed(r)))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+impl<'a> Operator<'a> for ScanOp<'a> {
+    fn record(&mut self, metrics: &mut ExecutionMetrics) {
+        // rows out == tuples accessed: exactly the rows actually pulled,
+        // which under a satisfied LIMIT is fewer than the table holds.
+        metrics.record(
+            self.label.clone(),
+            self.produced,
+            self.produced,
+            Duration::ZERO,
+        );
+    }
+}
+
+/// Streaming filter with baseline error semantics (evaluation errors
+/// propagate, they never silently drop rows).
+struct FilterOp<'a> {
+    input: BoxedOperator<'a>,
+    predicate: &'a BoundExpr,
+    rows_out: u64,
+}
+
+impl<'a> RowStream<'a> for FilterOp<'a> {
+    fn next(&mut self) -> Result<Option<RowRef<'a>>> {
+        while let Some(row) = self.input.next()? {
+            if evaluate_predicate(self.predicate, &row)? {
+                self.rows_out += 1;
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl<'a> Operator<'a> for FilterOp<'a> {
+    fn record(&mut self, metrics: &mut ExecutionMetrics) {
+        self.input.record(metrics);
+        metrics.record(
+            format!("Filter({})", self.predicate),
+            self.rows_out,
+            0,
+            Duration::ZERO,
+        );
+    }
+}
+
+/// Streaming projection.
+struct ProjectOp<'a> {
+    input: BoxedOperator<'a>,
+    exprs: &'a [(BoundExpr, String)],
+    rows_out: u64,
+}
+
+impl<'a> RowStream<'a> for ProjectOp<'a> {
+    fn next(&mut self) -> Result<Option<RowRef<'a>>> {
+        match self.input.next()? {
+            Some(row) => {
+                let mut projected = Vec::with_capacity(self.exprs.len());
+                for (e, _) in self.exprs {
+                    projected.push(evaluate(e, &row)?);
+                }
+                self.rows_out += 1;
+                Ok(Some(RowRef::owned(projected)))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+impl<'a> Operator<'a> for ProjectOp<'a> {
+    fn record(&mut self, metrics: &mut ExecutionMetrics) {
+        self.input.record(metrics);
+        metrics.record("Project", self.rows_out, 0, Duration::ZERO);
+    }
+}
+
+/// Streaming duplicate elimination: emits first occurrences as they arrive.
+struct DistinctOp<'a> {
+    input: BoxedOperator<'a>,
+    seen: HashSet<RowRef<'a>>,
+    rows_out: u64,
+}
+
+impl<'a> RowStream<'a> for DistinctOp<'a> {
+    fn next(&mut self) -> Result<Option<RowRef<'a>>> {
+        while let Some(row) = self.input.next()? {
+            // Cloning a RowRef copies its segment list, not its values.
+            if self.seen.insert(row.clone()) {
+                self.rows_out += 1;
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl<'a> Operator<'a> for DistinctOp<'a> {
+    fn record(&mut self, metrics: &mut ExecutionMetrics) {
+        self.input.record(metrics);
+        metrics.record("Distinct", self.rows_out, 0, Duration::ZERO);
+    }
+}
+
+/// Row-count limit: stops pulling from the input once satisfied — this is
+/// the operator that turns demand into early termination upstream.
+struct LimitOp<'a> {
+    input: BoxedOperator<'a>,
+    remaining: usize,
+    label: String,
+    rows_out: u64,
+}
+
+impl<'a> RowStream<'a> for LimitOp<'a> {
+    fn next(&mut self) -> Result<Option<RowRef<'a>>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        match self.input.next()? {
+            Some(row) => {
+                self.remaining -= 1;
+                self.rows_out += 1;
+                Ok(Some(row))
+            }
+            None => {
+                self.remaining = 0;
+                Ok(None)
+            }
+        }
+    }
+}
+
+impl<'a> Operator<'a> for LimitOp<'a> {
+    fn record(&mut self, metrics: &mut ExecutionMetrics) {
+        self.input.record(metrics);
+        metrics.record(self.label.clone(), self.rows_out, 0, Duration::ZERO);
+    }
+}
+
+/// Hash join: materializes the right (build) side on first pull, then
+/// streams the left (probe) side.  Output order is left-major.
+///
+/// The build side is *always* the right input (no smaller-side swap as in
+/// the old batch executor): the planner emits left-deep trees whose left
+/// input is the growing intermediate, so streaming the left unmaterialized
+/// strictly reduces peak memory versus the batch model, which buffered
+/// BOTH sides before choosing a build side.  Total key-hashing work is the
+/// same either way (every row of both sides is hashed exactly once), and
+/// pinning the probe side also pins the output order, which nested-loop
+/// join matches.
+struct HashJoinOp<'a> {
+    probe: BoxedOperator<'a>,
+    build: BoxedOperator<'a>,
+    built: bool,
+    probe_keys: Vec<usize>,
+    build_keys: Vec<usize>,
+    /// Match lists are `Rc`-shared so expanding a probe row clones a
+    /// pointer, not the index vector (hot keys can match thousands of
+    /// build rows, once per probe row).
+    table: HashMap<Vec<Value>, std::rc::Rc<[usize]>>,
+    build_rows: Vec<RowRef<'a>>,
+    /// The probe row currently being expanded, its matches, and the next
+    /// match position.
+    pending: Option<(RowRef<'a>, std::rc::Rc<[usize]>, usize)>,
+    label: String,
+    rows_out: u64,
+    build_elapsed: Duration,
+}
+
+impl<'a> HashJoinOp<'a> {
+    fn new(
+        probe: BoxedOperator<'a>,
+        build: BoxedOperator<'a>,
+        probe_keys: Vec<usize>,
+        build_keys: Vec<usize>,
+        label: String,
+    ) -> Self {
+        HashJoinOp {
+            probe,
+            build,
+            built: false,
+            probe_keys,
+            build_keys,
+            table: HashMap::new(),
+            build_rows: Vec::new(),
+            pending: None,
+            label,
+            rows_out: 0,
+            build_elapsed: Duration::ZERO,
+        }
+    }
+}
+
+impl<'a> RowStream<'a> for HashJoinOp<'a> {
+    fn next(&mut self) -> Result<Option<RowRef<'a>>> {
+        if !self.built {
+            self.built = true;
+            // Blocking phase: drain the build side into the hash table.
             let start = Instant::now();
+            let mut building: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+            while let Some(row) = self.build.next()? {
+                // NULL / NaN keys never join
+                if let Some(key) = join_key(&row, &self.build_keys) {
+                    building.entry(key).or_default().push(self.build_rows.len());
+                }
+                self.build_rows.push(row);
+            }
+            self.table = building.into_iter().map(|(k, v)| (k, v.into())).collect();
+            self.build_elapsed = start.elapsed();
+        }
+        loop {
+            if let Some((probe_row, matches, pos)) = &mut self.pending {
+                if *pos < matches.len() {
+                    let build_row = &self.build_rows[matches[*pos]];
+                    *pos += 1;
+                    self.rows_out += 1;
+                    return Ok(Some(probe_row.concat(build_row)));
+                }
+                self.pending = None;
+            }
+            match self.probe.next()? {
+                Some(probe_row) => {
+                    if let Some(key) = join_key(&probe_row, &self.probe_keys) {
+                        if let Some(matches) = self.table.get(&key) {
+                            self.pending = Some((probe_row, std::rc::Rc::clone(matches), 0));
+                        }
+                    }
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+}
+
+impl<'a> Operator<'a> for HashJoinOp<'a> {
+    fn record(&mut self, metrics: &mut ExecutionMetrics) {
+        self.probe.record(metrics);
+        self.build.record(metrics);
+        metrics.record(self.label.clone(), self.rows_out, 0, self.build_elapsed);
+    }
+}
+
+/// Nested-loop join (also handles cross products): buffers the right side
+/// on first pull, streams the left.  Keys go through the same canonical
+/// form as [`HashJoinOp`], so the two algorithms return identical answers —
+/// and, both being left-major, in identical order.
+struct NestedLoopJoinOp<'a> {
+    left: BoxedOperator<'a>,
+    right: BoxedOperator<'a>,
+    built: bool,
+    left_keys: Vec<usize>,
+    right_keys: Vec<usize>,
+    right_rows: Vec<RowRef<'a>>,
+    /// Canonical key per right row (`None` = unjoinable), computed once.
+    right_row_keys: Vec<Option<Vec<Value>>>,
+    /// Current left row, its canonical key, and the next right position.
+    pending: Option<(RowRef<'a>, Option<Vec<Value>>, usize)>,
+    label: String,
+    rows_out: u64,
+    build_elapsed: Duration,
+}
+
+impl<'a> NestedLoopJoinOp<'a> {
+    fn new(
+        left: BoxedOperator<'a>,
+        right: BoxedOperator<'a>,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        label: String,
+    ) -> Self {
+        NestedLoopJoinOp {
+            left,
+            right,
+            built: false,
+            left_keys,
+            right_keys,
+            right_rows: Vec::new(),
+            right_row_keys: Vec::new(),
+            pending: None,
+            label,
+            rows_out: 0,
+            build_elapsed: Duration::ZERO,
+        }
+    }
+}
+
+impl<'a> RowStream<'a> for NestedLoopJoinOp<'a> {
+    fn next(&mut self) -> Result<Option<RowRef<'a>>> {
+        if !self.built {
+            self.built = true;
+            let start = Instant::now();
+            while let Some(row) = self.right.next()? {
+                self.right_row_keys.push(join_key(&row, &self.right_keys));
+                self.right_rows.push(row);
+            }
+            self.build_elapsed = start.elapsed();
+        }
+        loop {
+            if let Some((left_row, left_key, pos)) = &mut self.pending {
+                if self.left_keys.is_empty() {
+                    // cross product
+                    if *pos < self.right_rows.len() {
+                        let out = left_row.concat(&self.right_rows[*pos]);
+                        *pos += 1;
+                        self.rows_out += 1;
+                        return Ok(Some(out));
+                    }
+                } else if let Some(lk) = left_key {
+                    while *pos < self.right_rows.len() {
+                        let i = *pos;
+                        *pos += 1;
+                        if self.right_row_keys[i].as_ref() == Some(lk) {
+                            self.rows_out += 1;
+                            return Ok(Some(left_row.concat(&self.right_rows[i])));
+                        }
+                    }
+                }
+                self.pending = None;
+            }
+            match self.left.next()? {
+                Some(left_row) => {
+                    let key = if self.left_keys.is_empty() {
+                        None
+                    } else {
+                        let k = join_key(&left_row, &self.left_keys);
+                        if k.is_none() {
+                            // unjoinable key: no matches, skip the row
+                            continue;
+                        }
+                        k
+                    };
+                    self.pending = Some((left_row, key, 0));
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+}
+
+impl<'a> Operator<'a> for NestedLoopJoinOp<'a> {
+    fn record(&mut self, metrics: &mut ExecutionMetrics) {
+        self.left.record(metrics);
+        self.right.record(metrics);
+        metrics.record(self.label.clone(), self.rows_out, 0, self.build_elapsed);
+    }
+}
+
+/// Sort: drains its input on first pull.  Under a limit hint it keeps a
+/// bounded top-k heap instead of sorting the whole input.
+struct SortOp<'a> {
+    input: BoxedOperator<'a>,
+    started: bool,
+    keys: &'a [(usize, bool)],
+    limit: Option<usize>,
+    out: std::vec::IntoIter<RowRef<'a>>,
+    rows_out: u64,
+    elapsed: Duration,
+}
+
+impl<'a> RowStream<'a> for SortOp<'a> {
+    fn next(&mut self) -> Result<Option<RowRef<'a>>> {
+        if !self.started {
+            self.started = true;
+            let rows = self.input.collect_rows()?;
+            let start = Instant::now();
+            let keys = self.keys;
             let cmp = |a: &RowRef<'a>, b: &RowRef<'a>| sort_cmp(a, b, keys);
-            let rows = match limit {
+            let rows = match self.limit {
                 // Sort under a limit: bounded top-k heap instead of a full
                 // O(n log n) sort of the whole input.
                 Some(k) if k < rows.len() => top_k_by(rows, k, cmp),
@@ -194,17 +604,62 @@ fn execute_node<'a>(
                     rows
                 }
             };
-            metrics.record("Sort", rows.len() as u64, 0, start.elapsed());
-            Ok(rows)
+            self.elapsed = start.elapsed();
+            self.out = rows.into_iter();
         }
-        LogicalPlan::Limit { input, limit: k } => {
-            let k = *k as usize;
-            let mut rows = execute_node(input, db, metrics, Some(k))?;
+        match self.out.next() {
+            Some(row) => {
+                self.rows_out += 1;
+                Ok(Some(row))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+impl<'a> Operator<'a> for SortOp<'a> {
+    fn record(&mut self, metrics: &mut ExecutionMetrics) {
+        self.input.record(metrics);
+        metrics.record("Sort", self.rows_out, 0, self.elapsed);
+    }
+}
+
+/// Group-and-aggregate: drains its input on first pull, then streams the
+/// result groups in first-seen order.
+struct AggregateOp<'a> {
+    input: BoxedOperator<'a>,
+    started: bool,
+    group_by: &'a [BoundExpr],
+    aggregates: &'a [BoundAggregate],
+    out: std::vec::IntoIter<Row>,
+    rows_out: u64,
+    elapsed: Duration,
+}
+
+impl<'a> RowStream<'a> for AggregateOp<'a> {
+    fn next(&mut self) -> Result<Option<RowRef<'a>>> {
+        if !self.started {
+            self.started = true;
+            let rows = self.input.collect_rows()?;
             let start = Instant::now();
-            rows.truncate(k);
-            metrics.record(format!("Limit({k})"), rows.len() as u64, 0, start.elapsed());
-            Ok(rows)
+            let grouped = aggregate(&rows, self.group_by, self.aggregates)?;
+            self.elapsed = start.elapsed();
+            self.out = grouped.into_iter();
         }
+        match self.out.next() {
+            Some(row) => {
+                self.rows_out += 1;
+                Ok(Some(RowRef::owned(row)))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+impl<'a> Operator<'a> for AggregateOp<'a> {
+    fn record(&mut self, metrics: &mut ExecutionMetrics) {
+        self.input.record(metrics);
+        metrics.record("HashAggregate", self.rows_out, 0, self.elapsed);
     }
 }
 
@@ -274,105 +729,6 @@ fn top_k_by<T>(items: Vec<T>, k: usize, mut cmp: impl FnMut(&T, &T) -> Ordering)
     }
     heap.sort_by(|a, b| full(a, b));
     heap.into_iter().map(|(_, item)| item).collect()
-}
-
-/// Hash join over pipelined rows.  Keys are canonicalized through
-/// [`beas_common::key`], so the algorithms agree on coercion; output rows are
-/// segment concatenations, not value copies.  `limit` cuts the output prefix.
-fn hash_join<'a>(
-    left: &[RowRef<'a>],
-    right: &[RowRef<'a>],
-    keys: &[(usize, usize)],
-    limit: Option<usize>,
-) -> Vec<RowRef<'a>> {
-    // Build on the smaller side to keep memory in check; probe with the other.
-    let build_right = right.len() <= left.len();
-    let (build, probe) = if build_right {
-        (right, left)
-    } else {
-        (left, right)
-    };
-    let build_key_idx: Vec<usize> = if build_right {
-        keys.iter().map(|(_, r)| *r).collect()
-    } else {
-        keys.iter().map(|(l, _)| *l).collect()
-    };
-    let probe_key_idx: Vec<usize> = if build_right {
-        keys.iter().map(|(l, _)| *l).collect()
-    } else {
-        keys.iter().map(|(_, r)| *r).collect()
-    };
-
-    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-    for (i, row) in build.iter().enumerate() {
-        // NULL / NaN keys never join
-        if let Some(key) = join_key(row, &build_key_idx) {
-            table.entry(key).or_default().push(i);
-        }
-    }
-    let cap = limit.unwrap_or(usize::MAX);
-    let mut out = Vec::new();
-    'probe: for probe_row in probe {
-        let Some(key) = join_key(probe_row, &probe_key_idx) else {
-            continue;
-        };
-        if let Some(matches) = table.get(&key) {
-            for &i in matches {
-                let build_row = &build[i];
-                let (lrow, rrow) = if build_right {
-                    (probe_row, build_row)
-                } else {
-                    (build_row, probe_row)
-                };
-                out.push(lrow.concat(rrow));
-                if out.len() >= cap {
-                    break 'probe;
-                }
-            }
-        }
-    }
-    out
-}
-
-/// Nested-loop join.  Keys go through the same canonical form as
-/// [`hash_join`], so the two algorithms return identical answers on every
-/// input — the property `hash_equals_nested_loop_on_mixed_keys` pins.
-fn nested_loop_join<'a>(
-    left: &[RowRef<'a>],
-    right: &[RowRef<'a>],
-    keys: &[(usize, usize)],
-    limit: Option<usize>,
-) -> Vec<RowRef<'a>> {
-    let left_idx: Vec<usize> = keys.iter().map(|(l, _)| *l).collect();
-    let right_idx: Vec<usize> = keys.iter().map(|(_, r)| *r).collect();
-    // Canonicalize each side's keys once instead of per pair.
-    let left_keys: Vec<Option<Vec<Value>>> = left.iter().map(|r| join_key(r, &left_idx)).collect();
-    let right_keys: Vec<Option<Vec<Value>>> =
-        right.iter().map(|r| join_key(r, &right_idx)).collect();
-    let cap = limit.unwrap_or(usize::MAX);
-    let mut out = Vec::new();
-    'outer: for (l, lk) in left.iter().zip(&left_keys) {
-        if keys.is_empty() {
-            // cross product
-            for r in right {
-                out.push(l.concat(r));
-                if out.len() >= cap {
-                    break 'outer;
-                }
-            }
-            continue;
-        }
-        let Some(lk) = lk else { continue };
-        for (r, rk) in right.iter().zip(&right_keys) {
-            if rk.as_ref() == Some(lk) {
-                out.push(l.concat(r));
-                if out.len() >= cap {
-                    break 'outer;
-                }
-            }
-        }
-    }
-    out
 }
 
 /// Group rows by `group_by` expressions and evaluate `aggregates` per group.
@@ -456,6 +812,74 @@ mod tests {
         rows.iter().map(|r| RowRef::borrowed(r)).collect()
     }
 
+    /// A test operator streaming pre-built rows (metrics-free input).
+    struct StaticOp<'a> {
+        iter: std::vec::IntoIter<RowRef<'a>>,
+    }
+
+    impl<'a> StaticOp<'a> {
+        fn boxed(rows: Vec<RowRef<'a>>) -> BoxedOperator<'a> {
+            Box::new(StaticOp {
+                iter: rows.into_iter(),
+            })
+        }
+    }
+
+    impl<'a> RowStream<'a> for StaticOp<'a> {
+        fn next(&mut self) -> Result<Option<RowRef<'a>>> {
+            Ok(self.iter.next())
+        }
+    }
+
+    impl<'a> Operator<'a> for StaticOp<'a> {
+        fn record(&mut self, _metrics: &mut ExecutionMetrics) {}
+    }
+
+    /// Drive a joined stream, pulling at most `limit` rows when given.
+    fn drain<'a>(mut op: impl RowStream<'a>, limit: Option<usize>) -> Vec<RowRef<'a>> {
+        let cap = limit.unwrap_or(usize::MAX);
+        let mut out = Vec::new();
+        while out.len() < cap {
+            match op.next().unwrap() {
+                Some(r) => out.push(r),
+                None => break,
+            }
+        }
+        out
+    }
+
+    fn hash_join<'a>(
+        left: &[RowRef<'a>],
+        right: &[RowRef<'a>],
+        keys: &[(usize, usize)],
+        limit: Option<usize>,
+    ) -> Vec<RowRef<'a>> {
+        let op = HashJoinOp::new(
+            StaticOp::boxed(left.to_vec()),
+            StaticOp::boxed(right.to_vec()),
+            keys.iter().map(|(l, _)| *l).collect(),
+            keys.iter().map(|(_, r)| *r).collect(),
+            "HashJoin".into(),
+        );
+        drain(op, limit)
+    }
+
+    fn nested_loop_join<'a>(
+        left: &[RowRef<'a>],
+        right: &[RowRef<'a>],
+        keys: &[(usize, usize)],
+        limit: Option<usize>,
+    ) -> Vec<RowRef<'a>> {
+        let op = NestedLoopJoinOp::new(
+            StaticOp::boxed(left.to_vec()),
+            StaticOp::boxed(right.to_vec()),
+            keys.iter().map(|(l, _)| *l).collect(),
+            keys.iter().map(|(_, r)| *r).collect(),
+            "NestedLoopJoin".into(),
+        );
+        drain(op, limit)
+    }
+
     #[test]
     fn hash_join_basic() {
         let left = vec![
@@ -475,11 +899,11 @@ mod tests {
             assert_eq!(row.len(), 4);
             assert_eq!(row.get(0), Some(&Value::Int(1)));
         }
-        // same result regardless of which side is bigger (build-side swap)
+        // same cardinality with the sides swapped
         let out2 = hash_join(&refs(&right), &refs(&left), &[(0, 0)], None);
         assert_eq!(out2.len(), 2);
         assert_eq!(out2[0].len(), 4);
-        // limit cuts the output prefix
+        // limit stops pulling after the first output row
         let out3 = hash_join(&refs(&left), &refs(&right), &[(0, 0)], Some(1));
         assert_eq!(out3.len(), 1);
     }
@@ -500,6 +924,34 @@ mod tests {
         assert_eq!(cross.len(), 6);
         let cross_cut = nested_loop_join(&refs(&left), &refs(&right), &[], Some(4));
         assert_eq!(cross_cut.len(), 4);
+    }
+
+    #[test]
+    fn join_output_order_is_left_major_for_both_algorithms() {
+        // Both algorithms stream the left side and buffer the right, so the
+        // output order is identical by construction — not just the multiset.
+        let left = vec![
+            vec![Value::Int(2), Value::str("l2")],
+            vec![Value::Int(1), Value::str("l1")],
+            vec![Value::Int(2), Value::str("l2b")],
+        ];
+        let right = vec![
+            vec![Value::Int(1), Value::str("r1")],
+            vec![Value::Int(2), Value::str("r2")],
+            vec![Value::Int(2), Value::str("r2b")],
+        ];
+        let h: Vec<Row> = hash_join(&refs(&left), &refs(&right), &[(0, 0)], None)
+            .iter()
+            .map(|r| r.to_row())
+            .collect();
+        let n: Vec<Row> = nested_loop_join(&refs(&left), &refs(&right), &[(0, 0)], None)
+            .iter()
+            .map(|r| r.to_row())
+            .collect();
+        assert_eq!(h, n);
+        // left-major: all l2 outputs precede l1's
+        assert_eq!(h[0][1], Value::str("l2"));
+        assert_eq!(h[2][1], Value::str("l1"));
     }
 
     #[test]
@@ -552,9 +1004,9 @@ mod tests {
     proptest::proptest! {
         #![proptest_config(proptest::ProptestConfig { cases: 64, ..Default::default() })]
 
-        /// Satellite: hash join ≡ nested-loop join on mixed Int/Float/Date
-        /// (and date-string, NULL) keys — the two algorithms must return the
-        /// same multiset of rows for every input.
+        /// Hash join ≡ nested-loop join on mixed Int/Float/Date (and
+        /// date-string, NULL) keys — the two pipelined algorithms must
+        /// return the same rows *in the same order* for every input.
         #[test]
         fn hash_equals_nested_loop_on_mixed_keys(seed in 0u64..1_000_000, ln in 0usize..24, rn in 0usize..24) {
             let mut rng = Prng::new(seed);
@@ -562,22 +1014,11 @@ mod tests {
             let right = mixed_key_rows(&mut rng, rn);
             let h = hash_join(&refs(&left), &refs(&right), &[(0, 0)], None);
             let n = nested_loop_join(&refs(&left), &refs(&right), &[(0, 0)], None);
-            let canon = |rows: &[RowRef<'_>]| {
-                let mut v: Vec<Row> = rows.iter().map(|r| r.to_row()).collect();
-                v.sort_by(|a, b| {
-                    a.iter()
-                        .zip(b.iter())
-                        .map(|(x, y)| x.total_cmp(y))
-                        .find(|o| *o != Ordering::Equal)
-                        .unwrap_or(Ordering::Equal)
-                });
-                v
-            };
-            let (hc, nc) = (canon(&h), canon(&n));
-            prop_assert_eq!(hc.len(), nc.len());
-            for (a, b) in hc.iter().zip(nc.iter()) {
+            prop_assert_eq!(h.len(), n.len());
+            for (a, b) in h.iter().zip(n.iter()) {
                 // compare through total_cmp: rows may carry NaN, which is
                 // never == itself under Value's PartialEq
+                let (a, b) = (a.to_row(), b.to_row());
                 prop_assert!(a.iter().zip(b.iter()).all(|(x, y)| x.total_cmp(y) == Ordering::Equal));
             }
         }
@@ -668,5 +1109,44 @@ mod tests {
         // grouped aggregate on empty input produces no rows
         let out2 = aggregate::<Row>(&[], &[BoundExpr::Column(0)], &aggs).unwrap();
         assert!(out2.is_empty());
+    }
+
+    #[test]
+    fn limit_under_filter_stops_the_scan() {
+        use beas_common::{ColumnDef, DataType, TableSchema};
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("k", DataType::Int),
+                    ColumnDef::new("tag", DataType::Str),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        for i in 0..1000i64 {
+            let tag = if i % 2 == 0 { "even" } else { "odd" };
+            db.insert("t", vec![Value::Int(i), Value::str(tag)])
+                .unwrap();
+        }
+        // filter passes every other row; LIMIT 5 needs ~10 scanned rows
+        let engine = crate::engine::Engine::default();
+        let result = engine
+            .run(&db, "select k from t where tag = 'even' limit 5")
+            .unwrap();
+        assert_eq!(result.rows.len(), 5);
+        let scan = result
+            .metrics
+            .operators
+            .iter()
+            .find(|o| o.operator.starts_with("SeqScan"))
+            .expect("scan metrics present");
+        assert!(
+            scan.tuples_accessed < 50,
+            "scan read {} rows; the pipeline failed to stop early",
+            scan.tuples_accessed
+        );
     }
 }

@@ -21,7 +21,7 @@ pub mod profile;
 
 pub use engine::{Engine, QueryResult};
 pub use executor::{aggregate, execute};
-pub use metrics::{format_duration, ExecutionMetrics, OperatorMetrics};
+pub use metrics::{format_duration, ExecutionMetrics, OperatorMetrics, PlanCacheStats};
 pub use plan::{JoinAlgorithm, LogicalPlan};
 pub use planner::{conjoin_bound, remap_expr, remap_exprs, split_bound_conjuncts, Planner};
 pub use profile::OptimizerProfile;

@@ -96,6 +96,51 @@ impl fmt::Display for ExecutionMetrics {
     }
 }
 
+/// Hit/miss counters of a keyed plan cache (the `BeasSystem` cache mapping
+/// normalized SQL to checked plans).  Lives here so every layer reports
+/// cache effectiveness through the same metrics vocabulary as the
+/// per-operator breakdowns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to parse → bind → check → plan from scratch.
+    pub misses: u64,
+    /// Entries discarded because the database had moved past the generation
+    /// they were planned at (maintenance writes).
+    pub invalidations: u64,
+}
+
+impl PlanCacheStats {
+    /// Total lookups served.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups answered from the cache (0.0 when none served).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for PlanCacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "plan cache: {} hits, {} misses, {} invalidations ({:.0}% hit rate)",
+            self.hits,
+            self.misses,
+            self.invalidations,
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
 /// Format a duration with millisecond precision (matching the paper's
 /// "96.13ms" style reporting).
 pub fn format_duration(d: Duration) -> String {
@@ -137,5 +182,22 @@ mod tests {
         assert_eq!(format_duration(Duration::from_micros(96_130)), "96.13ms");
         assert_eq!(format_duration(Duration::from_millis(1500)), "1.50s");
         assert!(format!("{}", ExecutionMetrics::new()).contains("operator"));
+    }
+
+    #[test]
+    fn plan_cache_stats_rates() {
+        let empty = PlanCacheStats::default();
+        assert_eq!(empty.lookups(), 0);
+        assert_eq!(empty.hit_rate(), 0.0);
+        let stats = PlanCacheStats {
+            hits: 3,
+            misses: 1,
+            invalidations: 2,
+        };
+        assert_eq!(stats.lookups(), 4);
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+        let s = stats.to_string();
+        assert!(s.contains("3 hits"));
+        assert!(s.contains("75% hit rate"));
     }
 }

@@ -183,8 +183,10 @@ impl<'a> Planner<'a> {
                         };
                         col.map(|i| {
                             let field = query.input_schema.field(i);
+                            // memoized per write generation: one stats scan
+                            // per table per generation, not per planned query
                             self.db
-                                .statistics_uncached(&t.table)
+                                .statistics(&t.table)
                                 .ok()
                                 .map(|s| s.equality_selectivity(&field.name))
                                 .unwrap_or(0.1)

@@ -5,6 +5,21 @@ use crate::table::Table;
 use beas_common::{BeasError, Result, Row, TableSchema};
 use beas_sql::SchemaProvider;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Memoized per-table statistics, validated against the database write
+/// generation: an entry computed at generation `g` is served only while the
+/// database is still at `g`, so any write — through maintenance or direct
+/// table access — invalidates it without an explicit hook.  Interior
+/// mutability lets read-only planning (`&Database`) fill the cache.
+#[derive(Debug, Default)]
+struct StatsCache(Mutex<HashMap<String, (u64, Arc<TableStatistics>)>>);
+
+impl Clone for StatsCache {
+    fn clone(&self) -> Self {
+        StatsCache(Mutex::new(self.0.lock().expect("stats cache lock").clone()))
+    }
+}
 
 /// An in-memory database instance.
 ///
@@ -14,7 +29,13 @@ use std::collections::HashMap;
 #[derive(Debug, Default, Clone)]
 pub struct Database {
     tables: HashMap<String, Table>,
-    statistics: HashMap<String, TableStatistics>,
+    statistics: StatsCache,
+    /// Monotonic write-generation counter: bumped by every mutation path
+    /// (DDL and any `table_mut` access).  Caches keyed on database contents
+    /// — the `BeasSystem` plan cache, memoized statistics — compare the
+    /// generation they were built at against the current one to detect
+    /// staleness, which is how `Maintainer` writes invalidate them.
+    generation: u64,
 }
 
 impl Database {
@@ -23,12 +44,20 @@ impl Database {
         Database::default()
     }
 
+    /// The current write generation.  Strictly increases with every
+    /// mutation (insert, delete, DDL); two equal generations guarantee the
+    /// database contents have not changed in between.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Create a table from a schema.  Fails if the name is already taken.
     pub fn create_table(&mut self, schema: TableSchema) -> Result<()> {
         let name = schema.name.clone();
         if self.tables.contains_key(&name) {
             return Err(BeasError::catalog(format!("table {name:?} already exists")));
         }
+        self.generation += 1;
         self.tables.insert(name, Table::new(schema));
         Ok(())
     }
@@ -36,11 +65,18 @@ impl Database {
     /// Drop a table.
     pub fn drop_table(&mut self, name: &str) -> Result<()> {
         let name = name.to_ascii_lowercase();
-        self.statistics.remove(&name);
         self.tables
             .remove(&name)
-            .map(|_| ())
-            .ok_or_else(|| BeasError::catalog(format!("unknown table {name:?}")))
+            .ok_or_else(|| BeasError::catalog(format!("unknown table {name:?}")))?;
+        // the generation bump already invalidates the memo; removing the
+        // entry keeps the cache from accumulating dropped-table stats
+        self.statistics
+            .0
+            .lock()
+            .expect("stats cache lock")
+            .remove(&name);
+        self.generation += 1;
+        Ok(())
     }
 
     /// Names of all tables, sorted.
@@ -58,13 +94,17 @@ impl Database {
             .ok_or_else(|| BeasError::catalog(format!("unknown table {name:?}")))
     }
 
-    /// Mutable access to a table.  Invalidates cached statistics for it.
+    /// Mutable access to a table.  Bumps the write generation (the access
+    /// is assumed to mutate), which invalidates memoized statistics and any
+    /// generation-checked cache built over this database.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
         let name = name.to_ascii_lowercase();
-        self.statistics.remove(&name);
-        self.tables
+        let table = self
+            .tables
             .get_mut(&name)
-            .ok_or_else(|| BeasError::catalog(format!("unknown table {name:?}")))
+            .ok_or_else(|| BeasError::catalog(format!("unknown table {name:?}")))?;
+        self.generation += 1;
+        Ok(table)
     }
 
     /// Whether a table exists.
@@ -96,21 +136,35 @@ impl Database {
         self.tables.values().map(|t| t.estimated_bytes()).sum()
     }
 
-    /// Statistics for a table, computed on demand and cached until the table
-    /// is next mutated.
-    pub fn statistics(&mut self, table: &str) -> Result<&TableStatistics> {
+    /// Statistics for a table, computed on demand and memoized until the
+    /// database is next mutated (generation-checked).  Usable through a
+    /// shared reference, so the query planner's selectivity estimation costs
+    /// one table scan per table per write generation instead of one per
+    /// planned query.
+    pub fn statistics(&self, table: &str) -> Result<Arc<TableStatistics>> {
         let name = table.to_ascii_lowercase();
-        if !self.tables.contains_key(&name) {
-            return Err(BeasError::catalog(format!("unknown table {name:?}")));
+        let t = self
+            .tables
+            .get(&name)
+            .ok_or_else(|| BeasError::catalog(format!("unknown table {name:?}")))?;
+        {
+            let cache = self.statistics.0.lock().expect("stats cache lock");
+            if let Some((generation, stats)) = cache.get(&name) {
+                if *generation == self.generation {
+                    return Ok(Arc::clone(stats));
+                }
+            }
         }
-        if !self.statistics.contains_key(&name) {
-            let stats = TableStatistics::collect(&self.tables[&name]);
-            self.statistics.insert(name.clone(), stats);
-        }
-        Ok(&self.statistics[&name])
+        let stats = Arc::new(TableStatistics::collect(t));
+        self.statistics
+            .0
+            .lock()
+            .expect("stats cache lock")
+            .insert(name, (self.generation, Arc::clone(&stats)));
+        Ok(stats)
     }
 
-    /// Statistics without caching (usable through a shared reference).
+    /// Statistics bypassing the memo (always a fresh scan).
     pub fn statistics_uncached(&self, table: &str) -> Result<TableStatistics> {
         Ok(TableStatistics::collect(self.table(table)?))
     }
@@ -196,6 +250,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(db.statistics("business").unwrap().row_count, 1);
+        // repeated reads at the same generation share the memoized stats
+        let a = db.statistics("business").unwrap();
+        let b = db.statistics("business").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
         db.insert(
             "business",
             vec![Value::str("p2"), Value::str("bank"), Value::str("east")],
@@ -204,6 +262,50 @@ mod tests {
         assert_eq!(db.statistics("business").unwrap().row_count, 2);
         assert_eq!(db.statistics_uncached("business").unwrap().row_count, 2);
         assert!(db.statistics("nosuch").is_err());
+        // a clone's cache is independent of the original's
+        let snapshot = db.clone();
+        db.insert(
+            "business",
+            vec![Value::str("p3"), Value::str("bank"), Value::str("east")],
+        )
+        .unwrap();
+        assert_eq!(db.statistics("business").unwrap().row_count, 3);
+        assert_eq!(snapshot.statistics("business").unwrap().row_count, 2);
+    }
+
+    #[test]
+    fn generation_bumps_on_every_mutation_path() {
+        let mut db = Database::new();
+        let g0 = db.generation();
+        db.create_table(TableSchema::new("t", vec![ColumnDef::new("x", DataType::Int)]).unwrap())
+            .unwrap();
+        let g1 = db.generation();
+        assert!(g1 > g0);
+        db.insert("t", vec![Value::Int(1)]).unwrap();
+        let g2 = db.generation();
+        assert!(g2 > g1);
+        db.insert_many("t", vec![vec![Value::Int(2)]]).unwrap();
+        let g3 = db.generation();
+        assert!(g3 > g2);
+        db.table_mut("t").unwrap().delete_where(|_| true);
+        let g4 = db.generation();
+        assert!(g4 > g3);
+        db.drop_table("t").unwrap();
+        assert!(db.generation() > g4);
+        // reads do not bump
+        let mut db2 = Database::new();
+        db2.create_table(TableSchema::new("t", vec![ColumnDef::new("x", DataType::Int)]).unwrap())
+            .unwrap();
+        let g = db2.generation();
+        let _ = db2.table("t").unwrap();
+        let _ = db2.table_names();
+        let _ = db2.statistics("t").unwrap();
+        assert_eq!(db2.generation(), g);
+        // failed mutations do not bump
+        assert!(db2.table_mut("nosuch").is_err());
+        assert_eq!(db2.generation(), g);
+        // clones carry the generation
+        assert_eq!(db2.clone().generation(), g);
     }
 
     #[test]
