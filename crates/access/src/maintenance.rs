@@ -3,7 +3,8 @@
 //! The Maintenance module of the AS catalog (a) incrementally updates the
 //! constraint indices when the underlying data changes, and (b) periodically
 //! re-validates / adjusts the cardinality bounds as the data and query load
-//! evolve.  The paper cites an optimal incremental algorithm from [5]; the
+//! evolve.  The paper cites an optimal incremental algorithm from its
+//! reference \[5\]; the
 //! behaviour implemented here is the observable contract: after any sequence
 //! of inserts and deletes, the maintained indices are identical to indices
 //! rebuilt from scratch, and bound violations are handled per policy.

@@ -12,6 +12,7 @@
 pub mod date;
 pub mod error;
 pub mod key;
+pub mod morsel;
 pub mod rowref;
 pub mod schema;
 pub mod stream;
@@ -22,6 +23,9 @@ pub mod value;
 pub use date::Date;
 pub use error::{BeasError, Result};
 pub use key::{canonical_key_value, index_key, is_canonical_key_value, join_key, joinable};
+pub use morsel::{
+    default_workers, morsel_count, morsel_range, scatter, MorselQueue, ScatterOutcome, MORSEL_ROWS,
+};
 pub use rowref::{dedupe, RowRef, RowSeg, ValueRow};
 pub use schema::{ColumnDef, ColumnRef, Field, Schema, TableSchema};
 pub use stream::{DedupeStream, FilterStream, MapStream, RowStream, TakeStream, VecStream};

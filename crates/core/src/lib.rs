@@ -35,7 +35,7 @@ pub use approx::ApproximateExecution;
 pub use checker::{Checker, CoverageResult, FetchStep};
 pub use executor::{execute_bounded, execute_ctx, BoundedExecution, CtxResult};
 pub use graph::{Atom, QueryGraph};
-pub use partial::{execute_partially_bounded, PartialExecution};
+pub use partial::{execute_partially_bounded, PartialExecution, ReductionSaving};
 pub use plan::{BoundedPlan, KeySource, PlannedFetch};
 pub use planner::{generate_bounded_plan, generate_plan_for_steps};
 pub use system::{BeasSystem, CheckReport, EvaluationMode, ExecutionOutcome};

@@ -19,6 +19,33 @@ use beas_sql::{AggregateFunction, Binder, BoundQuery};
 use beas_storage::Database;
 use std::collections::{BTreeSet, HashSet};
 
+/// How much one covered relation shrank when the bounded stage replaced it
+/// by its fetched subset — the telemetry behind the ROADMAP's Q11
+/// observation that a reduction which barely shrinks a relation costs more
+/// (materialization + re-scan) than it saves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReductionSaving {
+    /// Alias of the reduced relation in the query.
+    pub alias: String,
+    /// Rows of the base relation (what the residual plan would have
+    /// scanned without the reduction).
+    pub rows_before: u64,
+    /// Rows of the bounded replacement actually handed to the residue.
+    pub rows_after: u64,
+}
+
+impl ReductionSaving {
+    /// Fraction of the base relation the reduction eliminated, in `[0, 1]`
+    /// (0.0 when the relation was empty or nothing was saved).
+    pub fn savings_ratio(&self) -> f64 {
+        if self.rows_before == 0 {
+            0.0
+        } else {
+            1.0 - (self.rows_after as f64 / self.rows_before as f64)
+        }
+    }
+}
+
 /// The result of a partially bounded execution.
 #[derive(Debug, Clone)]
 pub struct PartialExecution {
@@ -34,6 +61,10 @@ pub struct PartialExecution {
     pub tuples_scanned: u64,
     /// Aliases of the relations that were replaced by bounded subsets.
     pub reduced_relations: Vec<String>,
+    /// Per-relation rows-before/after of each applied reduction (also
+    /// surfaced as `PartialReduce(alias: before→after)` lines in the
+    /// bounded-stage metrics report).
+    pub reduction_savings: Vec<ReductionSaving>,
 }
 
 impl PartialExecution {
@@ -67,6 +98,7 @@ pub fn execute_partially_bounded(
             residual_metrics: result.metrics,
             tuples_fetched: 0,
             reduced_relations: Vec::new(),
+            reduction_savings: Vec::new(),
         });
     }
 
@@ -90,6 +122,7 @@ pub fn execute_partially_bounded(
     let bag_sensitive = multiplicity_matters(query);
     let mut reduced = Database::new();
     let mut reduced_relations = Vec::new();
+    let mut reduction_savings: Vec<ReductionSaving> = Vec::new();
     let covered: BTreeSet<usize> = coverage.covered_atoms.clone();
     for (idx, table) in query.tables.iter().enumerate() {
         // A relation may appear several times under different aliases; the
@@ -117,6 +150,11 @@ pub fn execute_partially_bounded(
             let schema = nullable_copy(&table.schema);
             reduced.create_table(schema)?;
             let rows = materialize_atom(&ctx, query, graph, idx)?;
+            reduction_savings.push(ReductionSaving {
+                alias: table.alias.clone(),
+                rows_before: db.table(&table.table)?.row_count() as u64,
+                rows_after: rows.len() as u64,
+            });
             reduced.insert_many(&table.table, rows)?;
             reduced_relations.push(table.alias.clone());
         } else {
@@ -131,13 +169,34 @@ pub fn execute_partially_bounded(
     let rebound = Binder::new(&reduced).bind(&query.ast)?;
     let result = engine.run_bound(&reduced, &rebound)?;
 
+    // Surface the per-relation reduction savings in the bounded-stage
+    // metrics report: this is the Q11 telemetry — a reduction with a tiny
+    // savings ratio signals that the bounded stage materialized a relation
+    // it barely shrank (the cost-gating follow-up in the ROADMAP).
+    let mut bounded_metrics = ctx.metrics;
+    for s in &reduction_savings {
+        bounded_metrics.record(
+            format!(
+                "PartialReduce({}: {}\u{2192}{}, saved {:.0}%)",
+                s.alias,
+                s.rows_before,
+                s.rows_after,
+                s.savings_ratio() * 100.0
+            ),
+            s.rows_after,
+            0,
+            std::time::Duration::ZERO,
+        );
+    }
+
     Ok(PartialExecution {
         rows: result.rows,
-        bounded_metrics: ctx.metrics,
+        bounded_metrics,
         tuples_scanned: result.metrics.total_tuples_accessed(),
         residual_metrics: result.metrics,
         tuples_fetched: ctx.tuples_accessed,
         reduced_relations,
+        reduction_savings,
     })
 }
 
@@ -340,6 +399,34 @@ mod tests {
         // instead of 8 businesses, plus the full call table
         assert!(partial.tuples_scanned < 48);
         assert!(partial.total_tuples_accessed() > 0);
+    }
+
+    #[test]
+    fn reduction_savings_report_rows_before_and_after() {
+        // The Q11 telemetry: every applied reduction reports how much it
+        // shrank the relation, both programmatically and as a metrics line.
+        let sql = "select c.region, sum(c.duration) as total from call c, business b \
+                   where b.type = 'bank' and b.region = 'r0' and b.pnum = c.pnum \
+                   and c.date = '2016-07-04' group by c.region order by c.region";
+        let (partial, _) = run_partial(sql);
+        assert_eq!(partial.reduction_savings.len(), 1);
+        let s = &partial.reduction_savings[0];
+        assert_eq!(s.alias, "b");
+        assert_eq!(s.rows_before, 8); // 8 businesses in the base relation
+        assert_eq!(s.rows_after, 4); // 4 banks survive the bounded stage
+        assert!((s.savings_ratio() - 0.5).abs() < 1e-9);
+        let report = partial.bounded_metrics.render();
+        assert!(
+            report.contains("PartialReduce(b: 8\u{2192}4, saved 50%)"),
+            "missing savings line in:\n{report}"
+        );
+        // degenerate ratios stay in range
+        let empty = ReductionSaving {
+            alias: "x".into(),
+            rows_before: 0,
+            rows_after: 0,
+        };
+        assert_eq!(empty.savings_ratio(), 0.0);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use beas_access::{
     MaintenanceOutcome, MaintenancePolicy,
 };
 use beas_common::{BeasError, Result, Row, Schema};
-use beas_engine::{Engine, ExecutionMetrics, OptimizerProfile, PlanCacheStats};
+use beas_engine::{Engine, ExecutionMetrics, OptimizerProfile, ParallelConfig, PlanCacheStats};
 use beas_sql::{parse_select, Binder, BoundQuery};
 use beas_storage::Database;
 use std::collections::HashMap;
@@ -250,8 +250,27 @@ impl BeasSystem {
 
     /// Replace the conventional engine used for fallback / residual plans.
     pub fn with_fallback_profile(mut self, profile: OptimizerProfile) -> Self {
-        self.fallback = Engine::new(profile);
+        self.fallback = Engine::new(profile).with_parallelism(self.fallback.parallelism());
         self
+    }
+
+    /// Configure morsel-driven parallelism for the fallback engine (the
+    /// conventional engine that runs uncovered queries and the unbounded
+    /// residue of partially bounded plans).
+    ///
+    /// Parallelism is a *physical* execution property: cached plans stay
+    /// valid across knob changes — the plan cache stores logical prepared
+    /// queries and the exchange decision is made at execution time from the
+    /// engine's current configuration — so no cache invalidation happens
+    /// here, and answers are identical under every configuration.
+    pub fn with_parallel_fallback(mut self, parallel: ParallelConfig) -> Self {
+        self.fallback = self.fallback.with_parallelism(parallel);
+        self
+    }
+
+    /// The fallback engine's morsel-parallelism configuration.
+    pub fn parallel_fallback(&self) -> ParallelConfig {
+        self.fallback.parallelism()
     }
 
     /// The underlying database.
@@ -360,6 +379,34 @@ impl BeasSystem {
 
     /// Execute `sql`: bounded when covered, partially bounded otherwise.
     /// The parse → bind → check → plan stage is served from the plan cache.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use beas_access::{AccessConstraint, AccessSchema};
+    /// use beas_common::{ColumnDef, DataType, TableSchema, Value};
+    /// use beas_core::BeasSystem;
+    /// use beas_storage::Database;
+    ///
+    /// let mut db = Database::new();
+    /// db.create_table(TableSchema::new(
+    ///     "call",
+    ///     vec![
+    ///         ColumnDef::new("pnum", DataType::Str),
+    ///         ColumnDef::new("recnum", DataType::Str),
+    ///     ],
+    /// )?)?;
+    /// db.insert("call", vec![Value::str("p1"), Value::str("r1")])?;
+    /// let schema = AccessSchema::from_constraints(vec![AccessConstraint::new(
+    ///     "call", &["pnum"], &["recnum"], 100,
+    /// )?]);
+    /// let system = BeasSystem::with_schema(db, schema)?;
+    ///
+    /// let outcome = system.execute_sql("SELECT recnum FROM call WHERE pnum = 'p1'")?;
+    /// assert!(outcome.bounded, "the constraint covers the query");
+    /// assert_eq!(outcome.rows, vec![vec![Value::str("r1")]]);
+    /// # Ok::<(), beas_common::BeasError>(())
+    /// ```
     pub fn execute_sql(&self, sql: &str) -> Result<ExecutionOutcome> {
         let prepared = self.prepare(sql)?;
         self.execute_prepared(&prepared)
@@ -462,6 +509,35 @@ impl BeasSystem {
     /// affected constraint index are updated together, and the write bumps
     /// the database generation, so cached plans for this system re-prepare
     /// on their next use.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use beas_access::{AccessConstraint, AccessSchema};
+    /// use beas_common::{ColumnDef, DataType, TableSchema, Value};
+    /// use beas_core::BeasSystem;
+    /// use beas_storage::Database;
+    ///
+    /// let mut db = Database::new();
+    /// db.create_table(TableSchema::new(
+    ///     "call",
+    ///     vec![
+    ///         ColumnDef::new("pnum", DataType::Str),
+    ///         ColumnDef::new("recnum", DataType::Str),
+    ///     ],
+    /// )?)?;
+    /// let schema = AccessSchema::from_constraints(vec![AccessConstraint::new(
+    ///     "call", &["pnum"], &["recnum"], 100,
+    /// )?]);
+    /// let mut system = BeasSystem::with_schema(db, schema)?;
+    ///
+    /// // The write maintains the constraint index and invalidates cached
+    /// // plans, so the next query sees the new row through a bounded fetch.
+    /// system.insert_rows("call", vec![vec![Value::str("p2"), Value::str("r9")]])?;
+    /// let outcome = system.execute_sql("SELECT recnum FROM call WHERE pnum = 'p2'")?;
+    /// assert_eq!(outcome.rows, vec![vec![Value::str("r9")]]);
+    /// # Ok::<(), beas_common::BeasError>(())
+    /// ```
     pub fn insert_rows(&mut self, table: &str, rows: Vec<Row>) -> Result<MaintenanceOutcome> {
         let maintainer = Maintainer::new(self.maintenance_policy);
         let outcome = maintainer.insert_rows(
@@ -482,6 +558,36 @@ impl BeasSystem {
     /// Delete the rows of `table` matching `predicate`, keeping every
     /// affected constraint index consistent.  Bumps the database
     /// generation, invalidating cached plans.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use beas_access::{AccessConstraint, AccessSchema};
+    /// use beas_common::{ColumnDef, DataType, TableSchema, Value};
+    /// use beas_core::BeasSystem;
+    /// use beas_storage::Database;
+    ///
+    /// let mut db = Database::new();
+    /// db.create_table(TableSchema::new(
+    ///     "call",
+    ///     vec![
+    ///         ColumnDef::new("pnum", DataType::Str),
+    ///         ColumnDef::new("recnum", DataType::Str),
+    ///     ],
+    /// )?)?;
+    /// db.insert("call", vec![Value::str("p1"), Value::str("r1")])?;
+    /// db.insert("call", vec![Value::str("p1"), Value::str("r2")])?;
+    /// let schema = AccessSchema::from_constraints(vec![AccessConstraint::new(
+    ///     "call", &["pnum"], &["recnum"], 100,
+    /// )?]);
+    /// let mut system = BeasSystem::with_schema(db, schema)?;
+    ///
+    /// let outcome = system.delete_rows("call", |row| row[1] == Value::str("r1"))?;
+    /// assert_eq!(outcome.rows_affected, 1);
+    /// let remaining = system.execute_sql("SELECT recnum FROM call WHERE pnum = 'p1'")?;
+    /// assert_eq!(remaining.rows, vec![vec![Value::str("r2")]]);
+    /// # Ok::<(), beas_common::BeasError>(())
+    /// ```
     pub fn delete_rows(
         &mut self,
         table: &str,
@@ -787,6 +893,37 @@ mod tests {
         );
         // a comment at the very end (no trailing newline) is dropped too
         assert_eq!(normalize_sql("select 1 -- tail"), "select 1");
+    }
+
+    #[test]
+    fn parallel_fallback_knob_keeps_answers_and_cached_plans() {
+        // A forced-parallel fallback engine must return exactly the serial
+        // answers, and flipping the knob must not disturb the plan cache
+        // (parallelism is decided at execution time, not plan time).
+        let parallel = ParallelConfig {
+            workers: 2,
+            min_rows: 0,
+            morsel_rows: 8,
+        };
+        let beas = system().with_parallel_fallback(parallel);
+        assert_eq!(beas.parallel_fallback(), parallel);
+        let first = beas.execute_sql(UNCOVERED).unwrap();
+        let reference = system().execute_sql(UNCOVERED).unwrap();
+        assert_eq!(first.rows, reference.rows);
+        // cached entry planned under the parallel engine is reused ...
+        let again = beas.execute_sql(UNCOVERED).unwrap();
+        assert_eq!(again.rows, first.rows);
+        assert_eq!(beas.plan_cache_stats().hits, 1);
+        // ... and survives a knob flip without invalidation
+        let beas = beas.with_parallel_fallback(ParallelConfig::serial());
+        let serial_again = beas.execute_sql(UNCOVERED).unwrap();
+        assert_eq!(serial_again.rows, first.rows);
+        let stats = beas.plan_cache_stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.invalidations, 0);
+        // profile changes preserve the parallel setting
+        let beas = beas.with_fallback_profile(OptimizerProfile::MySqlLike);
+        assert_eq!(beas.parallel_fallback(), ParallelConfig::serial());
     }
 
     #[test]

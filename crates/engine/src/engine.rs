@@ -1,6 +1,6 @@
 //! The baseline engine facade: parse → bind → plan → execute.
 
-use crate::executor::execute;
+use crate::executor::{execute_with, ParallelConfig};
 use crate::metrics::ExecutionMetrics;
 use crate::plan::LogicalPlan;
 use crate::planner::Planner;
@@ -43,9 +43,16 @@ impl QueryResult {
 /// This is the stand-in for the commercial DBMSs of the paper's evaluation;
 /// BEAS also uses it to execute the unbounded residue of partially bounded
 /// plans.
+///
+/// Large scans run morsel-parallel by default (a worker per core, capped;
+/// single-core hosts and small tables stay serial) — see
+/// [`ParallelConfig`] and [`Engine::with_parallelism`].  Parallelism is a
+/// physical execution property: it never changes answers, row order, or
+/// which error a query raises.
 #[derive(Debug, Clone, Copy)]
 pub struct Engine {
     profile: OptimizerProfile,
+    parallel: ParallelConfig,
 }
 
 impl Default for Engine {
@@ -57,12 +64,28 @@ impl Default for Engine {
 impl Engine {
     /// Create an engine with the given optimizer profile.
     pub fn new(profile: OptimizerProfile) -> Self {
-        Engine { profile }
+        Engine {
+            profile,
+            parallel: ParallelConfig::default(),
+        }
     }
 
     /// The engine's optimizer profile.
     pub fn profile(&self) -> OptimizerProfile {
         self.profile
+    }
+
+    /// Replace the morsel-parallelism configuration (worker count, planner
+    /// threshold, morsel granularity).  `ParallelConfig::serial()` pins the
+    /// serial reference pipeline.
+    pub fn with_parallelism(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// The engine's morsel-parallelism configuration.
+    pub fn parallelism(&self) -> ParallelConfig {
+        self.parallel
     }
 
     /// Parse and bind a SQL string against `db`.
@@ -86,7 +109,7 @@ impl Engine {
     pub fn run_bound(&self, db: &Database, query: &BoundQuery) -> Result<QueryResult> {
         let plan = self.plan(db, query)?;
         let mut metrics = ExecutionMetrics::new();
-        let rows = execute(&plan, db, &mut metrics)?;
+        let rows = execute_with(&plan, db, &mut metrics, self.parallel)?;
         Ok(QueryResult {
             rows,
             schema: query.output_schema.clone(),

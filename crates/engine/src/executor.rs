@@ -31,29 +31,150 @@
 //! the pipeline, so they report zero own-time — the total is on
 //! [`ExecutionMetrics::elapsed`].
 //!
+//! # Morsel-driven parallelism
+//!
+//! Large scans run *morsel-parallel*: the base table is split into
+//! fixed-size row ranges ([`beas_common::morsel::MORSEL_ROWS`]), worker
+//! threads claim morsels from a shared ordered queue
+//! ([`beas_common::MorselQueue`]) and run the whole leaf pipeline fragment
+//! — scan plus any stack of filters and projections — inside the worker.
+//! An `Exchange` operator stitches the fragments back together with a
+//! deterministic morsel-ordered merge, so output rows, their order and the
+//! `tuples accessed` accounting are identical to the serial pipeline
+//! (workers own whole morsels; the merge sorts by morsel index exactly as
+//! the bounded executor's parallel fetch merges by key position).
+//! Pipeline breakers gather *per-morsel partial state* that the merge
+//! combines:
+//!
+//! * **Distinct** — workers pre-deduplicate their morsels; the streaming
+//!   `Distinct` downstream removes the remaining cross-morsel duplicates,
+//!   preserving global first-occurrence order;
+//! * **Sort under a limit hint** — workers prune each morsel to its stable
+//!   top-k; the downstream sort runs the global top-k over the pruned merge
+//!   (a discarded row is beaten by `k` earlier rows of its own morsel, so
+//!   it can never re-enter the global answer);
+//! * **Aggregate** — workers fold each morsel into per-group
+//!   [`Accumulator`]s, merged group-wise in morsel order
+//!   ([`Accumulator::merge`]), restricted to aggregates whose merge is
+//!   bit-exact in answers *and* errors (`COUNT`/`MIN`/`MAX`; `SUM`/`AVG`
+//!   re-associate additions — float rounding and checked-integer overflow
+//!   are both order-sensitive — and stay on the serial fold);
+//! * **streaming `LIMIT`** — the limit quota rides on the shared queue: a
+//!   worker reports surviving rows and the queue stops handing out morsels
+//!   once the quota is met.  Claims are ordered, so the claimed prefix
+//!   provably contains the first `k` survivors.  Because whole morsels are
+//!   read, a parallel limited scan may access *more* tuples than the serial
+//!   lazy prefix; the planner therefore only parallelizes limited fragments
+//!   whose quota is at least one morsel, and leaves small limits serial.
+//!
+//! The parallel path is gated by [`ParallelConfig`]: a worker count (from
+//! `available_parallelism`, 1 disables), and a minimum estimated input size
+//! read from the database's memoized statistics
+//! ([`crate::planner::estimated_scan_rows`]).  The serial pipeline remains
+//! the reference semantics; `tests/parallel_semantics.rs` pins the two
+//! paths equal on mixed-type data.
+//!
 //! The executor remains deliberately conventional in *what* it computes:
 //! un-limited scans read whole tables and joins touch every input row — the
 //! behaviour whose cost grows with `|D|` and which bounded evaluation
 //! avoids.  Rows materialize back into owned `Vec<Value>` form only at the
 //! query boundary.
 
-use crate::metrics::ExecutionMetrics;
+use crate::metrics::{ExecutionMetrics, MorselStats};
 use crate::plan::{JoinAlgorithm, LogicalPlan};
-use beas_common::{join_key, BeasError, Result, Row, RowRef, RowStream, Value};
+use beas_common::{
+    join_key, morsel_count, morsel_range, scatter, BeasError, MorselQueue, Result, Row, RowRef,
+    RowStream, Value, MORSEL_ROWS,
+};
 use beas_sql::{evaluate, evaluate_predicate, Accumulator, BoundAggregate, BoundExpr};
 use beas_storage::Database;
 use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet};
+use std::ops::Range;
 use std::time::{Duration, Instant};
 
-/// Execute a logical plan against a database, recording metrics.
+/// Upper bound on morsel worker threads per exchange.
+pub const PARALLEL_SCAN_MAX_WORKERS: usize = 8;
+
+/// Minimum estimated input rows (from the memoized table statistics) before
+/// a scan fragment is parallelized.  Below two morsels' worth of rows the
+/// scheduling and thread-scope overhead (~100µs) outweighs the per-row work.
+pub const PARALLEL_SCAN_MIN_ROWS: usize = 2 * MORSEL_ROWS;
+
+/// Configuration of the morsel-driven parallel execution path.
+///
+/// The default enables parallelism with `available_parallelism` workers
+/// (so a single-core host stays serial) at the production morsel
+/// granularity; [`ParallelConfig::serial`] disables it.  Tests shrink
+/// `morsel_rows`/`min_rows` to force multi-morsel schedules on small data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads per exchange; `<= 1` keeps every pipeline serial.
+    pub workers: usize,
+    /// Minimum estimated input rows before a fragment is parallelized.
+    pub min_rows: usize,
+    /// Rows per morsel.
+    pub morsel_rows: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            workers: beas_common::default_workers(PARALLEL_SCAN_MAX_WORKERS),
+            min_rows: PARALLEL_SCAN_MIN_ROWS,
+            morsel_rows: MORSEL_ROWS,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// The serial configuration: no exchange is ever built.
+    pub fn serial() -> Self {
+        ParallelConfig {
+            workers: 1,
+            ..ParallelConfig::default()
+        }
+    }
+
+    /// The default configuration with a fixed worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        ParallelConfig {
+            workers,
+            ..ParallelConfig::default()
+        }
+    }
+
+    /// Whether the parallel path can engage at all.
+    pub fn enabled(&self) -> bool {
+        self.workers > 1
+    }
+}
+
+/// Execute a logical plan against a database on the serial reference
+/// pipeline, recording metrics.
 pub fn execute(
     plan: &LogicalPlan,
     db: &Database,
     metrics: &mut ExecutionMetrics,
 ) -> Result<Vec<Row>> {
+    execute_with(plan, db, metrics, ParallelConfig::serial())
+}
+
+/// Execute a logical plan, parallelizing eligible scan fragments according
+/// to `parallel`.  Answers — rows, order, error propagation — are identical
+/// to [`execute`] for every plan and configuration.
+pub fn execute_with(
+    plan: &LogicalPlan,
+    db: &Database,
+    metrics: &mut ExecutionMetrics,
+    parallel: ParallelConfig,
+) -> Result<Vec<Row>> {
     let start = Instant::now();
-    let mut root = build_operator(plan, db, None)?;
+    let ctx = BuildCtx {
+        parallel,
+        lazy: false,
+    };
+    let mut root = build_operator(plan, db, None, ctx)?;
     // Single materialization point: pipelined rows become owned rows only
     // when they leave the executor.
     let mut out: Vec<Row> = Vec::new();
@@ -74,6 +195,30 @@ trait Operator<'a>: RowStream<'a> {
 
 type BoxedOperator<'a> = Box<dyn Operator<'a> + 'a>;
 
+/// Context threaded through operator construction.
+#[derive(Debug, Clone, Copy)]
+struct BuildCtx {
+    /// Morsel-parallelism configuration for this execution.
+    parallel: ParallelConfig,
+    /// Whether the consumer may stop pulling early (a `LIMIT` upstream with
+    /// only streaming operators in between).  An eager parallel fragment
+    /// would forfeit the serial path's lazy-prefix advantage, so laziness
+    /// inhibits exchanges unless the limit quota spans whole morsels.
+    /// Pipeline breakers (Sort, Aggregate, a join's build side) drain their
+    /// input completely and reset the flag.
+    lazy: bool,
+}
+
+impl BuildCtx {
+    /// The context for an input that is always drained to exhaustion.
+    fn drained(self) -> Self {
+        BuildCtx {
+            lazy: false,
+            ..self
+        }
+    }
+}
+
 /// Build the operator tree for a plan node.  `limit` is the pushed-down
 /// row-count hint: `Some(k)` means the consumer will pull at most `k` rows,
 /// which lets blocking operators choose bounded algorithms (top-k sort).
@@ -87,11 +232,20 @@ type BoxedOperator<'a> = Box<dyn Operator<'a> + 'a>;
 /// under a LIMIT the two engines agree on answers but may differ on whether
 /// a doomed row's error surfaces — the error-parity guarantee is pinned for
 /// the un-limited case (`type_error_predicates_propagate_like_the_baseline`).
+/// The morsel-parallel path preserves the same contract: an exchange under a
+/// limit reads whole morsels but replays them in row order, so exactly the
+/// rows (and the first error, if pulled) of the serial prefix surface.
 fn build_operator<'a>(
     plan: &'a LogicalPlan,
     db: &'a Database,
     limit: Option<usize>,
+    ctx: BuildCtx,
 ) -> Result<BoxedOperator<'a>> {
+    // A maximal Scan → Filter*/Project* chain may run morsel-parallel as a
+    // whole; the exchange replaces the entire fragment.
+    if let Some(op) = try_exchange(plan, db, limit, ctx, ExchangePartial::Append)? {
+        return Ok(op);
+    }
     Ok(match plan {
         LogicalPlan::Scan { table, alias, .. } => {
             let t = db.table(table)?;
@@ -110,7 +264,7 @@ fn build_operator<'a>(
             // The hint cannot pass through (the filter drops rows), but
             // demand still does: the filter pulls from its input only while
             // the consumer keeps pulling from it.
-            let input = build_operator(input, db, None)?;
+            let input = build_operator(input, db, None, ctx)?;
             Box::new(FilterOp {
                 input,
                 predicate,
@@ -124,8 +278,12 @@ fn build_operator<'a>(
             algorithm,
             ..
         } => {
-            let left = build_operator(left, db, None)?;
-            let right = build_operator(right, db, None)?;
+            // The probe (left) side streams on demand, so it inherits the
+            // consumer's laziness; the build (right) side is always drained
+            // in full, which makes it a safe parallel fragment even under a
+            // downstream LIMIT.
+            let left = build_operator(left, db, None, ctx)?;
+            let right = build_operator(right, db, None, ctx.drained())?;
             let label = format!("{}(keys={})", algorithm.name(), keys.len());
             match algorithm {
                 JoinAlgorithm::Hash if !keys.is_empty() => Box::new(HashJoinOp::new(
@@ -152,8 +310,18 @@ fn build_operator<'a>(
         } => {
             // Aggregation must consume all input; only the *output* groups
             // are streamed (first-seen group order), so a downstream LIMIT
-            // cuts groups lazily.
-            let input = build_operator(input, db, None)?;
+            // cuts groups lazily.  When every aggregate merges exactly, the
+            // fragment below can be folded per-morsel in the workers and the
+            // partial groups merged — otherwise the input may still be a
+            // plain exchange and the aggregation itself stays serial.
+            if merge_exact(aggregates) {
+                if let Some(op) =
+                    try_parallel_aggregate(input, db, ctx.drained(), group_by, aggregates)?
+                {
+                    return Ok(op);
+                }
+            }
+            let input = build_operator(input, db, None, ctx.drained())?;
             Box::new(AggregateOp {
                 input,
                 started: false,
@@ -166,7 +334,7 @@ fn build_operator<'a>(
         }
         LogicalPlan::Project { input, exprs, .. } => {
             // Projection is 1:1, so the limit hint passes straight through.
-            let input = build_operator(input, db, limit)?;
+            let input = build_operator(input, db, limit, ctx)?;
             Box::new(ProjectOp {
                 input,
                 exprs,
@@ -174,7 +342,13 @@ fn build_operator<'a>(
             })
         }
         LogicalPlan::Distinct { input } => {
-            let input = build_operator(input, db, None)?;
+            // Workers pre-deduplicate their morsels; this operator removes
+            // the remaining cross-morsel duplicates in merged row order, so
+            // the surviving set and order equal the serial run's.
+            let input = match try_exchange(input, db, None, ctx, ExchangePartial::Dedupe)? {
+                Some(op) => op,
+                None => build_operator(input, db, None, ctx)?,
+            };
             Box::new(DistinctOp {
                 input,
                 seen: HashSet::new(),
@@ -182,7 +356,18 @@ fn build_operator<'a>(
             })
         }
         LogicalPlan::Sort { input, keys } => {
-            let input = build_operator(input, db, None)?;
+            // Sort drains its input whatever happens downstream.  Under a
+            // limit hint the workers prune each morsel to its stable top-k,
+            // and the global (stable) top-k below runs over the pruned merge.
+            let inner = ctx.drained();
+            let partial = match limit {
+                Some(k) => ExchangePartial::TopK { keys, k },
+                None => ExchangePartial::Append,
+            };
+            let input = match try_exchange(input, db, None, inner, partial)? {
+                Some(op) => op,
+                None => build_operator(input, db, None, inner)?,
+            };
             Box::new(SortOp {
                 input,
                 started: false,
@@ -195,7 +380,7 @@ fn build_operator<'a>(
         }
         LogicalPlan::Limit { input, limit: k } => {
             let k = *k as usize;
-            let input = build_operator(input, db, Some(k))?;
+            let input = build_operator(input, db, Some(k), BuildCtx { lazy: true, ..ctx })?;
             Box::new(LimitOp {
                 input,
                 remaining: k,
@@ -204,6 +389,569 @@ fn build_operator<'a>(
             })
         }
     })
+}
+
+// ---------------------------------------------------------------------------
+// Morsel-parallel fragments
+// ---------------------------------------------------------------------------
+
+/// One streaming operator of a leaf pipeline fragment.
+#[derive(Debug, Clone, Copy)]
+enum FragOp<'a> {
+    /// Filter by a predicate (baseline error semantics: errors propagate).
+    Filter(&'a BoundExpr),
+    /// Project through output expressions.
+    Project(&'a [(BoundExpr, String)]),
+}
+
+/// A parallelizable leaf pipeline: a base-table scan under any stack of
+/// fully streaming per-row operators, innermost first.
+#[derive(Debug, Clone)]
+struct Fragment<'a> {
+    table: &'a str,
+    scan_label: String,
+    ops: Vec<FragOp<'a>>,
+}
+
+/// The maximal Scan → Filter*/Project* chain rooted at `plan`, if the whole
+/// subtree is such a chain.
+fn leaf_fragment(plan: &LogicalPlan) -> Option<Fragment<'_>> {
+    match plan {
+        LogicalPlan::Scan { table, alias, .. } => Some(Fragment {
+            table,
+            scan_label: if table == alias {
+                format!("SeqScan({table})")
+            } else {
+                format!("SeqScan({table} AS {alias})")
+            },
+            ops: Vec::new(),
+        }),
+        LogicalPlan::Filter { input, predicate } => {
+            let mut frag = leaf_fragment(input)?;
+            frag.ops.push(FragOp::Filter(predicate));
+            Some(frag)
+        }
+        LogicalPlan::Project { input, exprs, .. } => {
+            let mut frag = leaf_fragment(input)?;
+            frag.ops.push(FragOp::Project(exprs));
+            Some(frag)
+        }
+        _ => None,
+    }
+}
+
+/// Per-morsel partial work the exchange workers perform for the consumer.
+#[derive(Debug, Clone, Copy)]
+enum ExchangePartial<'a> {
+    /// Plain morsel-ordered append.
+    Append,
+    /// Worker-local duplicate elimination; the global `Distinct` downstream
+    /// removes cross-morsel duplicates.  Sound because a local dedupe only
+    /// drops rows that have an earlier equal within the same morsel — never
+    /// a global first occurrence.
+    Dedupe,
+    /// Worker-local stable top-k pruning; the downstream sort computes the
+    /// global top-k over the pruned merge.  Sound because a pruned row is
+    /// beaten (under the stable order) by `k` rows of its own morsel, all
+    /// of which also beat it globally.
+    TopK { keys: &'a [(usize, bool)], k: usize },
+}
+
+/// The output of one morsel run through a fragment.
+struct MorselRun<'a> {
+    rows: Vec<RowRef<'a>>,
+    /// First evaluation error, terminating the morsel at its position.
+    error: Option<BeasError>,
+    /// Base rows read (== the morsel length; whole morsels are processed).
+    scanned: u64,
+    /// Rows produced by each fragment operator, aligned with
+    /// [`Fragment::ops`].
+    op_rows_out: Vec<u64>,
+}
+
+/// Run `frag` over the morsel `range` of `base`.  With `dedupe`, rows that
+/// duplicate an earlier row of the same morsel are dropped.
+fn run_fragment_morsel<'a>(
+    frag: &Fragment<'a>,
+    base: &'a [Row],
+    range: Range<usize>,
+    dedupe: bool,
+) -> MorselRun<'a> {
+    let mut run = MorselRun {
+        rows: Vec::new(),
+        error: None,
+        scanned: 0,
+        op_rows_out: vec![0; frag.ops.len()],
+    };
+    let mut seen: Option<HashSet<RowRef<'a>>> = dedupe.then(HashSet::new);
+    'rows: for base_row in &base[range] {
+        run.scanned += 1;
+        let mut row = RowRef::borrowed(base_row);
+        for (i, op) in frag.ops.iter().enumerate() {
+            match op {
+                FragOp::Filter(pred) => match evaluate_predicate(pred, &row) {
+                    Ok(true) => run.op_rows_out[i] += 1,
+                    Ok(false) => continue 'rows,
+                    Err(e) => {
+                        run.error = Some(e);
+                        break 'rows;
+                    }
+                },
+                FragOp::Project(exprs) => {
+                    let mut projected = Vec::with_capacity(exprs.len());
+                    for (e, _) in exprs.iter() {
+                        match evaluate(e, &row) {
+                            Ok(v) => projected.push(v),
+                            Err(e) => {
+                                run.error = Some(e);
+                                break 'rows;
+                            }
+                        }
+                    }
+                    run.op_rows_out[i] += 1;
+                    row = RowRef::owned(projected);
+                }
+            }
+        }
+        if let Some(seen) = &mut seen {
+            if !seen.insert(row.clone()) {
+                continue;
+            }
+        }
+        run.rows.push(row);
+    }
+    run
+}
+
+/// The shared eligibility gate of every parallel operator: the parallel
+/// path is on, `plan` is a leaf fragment, the *estimated* input (memoized
+/// statistics — no rescan) clears the planner threshold, and the table
+/// splits into at least two morsels.  Returns the fragment and its base
+/// rows when all gates pass.
+fn eligible_fragment<'a>(
+    plan: &'a LogicalPlan,
+    db: &'a Database,
+    cfg: ParallelConfig,
+) -> Result<Option<(Fragment<'a>, &'a [Row])>> {
+    if !cfg.enabled() {
+        return Ok(None);
+    }
+    let Some(frag) = leaf_fragment(plan) else {
+        return Ok(None);
+    };
+    if crate::planner::estimated_scan_rows(db, frag.table) < cfg.min_rows {
+        return Ok(None);
+    }
+    let base = db.table(frag.table)?.rows();
+    if morsel_count(base.len(), cfg.morsel_rows) < 2 {
+        return Ok(None);
+    }
+    Ok(Some((frag, base)))
+}
+
+/// Record a fragment's per-operator counters under their serial labels
+/// (summed across morsels, so `tuples accessed` totals agree with the
+/// serial pipeline), followed by the exchange's scheduling stats.
+fn record_fragment_metrics(
+    frag: &Fragment<'_>,
+    scanned: u64,
+    op_rows_out: &[u64],
+    stats: &MorselStats,
+    exchange_rows: u64,
+    exchange_elapsed: Duration,
+    metrics: &mut ExecutionMetrics,
+) {
+    metrics.record(frag.scan_label.clone(), scanned, scanned, Duration::ZERO);
+    for (op, n) in frag.ops.iter().zip(op_rows_out) {
+        match op {
+            FragOp::Filter(pred) => {
+                metrics.record(format!("Filter({pred})"), *n, 0, Duration::ZERO)
+            }
+            FragOp::Project(_) => metrics.record("Project", *n, 0, Duration::ZERO),
+        }
+    }
+    metrics.record(
+        format!("Exchange({stats})"),
+        exchange_rows,
+        0,
+        exchange_elapsed,
+    );
+}
+
+/// Build an [`ExchangeOp`] over `plan` if it is an eligible fragment
+/// ([`eligible_fragment`]) and a lazy consumer either brings a whole-morsel
+/// quota or inhibits the exchange (small limits keep the serial lazy
+/// prefix).
+fn try_exchange<'a>(
+    plan: &'a LogicalPlan,
+    db: &'a Database,
+    limit: Option<usize>,
+    ctx: BuildCtx,
+    partial: ExchangePartial<'a>,
+) -> Result<Option<BoxedOperator<'a>>> {
+    let cfg = ctx.parallel;
+    let Some((frag, base)) = eligible_fragment(plan, db, cfg)? else {
+        return Ok(None);
+    };
+    let quota = if ctx.lazy {
+        match limit {
+            Some(k) if k >= cfg.morsel_rows => Some(k),
+            _ => return Ok(None),
+        }
+    } else {
+        None
+    };
+    Ok(Some(Box::new(ExchangeOp {
+        frag,
+        base,
+        cfg,
+        quota,
+        partial,
+        started: false,
+        out: Vec::new().into_iter(),
+        tail_error: None,
+        scanned: 0,
+        op_rows_out: Vec::new(),
+        rows_out: 0,
+        stats: MorselStats::default(),
+        elapsed: Duration::ZERO,
+    })))
+}
+
+/// The morsel-parallel exchange: runs a leaf fragment over the morsels of
+/// its base table on scoped worker threads and replays the outputs in
+/// morsel order.
+///
+/// Determinism: the queue hands morsels out in ascending order and the
+/// merge sorts by morsel index, so the replayed row sequence — and the
+/// position at which a propagated error surfaces — is identical to a serial
+/// left-to-right run.  A worker that hits an evaluation error stops the
+/// queue; every earlier morsel is already claimed (ordered hand-out) and
+/// finishes, so the first error in row order is always found.
+struct ExchangeOp<'a> {
+    frag: Fragment<'a>,
+    base: &'a [Row],
+    cfg: ParallelConfig,
+    /// Streaming-LIMIT quota: stop claiming morsels once this many
+    /// surviving rows exist across workers.
+    quota: Option<usize>,
+    partial: ExchangePartial<'a>,
+    started: bool,
+    out: std::vec::IntoIter<RowRef<'a>>,
+    /// Error terminating the replay, after the rows that precede it.
+    tail_error: Option<BeasError>,
+    scanned: u64,
+    op_rows_out: Vec<u64>,
+    rows_out: u64,
+    stats: MorselStats,
+    elapsed: Duration,
+}
+
+impl<'a> ExchangeOp<'a> {
+    /// Blocking phase: scatter the morsels across workers, merge in order.
+    fn run(&mut self) {
+        let start = Instant::now();
+        let morsels = morsel_count(self.base.len(), self.cfg.morsel_rows);
+        let queue = match self.quota {
+            Some(k) => MorselQueue::with_quota(morsels, k),
+            None => MorselQueue::new(morsels),
+        };
+        let workers = self.cfg.workers.min(morsels);
+        let frag = &self.frag;
+        let base = self.base;
+        let cfg = self.cfg;
+        let partial = self.partial;
+        let queue_ref = &queue;
+        let outcome = scatter(queue_ref, workers, move |i| {
+            let range = morsel_range(i, base.len(), cfg.morsel_rows);
+            let mut run = run_fragment_morsel(
+                frag,
+                base,
+                range,
+                matches!(partial, ExchangePartial::Dedupe),
+            );
+            if run.error.is_some() {
+                // Later morsels cannot hold the first error in row order.
+                queue_ref.stop();
+            } else if let ExchangePartial::TopK { keys, k } = partial {
+                if k < run.rows.len() {
+                    let rows = std::mem::take(&mut run.rows);
+                    run.rows = top_k_by(rows, k, |a, b| sort_cmp(a, b, keys));
+                }
+            }
+            queue_ref.note_rows(run.rows.len());
+            run
+        });
+        self.stats = MorselStats {
+            morsels_per_worker: outcome
+                .morsels_per_worker
+                .iter()
+                .map(|&n| n as u64)
+                .collect(),
+            total_morsels: morsels as u64,
+        };
+        self.op_rows_out = vec![0; self.frag.ops.len()];
+        let mut merged: Vec<RowRef<'a>> = Vec::new();
+        for run in outcome.results {
+            self.scanned += run.scanned;
+            for (slot, n) in self.op_rows_out.iter_mut().zip(&run.op_rows_out) {
+                *slot += n;
+            }
+            merged.extend(run.rows);
+            if let Some(e) = run.error {
+                self.tail_error = Some(e);
+                break;
+            }
+        }
+        self.out = merged.into_iter();
+        self.elapsed = start.elapsed();
+    }
+}
+
+impl<'a> RowStream<'a> for ExchangeOp<'a> {
+    fn next(&mut self) -> Result<Option<RowRef<'a>>> {
+        if !self.started {
+            self.started = true;
+            self.run();
+        }
+        if let Some(row) = self.out.next() {
+            self.rows_out += 1;
+            return Ok(Some(row));
+        }
+        match self.tail_error.take() {
+            Some(e) => Err(e),
+            None => Ok(None),
+        }
+    }
+}
+
+impl<'a> Operator<'a> for ExchangeOp<'a> {
+    fn record(&mut self, metrics: &mut ExecutionMetrics) {
+        record_fragment_metrics(
+            &self.frag,
+            self.scanned,
+            &self.op_rows_out,
+            &self.stats,
+            self.rows_out,
+            self.elapsed,
+            metrics,
+        );
+    }
+}
+
+/// Whether every aggregate's partition-merge is bit-exact — answers *and*
+/// errors identical to the serial fold — making morsel-parallel aggregation
+/// admissible.  Only `COUNT`/`MIN`/`MAX` qualify: set insertion, counting
+/// and `total_cmp` are associative, commutative and infallible.  `SUM` is
+/// excluded even over integers — float addition re-associates, and checked
+/// `i64` addition is not associative in its *overflow* behavior (a
+/// transient overflow the serial left-to-right fold raises can vanish when
+/// the same values are summed per-partition) — and `AVG` sums internally.
+/// Excluded aggregates still benefit from a plain exchange under the
+/// serial fold.
+fn merge_exact(aggregates: &[BoundAggregate]) -> bool {
+    aggregates.iter().all(|a| {
+        matches!(
+            a.func,
+            beas_sql::AggregateFunction::Count
+                | beas_sql::AggregateFunction::Min
+                | beas_sql::AggregateFunction::Max
+        )
+    })
+}
+
+/// The outcome of folding one morsel: fragment metrics plus either the
+/// partial groups or the first error.
+struct MorselAggRun {
+    /// First fragment-evaluation error (scan/filter/project phase).
+    frag_error: Option<BeasError>,
+    /// Partial per-group state, or the first aggregation-phase error.
+    partial: Option<Result<GroupedPartial>>,
+    /// Fragment output rows folded into the partial.
+    rows: u64,
+    scanned: u64,
+    op_rows_out: Vec<u64>,
+}
+
+/// Build a [`ParallelAggregateOp`] over `input` if it is an eligible
+/// fragment ([`eligible_fragment`]; aggregation always drains, so no quota
+/// applies).
+fn try_parallel_aggregate<'a>(
+    input: &'a LogicalPlan,
+    db: &'a Database,
+    ctx: BuildCtx,
+    group_by: &'a [BoundExpr],
+    aggregates: &'a [BoundAggregate],
+) -> Result<Option<BoxedOperator<'a>>> {
+    let cfg = ctx.parallel;
+    let Some((frag, base)) = eligible_fragment(input, db, cfg)? else {
+        return Ok(None);
+    };
+    Ok(Some(Box::new(ParallelAggregateOp {
+        frag,
+        base,
+        cfg,
+        group_by,
+        aggregates,
+        started: false,
+        out: Vec::new().into_iter(),
+        scanned: 0,
+        op_rows_out: Vec::new(),
+        frag_rows: 0,
+        rows_out: 0,
+        stats: MorselStats::default(),
+        elapsed: Duration::ZERO,
+        pending_error: None,
+    })))
+}
+
+/// Morsel-parallel group-and-aggregate: each worker folds its morsels into
+/// per-group [`Accumulator`]s; the partials merge group-wise in morsel
+/// order, which reproduces the serial first-seen group order exactly.
+///
+/// Error ordering mirrors the serial two-phase shape (drain input, then
+/// aggregate): a fragment error anywhere precedes an aggregation error
+/// anywhere, and within each phase the first error in morsel order wins.
+/// Workers keep claiming after an aggregation error (only a *fragment*
+/// error stops the queue) so that an earlier fragment error is never
+/// missed.
+struct ParallelAggregateOp<'a> {
+    frag: Fragment<'a>,
+    base: &'a [Row],
+    cfg: ParallelConfig,
+    group_by: &'a [BoundExpr],
+    aggregates: &'a [BoundAggregate],
+    started: bool,
+    out: std::vec::IntoIter<Row>,
+    scanned: u64,
+    op_rows_out: Vec<u64>,
+    /// Fragment rows merged into the aggregation (the Exchange's output).
+    frag_rows: u64,
+    rows_out: u64,
+    stats: MorselStats,
+    elapsed: Duration,
+    pending_error: Option<BeasError>,
+}
+
+impl ParallelAggregateOp<'_> {
+    fn run(&mut self) -> Result<Vec<Row>> {
+        let start = Instant::now();
+        let morsels = morsel_count(self.base.len(), self.cfg.morsel_rows);
+        let queue = MorselQueue::new(morsels);
+        let workers = self.cfg.workers.min(morsels);
+        let frag = &self.frag;
+        let base = self.base;
+        let cfg = self.cfg;
+        let group_by = self.group_by;
+        let aggregates = self.aggregates;
+        let queue_ref = &queue;
+        let outcome = scatter(queue_ref, workers, move |i| {
+            let range = morsel_range(i, base.len(), cfg.morsel_rows);
+            let mut run = run_fragment_morsel(frag, base, range, false);
+            let partial = match run.error {
+                Some(_) => {
+                    // The first row-order error lives in this or an earlier
+                    // (already claimed) morsel: stop the tail.
+                    queue_ref.stop();
+                    None
+                }
+                None => Some(aggregate_partial(&run.rows, group_by, aggregates)),
+            };
+            MorselAggRun {
+                frag_error: run.error.take(),
+                partial,
+                rows: run.rows.len() as u64,
+                scanned: run.scanned,
+                op_rows_out: std::mem::take(&mut run.op_rows_out),
+            }
+        });
+        self.stats = MorselStats {
+            morsels_per_worker: outcome
+                .morsels_per_worker
+                .iter()
+                .map(|&n| n as u64)
+                .collect(),
+            total_morsels: morsels as u64,
+        };
+        self.op_rows_out = vec![0; self.frag.ops.len()];
+        let mut partials = Vec::with_capacity(outcome.results.len());
+        for mut run in outcome.results {
+            self.scanned += run.scanned;
+            self.frag_rows += run.rows;
+            for (slot, n) in self.op_rows_out.iter_mut().zip(&run.op_rows_out) {
+                *slot += n;
+            }
+            if let Some(e) = run.frag_error.take() {
+                // Serial shape: the input drain errors before any
+                // aggregation runs.
+                return Err(e);
+            }
+            partials.push(run.partial.expect("partial present without error"));
+        }
+        // Merge the per-morsel groups in morsel order: first-seen group
+        // order and per-group accumulation both reproduce the serial fold.
+        let mut merged = GroupedPartial::default();
+        for partial in partials {
+            let mut partial = partial?;
+            for key in partial.order.drain(..) {
+                let accs = partial
+                    .groups
+                    .remove(&key)
+                    .ok_or_else(|| BeasError::execution("group lost during partial merge"))?;
+                match merged.groups.get_mut(&key) {
+                    Some(existing) => {
+                        for (mine, other) in existing.iter_mut().zip(&accs) {
+                            mine.merge(other)?;
+                        }
+                    }
+                    None => {
+                        merged.order.push(key.clone());
+                        merged.groups.insert(key, accs);
+                    }
+                }
+            }
+        }
+        let rows = finish_grouped(merged, self.group_by, self.aggregates)?;
+        self.elapsed = start.elapsed();
+        Ok(rows)
+    }
+}
+
+impl<'a> RowStream<'a> for ParallelAggregateOp<'a> {
+    fn next(&mut self) -> Result<Option<RowRef<'a>>> {
+        if !self.started {
+            self.started = true;
+            match self.run() {
+                Ok(rows) => self.out = rows.into_iter(),
+                Err(e) => self.pending_error = Some(e),
+            }
+        }
+        if let Some(e) = self.pending_error.take() {
+            return Err(e);
+        }
+        match self.out.next() {
+            Some(row) => {
+                self.rows_out += 1;
+                Ok(Some(RowRef::owned(row)))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+impl<'a> Operator<'a> for ParallelAggregateOp<'a> {
+    fn record(&mut self, metrics: &mut ExecutionMetrics) {
+        record_fragment_metrics(
+            &self.frag,
+            self.scanned,
+            &self.op_rows_out,
+            &self.stats,
+            self.frag_rows,
+            Duration::ZERO,
+            metrics,
+        );
+        metrics.record("HashAggregate", self.rows_out, 0, self.elapsed);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -731,6 +1479,78 @@ fn top_k_by<T>(items: Vec<T>, k: usize, mut cmp: impl FnMut(&T, &T) -> Ordering)
     heap.into_iter().map(|(_, item)| item).collect()
 }
 
+/// Per-partition aggregation state: group keys in first-seen order plus
+/// per-group accumulators.  One partition of a morsel-parallel aggregation,
+/// or the whole input in the serial case.
+#[derive(Debug, Default)]
+struct GroupedPartial {
+    order: Vec<Vec<Value>>,
+    groups: HashMap<Vec<Value>, Vec<Accumulator>>,
+}
+
+/// Fold `rows` into per-group accumulators (the partial phase of
+/// aggregation; [`finish_grouped`] produces the output rows).
+fn aggregate_partial<R: beas_common::ValueRow>(
+    rows: &[R],
+    group_by: &[BoundExpr],
+    aggregates: &[BoundAggregate],
+) -> Result<GroupedPartial> {
+    // Preserve first-seen group order for deterministic output.
+    let mut partial = GroupedPartial::default();
+    for row in rows {
+        let key: Vec<Value> = group_by
+            .iter()
+            .map(|e| evaluate(e, row))
+            .collect::<Result<_>>()?;
+        if !partial.groups.contains_key(&key) {
+            partial.order.push(key.clone());
+            let accs = aggregates
+                .iter()
+                .map(|a| Accumulator::new(a.func, a.distinct))
+                .collect();
+            partial.groups.insert(key.clone(), accs);
+        }
+        let accs = partial.groups.get_mut(&key).expect("group inserted above");
+        for (acc, agg) in accs.iter_mut().zip(aggregates) {
+            let v = match &agg.arg {
+                Some(a) => evaluate(a, row)?,
+                // COUNT(*): count every row, NULL-free marker value
+                None => Value::Int(1),
+            };
+            acc.update(&v)?;
+        }
+    }
+    Ok(partial)
+}
+
+/// Finish accumulated groups into output rows: group-key values followed by
+/// aggregate results, in first-seen group order.  A global aggregate over
+/// empty input still produces one row.
+fn finish_grouped(
+    mut partial: GroupedPartial,
+    group_by: &[BoundExpr],
+    aggregates: &[BoundAggregate],
+) -> Result<Vec<Row>> {
+    if group_by.is_empty() && partial.order.is_empty() {
+        let out_row: Row = aggregates
+            .iter()
+            .map(|a| Accumulator::new(a.func, a.distinct).finish())
+            .collect();
+        return Ok(vec![out_row]);
+    }
+    let mut out = Vec::with_capacity(partial.order.len());
+    for key in partial.order {
+        let accs = partial
+            .groups
+            .remove(&key)
+            .ok_or_else(|| BeasError::execution("group disappeared during aggregation"))?;
+        let mut row = key;
+        row.extend(accs.iter().map(|a| a.finish()));
+        out.push(row);
+    }
+    Ok(out)
+}
+
 /// Group rows by `group_by` expressions and evaluate `aggregates` per group.
 /// Output rows are group-key values followed by aggregate results.
 ///
@@ -741,55 +1561,11 @@ pub fn aggregate<R: beas_common::ValueRow>(
     group_by: &[BoundExpr],
     aggregates: &[BoundAggregate],
 ) -> Result<Vec<Row>> {
-    // Preserve first-seen group order for deterministic output.
-    let mut order: Vec<Vec<Value>> = Vec::new();
-    let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
-    let make_accs = || -> Vec<Accumulator> {
-        aggregates
-            .iter()
-            .map(|a| Accumulator::new(a.func, a.distinct))
-            .collect()
-    };
-    if group_by.is_empty() && rows.is_empty() {
-        // global aggregate over empty input still produces one row
-        let accs = make_accs();
-        let out_row: Row = accs.iter().map(|a| a.finish()).collect();
-        return Ok(vec![out_row]);
-    }
-    for row in rows {
-        let key: Vec<Value> = group_by
-            .iter()
-            .map(|e| evaluate(e, row))
-            .collect::<Result<_>>()?;
-        if !groups.contains_key(&key) {
-            order.push(key.clone());
-            groups.insert(key.clone(), make_accs());
-        }
-        let accs = groups.get_mut(&key).expect("group inserted above");
-        for (acc, agg) in accs.iter_mut().zip(aggregates) {
-            let v = match &agg.arg {
-                Some(a) => evaluate(a, row)?,
-                // COUNT(*): count every row, NULL-free marker value
-                None => Value::Int(1),
-            };
-            acc.update(&v)?;
-        }
-    }
-    if group_by.is_empty() && groups.is_empty() {
-        let accs = make_accs();
-        let out_row: Row = accs.iter().map(|a| a.finish()).collect();
-        return Ok(vec![out_row]);
-    }
-    let mut out = Vec::with_capacity(order.len());
-    for key in order {
-        let accs = groups
-            .remove(&key)
-            .ok_or_else(|| BeasError::execution("group disappeared during aggregation"))?;
-        let mut row = key;
-        row.extend(accs.iter().map(|a| a.finish()));
-        out.push(row);
-    }
-    Ok(out)
+    finish_grouped(
+        aggregate_partial(rows, group_by, aggregates)?,
+        group_by,
+        aggregates,
+    )
 }
 
 #[cfg(test)]
@@ -1109,6 +1885,246 @@ mod tests {
         // grouped aggregate on empty input produces no rows
         let out2 = aggregate::<Row>(&[], &[BoundExpr::Column(0)], &aggs).unwrap();
         assert!(out2.is_empty());
+    }
+
+    /// A database with one `n`-row table of mixed-type values for the
+    /// parallel-path tests.
+    fn parallel_db(n: i64) -> Database {
+        use beas_common::{ColumnDef, DataType, TableSchema};
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("id", DataType::Int),
+                    ColumnDef::new("grp", DataType::Str),
+                    ColumnDef::new("v", DataType::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        for i in 0..n {
+            db.insert(
+                "t",
+                vec![
+                    Value::Int(i),
+                    Value::str(format!("g{}", (i * 7919) % 5)),
+                    Value::Int((i * 31) % 97),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    /// A config that forces the parallel path on tiny tables: 2 workers,
+    /// 8-row morsels, no planner threshold.
+    fn tiny_morsels() -> ParallelConfig {
+        ParallelConfig {
+            workers: 2,
+            min_rows: 0,
+            morsel_rows: 8,
+        }
+    }
+
+    fn run_both(
+        db: &Database,
+        sql: &str,
+    ) -> (crate::engine::QueryResult, crate::engine::QueryResult) {
+        let serial = crate::engine::Engine::default()
+            .with_parallelism(ParallelConfig::serial())
+            .run(db, sql)
+            .unwrap();
+        let parallel = crate::engine::Engine::default()
+            .with_parallelism(tiny_morsels())
+            .run(db, sql)
+            .unwrap();
+        (serial, parallel)
+    }
+
+    #[test]
+    fn exchange_matches_serial_rows_order_and_accounting() {
+        let db = parallel_db(100);
+        let sql = "select id, v from t where v > 40";
+        let (serial, parallel) = run_both(&db, sql);
+        assert_eq!(serial.rows, parallel.rows, "rows and order must agree");
+        // un-limited fragments read every row on both paths
+        assert_eq!(
+            serial.metrics.total_tuples_accessed(),
+            parallel.metrics.total_tuples_accessed()
+        );
+        // the parallel plan reports the exchange with its worker stats
+        let render = parallel.metrics.render();
+        assert!(render.contains("Exchange(workers="), "{render}");
+        assert!(render.contains("SeqScan(t)"), "{render}");
+        assert!(!serial.metrics.render().contains("Exchange"));
+    }
+
+    #[test]
+    fn exchange_distinct_and_topk_match_serial() {
+        let db = parallel_db(120);
+        for sql in [
+            "select distinct grp from t",
+            "select distinct grp, v from t order by grp, v",
+            "select v, id from t order by v desc, id limit 7",
+            "select distinct v from t order by v limit 5",
+        ] {
+            let (serial, parallel) = run_both(&db, sql);
+            assert_eq!(serial.rows, parallel.rows, "{sql}");
+        }
+    }
+
+    #[test]
+    fn parallel_aggregate_merges_partials_in_group_order() {
+        let db = parallel_db(150);
+        let sql = "select grp, count(*), min(v), max(v), count(distinct v) \
+                   from t group by grp";
+        let (serial, parallel) = run_both(&db, sql);
+        // first-seen group order must survive the per-morsel merge
+        assert_eq!(serial.rows, parallel.rows);
+        assert!(parallel.metrics.render().contains("HashAggregate"));
+        // global aggregate over the same fragment
+        let (s2, p2) = run_both(&db, "select count(*), min(v) from t where v > 10");
+        assert_eq!(s2.rows, p2.rows);
+    }
+
+    #[test]
+    fn sum_and_avg_are_not_morsel_merged() {
+        // SUM/AVG re-associate additions under partial merging — float
+        // rounding and checked-integer overflow are both order-sensitive —
+        // so the gate must keep them on the serial fold (the fragment below
+        // may still run through a plain exchange).  Answers must stay
+        // bit-identical between configurations.
+        let db = parallel_db(100);
+        for sql in [
+            "select grp, avg(v) from t group by grp",
+            "select grp, sum(v) from t group by grp",
+            "select sum(v), count(*) from t where v > 10",
+        ] {
+            let (serial, parallel) = run_both(&db, sql);
+            assert_eq!(serial.rows, parallel.rows, "{sql}");
+        }
+    }
+
+    #[test]
+    fn integer_sum_overflow_errors_identically_on_both_paths() {
+        // Checked i64 addition is not associative in its overflow
+        // behavior: a serial left-to-right fold that overflows transiently
+        // would succeed under per-morsel partial sums.  The merge gate
+        // excludes SUM, so both paths run the same serial fold and raise
+        // the same overflow error.
+        use beas_common::{ColumnDef, DataType, TableSchema};
+        let mut db = Database::new();
+        db.create_table(TableSchema::new("t", vec![ColumnDef::new("v", DataType::Int)]).unwrap())
+            .unwrap();
+        // morsel 1 (rows 0..8 under 8-row morsels) sums to i64::MAX; a
+        // later morsel holds [1, -2]: serial hits MAX + 1 and overflows
+        db.insert("t", vec![Value::Int(i64::MAX)]).unwrap();
+        for _ in 1..8 {
+            db.insert("t", vec![Value::Int(0)]).unwrap();
+        }
+        for v in [1i64, -2] {
+            db.insert("t", vec![Value::Int(v)]).unwrap();
+        }
+        for _ in 0..10 {
+            db.insert("t", vec![Value::Int(0)]).unwrap();
+        }
+        let sql = "select sum(v) from t";
+        let serial = crate::engine::Engine::default()
+            .with_parallelism(ParallelConfig::serial())
+            .run(&db, sql)
+            .expect_err("serial overflow");
+        let parallel = crate::engine::Engine::default()
+            .with_parallelism(tiny_morsels())
+            .run(&db, sql)
+            .expect_err("parallel must overflow identically");
+        assert_eq!(serial.kind(), parallel.kind());
+    }
+
+    #[test]
+    fn exchange_propagates_the_first_error_in_row_order() {
+        use beas_common::{ColumnDef, DataType, TableSchema};
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("id", DataType::Int),
+                    ColumnDef::new("s", DataType::Str),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        for i in 0..80 {
+            db.insert("t", vec![Value::Int(i), Value::str("x")])
+                .unwrap();
+        }
+        // `s > 5` is a type error on every row: both paths must fail with
+        // the same error kind.
+        let sql = "select id from t where s > 5";
+        let serial = crate::engine::Engine::default()
+            .with_parallelism(ParallelConfig::serial())
+            .run(&db, sql)
+            .expect_err("serial type error");
+        let parallel = crate::engine::Engine::default()
+            .with_parallelism(tiny_morsels())
+            .run(&db, sql)
+            .expect_err("parallel type error");
+        assert_eq!(serial.kind(), parallel.kind());
+    }
+
+    #[test]
+    fn exchange_quota_stops_claiming_morsels_under_a_big_limit() {
+        let db = parallel_db(200);
+        // limit >= morsel_rows engages the quota path (small limits stay on
+        // the serial lazy prefix)
+        let sql = "select id from t where v >= 0 limit 20";
+        let serial = crate::engine::Engine::default()
+            .with_parallelism(ParallelConfig::serial())
+            .run(&db, sql)
+            .unwrap();
+        let parallel = crate::engine::Engine::default()
+            .with_parallelism(tiny_morsels())
+            .run(&db, sql)
+            .unwrap();
+        assert_eq!(serial.rows, parallel.rows);
+        assert_eq!(parallel.rows.len(), 20);
+        // the quota stopped the scan before the whole table was read (the
+        // filter passes everything, so 200 rows are available but ~3-4
+        // morsels suffice; racing workers may claim a few extra)
+        let scan = parallel
+            .metrics
+            .operators
+            .iter()
+            .find(|o| o.operator.starts_with("SeqScan"))
+            .unwrap();
+        assert!(
+            scan.tuples_accessed < 200,
+            "quota failed to stop the parallel scan: read {}",
+            scan.tuples_accessed
+        );
+    }
+
+    #[test]
+    fn small_limits_inhibit_the_exchange() {
+        let db = parallel_db(200);
+        // limit < morsel_rows: the serial lazy prefix must win — no
+        // exchange, and the scan reads only the demanded prefix
+        let result = crate::engine::Engine::default()
+            .with_parallelism(tiny_morsels())
+            .run(&db, "select id from t where v >= 0 limit 3")
+            .unwrap();
+        assert_eq!(result.rows.len(), 3);
+        assert!(!result.metrics.render().contains("Exchange"));
+        let scan = result
+            .metrics
+            .operators
+            .iter()
+            .find(|o| o.operator.starts_with("SeqScan"))
+            .unwrap();
+        assert!(scan.tuples_accessed <= 4);
     }
 
     #[test]

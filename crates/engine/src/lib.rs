@@ -20,8 +20,15 @@ pub mod planner;
 pub mod profile;
 
 pub use engine::{Engine, QueryResult};
-pub use executor::{aggregate, execute};
-pub use metrics::{format_duration, ExecutionMetrics, OperatorMetrics, PlanCacheStats};
+pub use executor::{
+    aggregate, execute, execute_with, ParallelConfig, PARALLEL_SCAN_MAX_WORKERS,
+    PARALLEL_SCAN_MIN_ROWS,
+};
+pub use metrics::{
+    format_duration, ExecutionMetrics, MorselStats, OperatorMetrics, PlanCacheStats,
+};
 pub use plan::{JoinAlgorithm, LogicalPlan};
-pub use planner::{conjoin_bound, remap_expr, remap_exprs, split_bound_conjuncts, Planner};
+pub use planner::{
+    conjoin_bound, estimated_scan_rows, remap_expr, remap_exprs, split_bound_conjuncts, Planner,
+};
 pub use profile::OptimizerProfile;

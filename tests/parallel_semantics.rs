@@ -1,0 +1,201 @@
+//! Morsel-parallel ≡ serial semantics: the exchange-based parallel executor
+//! must produce exactly the rows — in exactly the order — of the serial
+//! reference pipeline, on mixed-type data, for every optimizer profile,
+//! across ORDER BY / LIMIT / DISTINCT / aggregation / join shapes, and the
+//! two paths must agree on error propagation.  Worker count and morsel
+//! granularity are forced down so small random tables still split into many
+//! morsels scheduled across racing threads.
+
+use beas::engine::ParallelConfig;
+use beas::prelude::*;
+use proptest::prelude::*;
+
+/// Mixed-type key pool: ints-as-floats, fractional floats, negative zero,
+/// NULLs — the values whose canonicalization has historically diverged
+/// between execution paths.
+fn key_value(choice: u64) -> Value {
+    match choice % 7 {
+        0 => Value::Float(1.0),
+        1 => Value::Float(2.0),
+        2 => Value::Float(2.5),
+        3 => Value::Float(-0.0),
+        4 => Value::Float(3.0),
+        5 => Value::Null,
+        _ => Value::Float(0.0),
+    }
+}
+
+fn build_db(seed: u64, n1: usize, n2: usize) -> Database {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "t1",
+            vec![
+                beas::common::ColumnDef::nullable("k", DataType::Float),
+                beas::common::ColumnDef::new("v", DataType::Int),
+                beas::common::ColumnDef::new("tag", DataType::Str),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new(
+            "t2",
+            vec![
+                beas::common::ColumnDef::nullable("k", DataType::Float),
+                beas::common::ColumnDef::new("name", DataType::Str),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let tags = ["a", "b", "c"];
+    for _ in 0..n1 {
+        db.insert(
+            "t1",
+            vec![
+                key_value(next()),
+                Value::Int((next() % 50) as i64),
+                Value::str(tags[(next() % 3) as usize]),
+            ],
+        )
+        .unwrap();
+    }
+    for i in 0..n2 {
+        db.insert(
+            "t2",
+            vec![key_value(next()), Value::str(format!("n{}", i % 4))],
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// Query shapes covering every morsel-partial mode: plain exchange, quota
+/// LIMIT, pre-deduped Distinct, per-morsel top-k under ORDER BY + LIMIT,
+/// merged aggregation partials (COUNT/MIN/MAX are merge-exact; SUM/AVG are
+/// gated onto the serial fold), and exchanges feeding both join sides.
+fn query_shape(shape: usize, limit: usize) -> String {
+    match shape % 8 {
+        0 => format!("select v from t1 where tag = 'a' limit {limit}"),
+        1 => format!("select distinct tag from t1 order by tag limit {limit}"),
+        2 => "select t1.v, t2.name from t1, t2 where t1.k = t2.k".to_string(),
+        3 => format!(
+            "select t1.v from t1, t2 where t1.k = t2.k and t1.tag = 'b' \
+             order by t1.v desc limit {limit}"
+        ),
+        4 => "select tag, count(*), min(v), max(v), count(distinct v) from t1 \
+              group by tag order by tag"
+            .to_string(),
+        5 => format!("select distinct k, v from t1 order by v, k limit {limit}"),
+        6 => "select distinct v, tag from t1 where v > 10".to_string(),
+        _ => "select tag, sum(v), avg(v), count(distinct v) from t1 group by tag order by tag"
+            .to_string(),
+    }
+}
+
+/// Forced-parallel configuration: racing workers over tiny morsels.
+fn forced(workers: usize) -> ParallelConfig {
+    ParallelConfig {
+        workers,
+        min_rows: 0,
+        morsel_rows: 4,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Parallel ≡ serial: same rows, same order, for every profile, shape
+    /// and worker count.
+    #[test]
+    fn parallel_executor_matches_serial(
+        seed in 0u64..10_000,
+        n1 in 0usize..48,
+        n2 in 0usize..25,
+        shape in 0usize..8,
+        limit in 1usize..12,
+        workers in 2usize..5,
+    ) {
+        let db = build_db(seed, n1, n2);
+        let sql = query_shape(shape, limit);
+        for profile in OptimizerProfile::all() {
+            let serial = Engine::new(profile)
+                .with_parallelism(ParallelConfig::serial())
+                .run(&db, &sql);
+            let parallel = Engine::new(profile)
+                .with_parallelism(forced(workers))
+                .run(&db, &sql);
+            match (serial, parallel) {
+                (Ok(s), Ok(p)) => prop_assert!(
+                    s.rows == p.rows,
+                    "parallel != serial for {sql} under {profile:?} ({workers} workers):\n\
+                     serial   {:?}\nparallel {:?}",
+                    s.rows,
+                    p.rows
+                ),
+                (Err(se), Err(pe)) => prop_assert_eq!(se.kind(), pe.kind()),
+                (s, p) => prop_assert!(
+                    false,
+                    "error divergence for {sql} under {profile:?}: serial {:?}, parallel {:?}",
+                    s.map(|r| r.rows.len()),
+                    p.map(|r| r.rows.len())
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_error_propagation_matches_serial() {
+    // A predicate that type-errors on every row: both paths must surface
+    // the same error kind, whichever worker finds it first.
+    let db = build_db(7, 40, 0);
+    let sql = "select v from t1 where tag > 5";
+    let serial = Engine::default()
+        .with_parallelism(ParallelConfig::serial())
+        .run(&db, sql)
+        .expect_err("serial type error");
+    let parallel = Engine::default()
+        .with_parallelism(forced(3))
+        .run(&db, sql)
+        .expect_err("parallel type error");
+    assert_eq!(serial.kind(), parallel.kind());
+    assert_eq!(serial.kind(), "type");
+}
+
+#[test]
+fn unlimited_scans_account_identically() {
+    // Without a LIMIT both paths read every base row: total tuples accessed
+    // must agree exactly (the morsel merge sums per-morsel scan counters).
+    let db = build_db(11, 40, 20);
+    for sql in [
+        "select v, tag from t1 where v > 5",
+        "select distinct tag from t1",
+        "select tag, count(*) from t1 group by tag",
+        "select t1.v, t2.name from t1, t2 where t1.k = t2.k",
+    ] {
+        let serial = Engine::default()
+            .with_parallelism(ParallelConfig::serial())
+            .run(&db, sql)
+            .unwrap();
+        let parallel = Engine::default()
+            .with_parallelism(forced(3))
+            .run(&db, sql)
+            .unwrap();
+        assert_eq!(serial.rows, parallel.rows, "{sql}");
+        assert_eq!(
+            serial.metrics.total_tuples_accessed(),
+            parallel.metrics.total_tuples_accessed(),
+            "{sql}"
+        );
+    }
+}
