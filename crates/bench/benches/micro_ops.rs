@@ -149,6 +149,80 @@ fn micro(c: &mut Criterion) {
         })
     });
 
+    // Service-level paths: admission control (a cache-served coverage
+    // check plus the routing decision) and N concurrent sessions sharing
+    // one QueryService.  The concurrent benches measure the whole session
+    // path — snapshot pinning, admission, quota tracking, execution — and,
+    // like the parallel_scan benches, only *scale* on multicore hardware;
+    // on the single-core CI container they mostly show thread-scope and
+    // scheduling overhead (see crates/bench/README.md).
+    {
+        use beas_common::ResourceQuota;
+        use beas_service::QueryService;
+        let service = QueryService::new(env.system.fork());
+        let q1 = env.q1();
+        group.bench_function("service_admission_q1", |b| {
+            let session = service.session(ResourceQuota::unlimited().with_max_tuples(50_000_000));
+            b.iter(|| black_box(session.admit(&q1).unwrap().admitted()))
+        });
+        // 8 queries per session per iteration: amortizes the per-thread
+        // spawn cost (~50µs, the dominant jitter source on a single-core
+        // host) so the measurement tracks the per-submission service path.
+        for sessions in [1usize, 4] {
+            let service = &service;
+            let q1 = &q1;
+            group.bench_function(format!("service_concurrent_q1_{sessions}s"), |b| {
+                b.iter(|| {
+                    std::thread::scope(|s| {
+                        let handles: Vec<_> = (0..sessions)
+                            .map(|_| {
+                                let session = service.session(ResourceQuota::unlimited());
+                                s.spawn(move || {
+                                    (0..8)
+                                        .map(|_| {
+                                            session.execute(q1).unwrap().answer.unwrap().rows.len()
+                                        })
+                                        .sum::<usize>()
+                                })
+                            })
+                            .collect();
+                        black_box(
+                            handles
+                                .into_iter()
+                                .map(|h| h.join().expect("session thread"))
+                                .sum::<usize>(),
+                        )
+                    })
+                })
+            });
+        }
+        // 4 reader sessions racing one copy-on-write maintenance batch:
+        // the writer cost is dominated by the snapshot fork (O(|D|)).
+        group.bench_function("service_concurrent_mixed_rw_4s", |b| {
+            let service = &service;
+            let q1 = &q1;
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    let readers: Vec<_> = (0..4)
+                        .map(|_| {
+                            let session = service.session(ResourceQuota::unlimited());
+                            s.spawn(move || session.execute(q1).unwrap().answer.unwrap().rows.len())
+                        })
+                        .collect();
+                    service
+                        .delete_rows("call", |_| false) // no-op batch: pure fork+publish
+                        .unwrap();
+                    black_box(
+                        readers
+                            .into_iter()
+                            .map(|h| h.join().expect("session thread"))
+                            .sum::<usize>(),
+                    )
+                })
+            })
+        });
+    }
+
     // Morsel-parallel scan scaling: the same filter fragment over a
     // 64k-row table (4 morsels) at 1/2/4 workers.  `workers=1` is the
     // serial reference pipeline (no exchange is built at all).  On a

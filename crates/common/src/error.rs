@@ -37,6 +37,19 @@ pub enum BeasError {
         /// Budget the user allowed.
         budget: u64,
     },
+    /// An in-flight query exceeded its session resource quota (tuples
+    /// accessed, answer rows, or wall-clock deadline) and was cancelled
+    /// cooperatively.
+    QuotaExceeded {
+        /// Which resource tripped: `"tuples"`, `"rows"`, `"deadline_ms"`,
+        /// or `"cancelled"` (externally cancelled via
+        /// `QuotaTracker::cancel`).
+        resource: &'static str,
+        /// Amount consumed when the trip was observed.
+        used: u64,
+        /// The quota's limit for that resource.
+        limit: u64,
+    },
     /// A feature of SQL that the engine does not support.
     Unsupported(String),
     /// Invalid argument supplied to a public API.
@@ -57,6 +70,7 @@ impl BeasError {
             BeasError::Execution(_) => "execution",
             BeasError::NotBounded(_) => "not_bounded",
             BeasError::BudgetExceeded { .. } => "budget_exceeded",
+            BeasError::QuotaExceeded { .. } => "quota_exceeded",
             BeasError::Unsupported(_) => "unsupported",
             BeasError::InvalidArgument(_) => "invalid_argument",
         }
@@ -134,6 +148,14 @@ impl fmt::Display for BeasError {
                 f,
                 "data-access budget exceeded: plan needs up to {required} tuples, budget is {budget}"
             ),
+            BeasError::QuotaExceeded {
+                resource,
+                used,
+                limit,
+            } => write!(
+                f,
+                "session quota exceeded: {resource} used {used}, quota allows {limit}"
+            ),
             BeasError::Unsupported(m) => write!(f, "unsupported SQL feature: {m}"),
             BeasError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
         }
@@ -177,6 +199,11 @@ mod tests {
             BeasError::plan("x"),
             BeasError::execution("x"),
             BeasError::not_bounded("x"),
+            BeasError::QuotaExceeded {
+                resource: "tuples",
+                used: 2,
+                limit: 1,
+            },
             BeasError::unsupported("x"),
             BeasError::invalid_argument("x"),
         ];

@@ -13,6 +13,7 @@ pub mod date;
 pub mod error;
 pub mod key;
 pub mod morsel;
+pub mod quota;
 pub mod rowref;
 pub mod schema;
 pub mod stream;
@@ -26,6 +27,7 @@ pub use key::{canonical_key_value, index_key, is_canonical_key_value, join_key, 
 pub use morsel::{
     default_workers, morsel_count, morsel_range, scatter, MorselQueue, ScatterOutcome, MORSEL_ROWS,
 };
+pub use quota::{QuotaTracker, ResourceQuota};
 pub use rowref::{dedupe, RowRef, RowSeg, ValueRow};
 pub use schema::{ColumnDef, ColumnRef, Field, Schema, TableSchema};
 pub use stream::{DedupeStream, FilterStream, MapStream, RowStream, TakeStream, VecStream};

@@ -32,6 +32,8 @@ use std::time::Instant;
 pub struct ApproximateExecution {
     /// The (sound) answers produced within the budget.
     pub rows: Vec<Row>,
+    /// Output schema of the answer rows.
+    pub schema: beas_common::Schema,
     /// Tuples fetched through constraint indices (guaranteed ≤ budget).
     pub tuples_accessed: u64,
     /// Deterministic lower bound on the fraction of the exact answer set
@@ -275,6 +277,7 @@ pub fn execute_with_budget(
 
     Ok(ApproximateExecution {
         rows: out,
+        schema: query.output_schema.clone(),
         tuples_accessed,
         coverage,
         metrics,

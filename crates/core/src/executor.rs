@@ -17,8 +17,8 @@ use crate::graph::QueryGraph;
 use crate::plan::{BoundedPlan, KeySource, PlannedFetch};
 use beas_access::AccessIndexes;
 use beas_common::{
-    dedupe, BeasError, DedupeStream, Field, FilterStream, Result, Row, RowRef, RowStream, Schema,
-    Value,
+    dedupe, BeasError, DedupeStream, Field, FilterStream, QuotaTracker, Result, Row, RowRef,
+    RowStream, Schema, Value,
 };
 use beas_engine::{aggregate, ExecutionMetrics};
 use beas_sql::{evaluate, evaluate_predicate, BoundExpr, BoundQuery};
@@ -31,10 +31,34 @@ use std::time::Instant;
 /// costs on the order of 100µs, and each key is only a canonicalized hash
 /// lookup (~100ns), so parallelism pays for itself only on key sets in the
 /// thousands — typical TLC fetches (tens to hundreds of keys) stay serial.
-const PARALLEL_FETCH_MIN_KEYS: usize = 1024;
+pub const PARALLEL_FETCH_MIN_KEYS: usize = 1024;
 
 /// Upper bound on fetch worker threads.
-const PARALLEL_FETCH_MAX_WORKERS: usize = 8;
+pub const PARALLEL_FETCH_MAX_WORKERS: usize = 8;
+
+/// Tuning knobs of the bounded fetch stage.
+///
+/// The defaults match the hard-coded production values; deployments with
+/// different key-set shapes (a service serving many small sessions, or one
+/// analytic session with huge IN-lists) tune them through
+/// [`crate::BeasSystem::with_parallel_fetch_min_keys`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchConfig {
+    /// Minimum distinct fetch keys before the key set is partitioned across
+    /// worker threads (see [`PARALLEL_FETCH_MIN_KEYS`]).
+    pub parallel_min_keys: usize,
+    /// Upper bound on fetch worker threads.
+    pub max_workers: usize,
+}
+
+impl Default for FetchConfig {
+    fn default() -> Self {
+        FetchConfig {
+            parallel_min_keys: PARALLEL_FETCH_MIN_KEYS,
+            max_workers: PARALLEL_FETCH_MAX_WORKERS,
+        }
+    }
+}
 
 /// The context relation after all fetch steps.
 ///
@@ -73,6 +97,22 @@ pub fn execute_ctx<'a>(
     graph: &QueryGraph,
     indexes: &'a AccessIndexes,
 ) -> Result<CtxResult<'a>> {
+    execute_ctx_with(plan, query, graph, indexes, FetchConfig::default(), None)
+}
+
+/// [`execute_ctx`] with explicit fetch tuning and an optional session quota.
+/// The quota is charged once per fetch step with the partial tuples that
+/// step accessed — fetch steps are the only place bounded plans touch base
+/// data — so an in-flight bounded query whose actual access exceeds its
+/// budget stops at the next step boundary with a structured quota error.
+pub fn execute_ctx_with<'a>(
+    plan: &BoundedPlan,
+    query: &BoundQuery,
+    graph: &QueryGraph,
+    indexes: &'a AccessIndexes,
+    fetch_config: FetchConfig,
+    quota: Option<&QuotaTracker>,
+) -> Result<CtxResult<'a>> {
     let mut metrics = ExecutionMetrics::new();
     let mut tuples_accessed: u64 = 0;
     let mut schema = Schema::empty();
@@ -81,9 +121,15 @@ pub fn execute_ctx<'a>(
 
     for fetch in &plan.fetches {
         let start = Instant::now();
+        if let Some(q) = quota {
+            q.checkpoint()?;
+        }
         let (new_schema, new_rows, accessed) =
-            run_fetch(fetch, query, graph, indexes, &schema, &rows)?;
+            run_fetch(fetch, query, graph, indexes, &schema, &rows, fetch_config)?;
         tuples_accessed += accessed;
+        if let Some(q) = quota {
+            q.charge_tuples(accessed)?;
+        }
 
         metrics.record(
             format!("Fetch({})", fetch.constraint.id()),
@@ -111,8 +157,21 @@ pub fn execute_bounded(
     graph: &QueryGraph,
     indexes: &AccessIndexes,
 ) -> Result<BoundedExecution> {
+    execute_bounded_with(plan, query, graph, indexes, FetchConfig::default(), None)
+}
+
+/// [`execute_bounded`] with explicit fetch tuning and an optional session
+/// quota (see [`execute_ctx_with`] for the charging discipline).
+pub fn execute_bounded_with(
+    plan: &BoundedPlan,
+    query: &BoundQuery,
+    graph: &QueryGraph,
+    indexes: &AccessIndexes,
+    fetch_config: FetchConfig,
+    quota: Option<&QuotaTracker>,
+) -> Result<BoundedExecution> {
     let start = Instant::now();
-    let ctx = execute_ctx(plan, query, graph, indexes)?;
+    let ctx = execute_ctx_with(plan, query, graph, indexes, fetch_config, quota)?;
     let mut metrics = ctx.metrics.clone();
     let mut rows = ctx.rows;
     let schema = ctx.schema;
@@ -230,12 +289,14 @@ fn fetch_buckets_keyed<'a>(
     index: &'a beas_storage::ConstraintIndex,
     keys: &[Vec<Value>],
     x_len: usize,
+    config: FetchConfig,
 ) -> (FetchBuckets<'a>, u64) {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
-        .min(PARALLEL_FETCH_MAX_WORKERS);
-    let fetched: Vec<(Vec<&'a [Row]>, u64)> = if keys.len() < PARALLEL_FETCH_MIN_KEYS || workers < 2
+        .min(config.max_workers.max(1));
+    let fetched: Vec<(Vec<&'a [Row]>, u64)> = if keys.len() < config.parallel_min_keys
+        || workers < 2
     {
         vec![index.fetch_buckets(keys.iter().map(|k| k.as_slice()))]
     } else {
@@ -338,6 +399,7 @@ fn run_fetch<'a>(
     indexes: &'a AccessIndexes,
     schema: &Schema,
     rows: &[RowRef<'a>],
+    fetch_config: FetchConfig,
 ) -> Result<(Schema, Vec<RowRef<'a>>, u64)> {
     let index = indexes.for_constraint(&fetch.constraint).ok_or_else(|| {
         BeasError::execution(format!(
@@ -445,7 +507,7 @@ fn run_fetch<'a>(
     // X-prefix becomes a single shared segment reused by every joined row.
     // Large key sets are partitioned across scoped worker threads.
     let x_len = fetch.constraint.x.len();
-    let (buckets, accessed) = fetch_buckets_keyed(index, &distinct_keys, x_len);
+    let (buckets, accessed) = fetch_buckets_keyed(index, &distinct_keys, x_len, fetch_config);
 
     // Extend the schema with the fetched atom's X and Y attributes.
     let alias = &fetch.alias;
@@ -963,6 +1025,68 @@ mod tests {
         assert_eq!(canon(bounded.rows), canon(baseline.rows));
         // every (pnum, date) bucket was fetched exactly once
         assert_eq!(bounded.tuples_accessed, (n + n * 2) as u64);
+    }
+
+    #[test]
+    fn bounded_quota_charges_fetches_and_trips_early() {
+        let (db, schema, indexes) = setup();
+        let sql = "select recnum, region from call where pnum = 'b1' and date = '2016-07-04'";
+        let bound = Binder::new(&db).bind(&parse_select(sql).unwrap()).unwrap();
+        let graph = QueryGraph::build(&bound).unwrap();
+        let coverage = Checker::new(&schema).check(&bound, &graph);
+        let plan = generate_bounded_plan(&bound, &graph, &coverage).unwrap();
+        // a generous quota: the execution succeeds and the tracker accounts
+        // for exactly the tuples the metrics report
+        let tracker = beas_common::ResourceQuota::unlimited()
+            .with_max_tuples(100)
+            .tracker();
+        let ok = execute_bounded_with(
+            &plan,
+            &bound,
+            &graph,
+            &indexes,
+            FetchConfig::default(),
+            Some(&tracker),
+        )
+        .unwrap();
+        assert_eq!(tracker.tuples_used(), ok.tuples_accessed);
+        // a 1-tuple quota trips on the 2-tuple fetch with a structured error
+        let tight = beas_common::ResourceQuota::unlimited()
+            .with_max_tuples(1)
+            .tracker();
+        let err = execute_bounded_with(
+            &plan,
+            &bound,
+            &graph,
+            &indexes,
+            FetchConfig::default(),
+            Some(&tight),
+        )
+        .expect_err("fetch exceeds the 1-tuple quota");
+        assert_eq!(err.kind(), "quota_exceeded");
+        assert!(tight.is_tripped());
+    }
+
+    #[test]
+    fn fetch_config_min_keys_forces_the_parallel_path_without_changing_answers() {
+        // parallel_min_keys = 1 partitions even this query's handful of
+        // fetch keys across worker threads; rows, order and accounting must
+        // equal the serial fetch exactly (deterministic positional merge).
+        let (db, schema, indexes) = setup();
+        let sql = "select recnum from call where pnum in ('b1', 'b2') \
+                   and date = '2016-07-04' order by recnum";
+        let bound = Binder::new(&db).bind(&parse_select(sql).unwrap()).unwrap();
+        let graph = QueryGraph::build(&bound).unwrap();
+        let coverage = Checker::new(&schema).check(&bound, &graph);
+        let plan = generate_bounded_plan(&bound, &graph, &coverage).unwrap();
+        let serial = execute_bounded(&plan, &bound, &graph, &indexes).unwrap();
+        let forced = FetchConfig {
+            parallel_min_keys: 1,
+            max_workers: 4,
+        };
+        let parallel = execute_bounded_with(&plan, &bound, &graph, &indexes, forced, None).unwrap();
+        assert_eq!(serial.rows, parallel.rows);
+        assert_eq!(serial.tuples_accessed, parallel.tuples_accessed);
     }
 
     #[test]

@@ -33,9 +33,15 @@ pub mod system;
 pub use analyzer::{PerformanceAnalysis, SystemMeasurement};
 pub use approx::ApproximateExecution;
 pub use checker::{Checker, CoverageResult, FetchStep};
-pub use executor::{execute_bounded, execute_ctx, BoundedExecution, CtxResult};
+pub use executor::{
+    execute_bounded, execute_bounded_with, execute_ctx, execute_ctx_with, BoundedExecution,
+    CtxResult, FetchConfig, PARALLEL_FETCH_MIN_KEYS,
+};
 pub use graph::{Atom, QueryGraph};
-pub use partial::{execute_partially_bounded, PartialExecution, ReductionSaving};
+pub use partial::{
+    execute_partially_bounded, execute_partially_bounded_with, PartialExecution, PartialOptions,
+    ReductionSaving, DEFAULT_REDUCTION_MIN_SAVINGS,
+};
 pub use plan::{BoundedPlan, KeySource, PlannedFetch};
 pub use planner::{generate_bounded_plan, generate_plan_for_steps};
 pub use system::{BeasSystem, CheckReport, EvaluationMode, ExecutionOutcome};

@@ -10,14 +10,53 @@
 //! indices of A" (§3).
 
 use crate::checker::CoverageResult;
-use crate::executor::execute_ctx;
+use crate::executor::{execute_ctx_with, FetchConfig};
 use crate::graph::QueryGraph;
+use crate::plan::{KeySource, PlannedFetch};
 use crate::planner::generate_plan_for_steps;
-use beas_common::{BeasError, ColumnDef, Result, Row, TableSchema, Value};
+use beas_common::{BeasError, ColumnDef, QuotaTracker, Result, Row, TableSchema, Value};
 use beas_engine::{Engine, ExecutionMetrics};
 use beas_sql::{AggregateFunction, Binder, BoundQuery};
 use beas_storage::Database;
 use std::collections::{BTreeSet, HashSet};
+
+/// Default minimum *predicted* savings fraction before a partially bounded
+/// plan is worth its overhead (see [`PartialOptions::reduction_min_savings`]).
+///
+/// The Q11 lesson behind the number: swapping a covered relation for its
+/// bounded subset costs a context fetch, a materialization, and a full copy
+/// of every *other* relation into the reduced database.  When the predicted
+/// rows eliminated are less than ~10% of the data the residual stage
+/// touches anyway, that overhead reliably exceeds the saving and the
+/// conventional plan wins.
+pub const DEFAULT_REDUCTION_MIN_SAVINGS: f64 = 0.1;
+
+/// Tuning of a partially bounded execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartialOptions {
+    /// Bounded-fetch tuning forwarded to [`execute_ctx_with`].
+    pub fetch: FetchConfig,
+    /// Cost gate on the *predicted* savings ratio: a covered relation is
+    /// only reduced when the fraction of base rows the reduction is
+    /// predicted to eliminate (from memoized table statistics, before any
+    /// fetch runs) is at least this threshold — and the whole bounded stage
+    /// is skipped (pure conventional fallback) when the predicted rows
+    /// saved across all reductions are below this fraction of the total
+    /// base rows the residual must process.  `0.0` disables the gate
+    /// (every legal reduction is applied), which is also the
+    /// `PartialOptions::default()`; [`crate::BeasSystem`] enables it at
+    /// [`DEFAULT_REDUCTION_MIN_SAVINGS`].
+    pub reduction_min_savings: f64,
+}
+
+impl Default for PartialOptions {
+    fn default() -> Self {
+        PartialOptions {
+            fetch: FetchConfig::default(),
+            reduction_min_savings: 0.0,
+        }
+    }
+}
 
 /// How much one covered relation shrank when the bounded stage replaced it
 /// by its fetched subset — the telemetry behind the ROADMAP's Q11
@@ -88,23 +127,182 @@ pub fn execute_partially_bounded(
     coverage: &CoverageResult,
     indexes: &beas_access::AccessIndexes,
 ) -> Result<PartialExecution> {
+    execute_partially_bounded_with(
+        db,
+        engine,
+        query,
+        graph,
+        coverage,
+        indexes,
+        PartialOptions::default(),
+        None,
+    )
+}
+
+/// Pure conventional fallback: the whole query runs on `engine`, nothing is
+/// reduced.  Shared by the nothing-coverable path and the cost gate.
+fn run_fallback(
+    db: &Database,
+    engine: &Engine,
+    query: &BoundQuery,
+    quota: Option<&QuotaTracker>,
+    bounded_metrics: ExecutionMetrics,
+) -> Result<PartialExecution> {
+    let result = engine.run_bound_with_quota(db, query, quota)?;
+    Ok(PartialExecution {
+        rows: result.rows,
+        bounded_metrics,
+        tuples_scanned: result.metrics.total_tuples_accessed(),
+        residual_metrics: result.metrics,
+        tuples_fetched: 0,
+        reduced_relations: Vec::new(),
+        reduction_savings: Vec::new(),
+    })
+}
+
+/// Predicted rows a fetch step will retrieve for its atom, from the table's
+/// memoized statistics — *before* anything executes.  Keys known at plan
+/// time (constants and IN-lists) use a uniformity estimate — table rows
+/// divided by the distinct combinations of the constraint's key attributes,
+/// times the number of keys; context-sourced keys depend on earlier fetches,
+/// so the deduced bound stands in (pessimistic, which only makes the gate
+/// more willing to skip).
+fn predicted_fetch_rows(db: &Database, query: &BoundQuery, fetch: &PlannedFetch) -> Result<u64> {
+    let table = &query.tables[fetch.atom].table;
+    let stats = db.statistics(table)?;
+    let rows = stats.row_count as u64;
+    let mut key_combos: u64 = 1;
+    for k in &fetch.keys {
+        match k {
+            KeySource::Constant(_) => {}
+            KeySource::Constants(vs) => {
+                key_combos = key_combos.saturating_mul(vs.len().max(1) as u64)
+            }
+            KeySource::Ctx(_, _) => return Ok(fetch.bound.min(rows)),
+        }
+    }
+    let mut distinct: u64 = 1;
+    for col in &fetch.constraint.x {
+        let d = stats
+            .columns
+            .iter()
+            .find(|c| c.name == *col)
+            .map(|c| c.distinct_count.max(1) as u64)
+            .unwrap_or(1);
+        distinct = distinct.saturating_mul(d);
+    }
+    let per_key = (rows / distinct.max(1)).max(1);
+    Ok(per_key.saturating_mul(key_combos).min(rows))
+}
+
+/// [`execute_partially_bounded`] with explicit tuning and an optional
+/// session quota (charged by the bounded fetches and by the residual
+/// engine's scans alike).
+#[allow(clippy::too_many_arguments)]
+pub fn execute_partially_bounded_with(
+    db: &Database,
+    engine: &Engine,
+    query: &BoundQuery,
+    graph: &QueryGraph,
+    coverage: &CoverageResult,
+    indexes: &beas_access::AccessIndexes,
+    options: PartialOptions,
+    quota: Option<&QuotaTracker>,
+) -> Result<PartialExecution> {
     if coverage.covered_atoms.is_empty() || coverage.fetch_sequence.is_empty() {
         // Nothing is coverable: pure fallback to the conventional engine.
-        let result = engine.run_bound(db, query)?;
-        return Ok(PartialExecution {
-            rows: result.rows,
-            bounded_metrics: ExecutionMetrics::new(),
-            tuples_scanned: result.metrics.total_tuples_accessed(),
-            residual_metrics: result.metrics,
-            tuples_fetched: 0,
-            reduced_relations: Vec::new(),
-            reduction_savings: Vec::new(),
-        });
+        return run_fallback(db, engine, query, quota, ExecutionMetrics::new());
+    }
+
+    let plan = generate_plan_for_steps(query, graph, coverage, None)?;
+    let covered: BTreeSet<usize> = coverage.covered_atoms.clone();
+
+    // Cost gate (the ROADMAP's Q11 follow-up): predict each candidate
+    // reduction's savings from plan-time statistics and refuse reductions —
+    // or the whole bounded stage — whose predicted benefit is below the
+    // threshold.  Keeping a relation un-reduced is always sound, so the
+    // gate can only trade speed, never answers.
+    let threshold = options.reduction_min_savings;
+    let mut gate_passed: BTreeSet<usize> = BTreeSet::new();
+    let mut predicted_saved_total: u64 = 0;
+    // Only the first occurrence of a table contributes to the saved total:
+    // the reduced database holds one (reduced) copy per table name, so a
+    // self-join's occurrences share one saving, not one each.
+    let mut saved_tables: BTreeSet<&str> = BTreeSet::new();
+    for (idx, table) in query.tables.iter().enumerate() {
+        let all_occurrences_covered = query
+            .tables
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.table == table.table)
+            .all(|(i, _)| covered.contains(&i));
+        if !covered.contains(&idx) || !all_occurrences_covered {
+            continue;
+        }
+        if threshold <= 0.0 {
+            // gate disabled: every legal reduction applies, and the
+            // statistics-based prediction (a per-atom stats lookup) is
+            // skipped entirely — the pre-gate fast path
+            gate_passed.insert(idx);
+            continue;
+        }
+        let rows_before = db.table(&table.table)?.row_count() as u64;
+        let predicted_after = plan
+            .fetches
+            .iter()
+            .filter(|f| f.atom == idx)
+            .map(|f| predicted_fetch_rows(db, query, f))
+            .collect::<Result<Vec<u64>>>()?
+            .into_iter()
+            .min()
+            .unwrap_or(rows_before)
+            .min(rows_before);
+        let predicted_saved = rows_before - predicted_after;
+        let predicted_ratio = if rows_before == 0 {
+            0.0
+        } else {
+            predicted_saved as f64 / rows_before as f64
+        };
+        if predicted_ratio >= threshold {
+            gate_passed.insert(idx);
+            if saved_tables.insert(table.table.as_str()) {
+                predicted_saved_total += predicted_saved;
+            }
+        }
+    }
+    if threshold > 0.0 {
+        // Whole-stage gate: the residual stage copies and re-scans every
+        // relation of the query, so savings predicted against a small
+        // covered relation cannot pay for processing the big uncovered
+        // ones (Q11's shape: the reduced `business` is dwarfed by the full
+        // `call` copy).
+        let mut seen_tables: BTreeSet<&str> = BTreeSet::new();
+        let mut total_base_rows: u64 = 0;
+        for t in &query.tables {
+            if seen_tables.insert(t.table.as_str()) {
+                total_base_rows += db.table(&t.table)?.row_count() as u64;
+            }
+        }
+        let beneficial = !gate_passed.is_empty()
+            && (predicted_saved_total as f64) >= threshold * total_base_rows as f64;
+        if !beneficial {
+            let mut bounded_metrics = ExecutionMetrics::new();
+            bounded_metrics.record(
+                format!(
+                    "PartialGate(skip: predicted {predicted_saved_total} of \
+                     {total_base_rows} rows saved, below {:.0}%)",
+                    threshold * 100.0
+                ),
+                0,
+                0,
+                std::time::Duration::ZERO,
+            );
+            return run_fallback(db, engine, query, quota, bounded_metrics);
+        }
     }
 
     // 1. Bounded stage: fetch everything the access schema reaches.
-    let plan = generate_plan_for_steps(query, graph, coverage, None)?;
-    let ctx = execute_ctx(&plan, query, graph, indexes)?;
+    let ctx = execute_ctx_with(&plan, query, graph, indexes, options.fetch, quota)?;
 
     // 2. Build the reduced database: covered relations are replaced by the
     //    distinct partial tuples the bounded stage produced (columns the
@@ -123,27 +321,20 @@ pub fn execute_partially_bounded(
     let mut reduced = Database::new();
     let mut reduced_relations = Vec::new();
     let mut reduction_savings: Vec<ReductionSaving> = Vec::new();
-    let covered: BTreeSet<usize> = coverage.covered_atoms.clone();
     for (idx, table) in query.tables.iter().enumerate() {
         // A relation may appear several times under different aliases; the
         // reduced database keys tables by *alias* so each occurrence gets its
         // own (possibly reduced) contents, and the residual SQL is rewritten
         // against the aliases.  To keep this simple we only reduce when every
         // occurrence of the table is covered; otherwise the original table is
-        // kept in full.
-        let all_occurrences_covered = query
-            .tables
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| t.table == table.table)
-            .all(|(i, _)| covered.contains(&i));
+        // kept in full.  `gate_passed` additionally requires the predicted
+        // savings to clear the cost gate.
         if reduced.has_table(&table.table) {
             continue;
         }
         // short-circuit: the duplicate-freeness scan only runs for atoms
         // that are actually candidates for reduction
-        if covered.contains(&idx)
-            && all_occurrences_covered
+        if gate_passed.contains(&idx)
             && (!bag_sensitive
                 || projection_is_duplicate_free(db, &table.table, &graph.atoms[idx].needed)?)
         {
@@ -167,7 +358,7 @@ pub fn execute_partially_bounded(
 
     // 3. Residual stage: run the original SQL on the reduced database.
     let rebound = Binder::new(&reduced).bind(&query.ast)?;
-    let result = engine.run_bound(&reduced, &rebound)?;
+    let result = engine.run_bound_with_quota(&reduced, &rebound, quota)?;
 
     // Surface the per-relation reduction savings in the bounded-stage
     // metrics report: this is the Q11 telemetry — a reduction with a tiny
@@ -481,6 +672,132 @@ mod tests {
         assert_eq!(partial.rows, baseline.rows);
         // and the unsound reduction was skipped
         assert!(partial.reduced_relations.is_empty());
+    }
+
+    /// Run with an explicit gate threshold (and otherwise-default options).
+    fn run_partial_gated(sql: &str, threshold: f64) -> (PartialExecution, Vec<Row>) {
+        let (db, schema, indexes) = setup();
+        let engine = Engine::default();
+        let bound = Binder::new(&db).bind(&parse_select(sql).unwrap()).unwrap();
+        let graph = QueryGraph::build(&bound).unwrap();
+        let coverage = Checker::new(&schema).check(&bound, &graph);
+        assert!(!coverage.covered);
+        let options = PartialOptions {
+            reduction_min_savings: threshold,
+            ..PartialOptions::default()
+        };
+        let partial = execute_partially_bounded_with(
+            &db, &engine, &bound, &graph, &coverage, &indexes, options, None,
+        )
+        .unwrap();
+        let baseline = engine.run(&db, sql).unwrap();
+        (partial, baseline.rows)
+    }
+
+    #[test]
+    fn q11_shaped_low_savings_reduction_is_cost_gated_to_pure_fallback() {
+        // The Q11 regression shape: the covered relation (`business`, 8
+        // rows) is dwarfed by the uncovered one (`call`, 40 rows), so even
+        // a 50% predicted shrink of `business` saves only 4 of the 48 rows
+        // the residual stage must copy and re-scan.  Under the default
+        // threshold the gate must skip the whole bounded stage — no
+        // fetches, no reduced database — and fall back to the conventional
+        // plan, with identical answers.
+        let sql = "select c.region, sum(c.duration) as total from call c, business b \
+                   where b.type = 'bank' and b.region = 'r0' and b.pnum = c.pnum \
+                   and c.date = '2016-07-04' group by c.region order by c.region";
+        let (gated, baseline) = run_partial_gated(sql, DEFAULT_REDUCTION_MIN_SAVINGS);
+        assert_eq!(gated.rows, baseline, "gate must not change answers");
+        assert!(
+            gated.reduced_relations.is_empty(),
+            "reduction must be skipped"
+        );
+        assert!(gated.reduction_savings.is_empty());
+        assert_eq!(gated.tuples_fetched, 0, "no bounded fetch may run");
+        let report = gated.bounded_metrics.render();
+        assert!(
+            report.contains("PartialGate(skip"),
+            "gate decision must be visible in the metrics:\n{report}"
+        );
+        // threshold 0 disables the gate: same query, reduction applied
+        let (ungated, baseline) = run_partial_gated(sql, 0.0);
+        assert_eq!(ungated.rows, baseline);
+        assert_eq!(ungated.reduced_relations, vec!["b".to_string()]);
+        assert!(ungated.tuples_fetched > 0);
+    }
+
+    #[test]
+    fn high_savings_reduction_survives_the_default_gate() {
+        // When the covered relation dominates the query's data, the
+        // predicted savings clear the default threshold and the reduction
+        // applies as before.  120 extra `other`-typed businesses make
+        // `business` (128 rows) the bulk of the 168 base rows; the bank
+        // fetch is predicted (and observed) to eliminate most of it.
+        let (mut db, schema, _) = setup();
+        for i in 0..120 {
+            db.insert(
+                "business",
+                vec![
+                    Value::str(format!("x{i}")),
+                    Value::str(if i % 2 == 0 { "gym" } else { "cafe" }),
+                    Value::str("r9"),
+                ],
+            )
+            .unwrap();
+        }
+        let indexes = build_indexes(&db, &schema).unwrap();
+        let engine = Engine::default();
+        let sql = "select c.region, sum(c.duration) as total from call c, business b \
+                   where b.type = 'bank' and b.region = 'r0' and b.pnum = c.pnum \
+                   and c.date = '2016-07-04' group by c.region order by c.region";
+        let bound = Binder::new(&db).bind(&parse_select(sql).unwrap()).unwrap();
+        let graph = QueryGraph::build(&bound).unwrap();
+        let coverage = Checker::new(&schema).check(&bound, &graph);
+        let options = PartialOptions {
+            reduction_min_savings: DEFAULT_REDUCTION_MIN_SAVINGS,
+            ..PartialOptions::default()
+        };
+        let partial = execute_partially_bounded_with(
+            &db, &engine, &bound, &graph, &coverage, &indexes, options, None,
+        )
+        .unwrap();
+        let baseline = engine.run(&db, sql).unwrap();
+        assert_eq!(partial.rows, baseline.rows);
+        assert_eq!(partial.reduced_relations, vec!["b".to_string()]);
+        assert_eq!(partial.reduction_savings.len(), 1);
+        assert!(partial.reduction_savings[0].savings_ratio() > 0.9);
+    }
+
+    #[test]
+    fn quota_trips_inside_the_bounded_fetch_stage() {
+        // A 1-tuple quota cannot survive the business fetch: the partially
+        // bounded execution must stop with a structured quota error instead
+        // of completing (pinning quota enforcement on the bounded engine's
+        // fetch path).
+        let (db, schema, indexes) = setup();
+        let engine = Engine::default();
+        let sql = "select c.region, sum(c.duration) as total from call c, business b \
+                   where b.type = 'bank' and b.region = 'r0' and b.pnum = c.pnum \
+                   and c.date = '2016-07-04' group by c.region order by c.region";
+        let bound = Binder::new(&db).bind(&parse_select(sql).unwrap()).unwrap();
+        let graph = QueryGraph::build(&bound).unwrap();
+        let coverage = Checker::new(&schema).check(&bound, &graph);
+        let tracker = beas_common::ResourceQuota::unlimited()
+            .with_max_tuples(1)
+            .tracker();
+        let err = execute_partially_bounded_with(
+            &db,
+            &engine,
+            &bound,
+            &graph,
+            &coverage,
+            &indexes,
+            PartialOptions::default(),
+            Some(&tracker),
+        )
+        .expect_err("a 1-tuple quota cannot cover the fetch plus the residual");
+        assert_eq!(err.kind(), "quota_exceeded");
+        assert!(tracker.is_tripped());
     }
 
     #[test]

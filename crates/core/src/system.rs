@@ -13,16 +13,18 @@
 use crate::analyzer::{PerformanceAnalysis, SystemMeasurement};
 use crate::approx::{execute_with_budget, ApproximateExecution};
 use crate::checker::{Checker, CoverageResult};
-use crate::executor::execute_bounded;
+use crate::executor::{execute_bounded_with, FetchConfig};
 use crate::graph::QueryGraph;
-use crate::partial::execute_partially_bounded;
+use crate::partial::{
+    execute_partially_bounded_with, PartialOptions, DEFAULT_REDUCTION_MIN_SAVINGS,
+};
 use crate::plan::BoundedPlan;
 use crate::planner::generate_bounded_plan;
 use beas_access::{
     build_indexes, discover, AccessIndexes, AccessSchema, DiscoveryConfig, Maintainer,
     MaintenanceOutcome, MaintenancePolicy,
 };
-use beas_common::{BeasError, Result, Row, Schema};
+use beas_common::{BeasError, QuotaTracker, Result, Row, Schema};
 use beas_engine::{Engine, ExecutionMetrics, OptimizerProfile, ParallelConfig, PlanCacheStats};
 use beas_sql::{parse_select, Binder, BoundQuery};
 use beas_storage::Database;
@@ -115,8 +117,11 @@ struct PlanCache {
 const PLAN_CACHE_CAP: usize = 256;
 
 impl PlanCache {
-    /// Fetch a live entry for `key`, counting the lookup.  A stale entry
-    /// (older generation) is evicted and counted as an invalidation.
+    /// Fetch a live entry for `key`, counting the lookup.  A *stale* entry
+    /// (older generation) is evicted and counted as an invalidation; an
+    /// entry *newer* than the caller's generation — the caller is a reader
+    /// pinned on an old snapshot while the cache has moved on — is left in
+    /// place for the current-generation sessions and merely misses.
     fn lookup(&self, key: &str, generation: u64) -> Option<Arc<PreparedQuery>> {
         let mut entries = self.entries.lock().expect("plan cache lock");
         match entries.get(key) {
@@ -124,9 +129,13 @@ impl PlanCache {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(Arc::clone(entry))
             }
-            Some(_) => {
+            Some(entry) if entry.generation < generation => {
                 entries.remove(key);
                 self.invalidations.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Some(_) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -137,8 +146,17 @@ impl PlanCache {
         }
     }
 
+    /// Insert `entry`, never replacing a strictly newer one: a reader on an
+    /// old snapshot re-preparing a shape must not evict the entry the
+    /// current-generation sessions are hitting (that ping-pong would turn
+    /// one old in-flight query into a miss-per-query for everyone).
     fn insert(&self, key: String, entry: Arc<PreparedQuery>) {
         let mut entries = self.entries.lock().expect("plan cache lock");
+        if let Some(existing) = entries.get(&key) {
+            if existing.generation > entry.generation {
+                return;
+            }
+        }
         if entries.len() >= PLAN_CACHE_CAP {
             entries.clear();
         }
@@ -208,14 +226,27 @@ fn normalize_sql(sql: &str) -> String {
 }
 
 /// The BEAS system.
+///
+/// The struct is `Sync`: every read path (`check`, `execute_sql`,
+/// `approximate`, the plan cache) works through `&self` with interior
+/// mutability limited to atomics and short-lived mutexes, so an
+/// `Arc<BeasSystem>` can serve concurrent reader threads — the property the
+/// `beas_service` snapshot model builds on.  Maintenance writes still take
+/// `&mut self` and therefore serialize by construction.
 #[derive(Debug)]
 pub struct BeasSystem {
     db: Database,
     schema: AccessSchema,
     indexes: AccessIndexes,
     fallback: Engine,
-    plan_cache: PlanCache,
+    /// Shared across [`BeasSystem::fork`]ed copies: forks of one lineage
+    /// serve one logical cache (entries are generation-validated, so a fork
+    /// at an older generation never serves a newer snapshot's plan or vice
+    /// versa) and its counters aggregate across all of them.
+    plan_cache: Arc<PlanCache>,
     maintenance_policy: MaintenancePolicy,
+    fetch_config: FetchConfig,
+    reduction_min_savings: f64,
 }
 
 impl BeasSystem {
@@ -227,8 +258,36 @@ impl BeasSystem {
             schema,
             indexes,
             fallback: Engine::new(OptimizerProfile::PgLike),
-            plan_cache: PlanCache::default(),
+            plan_cache: Arc::new(PlanCache::default()),
             maintenance_policy: MaintenancePolicy::Strict,
+            fetch_config: FetchConfig::default(),
+            reduction_min_savings: DEFAULT_REDUCTION_MIN_SAVINGS,
+        }
+    }
+
+    /// A copy-on-write fork: clones the database, access schema and indices
+    /// (deep copies — cost proportional to the data) while *sharing* the
+    /// plan cache, so cached prepared queries and their hit/miss counters
+    /// survive across forks of one system lineage.  This is the snapshot
+    /// primitive of `beas_service`: a writer forks the current snapshot,
+    /// applies a maintenance batch to the fork, and publishes it; readers
+    /// keep executing against the old snapshot until the swap.
+    ///
+    /// Sharing the cache across forks is sound even if several forks are
+    /// mutated independently: clones of one [`Database`] draw their write
+    /// generations from a lineage-shared allocator, so two forks can never
+    /// reach the same generation with different contents — a cached entry's
+    /// generation identifies exactly one database state.
+    pub fn fork(&self) -> BeasSystem {
+        BeasSystem {
+            db: self.db.clone(),
+            schema: self.schema.clone(),
+            indexes: self.indexes.clone(),
+            fallback: self.fallback,
+            plan_cache: Arc::clone(&self.plan_cache),
+            maintenance_policy: self.maintenance_policy,
+            fetch_config: self.fetch_config,
+            reduction_min_savings: self.reduction_min_savings,
         }
     }
 
@@ -271,6 +330,45 @@ impl BeasSystem {
     /// The fallback engine's morsel-parallelism configuration.
     pub fn parallel_fallback(&self) -> ParallelConfig {
         self.fallback.parallelism()
+    }
+
+    /// Tune the bounded fetch stage's parallelism threshold: the minimum
+    /// number of distinct fetch keys before a fetch partitions its key set
+    /// across worker threads (default
+    /// [`crate::executor::PARALLEL_FETCH_MIN_KEYS`]).  Like the morsel
+    /// knobs, this is a physical execution property — answers and cached
+    /// plans are unaffected.
+    pub fn with_parallel_fetch_min_keys(mut self, min_keys: usize) -> Self {
+        self.fetch_config.parallel_min_keys = min_keys;
+        self
+    }
+
+    /// The bounded fetch stage's tuning.
+    pub fn fetch_config(&self) -> FetchConfig {
+        self.fetch_config
+    }
+
+    /// Set the partial-reduction cost gate threshold: a covered relation is
+    /// only swapped for its bounded subset when the *predicted* savings
+    /// ratio clears `threshold` (and the whole bounded stage is skipped
+    /// when the total predicted savings are below that fraction of the base
+    /// rows the residual must process).  `0.0` disables the gate; the
+    /// default is [`DEFAULT_REDUCTION_MIN_SAVINGS`].
+    pub fn with_partial_reduction_threshold(mut self, threshold: f64) -> Self {
+        self.reduction_min_savings = threshold;
+        self
+    }
+
+    /// The partial-reduction cost gate threshold.
+    pub fn partial_reduction_threshold(&self) -> f64 {
+        self.reduction_min_savings
+    }
+
+    fn partial_options(&self) -> PartialOptions {
+        PartialOptions {
+            fetch: self.fetch_config,
+            reduction_min_savings: self.reduction_min_savings,
+        }
     }
 
     /// The underlying database.
@@ -357,6 +455,31 @@ impl BeasSystem {
         })
     }
 
+    /// The deduced bound on tuples accessed when `sql` is covered, `None`
+    /// when it is not — the admission-control fast path: cache-served and,
+    /// unlike [`BeasSystem::check`], clones no plan.
+    pub fn deduced_bound(&self, sql: &str) -> Result<Option<u64>> {
+        Ok(self.prepare(sql)?.plan.as_ref().map(|p| p.total_bound))
+    }
+
+    /// Estimated tuples a conventional (or partially bounded) evaluation of
+    /// `sql` would access: the sum of base rows across the query's distinct
+    /// tables, since a conventional plan scans each of them at least once.
+    /// A planner *estimate*, not a guarantee — admission control uses it to
+    /// route uncovered queries against a session budget; the runtime quota
+    /// is what actually enforces the budget.  Served from the plan cache.
+    pub fn estimate_conventional_tuples(&self, sql: &str) -> Result<u64> {
+        let prepared = self.prepare(sql)?;
+        let mut seen: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+        let mut total: u64 = 0;
+        for t in &prepared.query.tables {
+            if seen.insert(t.table.as_str()) {
+                total += self.db.table(&t.table)?.row_count() as u64;
+            }
+        }
+        Ok(total)
+    }
+
     /// Whether `sql` can be answered by accessing at most `budget` tuples,
     /// decided before execution (demo scenario 1(a)).
     pub fn can_answer_within(&self, sql: &str, budget: u64) -> Result<bool> {
@@ -409,7 +532,22 @@ impl BeasSystem {
     /// ```
     pub fn execute_sql(&self, sql: &str) -> Result<ExecutionOutcome> {
         let prepared = self.prepare(sql)?;
-        self.execute_prepared(&prepared)
+        self.execute_prepared(&prepared, None)
+    }
+
+    /// Execute `sql` under a session [`QuotaTracker`]: every base-data
+    /// access — bounded fetches, partial residues, conventional scans — is
+    /// charged against the tracker as it happens, and a trip terminates the
+    /// query early with [`BeasError::QuotaExceeded`].  This is the runtime
+    /// half of the budget contract; the up-front half is
+    /// [`BeasSystem::can_answer_within`] / the service's admission control.
+    pub fn execute_sql_with_quota(
+        &self,
+        sql: &str,
+        quota: Option<&QuotaTracker>,
+    ) -> Result<ExecutionOutcome> {
+        let prepared = self.prepare(sql)?;
+        self.execute_prepared(&prepared, quota)
     }
 
     /// Execute an already-bound query (bypasses the plan cache — the query
@@ -429,16 +567,21 @@ impl BeasSystem {
             coverage,
             plan,
         };
-        self.execute_prepared(&prepared)
+        self.execute_prepared(&prepared, None)
     }
 
     /// Execute a prepared (possibly cached) query.
-    fn execute_prepared(&self, prepared: &PreparedQuery) -> Result<ExecutionOutcome> {
+    fn execute_prepared(
+        &self,
+        prepared: &PreparedQuery,
+        quota: Option<&QuotaTracker>,
+    ) -> Result<ExecutionOutcome> {
         let query = &prepared.query;
         let graph = &prepared.graph;
         let coverage = &prepared.coverage;
         if let Some(plan) = &prepared.plan {
-            let result = execute_bounded(plan, query, graph, &self.indexes)?;
+            let result =
+                execute_bounded_with(plan, query, graph, &self.indexes, self.fetch_config, quota)?;
             return Ok(ExecutionOutcome {
                 rows: result.rows,
                 schema: query.output_schema.clone(),
@@ -451,13 +594,15 @@ impl BeasSystem {
             });
         }
         // Partially bounded (or conventional) evaluation.
-        let partial = execute_partially_bounded(
+        let partial = execute_partially_bounded_with(
             &self.db,
             &self.fallback,
             query,
             graph,
             coverage,
             &self.indexes,
+            self.partial_options(),
+            quota,
         )?;
         let mode = if partial.reduced_relations.is_empty() {
             EvaluationMode::Conventional
@@ -633,24 +778,30 @@ impl BeasSystem {
 
     /// Resource-bounded approximation: answer `sql` while fetching at most
     /// `budget` tuples, reporting a deterministic coverage lower bound.
+    /// The parse → bind → check → plan stage is served from the plan cache
+    /// (covered queries reuse the cached bounded plan outright).
     pub fn approximate(&self, sql: &str, budget: u64) -> Result<ApproximateExecution> {
-        let query = self.bind(sql)?;
-        let graph = QueryGraph::build(&query)?;
-        let coverage = Checker::new(&self.schema).check(&query, &graph);
+        let prepared = self.prepare(sql)?;
+        let query = &prepared.query;
+        let graph = &prepared.graph;
+        let coverage = &prepared.coverage;
         if !coverage.covered && coverage.fetch_sequence.is_empty() {
             return Err(BeasError::not_bounded(
                 "no access constraint applies to this query; approximation is not possible"
                     .to_string(),
             ));
         }
-        // For covered queries use the full plan; otherwise approximate over
-        // the covered portion.
-        let plan = if coverage.covered {
-            generate_bounded_plan(&query, &graph, &coverage)?
-        } else {
-            crate::planner::generate_plan_for_steps(&query, &graph, &coverage, None)?
+        // Covered queries reuse the cached full plan; otherwise approximate
+        // over the covered portion.
+        let generated;
+        let plan = match &prepared.plan {
+            Some(plan) => plan,
+            None => {
+                generated = crate::planner::generate_plan_for_steps(query, graph, coverage, None)?;
+                &generated
+            }
         };
-        execute_with_budget(&plan, &query, &graph, &self.indexes, budget)
+        execute_with_budget(plan, query, graph, &self.indexes, budget)
     }
 
     /// Run `sql` through BEAS and through the baseline engine under every
@@ -794,7 +945,8 @@ mod tests {
 
     #[test]
     fn uncovered_query_runs_partially_bounded_with_exact_answers() {
-        let beas = system();
+        // gate disabled: this test pins the reduction machinery itself
+        let beas = system().with_partial_reduction_threshold(0.0);
         let report = beas.check(UNCOVERED).unwrap();
         assert!(!report.covered);
         let outcome = beas.execute_sql(UNCOVERED).unwrap();
@@ -803,6 +955,128 @@ mod tests {
         let baseline = Engine::default().run(beas.database(), UNCOVERED).unwrap();
         assert_eq!(outcome.rows, baseline.rows);
         assert!(beas.explain(UNCOVERED).unwrap().contains("covered: no"));
+    }
+
+    #[test]
+    fn default_cost_gate_falls_back_when_predicted_savings_are_small() {
+        // Under the default threshold the same uncovered query is not worth
+        // the partial machinery (the covered `business` is 10 of 60 base
+        // rows): the system must route it to pure conventional evaluation —
+        // with identical answers — and report the mode honestly.
+        let beas = system();
+        assert_eq!(
+            beas.partial_reduction_threshold(),
+            crate::partial::DEFAULT_REDUCTION_MIN_SAVINGS
+        );
+        let outcome = beas.execute_sql(UNCOVERED).unwrap();
+        assert_eq!(outcome.mode, EvaluationMode::Conventional);
+        let baseline = Engine::default().run(beas.database(), UNCOVERED).unwrap();
+        assert_eq!(outcome.rows, baseline.rows);
+        // the gated run fetched nothing through constraint indices
+        assert!(outcome.metrics.render().contains("PartialGate(skip"));
+    }
+
+    #[test]
+    fn fork_shares_the_plan_cache_and_isolates_the_data() {
+        let beas = system();
+        let first = beas.execute_sql(COVERED).unwrap();
+        assert_eq!(beas.plan_cache_stats().misses, 1);
+        // the fork sees the cached plan (shared cache, same generation) ...
+        let mut fork = beas.fork();
+        let again = fork.execute_sql(COVERED).unwrap();
+        assert_eq!(again.rows, first.rows);
+        let stats = beas.plan_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(fork.plan_cache_stats(), stats);
+        // ... and writes to the fork never leak into the original
+        fork.insert_rows(
+            "call",
+            vec![vec![
+                Value::str("p0"),
+                Value::str("rF"),
+                Value::str("2016-07-04"),
+                Value::str("forked"),
+                Value::Int(1),
+            ]],
+        )
+        .unwrap();
+        assert!(fork.database().generation() > beas.database().generation());
+        assert_eq!(beas.execute_sql(COVERED).unwrap().rows, first.rows);
+        let forked_regions = fork.execute_sql(COVERED).unwrap().rows.len();
+        assert_eq!(forked_regions, first.rows.len() + 1);
+    }
+
+    #[test]
+    fn old_snapshot_readers_do_not_evict_newer_cache_entries() {
+        // A reader pinned on a pre-write fork re-preparing a shape must not
+        // displace the entry the current generation is hitting (and its own
+        // insert must not overwrite it) — otherwise one old in-flight
+        // session turns the shared cache into a miss-per-query ping-pong.
+        let old = system();
+        let mut fresh = old.fork();
+        fresh
+            .insert_rows(
+                "business",
+                vec![vec![
+                    Value::str("p88"),
+                    Value::str("bank"),
+                    Value::str("r0"),
+                ]],
+            )
+            .unwrap();
+        // the newer fork caches the shape at its generation
+        fresh.execute_sql(COVERED).unwrap();
+        let misses_after_fresh = fresh.plan_cache_stats().misses;
+        // the old snapshot misses (its generation is older) but leaves the
+        // newer entry alone ...
+        old.execute_sql(COVERED).unwrap();
+        // ... so the newer fork still hits
+        let before = fresh.plan_cache_stats().hits;
+        fresh.execute_sql(COVERED).unwrap();
+        let stats = fresh.plan_cache_stats();
+        assert_eq!(stats.hits, before + 1, "newer entry must survive: {stats}");
+        assert_eq!(
+            stats.misses,
+            misses_after_fresh + 1,
+            "old reader misses only once"
+        );
+    }
+
+    #[test]
+    fn quota_enforced_on_both_engines_through_the_system() {
+        use beas_common::ResourceQuota;
+        let beas = system();
+        // bounded path: generous quota passes and accounts exactly
+        let tracker = ResourceQuota::unlimited().with_max_tuples(1000).tracker();
+        let outcome = beas
+            .execute_sql_with_quota(COVERED, Some(&tracker))
+            .unwrap();
+        assert!(outcome.bounded);
+        assert_eq!(tracker.tuples_used(), outcome.tuples_accessed);
+        // bounded path: tight quota trips mid-flight
+        let tight = ResourceQuota::unlimited().with_max_tuples(2).tracker();
+        let err = beas
+            .execute_sql_with_quota(COVERED, Some(&tight))
+            .expect_err("2 tuples cannot cover the bounded fetches");
+        assert_eq!(err.kind(), "quota_exceeded");
+        // fallback (conventional) path: the baseline scan trips too
+        let tight = ResourceQuota::unlimited().with_max_tuples(5).tracker();
+        let err = beas
+            .execute_sql_with_quota(UNCOVERED, Some(&tight))
+            .expect_err("5 tuples cannot cover the 60-row scans");
+        assert_eq!(err.kind(), "quota_exceeded");
+        assert!(tight.is_tripped());
+    }
+
+    #[test]
+    fn parallel_fetch_min_keys_knob_keeps_answers() {
+        let default_sys = system();
+        let tuned = system().with_parallel_fetch_min_keys(1);
+        assert_eq!(tuned.fetch_config().parallel_min_keys, 1);
+        let a = default_sys.execute_sql(COVERED).unwrap();
+        let b = tuned.execute_sql(COVERED).unwrap();
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(a.tuples_accessed, b.tuples_accessed);
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! The baseline engine facade: parse → bind → plan → execute.
 
-use crate::executor::{execute_with, ParallelConfig};
+use crate::executor::{execute_with_quota, ParallelConfig};
 use crate::metrics::ExecutionMetrics;
 use crate::plan::LogicalPlan;
 use crate::planner::Planner;
 use crate::profile::OptimizerProfile;
-use beas_common::{Result, Row, Schema};
+use beas_common::{QuotaTracker, Result, Row, Schema};
 use beas_sql::{parse_select, Binder, BoundQuery};
 use beas_storage::Database;
 
@@ -105,11 +105,34 @@ impl Engine {
         self.run_bound(db, &bound)
     }
 
+    /// Run a SQL query end to end under a session [`QuotaTracker`]: base
+    /// data access is charged as it happens and a quota trip terminates the
+    /// query early with [`beas_common::BeasError::QuotaExceeded`].
+    pub fn run_with_quota(
+        &self,
+        db: &Database,
+        sql: &str,
+        quota: Option<&QuotaTracker>,
+    ) -> Result<QueryResult> {
+        let bound = self.bind(db, sql)?;
+        self.run_bound_with_quota(db, &bound, quota)
+    }
+
     /// Run an already-bound query.
     pub fn run_bound(&self, db: &Database, query: &BoundQuery) -> Result<QueryResult> {
+        self.run_bound_with_quota(db, query, None)
+    }
+
+    /// Run an already-bound query under an optional session quota.
+    pub fn run_bound_with_quota(
+        &self,
+        db: &Database,
+        query: &BoundQuery,
+        quota: Option<&QuotaTracker>,
+    ) -> Result<QueryResult> {
         let plan = self.plan(db, query)?;
         let mut metrics = ExecutionMetrics::new();
-        let rows = execute_with(&plan, db, &mut metrics, self.parallel)?;
+        let rows = execute_with_quota(&plan, db, &mut metrics, self.parallel, quota)?;
         Ok(QueryResult {
             rows,
             schema: query.output_schema.clone(),

@@ -83,8 +83,8 @@
 use crate::metrics::{ExecutionMetrics, MorselStats};
 use crate::plan::{JoinAlgorithm, LogicalPlan};
 use beas_common::{
-    join_key, morsel_count, morsel_range, scatter, BeasError, MorselQueue, Result, Row, RowRef,
-    RowStream, Value, MORSEL_ROWS,
+    join_key, morsel_count, morsel_range, scatter, BeasError, MorselQueue, QuotaTracker, Result,
+    Row, RowRef, RowStream, Value, MORSEL_ROWS,
 };
 use beas_sql::{evaluate, evaluate_predicate, Accumulator, BoundAggregate, BoundExpr};
 use beas_storage::Database;
@@ -169,10 +169,31 @@ pub fn execute_with(
     metrics: &mut ExecutionMetrics,
     parallel: ParallelConfig,
 ) -> Result<Vec<Row>> {
+    execute_with_quota(plan, db, metrics, parallel, None)
+}
+
+/// Execute a logical plan under an optional session [`QuotaTracker`]:
+/// base-table access is charged against the quota as it happens — per row on
+/// the serial scan, per morsel on the parallel exchange — so an in-flight
+/// query that exceeds its tuple budget (or deadline) terminates early with
+/// [`BeasError::QuotaExceeded`] instead of running to completion.
+///
+/// Quota trips are *cooperative* cancellation, not a deterministic error
+/// position: the parallel path may observe the trip at a different morsel
+/// than the serial path, but the error kind — and the fact that the budget
+/// is never exceeded by more than one scheduling quantum — are identical.
+pub fn execute_with_quota(
+    plan: &LogicalPlan,
+    db: &Database,
+    metrics: &mut ExecutionMetrics,
+    parallel: ParallelConfig,
+    quota: Option<&QuotaTracker>,
+) -> Result<Vec<Row>> {
     let start = Instant::now();
     let ctx = BuildCtx {
         parallel,
         lazy: false,
+        quota,
     };
     let mut root = build_operator(plan, db, None, ctx)?;
     // Single materialization point: pipelined rows become owned rows only
@@ -197,7 +218,7 @@ type BoxedOperator<'a> = Box<dyn Operator<'a> + 'a>;
 
 /// Context threaded through operator construction.
 #[derive(Debug, Clone, Copy)]
-struct BuildCtx {
+struct BuildCtx<'a> {
     /// Morsel-parallelism configuration for this execution.
     parallel: ParallelConfig,
     /// Whether the consumer may stop pulling early (a `LIMIT` upstream with
@@ -207,9 +228,11 @@ struct BuildCtx {
     /// Pipeline breakers (Sort, Aggregate, a join's build side) drain their
     /// input completely and reset the flag.
     lazy: bool,
+    /// Session quota charged by every base-data access path.
+    quota: Option<&'a QuotaTracker>,
 }
 
-impl BuildCtx {
+impl BuildCtx<'_> {
     /// The context for an input that is always drained to exhaustion.
     fn drained(self) -> Self {
         BuildCtx {
@@ -239,7 +262,7 @@ fn build_operator<'a>(
     plan: &'a LogicalPlan,
     db: &'a Database,
     limit: Option<usize>,
-    ctx: BuildCtx,
+    ctx: BuildCtx<'a>,
 ) -> Result<BoxedOperator<'a>> {
     // A maximal Scan → Filter*/Project* chain may run morsel-parallel as a
     // whole; the exchange replaces the entire fragment.
@@ -258,6 +281,7 @@ fn build_operator<'a>(
                 iter: t.rows().iter(),
                 label,
                 produced: 0,
+                quota: ctx.quota,
             })
         }
         LogicalPlan::Filter { input, predicate } => {
@@ -586,7 +610,7 @@ fn try_exchange<'a>(
     plan: &'a LogicalPlan,
     db: &'a Database,
     limit: Option<usize>,
-    ctx: BuildCtx,
+    ctx: BuildCtx<'a>,
     partial: ExchangePartial<'a>,
 ) -> Result<Option<BoxedOperator<'a>>> {
     let cfg = ctx.parallel;
@@ -606,6 +630,7 @@ fn try_exchange<'a>(
         base,
         cfg,
         quota,
+        session_quota: ctx.quota,
         partial,
         started: false,
         out: Vec::new().into_iter(),
@@ -635,6 +660,9 @@ struct ExchangeOp<'a> {
     /// Streaming-LIMIT quota: stop claiming morsels once this many
     /// surviving rows exist across workers.
     quota: Option<usize>,
+    /// Session resource quota: each worker charges a whole morsel's rows
+    /// before running it, so a trip stops the queue at morsel granularity.
+    session_quota: Option<&'a QuotaTracker>,
     partial: ExchangePartial<'a>,
     started: bool,
     out: std::vec::IntoIter<RowRef<'a>>,
@@ -661,9 +689,24 @@ impl<'a> ExchangeOp<'a> {
         let base = self.base;
         let cfg = self.cfg;
         let partial = self.partial;
+        let session_quota = self.session_quota;
         let queue_ref = &queue;
         let outcome = scatter(queue_ref, workers, move |i| {
             let range = morsel_range(i, base.len(), cfg.morsel_rows);
+            // Session-quota charge at morsel granularity: a trip aborts
+            // this morsel before any row work and stops the queue, exactly
+            // like an evaluation error.
+            if let Some(q) = session_quota {
+                if let Err(e) = q.charge_tuples(range.len() as u64) {
+                    queue_ref.stop();
+                    return MorselRun {
+                        rows: Vec::new(),
+                        error: Some(e),
+                        scanned: 0,
+                        op_rows_out: vec![0; frag.ops.len()],
+                    };
+                }
+            }
             let mut run = run_fragment_morsel(
                 frag,
                 base,
@@ -779,7 +822,7 @@ struct MorselAggRun {
 fn try_parallel_aggregate<'a>(
     input: &'a LogicalPlan,
     db: &'a Database,
-    ctx: BuildCtx,
+    ctx: BuildCtx<'a>,
     group_by: &'a [BoundExpr],
     aggregates: &'a [BoundAggregate],
 ) -> Result<Option<BoxedOperator<'a>>> {
@@ -791,6 +834,7 @@ fn try_parallel_aggregate<'a>(
         frag,
         base,
         cfg,
+        session_quota: ctx.quota,
         group_by,
         aggregates,
         started: false,
@@ -819,6 +863,8 @@ struct ParallelAggregateOp<'a> {
     frag: Fragment<'a>,
     base: &'a [Row],
     cfg: ParallelConfig,
+    /// Session resource quota, charged per morsel like [`ExchangeOp`]'s.
+    session_quota: Option<&'a QuotaTracker>,
     group_by: &'a [BoundExpr],
     aggregates: &'a [BoundAggregate],
     started: bool,
@@ -844,9 +890,22 @@ impl ParallelAggregateOp<'_> {
         let cfg = self.cfg;
         let group_by = self.group_by;
         let aggregates = self.aggregates;
+        let session_quota = self.session_quota;
         let queue_ref = &queue;
         let outcome = scatter(queue_ref, workers, move |i| {
             let range = morsel_range(i, base.len(), cfg.morsel_rows);
+            if let Some(q) = session_quota {
+                if let Err(e) = q.charge_tuples(range.len() as u64) {
+                    queue_ref.stop();
+                    return MorselAggRun {
+                        frag_error: Some(e),
+                        partial: None,
+                        rows: 0,
+                        scanned: 0,
+                        op_rows_out: vec![0; frag.ops.len()],
+                    };
+                }
+            }
             let mut run = run_fragment_morsel(frag, base, range, false);
             let partial = match run.error {
                 Some(_) => {
@@ -963,12 +1022,19 @@ struct ScanOp<'a> {
     iter: std::slice::Iter<'a, Row>,
     label: String,
     produced: u64,
+    /// Session quota: every pulled row is charged, so the scan — the only
+    /// serial operator touching base data — terminates the pipeline the
+    /// moment the budget trips.
+    quota: Option<&'a QuotaTracker>,
 }
 
 impl<'a> RowStream<'a> for ScanOp<'a> {
     fn next(&mut self) -> Result<Option<RowRef<'a>>> {
         match self.iter.next() {
             Some(r) => {
+                if let Some(q) = self.quota {
+                    q.charge_tuples(1)?;
+                }
                 self.produced += 1;
                 Ok(Some(RowRef::borrowed(r)))
             }
@@ -2125,6 +2191,33 @@ mod tests {
             .find(|o| o.operator.starts_with("SeqScan"))
             .unwrap();
         assert!(scan.tuples_accessed <= 4);
+    }
+
+    #[test]
+    fn session_quota_trips_serial_and_parallel_scans() {
+        use beas_common::ResourceQuota;
+        let db = parallel_db(200);
+        let sql = "select id from t where v >= 0";
+        for cfg in [ParallelConfig::serial(), tiny_morsels()] {
+            let tracker = ResourceQuota::unlimited().with_max_tuples(50).tracker();
+            let err = crate::engine::Engine::default()
+                .with_parallelism(cfg)
+                .run_with_quota(&db, sql, Some(&tracker))
+                .expect_err("a 50-tuple quota cannot survive a 200-row scan");
+            assert_eq!(err.kind(), "quota_exceeded");
+            assert!(tracker.is_tripped());
+            // cooperative: the trip is observed within one scheduling
+            // quantum (a morsel on the parallel path), never a full table
+            assert!(tracker.tuples_used() < 200, "{}", tracker.tuples_used());
+        }
+        // a sufficient quota answers normally and accounts for every access
+        let tracker = ResourceQuota::unlimited().with_max_tuples(10_000).tracker();
+        let res = crate::engine::Engine::default()
+            .run_with_quota(&db, sql, Some(&tracker))
+            .unwrap();
+        assert_eq!(res.rows.len(), 200);
+        assert_eq!(tracker.tuples_used(), 200);
+        assert!(!tracker.is_tripped());
     }
 
     #[test]

@@ -21,8 +21,8 @@ pub mod profile;
 
 pub use engine::{Engine, QueryResult};
 pub use executor::{
-    aggregate, execute, execute_with, ParallelConfig, PARALLEL_SCAN_MAX_WORKERS,
-    PARALLEL_SCAN_MIN_ROWS,
+    aggregate, execute, execute_with, execute_with_quota, ParallelConfig,
+    PARALLEL_SCAN_MAX_WORKERS, PARALLEL_SCAN_MIN_ROWS,
 };
 pub use metrics::{
     format_duration, ExecutionMetrics, MorselStats, OperatorMetrics, PlanCacheStats,

@@ -1,0 +1,199 @@
+//! Admission control: the up-front half of the budget contract.
+//!
+//! BEAS's core promise is deciding *before execution* whether a query fits
+//! a resource budget.  The service applies that promise per session: every
+//! submission is routed through [`admit`], which combines the coverage
+//! check (deduced bounds for covered queries) with planner estimates (for
+//! uncovered ones) against the session's [`ResourceQuota`] and produces a
+//! structured [`Decision`]:
+//!
+//! * **Bounded** — covered and the deduced bound fits the budget: run the
+//!   bounded plan (the deduced bound *guarantees* the quota holds).
+//! * **Approximate** — covered but the bound exceeds the budget and the
+//!   session opted into approximation: run resource-bounded approximation
+//!   with the quota as its hard tuple budget.
+//! * **Baseline** — not covered, but the planner's estimate fits: run
+//!   partially bounded / conventional evaluation under the runtime quota
+//!   (estimates can be wrong, so the cooperative tracker backstops them).
+//! * **Rejected** — the budget is provably (or predictably) insufficient
+//!   and no approximation is allowed: refuse up front, spending no
+//!   execution resources at all.
+
+use beas_common::ResourceQuota;
+use beas_core::BeasSystem;
+use std::fmt;
+
+/// Why a submission was refused at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The query is covered and its *deduced bound* — a guarantee, not an
+    /// estimate — exceeds the session's tuple budget.
+    BoundExceedsQuota {
+        /// The bounded plan's deduced bound.
+        deduced_bound: u64,
+        /// The session's tuple budget.
+        max_tuples: u64,
+    },
+    /// The query is not covered and the planner's scan estimate exceeds
+    /// the session's tuple budget.
+    EstimateExceedsQuota {
+        /// Estimated tuples a conventional evaluation would access.
+        estimated_tuples: u64,
+        /// The session's tuple budget.
+        max_tuples: u64,
+    },
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::BoundExceedsQuota {
+                deduced_bound,
+                max_tuples,
+            } => write!(
+                f,
+                "deduced bound {deduced_bound} exceeds the session budget of {max_tuples} tuples"
+            ),
+            RejectReason::EstimateExceedsQuota {
+                estimated_tuples,
+                max_tuples,
+            } => write!(
+                f,
+                "estimated scan of {estimated_tuples} tuples exceeds the session budget of \
+                 {max_tuples} tuples (query is not boundedly evaluable)"
+            ),
+        }
+    }
+}
+
+/// The admission decision for one submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Run the fully bounded plan; the deduced bound fits the budget.
+    Bounded {
+        /// The plan's deduced bound on tuples accessed.
+        deduced_bound: u64,
+    },
+    /// Run resource-bounded approximation under the session's tuple budget.
+    Approximate {
+        /// Hard budget on fetched tuples for the approximation.
+        budget: u64,
+    },
+    /// Run partially bounded / conventional evaluation under the runtime
+    /// quota.
+    Baseline {
+        /// Planner estimate of the tuples a conventional plan accesses.
+        estimated_tuples: u64,
+    },
+    /// Refuse the query without executing anything.
+    Rejected {
+        /// Why the budget is insufficient.
+        reason: RejectReason,
+    },
+}
+
+impl Decision {
+    /// Whether the decision admits the query to some form of execution.
+    pub fn admitted(&self) -> bool {
+        !matches!(self, Decision::Rejected { .. })
+    }
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Decision::Bounded { deduced_bound } => {
+                write!(f, "bounded (deduced bound {deduced_bound} tuples)")
+            }
+            Decision::Approximate { budget } => {
+                write!(f, "approximate (budget {budget} tuples)")
+            }
+            Decision::Baseline { estimated_tuples } => {
+                write!(f, "baseline (estimated {estimated_tuples} tuples)")
+            }
+            Decision::Rejected { reason } => write!(f, "rejected: {reason}"),
+        }
+    }
+}
+
+/// Route `sql` for a session with `quota`.  Deterministic: the same SQL,
+/// snapshot and quota always produce the same decision (the coverage check
+/// and the statistics behind the estimate are pure functions of the
+/// snapshot).  Errors are reserved for malformed queries (parse / binding
+/// failures); an insufficient budget is a `Decision::Rejected`, not an
+/// error.
+pub fn admit(
+    system: &BeasSystem,
+    sql: &str,
+    quota: &ResourceQuota,
+    allow_approximate: bool,
+) -> beas_common::Result<Decision> {
+    // `deduced_bound` is the admission fast path: one cache-served prepare,
+    // no plan clone (unlike the `check` report).
+    match system.deduced_bound(sql)? {
+        Some(bound) => match quota.max_tuples {
+            Some(max) if bound > max => {
+                if allow_approximate {
+                    Ok(Decision::Approximate { budget: max })
+                } else {
+                    Ok(Decision::Rejected {
+                        reason: RejectReason::BoundExceedsQuota {
+                            deduced_bound: bound,
+                            max_tuples: max,
+                        },
+                    })
+                }
+            }
+            _ => Ok(Decision::Bounded {
+                deduced_bound: bound,
+            }),
+        },
+        None => {
+            let estimated = system.estimate_conventional_tuples(sql)?;
+            match quota.max_tuples {
+                Some(max) if estimated > max => Ok(Decision::Rejected {
+                    reason: RejectReason::EstimateExceedsQuota {
+                        estimated_tuples: estimated,
+                        max_tuples: max,
+                    },
+                }),
+                _ => Ok(Decision::Baseline {
+                    estimated_tuples: estimated,
+                }),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_render_their_routing() {
+        let d = Decision::Bounded { deduced_bound: 42 };
+        assert!(d.admitted());
+        assert!(d.to_string().contains("42"));
+        let r = Decision::Rejected {
+            reason: RejectReason::BoundExceedsQuota {
+                deduced_bound: 9000,
+                max_tuples: 10,
+            },
+        };
+        assert!(!r.admitted());
+        let text = r.to_string();
+        assert!(text.contains("9000") && text.contains("10"), "{text}");
+        let e = Decision::Rejected {
+            reason: RejectReason::EstimateExceedsQuota {
+                estimated_tuples: 7,
+                max_tuples: 3,
+            },
+        };
+        assert!(e.to_string().contains("not boundedly evaluable"));
+        assert!(Decision::Approximate { budget: 5 }.admitted());
+        assert!(Decision::Baseline {
+            estimated_tuples: 1
+        }
+        .admitted());
+    }
+}

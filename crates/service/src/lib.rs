@@ -1,0 +1,67 @@
+//! # beas-service
+//!
+//! A concurrent multi-session query service over the BEAS system — the
+//! layer that turns the paper's per-query budget contract into a service
+//! contract for many simultaneous clients:
+//!
+//! * [`QueryService`] owns the system and publishes immutable,
+//!   `Arc`-shared **snapshots** of it.  Reads pin the snapshot current at
+//!   submission (keyed by the database write generation), so a query never
+//!   observes a half-applied maintenance batch; writes serialize through a
+//!   copy-on-write fork-and-publish path that leaves readers untouched.
+//! * [`Session`]s carry a [`beas_common::ResourceQuota`] (tuple cap, row cap,
+//!   deadline).  Every submission passes **admission control**
+//!   ([`admission::admit`]): covered queries route on their *deduced
+//!   bounds*, uncovered ones on planner estimates, and the result is a
+//!   structured [`Decision`] — bounded, approximate, baseline, or an
+//!   up-front rejection that spends no execution resources.
+//! * Admitted queries run under a cooperative [`beas_common::QuotaTracker`]:
+//!   both executors charge their actual data access against it, so a query
+//!   that outruns its admission estimate terminates early with a
+//!   structured quota error instead of blowing the budget.
+//! * [`ServiceMetrics`] aggregates per-decision counters, admission
+//!   rejections, quota trips and p50/p99 submission latency across all
+//!   sessions, lock-free.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use beas_access::{AccessConstraint, AccessSchema};
+//! use beas_common::{ColumnDef, DataType, ResourceQuota, TableSchema, Value};
+//! use beas_core::BeasSystem;
+//! use beas_service::{Decision, QueryService};
+//! use beas_storage::Database;
+//!
+//! let mut db = Database::new();
+//! db.create_table(TableSchema::new(
+//!     "call",
+//!     vec![
+//!         ColumnDef::new("pnum", DataType::Str),
+//!         ColumnDef::new("recnum", DataType::Str),
+//!     ],
+//! )?)?;
+//! db.insert("call", vec![Value::str("p1"), Value::str("r1")])?;
+//! let schema = AccessSchema::from_constraints(vec![AccessConstraint::new(
+//!     "call", &["pnum"], &["recnum"], 100,
+//! )?]);
+//! let service = QueryService::new(BeasSystem::with_schema(db, schema)?);
+//!
+//! // N sessions like this one can run on N threads concurrently.
+//! let session = service.session(ResourceQuota::unlimited().with_max_tuples(1_000));
+//! let out = session.execute("SELECT recnum FROM call WHERE pnum = 'p1'")?;
+//! assert!(matches!(out.decision, Decision::Bounded { .. }));
+//! assert_eq!(out.answer.unwrap().rows, vec![vec![Value::str("r1")]]);
+//!
+//! // Maintenance writes publish new snapshots without disturbing readers.
+//! service.insert_rows("call", vec![vec![Value::str("p2"), Value::str("r2")]])?;
+//! assert_eq!(service.metrics().maintenance_batches, 1);
+//! # Ok::<(), beas_common::BeasError>(())
+//! ```
+
+pub mod admission;
+pub mod metrics;
+pub mod service;
+
+pub use admission::{admit, Decision, RejectReason};
+pub use metrics::{LatencyHistogram, ServiceMetrics, ServiceMetricsSnapshot};
+pub use service::{Answer, QueryService, Session, SessionOutcome};

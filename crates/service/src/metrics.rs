@@ -1,0 +1,219 @@
+//! Service-level metrics: per-decision counters and latency quantiles.
+//!
+//! Every counter is an atomic, so N session threads record into one
+//! [`ServiceMetrics`] without locks and the totals provably add up — no
+//! lost updates, matching the plan cache's accounting discipline.
+//!
+//! Latency is tracked in a fixed array of power-of-two buckets
+//! ([`LatencyHistogram`]): recording is one atomic increment, and p50/p99
+//! are computed on demand by walking the counts.  Quantiles are therefore
+//! upper bounds with at most 2x resolution error — the right trade-off for
+//! a hot path that must never allocate or lock.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets: bucket `i` holds samples in
+/// `[2^(i-1), 2^i)` nanoseconds, so 64 buckets cover every representable
+/// duration.
+const LATENCY_BUCKETS: usize = 64;
+
+/// A lock-free histogram of durations in power-of-two nanosecond buckets.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn bucket_of(d: Duration) -> usize {
+        let ns = d.as_nanos().min(u64::MAX as u128) as u64;
+        (64 - ns.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
+    }
+
+    /// Record one sample.
+    pub fn record(&self, d: Duration) {
+        self.buckets[Self::bucket_of(d)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket
+    /// holding that rank, or zero when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // upper bound of bucket i is 2^i - 1 nanoseconds
+                let ns = if i >= 63 { u64::MAX } else { (1u64 << i) - 1 };
+                return Duration::from_nanos(ns.max(1));
+            }
+        }
+        Duration::ZERO
+    }
+}
+
+/// Atomic service counters shared by every session.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    pub(crate) bounded: AtomicU64,
+    pub(crate) baseline: AtomicU64,
+    pub(crate) approximate: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) quota_trips: AtomicU64,
+    pub(crate) errors: AtomicU64,
+    pub(crate) maintenance_batches: AtomicU64,
+    pub(crate) latency: LatencyHistogram,
+}
+
+impl ServiceMetrics {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter plus latency quantiles.
+    pub fn snapshot(&self) -> ServiceMetricsSnapshot {
+        ServiceMetricsSnapshot {
+            decided_bounded: self.bounded.load(Ordering::Relaxed),
+            decided_baseline: self.baseline.load(Ordering::Relaxed),
+            decided_approximate: self.approximate.load(Ordering::Relaxed),
+            admission_rejections: self.rejected.load(Ordering::Relaxed),
+            quota_trips: self.quota_trips.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            maintenance_batches: self.maintenance_batches.load(Ordering::Relaxed),
+            latency_samples: self.latency.count(),
+            p50: self.latency.quantile(0.50),
+            p99: self.latency.quantile(0.99),
+        }
+    }
+}
+
+/// A copied-out view of [`ServiceMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceMetricsSnapshot {
+    /// Queries admitted to fully bounded execution.
+    pub decided_bounded: u64,
+    /// Queries admitted to baseline (partially bounded / conventional)
+    /// execution.
+    pub decided_baseline: u64,
+    /// Queries routed to resource-bounded approximation.
+    pub decided_approximate: u64,
+    /// Queries rejected at admission (budget provably insufficient).
+    pub admission_rejections: u64,
+    /// In-flight queries cancelled by a quota trip.
+    pub quota_trips: u64,
+    /// Submissions that failed with a non-quota error (parse, binding, ...).
+    pub errors: u64,
+    /// Maintenance batches applied (each published one new snapshot).
+    pub maintenance_batches: u64,
+    /// Latency samples recorded (one per submission).
+    pub latency_samples: u64,
+    /// Median submission latency (bucket upper bound).
+    pub p50: Duration,
+    /// 99th-percentile submission latency (bucket upper bound).
+    pub p99: Duration,
+}
+
+impl ServiceMetricsSnapshot {
+    /// Total query submissions that reached a decision.
+    pub fn decisions(&self) -> u64 {
+        self.decided_bounded
+            + self.decided_baseline
+            + self.decided_approximate
+            + self.admission_rejections
+    }
+}
+
+impl fmt::Display for ServiceMetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "service: {} bounded, {} baseline, {} approximate, {} rejected; \
+             {} quota trips, {} errors, {} maintenance batches; \
+             p50 {:?}, p99 {:?} over {} samples",
+            self.decided_bounded,
+            self.decided_baseline,
+            self.decided_approximate,
+            self.admission_rejections,
+            self.quota_trips,
+            self.errors,
+            self.maintenance_batches,
+            self.p50,
+            self.p99,
+            self.latency_samples,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_the_samples() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        for _ in 0..99 {
+            h.record(Duration::from_micros(10)); // bucket ~16µs
+        }
+        h.record(Duration::from_millis(50)); // the tail sample
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.50);
+        assert!(
+            p50 >= Duration::from_micros(8) && p50 <= Duration::from_micros(17),
+            "{p50:?}"
+        );
+        let p99 = h.quantile(0.99);
+        assert!(
+            p99 <= Duration::from_micros(17),
+            "99 of 100 are fast: {p99:?}"
+        );
+        let p100 = h.quantile(1.0);
+        assert!(p100 >= Duration::from_millis(33), "{p100:?}");
+    }
+
+    #[test]
+    fn extreme_durations_stay_in_range() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(u64::MAX / 2));
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(0.0) > Duration::ZERO);
+    }
+
+    #[test]
+    fn snapshot_display_mentions_every_counter() {
+        let m = ServiceMetrics::default();
+        ServiceMetrics::bump(&m.bounded);
+        ServiceMetrics::bump(&m.rejected);
+        m.latency.record(Duration::from_micros(3));
+        let snap = m.snapshot();
+        assert_eq!(snap.decisions(), 2);
+        let text = snap.to_string();
+        assert!(text.contains("1 bounded"));
+        assert!(text.contains("1 rejected"));
+        assert!(text.contains("p99"));
+    }
+}

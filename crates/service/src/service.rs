@@ -1,0 +1,560 @@
+//! The query service: shared snapshots, serialized writers, and sessions.
+
+use crate::admission::{admit, Decision};
+use crate::metrics::{ServiceMetrics, ServiceMetricsSnapshot};
+use beas_access::MaintenanceOutcome;
+use beas_common::{BeasError, QuotaTracker, ResourceQuota, Result, Row, Schema};
+use beas_core::{BeasSystem, EvaluationMode};
+use beas_engine::PlanCacheStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// State shared by the service handle and every session.
+#[derive(Debug)]
+struct Shared {
+    /// The current read snapshot.  Readers hold the lock only long enough
+    /// to clone the `Arc`; queries then run entirely against their pinned
+    /// snapshot, so a concurrent writer never stalls a reader and a reader
+    /// never observes a half-applied batch.
+    snapshot: RwLock<Arc<BeasSystem>>,
+    /// Serializes maintenance batches end to end (fork → apply → publish).
+    /// Distinct from the snapshot lock: the expensive fork-and-apply happens
+    /// under this mutex only, and the snapshot write lock is held just for
+    /// the pointer swap.
+    writer: Mutex<()>,
+    metrics: ServiceMetrics,
+    next_session: AtomicU64,
+}
+
+/// A concurrent multi-session query service over one [`BeasSystem`].
+///
+/// * **Sessions** ([`QueryService::session`]) submit SQL from any thread;
+///   each carries a [`ResourceQuota`] enforced by admission control up
+///   front and by cooperative cancellation in flight.
+/// * **Reads are snapshot-consistent**: a query runs against the
+///   `Arc`-pinned system snapshot current at submission, keyed by the
+///   database write generation ([`SessionOutcome::generation`]).
+/// * **Writes serialize**: maintenance batches fork the current snapshot
+///   (copy-on-write), apply atomically, and publish a new snapshot; a
+///   failed batch publishes nothing.
+/// * The **plan cache is shared across snapshots** (forks keep one cache;
+///   entries are generation-validated), so a maintenance write costs cached
+///   plans one re-preparation, not a cold cache.
+///
+/// Cloning the handle is cheap and shares the service.
+#[derive(Debug, Clone)]
+pub struct QueryService {
+    shared: Arc<Shared>,
+}
+
+/// One client session: a handle plus its resource quota.  Sessions are
+/// `Send`, so each client thread owns its own.
+#[derive(Debug)]
+pub struct Session {
+    shared: Arc<Shared>,
+    id: u64,
+    quota: ResourceQuota,
+    allow_approximate: bool,
+}
+
+/// The answer of an admitted, successfully executed submission.
+#[derive(Debug, Clone)]
+pub struct Answer {
+    /// Answer rows.
+    pub rows: Vec<Row>,
+    /// Output schema.
+    pub schema: Schema,
+    /// How the query was evaluated (approximate runs report `Bounded`:
+    /// they execute the bounded plan under a hard fetch budget).
+    pub mode: EvaluationMode,
+    /// Tuples accessed (charged against the session quota).
+    pub tuples_accessed: u64,
+    /// Deterministic lower bound on answer completeness: `1.0` for exact
+    /// evaluation, the approximation's coverage otherwise.
+    pub coverage: f64,
+}
+
+/// The outcome of one submission: the admission decision, the snapshot
+/// generation it was served at, and — when admitted — the answer.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// The structured admission decision.
+    pub decision: Decision,
+    /// Write generation of the snapshot the query ran against (compare with
+    /// a serial replay at the same generation to check consistency).
+    pub generation: u64,
+    /// The answer, or `None` when the decision was [`Decision::Rejected`].
+    pub answer: Option<Answer>,
+}
+
+impl QueryService {
+    /// Wrap a configured system (knobs like
+    /// [`BeasSystem::with_parallel_fallback`] or
+    /// [`BeasSystem::with_partial_reduction_threshold`] are applied before
+    /// construction) into a service.
+    pub fn new(system: BeasSystem) -> Self {
+        QueryService {
+            shared: Arc::new(Shared {
+                snapshot: RwLock::new(Arc::new(system)),
+                writer: Mutex::new(()),
+                metrics: ServiceMetrics::default(),
+                next_session: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Open a session with `quota`.  Approximation fallback is off by
+    /// default; see [`Session::with_approximation`].
+    pub fn session(&self, quota: ResourceQuota) -> Session {
+        Session {
+            shared: Arc::clone(&self.shared),
+            id: self.shared.next_session.fetch_add(1, Ordering::Relaxed),
+            quota,
+            allow_approximate: false,
+        }
+    }
+
+    /// The current read snapshot (queries made directly against it bypass
+    /// the service's admission control and metrics).
+    pub fn snapshot(&self) -> Arc<BeasSystem> {
+        Arc::clone(&self.shared.snapshot.read().expect("snapshot lock"))
+    }
+
+    /// Write generation of the current snapshot.
+    pub fn generation(&self) -> u64 {
+        self.snapshot().database().generation()
+    }
+
+    /// Service-level metrics (decision counters, quota trips, latency).
+    pub fn metrics(&self) -> ServiceMetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Plan-cache counters, aggregated across every snapshot of this
+    /// service's lineage (the cache is shared by construction).
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.snapshot().plan_cache_stats()
+    }
+
+    /// Apply one maintenance batch atomically: fork the current snapshot,
+    /// run `apply` on the fork, and publish it as the new snapshot.  An
+    /// error publishes nothing — concurrent readers keep their pinned
+    /// snapshots either way and in-flight queries are never disturbed.
+    fn maintain<T>(&self, apply: impl FnOnce(&mut BeasSystem) -> Result<T>) -> Result<T> {
+        let _writer = self.shared.writer.lock().expect("writer lock");
+        let current = Arc::clone(&self.shared.snapshot.read().expect("snapshot lock"));
+        let mut fork = current.fork();
+        let out = apply(&mut fork)?;
+        *self.shared.snapshot.write().expect("snapshot lock") = Arc::new(fork);
+        ServiceMetrics::bump(&self.shared.metrics.maintenance_batches);
+        Ok(out)
+    }
+
+    /// Insert rows through the maintenance module (indices stay consistent,
+    /// the write generation advances) and publish the result as a new
+    /// snapshot.  Serializes with other writers; readers are unaffected
+    /// until the publish.
+    pub fn insert_rows(&self, table: &str, rows: Vec<Row>) -> Result<MaintenanceOutcome> {
+        self.maintain(|system| system.insert_rows(table, rows))
+    }
+
+    /// Delete matching rows through the maintenance module and publish a
+    /// new snapshot.
+    pub fn delete_rows(
+        &self,
+        table: &str,
+        predicate: impl FnMut(&Row) -> bool,
+    ) -> Result<MaintenanceOutcome> {
+        self.maintain(|system| system.delete_rows(table, predicate))
+    }
+}
+
+impl Session {
+    /// This session's id (unique within the service).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The session's quota.
+    pub fn quota(&self) -> ResourceQuota {
+        self.quota
+    }
+
+    /// Allow covered queries whose deduced bound exceeds the tuple budget
+    /// to run as resource-bounded *approximations* under that budget,
+    /// instead of being rejected.
+    pub fn with_approximation(mut self) -> Self {
+        self.allow_approximate = true;
+        self
+    }
+
+    /// Admission control only: route `sql` against this session's quota on
+    /// the current snapshot, without executing anything.  Deterministic for
+    /// a given snapshot and quota.
+    pub fn admit(&self, sql: &str) -> Result<Decision> {
+        let snapshot = self.pin();
+        admit(&snapshot, sql, &self.quota, self.allow_approximate)
+    }
+
+    /// Submit `sql`: admission control, then execution under the quota
+    /// against a pinned snapshot.  Rejections are `Ok` outcomes carrying
+    /// [`Decision::Rejected`] (and no answer); errors are reserved for
+    /// malformed queries and for in-flight quota trips
+    /// ([`BeasError::QuotaExceeded`]).
+    pub fn execute(&self, sql: &str) -> Result<SessionOutcome> {
+        let start = Instant::now();
+        let out = self.execute_pinned(sql);
+        self.shared.metrics.latency.record(start.elapsed());
+        match &out {
+            Ok(_) => {}
+            Err(BeasError::QuotaExceeded { .. }) => {
+                ServiceMetrics::bump(&self.shared.metrics.quota_trips)
+            }
+            Err(_) => ServiceMetrics::bump(&self.shared.metrics.errors),
+        }
+        out
+    }
+
+    fn pin(&self) -> Arc<BeasSystem> {
+        Arc::clone(&self.shared.snapshot.read().expect("snapshot lock"))
+    }
+
+    fn execute_pinned(&self, sql: &str) -> Result<SessionOutcome> {
+        let snapshot = self.pin();
+        let generation = snapshot.database().generation();
+        let decision = admit(&snapshot, sql, &self.quota, self.allow_approximate)?;
+        let metrics = &self.shared.metrics;
+        // Decision counters record the routing, so they bump where the
+        // decision is made — an admitted query that later trips its quota
+        // still counted as admitted (the trip shows up in quota_trips).
+        ServiceMetrics::bump(match decision {
+            Decision::Bounded { .. } => &metrics.bounded,
+            Decision::Baseline { .. } => &metrics.baseline,
+            Decision::Approximate { .. } => &metrics.approximate,
+            Decision::Rejected { .. } => &metrics.rejected,
+        });
+        let answer = match decision {
+            Decision::Rejected { .. } => None,
+            Decision::Bounded { .. } | Decision::Baseline { .. } => {
+                let tracker: QuotaTracker = self.quota.tracker();
+                let outcome = snapshot.execute_sql_with_quota(sql, Some(&tracker))?;
+                tracker.check_rows(outcome.rows.len() as u64)?;
+                Some(Answer {
+                    rows: outcome.rows,
+                    schema: outcome.schema,
+                    mode: outcome.mode,
+                    tuples_accessed: outcome.tuples_accessed,
+                    coverage: 1.0,
+                })
+            }
+            Decision::Approximate { budget } => {
+                // The approximation's own budget cap enforces the tuple
+                // quota (it never fetches past `budget`); the row cap and
+                // the deadline still need the tracker — checked after the
+                // run, since the approximator has no cooperative hooks yet.
+                let tracker: QuotaTracker = self.quota.tracker();
+                let approx = snapshot.approximate(sql, budget)?;
+                tracker.check_rows(approx.rows.len() as u64)?;
+                tracker.checkpoint()?;
+                Some(Answer {
+                    rows: approx.rows,
+                    schema: approx.schema,
+                    mode: EvaluationMode::Bounded,
+                    tuples_accessed: approx.tuples_accessed,
+                    coverage: approx.coverage,
+                })
+            }
+        };
+        Ok(SessionOutcome {
+            decision,
+            generation,
+            answer,
+        })
+    }
+}
+
+// The whole point of the service: handles and sessions cross threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QueryService>();
+    assert_send_sync::<Session>();
+    assert_send_sync::<BeasSystem>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beas_access::{AccessConstraint, AccessSchema};
+    use beas_common::{ColumnDef, DataType, TableSchema, Value};
+    use beas_storage::Database;
+
+    /// The same small instance the core system tests use: 50 calls, 10
+    /// businesses, constraints on both tables.
+    fn service() -> QueryService {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "call",
+                vec![
+                    ColumnDef::new("pnum", DataType::Str),
+                    ColumnDef::new("recnum", DataType::Str),
+                    ColumnDef::new("date", DataType::Date),
+                    ColumnDef::new("region", DataType::Str),
+                    ColumnDef::new("duration", DataType::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new(
+                "business",
+                vec![
+                    ColumnDef::new("pnum", DataType::Str),
+                    ColumnDef::new("type", DataType::Str),
+                    ColumnDef::new("region", DataType::Str),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        for i in 0..50 {
+            db.insert(
+                "call",
+                vec![
+                    Value::str(format!("p{}", i % 10)),
+                    Value::str(format!("r{i}")),
+                    Value::str("2016-07-04"),
+                    Value::str(if i % 2 == 0 { "east" } else { "west" }),
+                    Value::Int(i),
+                ],
+            )
+            .unwrap();
+        }
+        for i in 0..10 {
+            db.insert(
+                "business",
+                vec![
+                    Value::str(format!("p{i}")),
+                    Value::str(if i % 2 == 0 { "bank" } else { "shop" }),
+                    Value::str("r0"),
+                ],
+            )
+            .unwrap();
+        }
+        let schema = AccessSchema::from_constraints(vec![
+            AccessConstraint::new("call", &["pnum", "date"], &["recnum", "region"], 500).unwrap(),
+            AccessConstraint::new("business", &["type", "region"], &["pnum"], 2000).unwrap(),
+        ]);
+        QueryService::new(BeasSystem::with_schema(db, schema).unwrap())
+    }
+
+    const COVERED: &str = "select distinct call.region from call, business \
+        where business.type = 'bank' and business.region = 'r0' \
+        and business.pnum = call.pnum and call.date = '2016-07-04'";
+
+    const UNCOVERED: &str = "select call.region, sum(call.duration) as total from call, business \
+        where business.type = 'bank' and business.region = 'r0' \
+        and business.pnum = call.pnum and call.date = '2016-07-04' \
+        group by call.region order by call.region";
+
+    #[test]
+    fn bounded_query_admitted_and_answered() {
+        let service = service();
+        let session = service.session(ResourceQuota::unlimited().with_max_tuples(50_000_000));
+        let out = session.execute(COVERED).unwrap();
+        assert!(matches!(out.decision, Decision::Bounded { .. }));
+        let answer = out.answer.unwrap();
+        assert_eq!(answer.rows, vec![vec![Value::str("east")]]);
+        assert_eq!(answer.coverage, 1.0);
+        assert_eq!(answer.mode, EvaluationMode::Bounded);
+        assert_eq!(out.generation, service.generation());
+        let m = service.metrics();
+        assert_eq!(m.decided_bounded, 1);
+        assert_eq!(m.decisions(), 1);
+        assert_eq!(m.latency_samples, 1);
+    }
+
+    #[test]
+    fn covered_query_over_budget_is_rejected_or_approximated() {
+        let service = service();
+        // the deduced bound for COVERED is >= 2000, so a 100-tuple budget
+        // is provably insufficient
+        let strict = service.session(ResourceQuota::unlimited().with_max_tuples(100));
+        let decision = strict.admit(COVERED).unwrap();
+        assert!(matches!(decision, Decision::Rejected { .. }), "{decision}");
+        // deterministic: executing returns the same structured decision
+        let out = strict.execute(COVERED).unwrap();
+        assert_eq!(out.decision, decision);
+        assert!(out.answer.is_none());
+        // an approximation-enabled session runs under the budget instead
+        let approx = service
+            .session(ResourceQuota::unlimited().with_max_tuples(12))
+            .with_approximation();
+        let out = approx.execute(COVERED).unwrap();
+        assert_eq!(out.decision, Decision::Approximate { budget: 12 });
+        let answer = out.answer.unwrap();
+        assert!(answer.tuples_accessed <= 12);
+        assert!(answer.coverage > 0.0 && answer.coverage < 1.0);
+        let m = service.metrics();
+        assert_eq!(m.admission_rejections, 1);
+        assert_eq!(m.decided_approximate, 1);
+    }
+
+    #[test]
+    fn uncovered_query_routes_by_estimate_and_trips_by_quota() {
+        let service = service();
+        // 60 base rows in the two tables: a 10-tuple budget rejects up front
+        let strict = service.session(ResourceQuota::unlimited().with_max_tuples(10));
+        let out = strict.execute(UNCOVERED).unwrap();
+        match out.decision {
+            Decision::Rejected {
+                reason:
+                    crate::admission::RejectReason::EstimateExceedsQuota {
+                        estimated_tuples,
+                        max_tuples,
+                    },
+            } => {
+                assert_eq!(estimated_tuples, 60);
+                assert_eq!(max_tuples, 10);
+            }
+            other => panic!("expected an estimate rejection, got {other}"),
+        }
+        // a budget above the estimate admits to baseline and completes
+        let relaxed = service.session(ResourceQuota::unlimited().with_max_tuples(10_000));
+        let out = relaxed.execute(UNCOVERED).unwrap();
+        assert!(matches!(out.decision, Decision::Baseline { .. }));
+        assert!(out.answer.unwrap().coverage == 1.0);
+        // a budget between the estimate's floor and the actual access
+        // admits, then trips in flight: the estimate counts each distinct
+        // table once (call = 50 rows), but this self-join scans `call`
+        // twice — the runtime quota backstops the optimistic estimate
+        let self_join = "select c1.recnum from call c1, call c2 \
+                         where c1.pnum = c2.pnum and c1.duration > c2.duration";
+        let borderline = service.session(ResourceQuota::unlimited().with_max_tuples(62));
+        assert!(borderline.admit(self_join).unwrap().admitted());
+        let err = borderline.execute(self_join).expect_err("must trip");
+        assert_eq!(err.kind(), "quota_exceeded");
+        assert_eq!(service.metrics().quota_trips, 1);
+        assert_eq!(service.metrics().admission_rejections, 1);
+    }
+
+    #[test]
+    fn approximate_answers_respect_the_row_cap() {
+        let service = service();
+        let session = service
+            .session(
+                ResourceQuota::unlimited()
+                    .with_max_tuples(12)
+                    .with_max_rows(0),
+            )
+            .with_approximation();
+        // the approximation produces at least one sound answer row, which
+        // the 0-row cap must reject like any other over-quota answer
+        let err = session.execute(COVERED).expect_err("0-row cap");
+        assert_eq!(err.kind(), "quota_exceeded");
+        assert!(err.to_string().contains("rows"), "{err}");
+        assert_eq!(service.metrics().quota_trips, 1);
+    }
+
+    #[test]
+    fn max_rows_quota_rejects_oversized_answers() {
+        let service = service();
+        let session = service.session(ResourceQuota::unlimited().with_max_rows(3));
+        // 5 distinct pnum groups > 3 rows allowed
+        let err = session
+            .execute("select distinct pnum from business where type = 'bank' and region = 'r0'")
+            .expect_err("5 banks exceed the 3-row cap");
+        assert_eq!(err.kind(), "quota_exceeded");
+        assert!(err.to_string().contains("rows"));
+    }
+
+    #[test]
+    fn writes_publish_new_snapshots_and_reads_stay_consistent() {
+        let service = service();
+        let session = service.session(ResourceQuota::unlimited());
+        let before_gen = service.generation();
+        let before = session.execute(COVERED).unwrap();
+        assert_eq!(before.generation, before_gen);
+        // a maintenance batch: new bank + a call from it in a new region
+        service
+            .insert_rows(
+                "business",
+                vec![vec![
+                    Value::str("p77"),
+                    Value::str("bank"),
+                    Value::str("r0"),
+                ]],
+            )
+            .unwrap();
+        service
+            .insert_rows(
+                "call",
+                vec![vec![
+                    Value::str("p77"),
+                    Value::str("r999"),
+                    Value::str("2016-07-04"),
+                    Value::str("north"),
+                    Value::Int(1),
+                ]],
+            )
+            .unwrap();
+        assert!(service.generation() > before_gen);
+        let after = session.execute(COVERED).unwrap();
+        assert_eq!(after.generation, service.generation());
+        let mut regions: Vec<String> = after
+            .answer
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| r[0].as_str().unwrap().to_string())
+            .collect();
+        regions.sort();
+        assert_eq!(regions, vec!["east".to_string(), "north".to_string()]);
+        assert_eq!(service.metrics().maintenance_batches, 2);
+    }
+
+    #[test]
+    fn failed_maintenance_publishes_nothing() {
+        let service = service();
+        let generation = service.generation();
+        assert!(service
+            .insert_rows("nosuch", vec![vec![Value::Int(1)]])
+            .is_err());
+        assert_eq!(service.generation(), generation, "no snapshot published");
+        assert_eq!(service.metrics().maintenance_batches, 0);
+    }
+
+    #[test]
+    fn malformed_sql_counts_as_an_error() {
+        let service = service();
+        let session = service.session(ResourceQuota::unlimited());
+        assert!(session.execute("not sql").is_err());
+        assert_eq!(service.metrics().errors, 1);
+        assert_eq!(service.metrics().decisions(), 0);
+    }
+
+    #[test]
+    fn sessions_share_the_plan_cache_across_snapshots() {
+        let service = service();
+        let a = service.session(ResourceQuota::unlimited());
+        let b = service.session(ResourceQuota::unlimited());
+        assert_ne!(a.id(), b.id());
+        a.execute(COVERED).unwrap();
+        b.execute(COVERED).unwrap();
+        let stats = service.plan_cache_stats();
+        // admission + execution share one prepare per submission: the
+        // second session hits the entry the first one planned
+        assert_eq!(stats.misses, 1);
+        assert!(stats.hits >= 3, "{stats}");
+        // a write invalidates; the next read re-prepares once
+        service
+            .delete_rows("call", |r| r[1] == Value::str("r0"))
+            .unwrap();
+        a.execute(COVERED).unwrap();
+        let stats = service.plan_cache_stats();
+        assert_eq!(stats.misses, 2);
+        assert!(stats.invalidations >= 1);
+    }
+}

@@ -5,6 +5,7 @@ use crate::table::Table;
 use beas_common::{BeasError, Result, Row, TableSchema};
 use beas_sql::SchemaProvider;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Memoized per-table statistics, validated against the database write
@@ -36,6 +37,14 @@ pub struct Database {
     /// generation they were built at against the current one to detect
     /// staleness, which is how `Maintainer` writes invalidate them.
     generation: u64,
+    /// Generation allocator shared by every clone of this database (one
+    /// *lineage*): each mutation takes a fresh value from it, so two clones
+    /// that diverge independently can never arrive at the *same* generation
+    /// with *different* contents.  That uniqueness is what lets caches
+    /// shared across clones — the `BeasSystem` plan cache under
+    /// `fork()`-published service snapshots — treat generation equality as
+    /// content equality.
+    lineage: Arc<AtomicU64>,
 }
 
 impl Database {
@@ -45,10 +54,16 @@ impl Database {
     }
 
     /// The current write generation.  Strictly increases with every
-    /// mutation (insert, delete, DDL); two equal generations guarantee the
-    /// database contents have not changed in between.
+    /// mutation (insert, delete, DDL); within one lineage (a database and
+    /// its clones), two equal generations guarantee identical contents —
+    /// each mutation anywhere in the lineage consumes a distinct value.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Advance this instance's generation to a lineage-unique value.
+    fn bump_generation(&mut self) {
+        self.generation = self.lineage.fetch_add(1, Ordering::Relaxed) + 1;
     }
 
     /// Create a table from a schema.  Fails if the name is already taken.
@@ -57,7 +72,7 @@ impl Database {
         if self.tables.contains_key(&name) {
             return Err(BeasError::catalog(format!("table {name:?} already exists")));
         }
-        self.generation += 1;
+        self.bump_generation();
         self.tables.insert(name, Table::new(schema));
         Ok(())
     }
@@ -75,7 +90,7 @@ impl Database {
             .lock()
             .expect("stats cache lock")
             .remove(&name);
-        self.generation += 1;
+        self.bump_generation();
         Ok(())
     }
 
@@ -103,7 +118,7 @@ impl Database {
             .tables
             .get_mut(&name)
             .ok_or_else(|| BeasError::catalog(format!("unknown table {name:?}")))?;
-        self.generation += 1;
+        self.generation = self.lineage.fetch_add(1, Ordering::Relaxed) + 1;
         Ok(table)
     }
 
@@ -306,6 +321,29 @@ mod tests {
         assert_eq!(db2.generation(), g);
         // clones carry the generation
         assert_eq!(db2.clone().generation(), g);
+    }
+
+    #[test]
+    fn divergent_clones_never_share_a_generation() {
+        // clones of one database draw generations from a shared allocator:
+        // two clones mutated independently must end on different
+        // generations even after the same number of writes — generation
+        // equality within a lineage implies identical contents, which is
+        // what lets the BeasSystem plan cache be shared across forks.
+        let mut db = Database::new();
+        db.create_table(TableSchema::new("t", vec![ColumnDef::new("x", DataType::Int)]).unwrap())
+            .unwrap();
+        let mut a = db.clone();
+        let mut b = db.clone();
+        a.insert("t", vec![Value::Int(1)]).unwrap();
+        b.insert("t", vec![Value::Int(2)]).unwrap();
+        assert_ne!(a.generation(), b.generation());
+        assert!(a.generation() > db.generation());
+        assert!(b.generation() > db.generation());
+        // an unrelated lineage is free to reuse values — uniqueness is a
+        // per-lineage property
+        let fresh = Database::new();
+        assert_eq!(fresh.generation(), 0);
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub use beas_access as access;
 pub use beas_common as common;
 pub use beas_core as core;
 pub use beas_engine as engine;
+pub use beas_service as service;
 pub use beas_sql as sql;
 pub use beas_storage as storage;
 pub use beas_tlc as tlc;
@@ -63,9 +64,11 @@ pub use beas_engine::{
 pub mod prelude {
     pub use beas_access::{AccessConstraint, AccessSchema};
     pub use beas_common::{BeasError, DataType, Date, Result, Row, Schema, TableSchema, Value};
+    pub use beas_common::{QuotaTracker, ResourceQuota};
     pub use beas_core::{
         BeasSystem, BoundedPlan, CheckReport, CoverageResult, EvaluationMode, ExecutionOutcome,
     };
     pub use beas_engine::{Engine, ExecutionMetrics, LogicalPlan, OptimizerProfile, QueryResult};
+    pub use beas_service::{Decision, QueryService, Session, SessionOutcome};
     pub use beas_storage::{Database, Table};
 }
