@@ -76,6 +76,8 @@ impl Maintainer {
         let mut outcome = MaintenanceOutcome::default();
 
         // Pre-validate under Strict: simulate the index updates on clones.
+        // Index clones are copy-on-write (shared hash shards), so the probe
+        // costs O(shards the batch touches), not O(index).
         if self.policy == MaintenancePolicy::Strict {
             for c in schema.for_table(&table) {
                 if let Some(idx) = indexes.for_constraint(c) {

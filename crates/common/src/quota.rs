@@ -27,9 +27,10 @@ use std::time::{Duration, Instant};
 /// deadline: `Instant::now()` costs tens of nanoseconds, so per-row checks
 /// would dominate cheap scans.  A stale check window of 4096 tuples keeps
 /// deadline overshoot bounded by microseconds of *scan* work; phases that
-/// touch no base data between charges (a blocking sort or aggregation) are
-/// only caught at their surrounding charge/checkpoint boundaries — see the
-/// ROADMAP's per-operator-checkpoint follow-up.
+/// touch no base data (a blocking sort or aggregation fold) checkpoint
+/// themselves every few thousand processed rows inside the engine's
+/// blocking loops (`engine::executor::BLOCKING_CHECK_ROWS`), so they are
+/// bounded the same way.
 const DEADLINE_CHECK_TUPLES: u64 = 4096;
 
 /// A declarative per-session resource budget.
@@ -180,8 +181,9 @@ impl QuotaTracker {
     /// on the first charge and then once every few thousand charged tuples
     /// (`DEADLINE_CHECK_TUPLES`) so per-row charging stays cheap.  Work
     /// that touches no base data between charges (a large blocking sort)
-    /// is only caught at the next charge or [`QuotaTracker::checkpoint`] —
-    /// deadline enforcement is cooperative, not preemptive.
+    /// must call [`QuotaTracker::checkpoint`] periodically itself, as the
+    /// engine's blocking loops do — deadline enforcement is cooperative,
+    /// not preemptive.
     pub fn charge_tuples(&self, n: u64) -> Result<()> {
         if n == 0 {
             return self.fail_if_tripped();

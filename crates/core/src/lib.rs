@@ -44,4 +44,4 @@ pub use partial::{
 };
 pub use plan::{BoundedPlan, KeySource, PlannedFetch};
 pub use planner::{generate_bounded_plan, generate_plan_for_steps};
-pub use system::{BeasSystem, CheckReport, EvaluationMode, ExecutionOutcome};
+pub use system::{BeasSystem, CheckReport, EvaluationMode, ExecutionOutcome, PreparedQuery};

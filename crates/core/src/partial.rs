@@ -351,7 +351,7 @@ pub fn execute_partially_bounded_with(
         } else {
             // keep the original relation in full
             reduced.create_table(nullable_copy(&table.schema))?;
-            let rows: Vec<Row> = db.table(&table.table)?.rows().to_vec();
+            let rows: Vec<Row> = db.table(&table.table)?.rows_iter().cloned().collect();
             reduced.insert_many(&table.table, rows)?;
         }
     }

@@ -84,16 +84,64 @@ pub struct CheckReport {
 /// plan, pinned at the database write generation it was computed against.
 /// Cached entries are shared (`Arc`), so a cache hit costs one hash lookup
 /// and no cloning.
+///
+/// The struct is deliberately opaque: callers obtain one from
+/// [`BeasSystem::prepare`] and hand it back to
+/// [`BeasSystem::execute_prepared`] /
+/// [`BeasSystem::approximate_prepared`] /
+/// [`BeasSystem::estimate_conventional_tuples_prepared`], so one cache
+/// acquisition serves a whole admission → execution round trip.
 #[derive(Debug)]
-struct PreparedQuery {
-    /// `Database::generation()` at preparation time; a later generation
-    /// means maintenance wrote to the database and the entry is stale.
+pub struct PreparedQuery {
+    /// `Database::generation()` at preparation time.  Used only to order
+    /// entries in time (eviction policy); *liveness* is decided by the
+    /// per-table read set below.
     generation: u64,
+    /// Every table the query reads, pinned at that table's write
+    /// generation.  Generation equality implies identical table contents
+    /// (generations are lineage-unique), so an entry stays live — and is
+    /// served as a cache hit — as long as none of *its* tables moved, no
+    /// matter how many writes landed elsewhere in the database.
+    read_set: Vec<(String, u64)>,
     query: BoundQuery,
     graph: QueryGraph,
     coverage: CoverageResult,
     /// The bounded plan when the query is covered.
     plan: Option<BoundedPlan>,
+}
+
+impl PreparedQuery {
+    /// Whether the registered access schema covers the query (a bounded
+    /// plan exists).
+    pub fn covered(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    /// The deduced bound on tuples accessed, when covered.
+    pub fn deduced_bound(&self) -> Option<u64> {
+        self.plan.as_ref().map(|p| p.total_bound)
+    }
+
+    /// The tables the query reads, each pinned at the per-table write
+    /// generation it was prepared against.
+    pub fn read_set(&self) -> &[(String, u64)] {
+        &self.read_set
+    }
+}
+
+/// The tables `query` reads (deduplicated), each pinned at its current
+/// per-table write generation.
+fn read_set_of(db: &Database, query: &BoundQuery) -> Vec<(String, u64)> {
+    let mut set: Vec<(String, u64)> = Vec::new();
+    for t in &query.tables {
+        let name = t.table.to_ascii_lowercase();
+        if set.iter().any(|(n, _)| *n == name) {
+            continue;
+        }
+        let table_generation = db.table_generation(&name).unwrap_or(0);
+        set.push((name, table_generation));
+    }
+    set
 }
 
 /// Keyed plan cache: normalized SQL text → prepared query.
@@ -117,33 +165,36 @@ struct PlanCache {
 const PLAN_CACHE_CAP: usize = 256;
 
 impl PlanCache {
-    /// Fetch a live entry for `key`, counting the lookup.  A *stale* entry
-    /// (older generation) is evicted and counted as an invalidation; an
-    /// entry *newer* than the caller's generation — the caller is a reader
-    /// pinned on an old snapshot while the cache has moved on — is left in
-    /// place for the current-generation sessions and merely misses.
-    fn lookup(&self, key: &str, generation: u64) -> Option<Arc<PreparedQuery>> {
+    /// Fetch a live entry for `key`, counting the lookup.  Liveness is a
+    /// *read-set* check: the entry is served as a hit when every table it
+    /// reads still sits at the per-table generation it was prepared
+    /// against — a write batch that never touched the entry's tables keeps
+    /// it live, no matter how far the database-wide generation advanced.
+    /// A mismatched entry is evicted and counted as an invalidation only
+    /// when it is *older* than the caller's database; an entry *newer*
+    /// than the caller — the caller is a reader pinned on an old snapshot
+    /// while the cache has moved on — is left in place for the
+    /// current-generation sessions and merely misses.
+    fn lookup(&self, key: &str, db: &Database) -> Option<Arc<PreparedQuery>> {
         let mut entries = self.entries.lock().expect("plan cache lock");
-        match entries.get(key) {
-            Some(entry) if entry.generation == generation => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(entry))
-            }
-            Some(entry) if entry.generation < generation => {
-                entries.remove(key);
-                self.invalidations.fetch_add(1, Ordering::Relaxed);
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-            Some(_) => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
+        let Some(entry) = entries.get(key) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        let live = entry
+            .read_set
+            .iter()
+            .all(|(table, table_generation)| db.table_generation(table) == Some(*table_generation));
+        if live {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(Arc::clone(entry));
         }
+        if entry.generation < db.generation() {
+            entries.remove(key);
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
     }
 
     /// Insert `entry`, never replacing a strictly newer one: a reader on an
@@ -240,9 +291,10 @@ pub struct BeasSystem {
     indexes: AccessIndexes,
     fallback: Engine,
     /// Shared across [`BeasSystem::fork`]ed copies: forks of one lineage
-    /// serve one logical cache (entries are generation-validated, so a fork
-    /// at an older generation never serves a newer snapshot's plan or vice
-    /// versa) and its counters aggregate across all of them.
+    /// serve one logical cache (entries are validated against the
+    /// per-table generations in their read set, so a fork at an older
+    /// generation never serves a newer snapshot's plan or vice versa) and
+    /// its counters aggregate across all of them.
     plan_cache: Arc<PlanCache>,
     maintenance_policy: MaintenancePolicy,
     fetch_config: FetchConfig,
@@ -266,12 +318,17 @@ impl BeasSystem {
     }
 
     /// A copy-on-write fork: clones the database, access schema and indices
-    /// (deep copies — cost proportional to the data) while *sharing* the
-    /// plan cache, so cached prepared queries and their hit/miss counters
+    /// *structurally* — tables are `Arc`-shared row segments and constraint
+    /// indices `Arc`-shared hash shards, so the fork costs O(tables +
+    /// segment handles), not O(rows); a subsequent write to either copy
+    /// copies only the segment or shard it touches.  The plan cache is
+    /// *shared*, so cached prepared queries and their hit/miss counters
     /// survive across forks of one system lineage.  This is the snapshot
     /// primitive of `beas_service`: a writer forks the current snapshot,
-    /// applies a maintenance batch to the fork, and publishes it; readers
-    /// keep executing against the old snapshot until the swap.
+    /// applies a maintenance batch to the fork (paying only for the rows
+    /// the batch moves), and publishes it; readers keep executing against
+    /// the old snapshot until the swap, and the old generation's private
+    /// segments are freed when its last reader drops.
     ///
     /// Sharing the cache across forks is sound even if several forks are
     /// mutated independently: clones of one [`Database`] draw their write
@@ -394,13 +451,18 @@ impl BeasSystem {
 
     /// Prepare `sql` — parse → bind → graph → coverage check → bounded plan
     /// — through the keyed plan cache.  Repeated submissions of the same
-    /// (normalized) SQL against an unchanged database reuse the cached
-    /// result; a database write generation mismatch evicts the stale entry
-    /// and re-prepares.
-    fn prepare(&self, sql: &str) -> Result<Arc<PreparedQuery>> {
+    /// (normalized) SQL reuse the cached result as long as every table the
+    /// query reads is unchanged (per-table generation match); a write to
+    /// one of those tables evicts the stale entry and re-prepares.
+    ///
+    /// Public so a service can acquire the prepared query *once* per
+    /// submission and thread the same `Arc` through admission
+    /// ([`BeasSystem::deduced_bound`]-style checks via
+    /// [`PreparedQuery::deduced_bound`]) and execution
+    /// ([`BeasSystem::execute_prepared`]).
+    pub fn prepare(&self, sql: &str) -> Result<Arc<PreparedQuery>> {
         let key = normalize_sql(sql);
-        let generation = self.db.generation();
-        if let Some(entry) = self.plan_cache.lookup(&key, generation) {
+        if let Some(entry) = self.plan_cache.lookup(&key, &self.db) {
             return Ok(entry);
         }
         let query = self.bind(sql)?;
@@ -412,7 +474,8 @@ impl BeasSystem {
             None
         };
         let entry = Arc::new(PreparedQuery {
-            generation,
+            generation: self.db.generation(),
+            read_set: read_set_of(&self.db, &query),
             query,
             graph,
             coverage,
@@ -463,21 +526,94 @@ impl BeasSystem {
     }
 
     /// Estimated tuples a conventional (or partially bounded) evaluation of
-    /// `sql` would access: the sum of base rows across the query's distinct
-    /// tables, since a conventional plan scans each of them at least once.
-    /// A planner *estimate*, not a guarantee — admission control uses it to
-    /// route uncovered queries against a session budget; the runtime quota
-    /// is what actually enforces the budget.  Served from the plan cache.
+    /// `sql` would access.  A planner *estimate*, not a guarantee —
+    /// admission control uses it to route uncovered queries against a
+    /// session budget; the runtime quota is what actually enforces the
+    /// budget.  Served from the plan cache.
     pub fn estimate_conventional_tuples(&self, sql: &str) -> Result<u64> {
         let prepared = self.prepare(sql)?;
+        self.estimate_conventional_tuples_prepared(&prepared)
+    }
+
+    /// Join-aware variant of [`BeasSystem::estimate_conventional_tuples`]
+    /// over an already-prepared query.
+    ///
+    /// Two components, the larger wins:
+    ///
+    /// * **scan floor** — Σ base rows across the query's distinct tables: a
+    ///   conventional plan scans each of them at least once, so no
+    ///   evaluation can touch less;
+    /// * **join cardinality** — per join-connected component of the query
+    ///   graph, the product of the atoms' base cardinalities with each
+    ///   equi-join edge dividing by the join column's distinct count
+    ///   (`|R ⋈ S| ≈ |R|·|S| / max(d(R.a), d(S.b))`).  Atoms with *no*
+    ///   join edge between them sit in different components whose
+    ///   cardinalities multiply — so a cross product's intermediate blow-up
+    ///   shows up in the estimate and admission control can reject it
+    ///   before the runtime quota has to trip mid-scan.
+    pub fn estimate_conventional_tuples_prepared(&self, prepared: &PreparedQuery) -> Result<u64> {
+        let atoms = &prepared.graph.atoms;
+        // Scan floor over distinct tables (self-joins scan the table once).
         let mut seen: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
-        let mut total: u64 = 0;
-        for t in &prepared.query.tables {
-            if seen.insert(t.table.as_str()) {
-                total += self.db.table(&t.table)?.row_count() as u64;
+        let mut scan_floor: u64 = 0;
+        let mut rows: Vec<u64> = Vec::with_capacity(atoms.len());
+        for atom in atoms {
+            let count = self.db.table(&atom.table)?.row_count() as u64;
+            rows.push(count);
+            if seen.insert(atom.table.as_str()) {
+                scan_floor += count;
             }
         }
-        Ok(total)
+        if atoms.is_empty() {
+            return Ok(0);
+        }
+        // Union-find over atoms: each equality edge joins two components
+        // and records a divisor (the join column's distinct count).
+        let mut parent: Vec<usize> = (0..atoms.len()).collect();
+        fn find(parent: &mut [usize], i: usize) -> usize {
+            let mut root = i;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = i;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        // Product of all atom cardinalities, with every *merging* edge
+        // (spanning-forest edges only — a redundant edge inside an
+        // already-joined component would double-divide) applying the
+        // |R|·|S|/d reduction.
+        let mut estimate: u64 = 1;
+        for r in &rows {
+            estimate = estimate.saturating_mul((*r).max(1));
+        }
+        for ((la, lc), (ra, rc)) in &prepared.graph.equalities {
+            let (rl, rr) = (find(&mut parent, *la), find(&mut parent, *ra));
+            if rl == rr {
+                continue;
+            }
+            parent[rl] = rr;
+            let d_left = self.distinct_count(&atoms[*la].table, lc);
+            let d_right = self.distinct_count(&atoms[*ra].table, rc);
+            let divisor = d_left.max(d_right).max(1);
+            estimate = (estimate / divisor).max(1);
+        }
+        Ok(scan_floor.max(estimate))
+    }
+
+    /// Distinct count of `column` in `table` from the statistics cache,
+    /// `1` when unknown (unknown must not shrink an estimate).
+    fn distinct_count(&self, table: &str, column: &str) -> u64 {
+        self.db
+            .statistics(table)
+            .ok()
+            .and_then(|s| s.column(column).map(|c| c.distinct_count as u64))
+            .filter(|&d| d > 0)
+            .unwrap_or(1)
     }
 
     /// Whether `sql` can be answered by accessing at most `budget` tuples,
@@ -562,6 +698,7 @@ impl BeasSystem {
         };
         let prepared = PreparedQuery {
             generation: self.db.generation(),
+            read_set: read_set_of(&self.db, query),
             query: query.clone(),
             graph,
             coverage,
@@ -570,8 +707,12 @@ impl BeasSystem {
         self.execute_prepared(&prepared, None)
     }
 
-    /// Execute a prepared (possibly cached) query.
-    fn execute_prepared(
+    /// Execute a prepared (possibly cached) query under an optional quota.
+    /// With [`BeasSystem::prepare`] this is the two-call form of
+    /// [`BeasSystem::execute_sql_with_quota`]: a service that already
+    /// prepared the query for admission control executes the same `Arc`
+    /// without a second plan-cache acquisition.
+    pub fn execute_prepared(
         &self,
         prepared: &PreparedQuery,
         quota: Option<&QuotaTracker>,
@@ -782,6 +923,16 @@ impl BeasSystem {
     /// (covered queries reuse the cached bounded plan outright).
     pub fn approximate(&self, sql: &str, budget: u64) -> Result<ApproximateExecution> {
         let prepared = self.prepare(sql)?;
+        self.approximate_prepared(&prepared, budget)
+    }
+
+    /// [`BeasSystem::approximate`] over an already-prepared query — the
+    /// approximation half of the single-acquisition service path.
+    pub fn approximate_prepared(
+        &self,
+        prepared: &PreparedQuery,
+        budget: u64,
+    ) -> Result<ApproximateExecution> {
         let query = &prepared.query;
         let graph = &prepared.graph;
         let coverage = &prepared.coverage;
@@ -1302,6 +1453,88 @@ mod tests {
         let after = beas.execute_sql(COVERED).unwrap();
         assert_eq!(after.rows.len(), before.rows.len() + 1);
         assert!(beas.plan_cache_stats().invalidations >= 1);
+    }
+
+    #[test]
+    fn writes_to_unrelated_tables_keep_cached_plans_live() {
+        // Read-set validation: a write batch that never touches a plan's
+        // tables must keep the entry serving hits — only writes to the
+        // tables the plan actually reads may invalidate it.
+        let mut beas = system();
+        let single = "select distinct region from call where pnum = 'p1' and date = '2016-07-04'";
+        let first = beas.execute_sql(single).unwrap();
+        assert_eq!(beas.plan_cache_stats().misses, 1);
+        // write to `business` — the cached `call` plan is untouched
+        beas.insert_rows(
+            "business",
+            vec![vec![
+                Value::str("p99"),
+                Value::str("shop"),
+                Value::str("r9"),
+            ]],
+        )
+        .unwrap();
+        assert!(beas.database().generation() > 0);
+        let again = beas.execute_sql(single).unwrap();
+        assert_eq!(again.rows, first.rows);
+        let stats = beas.plan_cache_stats();
+        assert_eq!(stats.hits, 1, "unrelated write must not evict: {stats}");
+        assert_eq!(stats.invalidations, 0);
+        // a write to `call` itself does invalidate
+        beas.delete_rows("call", |r| r[0] == Value::str("p1"))
+            .unwrap();
+        let after = beas.execute_sql(single).unwrap();
+        assert!(after.rows.is_empty());
+        let stats = beas.plan_cache_stats();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn prepared_query_roundtrip_uses_one_cache_acquisition() {
+        let beas = system();
+        let prepared = beas.prepare(COVERED).unwrap();
+        assert!(prepared.covered());
+        assert!(prepared.deduced_bound().unwrap() >= 2000);
+        let tables: Vec<&str> = prepared
+            .read_set()
+            .iter()
+            .map(|(t, _)| t.as_str())
+            .collect();
+        assert_eq!(tables, vec!["call", "business"]);
+        let stats = beas.plan_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 1));
+        // admission estimate + execution off the same Arc: no new lookups
+        let estimate = beas
+            .estimate_conventional_tuples_prepared(&prepared)
+            .unwrap();
+        assert!(estimate >= 60);
+        let outcome = beas.execute_prepared(&prepared, None).unwrap();
+        assert!(outcome.bounded);
+        let stats = beas.plan_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 1), "no extra acquisitions");
+    }
+
+    #[test]
+    fn join_estimate_flags_cross_products_but_not_keyed_joins() {
+        let beas = system();
+        // call (50 rows) × business (10 rows) with no join predicate: the
+        // estimate must reflect the 500-row cross product, not the 60-row
+        // scan floor.
+        let cross = "select call.region from call, business where business.type = 'bank'";
+        let cross_est = beas.estimate_conventional_tuples(cross).unwrap();
+        assert_eq!(cross_est, 500);
+        // the same pair joined on pnum (10 distinct) stays near the scan
+        // floor: 50 * 10 / 10 = 50 → floor 60 wins
+        let keyed = "select call.region from call, business \
+            where business.pnum = call.pnum and business.type = 'bank'";
+        let keyed_est = beas.estimate_conventional_tuples(keyed).unwrap();
+        assert_eq!(keyed_est, 60);
+        // single-table queries remain the plain row count
+        let single = beas
+            .estimate_conventional_tuples("select region from call")
+            .unwrap();
+        assert_eq!(single, 50);
     }
 
     #[test]

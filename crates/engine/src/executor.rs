@@ -83,14 +83,13 @@
 use crate::metrics::{ExecutionMetrics, MorselStats};
 use crate::plan::{JoinAlgorithm, LogicalPlan};
 use beas_common::{
-    join_key, morsel_count, morsel_range, scatter, BeasError, MorselQueue, QuotaTracker, Result,
-    Row, RowRef, RowStream, Value, MORSEL_ROWS,
+    join_key, scatter, BeasError, MorselQueue, QuotaTracker, Result, Row, RowRef, RowStream, Value,
+    MORSEL_ROWS,
 };
 use beas_sql::{evaluate, evaluate_predicate, Accumulator, BoundAggregate, BoundExpr};
 use beas_storage::Database;
 use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet};
-use std::ops::Range;
 use std::time::{Duration, Instant};
 
 /// Upper bound on morsel worker threads per exchange.
@@ -278,7 +277,7 @@ fn build_operator<'a>(
                 format!("SeqScan({table} AS {alias})")
             };
             Box::new(ScanOp {
-                iter: t.rows().iter(),
+                iter: Box::new(t.rows_iter()),
                 label,
                 produced: 0,
                 quota: ctx.quota,
@@ -351,6 +350,7 @@ fn build_operator<'a>(
                 started: false,
                 group_by,
                 aggregates,
+                quota: ctx.quota,
                 out: Vec::new().into_iter(),
                 rows_out: 0,
                 elapsed: Duration::ZERO,
@@ -397,6 +397,7 @@ fn build_operator<'a>(
                 started: false,
                 keys,
                 limit,
+                quota: ctx.quota,
                 out: Vec::new().into_iter(),
                 rows_out: 0,
                 elapsed: Duration::ZERO,
@@ -493,14 +494,10 @@ struct MorselRun<'a> {
     op_rows_out: Vec<u64>,
 }
 
-/// Run `frag` over the morsel `range` of `base`.  With `dedupe`, rows that
-/// duplicate an earlier row of the same morsel are dropped.
-fn run_fragment_morsel<'a>(
-    frag: &Fragment<'a>,
-    base: &'a [Row],
-    range: Range<usize>,
-    dedupe: bool,
-) -> MorselRun<'a> {
+/// Run `frag` over one morsel (a slice of one storage segment).  With
+/// `dedupe`, rows that duplicate an earlier row of the same morsel are
+/// dropped.
+fn run_fragment_morsel<'a>(frag: &Fragment<'a>, morsel: &'a [Row], dedupe: bool) -> MorselRun<'a> {
     let mut run = MorselRun {
         rows: Vec::new(),
         error: None,
@@ -508,7 +505,7 @@ fn run_fragment_morsel<'a>(
         op_rows_out: vec![0; frag.ops.len()],
     };
     let mut seen: Option<HashSet<RowRef<'a>>> = dedupe.then(HashSet::new);
-    'rows: for base_row in &base[range] {
+    'rows: for base_row in morsel {
         run.scanned += 1;
         let mut row = RowRef::borrowed(base_row);
         for (i, op) in frag.ops.iter().enumerate() {
@@ -547,16 +544,20 @@ fn run_fragment_morsel<'a>(
     run
 }
 
+/// A parallel-eligible leaf fragment paired with its table's morsel slices
+/// (each inside one storage segment, in physical-id order).
+type EligibleFragment<'a> = (Fragment<'a>, Vec<&'a [Row]>);
+
 /// The shared eligibility gate of every parallel operator: the parallel
 /// path is on, `plan` is a leaf fragment, the *estimated* input (memoized
 /// statistics — no rescan) clears the planner threshold, and the table
-/// splits into at least two morsels.  Returns the fragment and its base
-/// rows when all gates pass.
+/// splits into at least two morsels.  Returns the fragment and the table's
+/// morsel slices when all gates pass.
 fn eligible_fragment<'a>(
     plan: &'a LogicalPlan,
     db: &'a Database,
     cfg: ParallelConfig,
-) -> Result<Option<(Fragment<'a>, &'a [Row])>> {
+) -> Result<Option<EligibleFragment<'a>>> {
     if !cfg.enabled() {
         return Ok(None);
     }
@@ -566,11 +567,11 @@ fn eligible_fragment<'a>(
     if crate::planner::estimated_scan_rows(db, frag.table) < cfg.min_rows {
         return Ok(None);
     }
-    let base = db.table(frag.table)?.rows();
-    if morsel_count(base.len(), cfg.morsel_rows) < 2 {
+    let morsels = db.table(frag.table)?.morsel_slices(cfg.morsel_rows);
+    if morsels.len() < 2 {
         return Ok(None);
     }
-    Ok(Some((frag, base)))
+    Ok(Some((frag, morsels)))
 }
 
 /// Record a fragment's per-operator counters under their serial labels
@@ -614,7 +615,7 @@ fn try_exchange<'a>(
     partial: ExchangePartial<'a>,
 ) -> Result<Option<BoxedOperator<'a>>> {
     let cfg = ctx.parallel;
-    let Some((frag, base)) = eligible_fragment(plan, db, cfg)? else {
+    let Some((frag, morsels)) = eligible_fragment(plan, db, cfg)? else {
         return Ok(None);
     };
     let quota = if ctx.lazy {
@@ -627,7 +628,7 @@ fn try_exchange<'a>(
     };
     Ok(Some(Box::new(ExchangeOp {
         frag,
-        base,
+        morsels,
         cfg,
         quota,
         session_quota: ctx.quota,
@@ -655,7 +656,8 @@ fn try_exchange<'a>(
 /// finishes, so the first error in row order is always found.
 struct ExchangeOp<'a> {
     frag: Fragment<'a>,
-    base: &'a [Row],
+    /// The table's morsel slices; morsel `i` of the queue is slice `i`.
+    morsels: Vec<&'a [Row]>,
     cfg: ParallelConfig,
     /// Streaming-LIMIT quota: stop claiming morsels once this many
     /// surviving rows exist across workers.
@@ -679,25 +681,24 @@ impl<'a> ExchangeOp<'a> {
     /// Blocking phase: scatter the morsels across workers, merge in order.
     fn run(&mut self) {
         let start = Instant::now();
-        let morsels = morsel_count(self.base.len(), self.cfg.morsel_rows);
+        let morsels = self.morsels.len();
         let queue = match self.quota {
             Some(k) => MorselQueue::with_quota(morsels, k),
             None => MorselQueue::new(morsels),
         };
         let workers = self.cfg.workers.min(morsels);
         let frag = &self.frag;
-        let base = self.base;
-        let cfg = self.cfg;
+        let slices: &[&'a [Row]] = &self.morsels;
         let partial = self.partial;
         let session_quota = self.session_quota;
         let queue_ref = &queue;
         let outcome = scatter(queue_ref, workers, move |i| {
-            let range = morsel_range(i, base.len(), cfg.morsel_rows);
+            let morsel = slices[i];
             // Session-quota charge at morsel granularity: a trip aborts
             // this morsel before any row work and stops the queue, exactly
             // like an evaluation error.
             if let Some(q) = session_quota {
-                if let Err(e) = q.charge_tuples(range.len() as u64) {
+                if let Err(e) = q.charge_tuples(morsel.len() as u64) {
                     queue_ref.stop();
                     return MorselRun {
                         rows: Vec::new(),
@@ -707,12 +708,8 @@ impl<'a> ExchangeOp<'a> {
                     };
                 }
             }
-            let mut run = run_fragment_morsel(
-                frag,
-                base,
-                range,
-                matches!(partial, ExchangePartial::Dedupe),
-            );
+            let mut run =
+                run_fragment_morsel(frag, morsel, matches!(partial, ExchangePartial::Dedupe));
             if run.error.is_some() {
                 // Later morsels cannot hold the first error in row order.
                 queue_ref.stop();
@@ -827,12 +824,12 @@ fn try_parallel_aggregate<'a>(
     aggregates: &'a [BoundAggregate],
 ) -> Result<Option<BoxedOperator<'a>>> {
     let cfg = ctx.parallel;
-    let Some((frag, base)) = eligible_fragment(input, db, cfg)? else {
+    let Some((frag, morsels)) = eligible_fragment(input, db, cfg)? else {
         return Ok(None);
     };
     Ok(Some(Box::new(ParallelAggregateOp {
         frag,
-        base,
+        morsels,
         cfg,
         session_quota: ctx.quota,
         group_by,
@@ -861,7 +858,8 @@ fn try_parallel_aggregate<'a>(
 /// missed.
 struct ParallelAggregateOp<'a> {
     frag: Fragment<'a>,
-    base: &'a [Row],
+    /// The table's morsel slices; morsel `i` of the queue is slice `i`.
+    morsels: Vec<&'a [Row]>,
     cfg: ParallelConfig,
     /// Session resource quota, charged per morsel like [`ExchangeOp`]'s.
     session_quota: Option<&'a QuotaTracker>,
@@ -882,20 +880,19 @@ struct ParallelAggregateOp<'a> {
 impl ParallelAggregateOp<'_> {
     fn run(&mut self) -> Result<Vec<Row>> {
         let start = Instant::now();
-        let morsels = morsel_count(self.base.len(), self.cfg.morsel_rows);
+        let morsels = self.morsels.len();
         let queue = MorselQueue::new(morsels);
         let workers = self.cfg.workers.min(morsels);
         let frag = &self.frag;
-        let base = self.base;
-        let cfg = self.cfg;
+        let slices = self.morsels.as_slice();
         let group_by = self.group_by;
         let aggregates = self.aggregates;
         let session_quota = self.session_quota;
         let queue_ref = &queue;
         let outcome = scatter(queue_ref, workers, move |i| {
-            let range = morsel_range(i, base.len(), cfg.morsel_rows);
+            let morsel = slices[i];
             if let Some(q) = session_quota {
-                if let Err(e) = q.charge_tuples(range.len() as u64) {
+                if let Err(e) = q.charge_tuples(morsel.len() as u64) {
                     queue_ref.stop();
                     return MorselAggRun {
                         frag_error: Some(e),
@@ -906,7 +903,7 @@ impl ParallelAggregateOp<'_> {
                     };
                 }
             }
-            let mut run = run_fragment_morsel(frag, base, range, false);
+            let mut run = run_fragment_morsel(frag, morsel, false);
             let partial = match run.error {
                 Some(_) => {
                     // The first row-order error lives in this or an earlier
@@ -1017,9 +1014,10 @@ impl<'a> Operator<'a> for ParallelAggregateOp<'a> {
 // Operators
 // ---------------------------------------------------------------------------
 
-/// Base-table scan: one borrowed row per pull, no copy of the table.
+/// Base-table scan: one borrowed row per pull, no copy of the table.  The
+/// iterator walks the table's storage segments in physical-id order.
 struct ScanOp<'a> {
-    iter: std::slice::Iter<'a, Row>,
+    iter: Box<dyn Iterator<Item = &'a Row> + 'a>,
     label: String,
     produced: u64,
     /// Session quota: every pulled row is charged, so the scan — the only
@@ -1388,6 +1386,30 @@ impl<'a> Operator<'a> for NestedLoopJoinOp<'a> {
     }
 }
 
+/// Rows between deadline re-checks inside blocking (drain-everything)
+/// operators.  The scan already charges the quota per tuple, but a blocking
+/// fold over a huge buffered input can otherwise overrun a deadline by a
+/// whole pass between charge points.
+const BLOCKING_CHECK_ROWS: usize = 4096;
+
+/// Drain a blocking operator's input to a buffer, re-checking the session
+/// deadline every [`BLOCKING_CHECK_ROWS`] buffered rows.
+fn drain_checked<'a>(
+    input: &mut BoxedOperator<'a>,
+    quota: Option<&QuotaTracker>,
+) -> Result<Vec<RowRef<'a>>> {
+    let mut rows = Vec::new();
+    while let Some(row) = input.next()? {
+        rows.push(row);
+        if rows.len() % BLOCKING_CHECK_ROWS == 0 {
+            if let Some(q) = quota {
+                q.checkpoint()?;
+            }
+        }
+    }
+    Ok(rows)
+}
+
 /// Sort: drains its input on first pull.  Under a limit hint it keeps a
 /// bounded top-k heap instead of sorting the whole input.
 struct SortOp<'a> {
@@ -1395,6 +1417,10 @@ struct SortOp<'a> {
     started: bool,
     keys: &'a [(usize, bool)],
     limit: Option<usize>,
+    /// Session quota: re-checked periodically while draining and once after
+    /// the blocking sort, so a deadline trips even when the scan's per-row
+    /// charges all happened long before the sort ran.
+    quota: Option<&'a QuotaTracker>,
     out: std::vec::IntoIter<RowRef<'a>>,
     rows_out: u64,
     elapsed: Duration,
@@ -1404,7 +1430,7 @@ impl<'a> RowStream<'a> for SortOp<'a> {
     fn next(&mut self) -> Result<Option<RowRef<'a>>> {
         if !self.started {
             self.started = true;
-            let rows = self.input.collect_rows()?;
+            let rows = drain_checked(&mut self.input, self.quota)?;
             let start = Instant::now();
             let keys = self.keys;
             let cmp = |a: &RowRef<'a>, b: &RowRef<'a>| sort_cmp(a, b, keys);
@@ -1418,6 +1444,9 @@ impl<'a> RowStream<'a> for SortOp<'a> {
                     rows
                 }
             };
+            if let Some(q) = self.quota {
+                q.checkpoint()?;
+            }
             self.elapsed = start.elapsed();
             self.out = rows.into_iter();
         }
@@ -1445,6 +1474,9 @@ struct AggregateOp<'a> {
     started: bool,
     group_by: &'a [BoundExpr],
     aggregates: &'a [BoundAggregate],
+    /// Session quota: re-checked periodically inside the drain and the
+    /// aggregation fold (see [`BLOCKING_CHECK_ROWS`]).
+    quota: Option<&'a QuotaTracker>,
     out: std::vec::IntoIter<Row>,
     rows_out: u64,
     elapsed: Duration,
@@ -1454,9 +1486,9 @@ impl<'a> RowStream<'a> for AggregateOp<'a> {
     fn next(&mut self) -> Result<Option<RowRef<'a>>> {
         if !self.started {
             self.started = true;
-            let rows = self.input.collect_rows()?;
+            let rows = drain_checked(&mut self.input, self.quota)?;
             let start = Instant::now();
-            let grouped = aggregate(&rows, self.group_by, self.aggregates)?;
+            let grouped = aggregate_with_quota(&rows, self.group_by, self.aggregates, self.quota)?;
             self.elapsed = start.elapsed();
             self.out = grouped.into_iter();
         }
@@ -1561,9 +1593,26 @@ fn aggregate_partial<R: beas_common::ValueRow>(
     group_by: &[BoundExpr],
     aggregates: &[BoundAggregate],
 ) -> Result<GroupedPartial> {
+    aggregate_partial_with_quota(rows, group_by, aggregates, None)
+}
+
+/// [`aggregate_partial`] with a periodic deadline re-check: the fold is a
+/// blocking pass over the whole buffered input, so it checkpoints the
+/// session quota every [`BLOCKING_CHECK_ROWS`] rows.
+fn aggregate_partial_with_quota<R: beas_common::ValueRow>(
+    rows: &[R],
+    group_by: &[BoundExpr],
+    aggregates: &[BoundAggregate],
+    quota: Option<&QuotaTracker>,
+) -> Result<GroupedPartial> {
     // Preserve first-seen group order for deterministic output.
     let mut partial = GroupedPartial::default();
-    for row in rows {
+    for (n, row) in rows.iter().enumerate() {
+        if n % BLOCKING_CHECK_ROWS == BLOCKING_CHECK_ROWS - 1 {
+            if let Some(q) = quota {
+                q.checkpoint()?;
+            }
+        }
         let key: Vec<Value> = group_by
             .iter()
             .map(|e| evaluate(e, row))
@@ -1627,8 +1676,20 @@ pub fn aggregate<R: beas_common::ValueRow>(
     group_by: &[BoundExpr],
     aggregates: &[BoundAggregate],
 ) -> Result<Vec<Row>> {
+    aggregate_with_quota(rows, group_by, aggregates, None)
+}
+
+/// [`aggregate`] with a session quota whose deadline is re-checked every
+/// `BLOCKING_CHECK_ROWS` rows of the fold — the blocking-operator arm of
+/// cooperative cancellation.
+pub fn aggregate_with_quota<R: beas_common::ValueRow>(
+    rows: &[R],
+    group_by: &[BoundExpr],
+    aggregates: &[BoundAggregate],
+    quota: Option<&QuotaTracker>,
+) -> Result<Vec<Row>> {
     finish_grouped(
-        aggregate_partial(rows, group_by, aggregates)?,
+        aggregate_partial_with_quota(rows, group_by, aggregates, quota)?,
         group_by,
         aggregates,
     )

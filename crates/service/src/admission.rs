@@ -20,7 +20,7 @@
 //!   execution resources at all.
 
 use beas_common::ResourceQuota;
-use beas_core::BeasSystem;
+use beas_core::{BeasSystem, PreparedQuery};
 use std::fmt;
 
 /// Why a submission was refused at admission.
@@ -128,9 +128,22 @@ pub fn admit(
     quota: &ResourceQuota,
     allow_approximate: bool,
 ) -> beas_common::Result<Decision> {
-    // `deduced_bound` is the admission fast path: one cache-served prepare,
-    // no plan clone (unlike the `check` report).
-    match system.deduced_bound(sql)? {
+    let prepared = system.prepare(sql)?;
+    admit_prepared(system, &prepared, quota, allow_approximate)
+}
+
+/// [`admit`] over an already-prepared query.  This is the service's hot
+/// path: the session prepares a submission *once* (one plan-cache
+/// acquisition) and threads the same [`PreparedQuery`] through this
+/// decision and into execution, so admission costs no cache traffic of its
+/// own and no plan clone.
+pub fn admit_prepared(
+    system: &BeasSystem,
+    prepared: &PreparedQuery,
+    quota: &ResourceQuota,
+    allow_approximate: bool,
+) -> beas_common::Result<Decision> {
+    match prepared.deduced_bound() {
         Some(bound) => match quota.max_tuples {
             Some(max) if bound > max => {
                 if allow_approximate {
@@ -149,7 +162,7 @@ pub fn admit(
             }),
         },
         None => {
-            let estimated = system.estimate_conventional_tuples(sql)?;
+            let estimated = system.estimate_conventional_tuples_prepared(prepared)?;
             match quota.max_tuples {
                 Some(max) if estimated > max => Ok(Decision::Rejected {
                     reason: RejectReason::EstimateExceedsQuota {

@@ -62,6 +62,6 @@ pub mod admission;
 pub mod metrics;
 pub mod service;
 
-pub use admission::{admit, Decision, RejectReason};
+pub use admission::{admit, admit_prepared, Decision, RejectReason};
 pub use metrics::{LatencyHistogram, ServiceMetrics, ServiceMetricsSnapshot};
-pub use service::{Answer, QueryService, Session, SessionOutcome};
+pub use service::{Answer, PinnedSnapshot, QueryService, Session, SessionOutcome};

@@ -12,6 +12,7 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Number of power-of-two latency buckets: bucket `i` holds samples in
@@ -85,6 +86,10 @@ pub struct ServiceMetrics {
     pub(crate) quota_trips: AtomicU64,
     pub(crate) errors: AtomicU64,
     pub(crate) maintenance_batches: AtomicU64,
+    /// Gauge (not a counter): snapshot generations currently kept alive by
+    /// at least one pin.  Behind an `Arc` so every pinned snapshot can hold
+    /// a handle and decrement it from `Drop`, wherever the pin ends up.
+    pub(crate) live_generations: Arc<AtomicU64>,
     pub(crate) latency: LatencyHistogram,
 }
 
@@ -103,6 +108,7 @@ impl ServiceMetrics {
             quota_trips: self.quota_trips.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             maintenance_batches: self.maintenance_batches.load(Ordering::Relaxed),
+            live_generations: self.live_generations.load(Ordering::Relaxed),
             latency_samples: self.latency.count(),
             p50: self.latency.quantile(0.50),
             p99: self.latency.quantile(0.99),
@@ -128,6 +134,11 @@ pub struct ServiceMetricsSnapshot {
     pub errors: u64,
     /// Maintenance batches applied (each published one new snapshot).
     pub maintenance_batches: u64,
+    /// Snapshot generations currently pinned (the published snapshot plus
+    /// any older ones still held by sessions or explicit pins); old
+    /// generations leave the gauge — and free their private segments —
+    /// when their last pin drops.
+    pub live_generations: u64,
     /// Latency samples recorded (one per submission).
     pub latency_samples: u64,
     /// Median submission latency (bucket upper bound).
@@ -151,8 +162,8 @@ impl fmt::Display for ServiceMetricsSnapshot {
         write!(
             f,
             "service: {} bounded, {} baseline, {} approximate, {} rejected; \
-             {} quota trips, {} errors, {} maintenance batches; \
-             p50 {:?}, p99 {:?} over {} samples",
+             {} quota trips, {} errors, {} maintenance batches, \
+             {} live generations; p50 {:?}, p99 {:?} over {} samples",
             self.decided_bounded,
             self.decided_baseline,
             self.decided_approximate,
@@ -160,6 +171,7 @@ impl fmt::Display for ServiceMetricsSnapshot {
             self.quota_trips,
             self.errors,
             self.maintenance_batches,
+            self.live_generations,
             self.p50,
             self.p99,
             self.latency_samples,
@@ -208,12 +220,15 @@ mod tests {
         let m = ServiceMetrics::default();
         ServiceMetrics::bump(&m.bounded);
         ServiceMetrics::bump(&m.rejected);
+        m.live_generations.fetch_add(2, Ordering::Relaxed);
         m.latency.record(Duration::from_micros(3));
         let snap = m.snapshot();
         assert_eq!(snap.decisions(), 2);
+        assert_eq!(snap.live_generations, 2);
         let text = snap.to_string();
         assert!(text.contains("1 bounded"));
         assert!(text.contains("1 rejected"));
+        assert!(text.contains("2 live generations"));
         assert!(text.contains("p99"));
     }
 }

@@ -1,14 +1,60 @@
 //! The query service: shared snapshots, serialized writers, and sessions.
 
-use crate::admission::{admit, Decision};
+use crate::admission::{admit_prepared, Decision};
 use crate::metrics::{ServiceMetrics, ServiceMetricsSnapshot};
 use beas_access::MaintenanceOutcome;
 use beas_common::{BeasError, QuotaTracker, ResourceQuota, Result, Row, Schema};
 use beas_core::{BeasSystem, EvaluationMode};
 use beas_engine::PlanCacheStats;
+use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
+
+/// A published snapshot, pinned for garbage-collection accounting.
+///
+/// Snapshots are structurally shared: a maintenance batch forks the
+/// current system (cloning `Arc` handles to row segments and index
+/// shards, not rows) and publishes the fork, so consecutive generations
+/// share almost all of their storage.  What an *old* generation privately
+/// owns — the pre-write copies of the segments and shards the batch
+/// rewrote — is freed by plain `Arc` reclamation the moment the last
+/// `Arc<PinnedSnapshot>` of that generation drops.  The pin's only job is
+/// to make that lifecycle observable: it holds the
+/// [`ServiceMetricsSnapshot::live_generations`] gauge up while alive and
+/// decrements it on drop.
+///
+/// Dereferences to [`BeasSystem`]; queries made directly against it bypass
+/// the service's admission control and metrics.
+#[derive(Debug)]
+pub struct PinnedSnapshot {
+    system: BeasSystem,
+    gauge: Arc<AtomicU64>,
+}
+
+impl PinnedSnapshot {
+    fn publish(system: BeasSystem, gauge: &Arc<AtomicU64>) -> Arc<PinnedSnapshot> {
+        gauge.fetch_add(1, Ordering::Relaxed);
+        Arc::new(PinnedSnapshot {
+            system,
+            gauge: Arc::clone(gauge),
+        })
+    }
+}
+
+impl Deref for PinnedSnapshot {
+    type Target = BeasSystem;
+
+    fn deref(&self) -> &BeasSystem {
+        &self.system
+    }
+}
+
+impl Drop for PinnedSnapshot {
+    fn drop(&mut self) {
+        self.gauge.fetch_sub(1, Ordering::Relaxed);
+    }
+}
 
 /// State shared by the service handle and every session.
 #[derive(Debug)]
@@ -17,7 +63,7 @@ struct Shared {
     /// to clone the `Arc`; queries then run entirely against their pinned
     /// snapshot, so a concurrent writer never stalls a reader and a reader
     /// never observes a half-applied batch.
-    snapshot: RwLock<Arc<BeasSystem>>,
+    snapshot: RwLock<Arc<PinnedSnapshot>>,
     /// Serializes maintenance batches end to end (fork → apply → publish).
     /// Distinct from the snapshot lock: the expensive fork-and-apply happens
     /// under this mutex only, and the snapshot write lock is held just for
@@ -36,11 +82,15 @@ struct Shared {
 ///   `Arc`-pinned system snapshot current at submission, keyed by the
 ///   database write generation ([`SessionOutcome::generation`]).
 /// * **Writes serialize**: maintenance batches fork the current snapshot
-///   (copy-on-write), apply atomically, and publish a new snapshot; a
-///   failed batch publishes nothing.
+///   (an O(handles) structural clone — row segments and index shards are
+///   shared copy-on-write), apply atomically, and publish a new snapshot;
+///   a failed batch publishes nothing.  Old snapshots are freed by `Arc`
+///   drop when their last session unpins them (the `live_generations`
+///   metric counts the pinned ones).
 /// * The **plan cache is shared across snapshots** (forks keep one cache;
-///   entries are generation-validated), so a maintenance write costs cached
-///   plans one re-preparation, not a cold cache.
+///   entries are validated against the per-table generations in their
+///   read set), so a maintenance write re-prepares only the cached plans
+///   whose tables it touched.
 ///
 /// Cloning the handle is cheap and shares the service.
 #[derive(Debug, Clone)]
@@ -94,11 +144,13 @@ impl QueryService {
     /// [`BeasSystem::with_partial_reduction_threshold`] are applied before
     /// construction) into a service.
     pub fn new(system: BeasSystem) -> Self {
+        let metrics = ServiceMetrics::default();
+        let snapshot = PinnedSnapshot::publish(system, &metrics.live_generations);
         QueryService {
             shared: Arc::new(Shared {
-                snapshot: RwLock::new(Arc::new(system)),
+                snapshot: RwLock::new(snapshot),
                 writer: Mutex::new(()),
-                metrics: ServiceMetrics::default(),
+                metrics,
                 next_session: AtomicU64::new(0),
             }),
         }
@@ -115,9 +167,11 @@ impl QueryService {
         }
     }
 
-    /// The current read snapshot (queries made directly against it bypass
-    /// the service's admission control and metrics).
-    pub fn snapshot(&self) -> Arc<BeasSystem> {
+    /// The current read snapshot, pinned: the snapshot's generation counts
+    /// as live (see [`ServiceMetricsSnapshot::live_generations`]) until the
+    /// returned handle — and every clone of it — is dropped, at which point
+    /// the generation's privately owned storage is reclaimed.
+    pub fn snapshot(&self) -> Arc<PinnedSnapshot> {
         Arc::clone(&self.shared.snapshot.read().expect("snapshot lock"))
     }
 
@@ -146,7 +200,11 @@ impl QueryService {
         let current = Arc::clone(&self.shared.snapshot.read().expect("snapshot lock"));
         let mut fork = current.fork();
         let out = apply(&mut fork)?;
-        *self.shared.snapshot.write().expect("snapshot lock") = Arc::new(fork);
+        // Publishing replaces the service's own pin on the previous
+        // generation; if no session still holds it, its private segments
+        // are freed right here by the old `Arc` dropping.
+        *self.shared.snapshot.write().expect("snapshot lock") =
+            PinnedSnapshot::publish(fork, &self.shared.metrics.live_generations);
         ServiceMetrics::bump(&self.shared.metrics.maintenance_batches);
         Ok(out)
     }
@@ -194,7 +252,8 @@ impl Session {
     /// a given snapshot and quota.
     pub fn admit(&self, sql: &str) -> Result<Decision> {
         let snapshot = self.pin();
-        admit(&snapshot, sql, &self.quota, self.allow_approximate)
+        let prepared = snapshot.prepare(sql)?;
+        admit_prepared(&snapshot, &prepared, &self.quota, self.allow_approximate)
     }
 
     /// Submit `sql`: admission control, then execution under the quota
@@ -216,14 +275,17 @@ impl Session {
         out
     }
 
-    fn pin(&self) -> Arc<BeasSystem> {
+    fn pin(&self) -> Arc<PinnedSnapshot> {
         Arc::clone(&self.shared.snapshot.read().expect("snapshot lock"))
     }
 
     fn execute_pinned(&self, sql: &str) -> Result<SessionOutcome> {
         let snapshot = self.pin();
         let generation = snapshot.database().generation();
-        let decision = admit(&snapshot, sql, &self.quota, self.allow_approximate)?;
+        // One plan-cache acquisition per submission: the prepared query is
+        // threaded from the admission decision into execution.
+        let prepared = snapshot.prepare(sql)?;
+        let decision = admit_prepared(&snapshot, &prepared, &self.quota, self.allow_approximate)?;
         let metrics = &self.shared.metrics;
         // Decision counters record the routing, so they bump where the
         // decision is made — an admitted query that later trips its quota
@@ -238,7 +300,7 @@ impl Session {
             Decision::Rejected { .. } => None,
             Decision::Bounded { .. } | Decision::Baseline { .. } => {
                 let tracker: QuotaTracker = self.quota.tracker();
-                let outcome = snapshot.execute_sql_with_quota(sql, Some(&tracker))?;
+                let outcome = snapshot.execute_prepared(&prepared, Some(&tracker))?;
                 tracker.check_rows(outcome.rows.len() as u64)?;
                 Some(Answer {
                     rows: outcome.rows,
@@ -254,7 +316,7 @@ impl Session {
                 // the deadline still need the tracker — checked after the
                 // run, since the approximator has no cooperative hooks yet.
                 let tracker: QuotaTracker = self.quota.tracker();
-                let approx = snapshot.approximate(sql, budget)?;
+                let approx = snapshot.approximate_prepared(&prepared, budget)?;
                 tracker.check_rows(approx.rows.len() as u64)?;
                 tracker.checkpoint()?;
                 Some(Answer {
@@ -280,6 +342,7 @@ const _: () = {
     assert_send_sync::<QueryService>();
     assert_send_sync::<Session>();
     assert_send_sync::<BeasSystem>();
+    assert_send_sync::<PinnedSnapshot>();
 };
 
 #[cfg(test)]
@@ -427,11 +490,12 @@ mod tests {
         assert!(matches!(out.decision, Decision::Baseline { .. }));
         assert!(out.answer.unwrap().coverage == 1.0);
         // a budget between the estimate's floor and the actual access
-        // admits, then trips in flight: the estimate counts each distinct
-        // table once (call = 50 rows), but this self-join scans `call`
-        // twice — the runtime quota backstops the optimistic estimate
+        // admits, then trips in flight: `recnum` is unique, so the join
+        // estimate is 50·50/50 = 50 and the scan floor counts the distinct
+        // table once (50 rows) — but this self-join scans `call` twice —
+        // the runtime quota backstops the optimistic estimate
         let self_join = "select c1.recnum from call c1, call c2 \
-                         where c1.pnum = c2.pnum and c1.duration > c2.duration";
+                         where c1.recnum = c2.recnum and c1.duration > c2.duration";
         let borderline = service.session(ResourceQuota::unlimited().with_max_tuples(62));
         assert!(borderline.admit(self_join).unwrap().admitted());
         let err = borderline.execute(self_join).expect_err("must trip");
@@ -544,11 +608,11 @@ mod tests {
         a.execute(COVERED).unwrap();
         b.execute(COVERED).unwrap();
         let stats = service.plan_cache_stats();
-        // admission + execution share one prepare per submission: the
-        // second session hits the entry the first one planned
-        assert_eq!(stats.misses, 1);
-        assert!(stats.hits >= 3, "{stats}");
-        // a write invalidates; the next read re-prepares once
+        // one acquisition per submission (admission and execution share
+        // the same prepared Arc): the second session hits the entry the
+        // first one planned, exactly once
+        assert_eq!((stats.misses, stats.hits), (1, 1), "{stats}");
+        // a write to `call` invalidates; the next read re-prepares once
         service
             .delete_rows("call", |r| r[1] == Value::str("r0"))
             .unwrap();
@@ -556,5 +620,49 @@ mod tests {
         let stats = service.plan_cache_stats();
         assert_eq!(stats.misses, 2);
         assert!(stats.invalidations >= 1);
+    }
+
+    #[test]
+    fn old_generations_are_freed_when_their_last_pin_drops() {
+        let service = service();
+        assert_eq!(service.metrics().live_generations, 1);
+        // pin the pre-write generation like a long-running session would
+        let pinned = service.snapshot();
+        let weak = Arc::downgrade(&pinned);
+        let rows_before = pinned.database().table("call").unwrap().row_count();
+        service
+            .insert_rows(
+                "call",
+                vec![vec![
+                    Value::str("p0"),
+                    Value::str("rGC"),
+                    Value::str("2016-07-04"),
+                    Value::str("east"),
+                    Value::Int(1),
+                ]],
+            )
+            .unwrap();
+        // two generations live: the published one and the pinned old one,
+        // which still reads its own (pre-write) contents
+        assert_eq!(service.metrics().live_generations, 2);
+        assert_eq!(
+            pinned.database().table("call").unwrap().row_count(),
+            rows_before
+        );
+        // tables the batch never touched share every segment with the old
+        // generation — the fork copied handles, not rows
+        let current = service.snapshot();
+        let business = current.database().table("business").unwrap();
+        assert_eq!(
+            business.shared_segment_count(pinned.database().table("business").unwrap()),
+            business.segment_count(),
+            "untouched tables must stay fully shared across generations"
+        );
+        drop(current);
+        // dropping the last pin unpins the generation: the gauge falls and
+        // the snapshot (with its private segments) is reclaimed
+        drop(pinned);
+        assert_eq!(service.metrics().live_generations, 1);
+        assert!(weak.upgrade().is_none(), "old snapshot must be freed");
     }
 }

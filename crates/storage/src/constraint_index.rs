@@ -6,10 +6,49 @@
 //! A `fetch(X ∈ T, Y, R)` operation in a bounded plan retrieves these buckets
 //! and therefore accesses at most `N` tuples per key — this is what makes the
 //! amount of data a bounded plan touches independent of `|D|`.
+//!
+//! ## Structural sharing
+//!
+//! The buckets are partitioned into bounded-size *shards* addressed through
+//! an extendible-hashing directory.  Clones share every shard (`Arc`);
+//! mutation copies only the shard holding the touched key (copy-on-write via
+//! `Arc::make_mut`), so repairing the index after a maintenance batch costs
+//! O(buckets touched × shard bound), independent of the total index size.
+//! When a shard outgrows `SHARD_MAX_KEYS` it is split in two by the next
+//! hash bit (doubling the pointer-only directory when needed), which keeps
+//! the per-mutation copy bounded as the index grows.
 
 use crate::table::{estimated_value_bytes, Table};
 use beas_common::{index_key, BeasError, Result, Row, Value};
+use std::collections::hash_map::RandomState;
 use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hash};
+use std::sync::Arc;
+
+/// Soft bound on distinct keys per shard: a shard over this size is split.
+const SHARD_MAX_KEYS: usize = 256;
+
+/// Hard ceiling on shard depth (directory of at most `2^MAX_DEPTH` slots);
+/// a pathological all-collisions key set stops splitting here and simply
+/// holds an oversized shard, which stays correct.
+const MAX_DEPTH: u32 = 24;
+
+/// One bounded partition of the key space.
+#[derive(Debug, Clone, Default)]
+struct Shard {
+    /// Number of hash bits this shard is keyed on.
+    local_depth: u32,
+    /// X-key -> distinct Y partial tuples.
+    buckets: HashMap<Vec<Value>, Vec<Row>>,
+    /// Largest bucket currently in this shard.
+    max_bucket: usize,
+}
+
+impl Shard {
+    fn recompute_max(&mut self) {
+        self.max_bucket = self.buckets.values().map(|b| b.len()).max().unwrap_or(0);
+    }
+}
 
 /// The physical index structure backing one access constraint.
 #[derive(Debug, Clone)]
@@ -19,9 +58,20 @@ pub struct ConstraintIndex {
     y_columns: Vec<String>,
     x_indices: Vec<usize>,
     y_indices: Vec<usize>,
-    /// X-key -> distinct Y partial tuples.
-    buckets: HashMap<Vec<Value>, Vec<Row>>,
-    /// Largest bucket observed while building/maintaining the index.
+    /// Key-to-shard routing hasher; shared by all clones of this index so a
+    /// key always routes to the same slot across generations.
+    hasher: RandomState,
+    /// Directory depth: the directory has `1 << global_depth` slots.
+    global_depth: u32,
+    /// Slot -> index into `shards`.  A shard of local depth `d` appears in
+    /// every slot whose low `d` hash bits match its pattern.
+    directory: Arc<Vec<u32>>,
+    /// The shards themselves, each referenced by exactly one index here and
+    /// shared with clones until written.
+    shards: Arc<Vec<Arc<Shard>>>,
+    /// Total number of stored partial tuples (maintained incrementally).
+    entries: usize,
+    /// Largest bucket observed anywhere in the index.
     max_bucket: usize,
 }
 
@@ -44,7 +94,11 @@ impl ConstraintIndex {
             y_columns: y_columns.iter().map(|c| c.to_ascii_lowercase()).collect(),
             x_indices,
             y_indices,
-            buckets: HashMap::new(),
+            hasher: RandomState::new(),
+            global_depth: 0,
+            directory: Arc::new(vec![0]),
+            shards: Arc::new(vec![Arc::new(Shard::default())]),
+            entries: 0,
             max_bucket: 0,
         };
         for (_, row) in table.iter() {
@@ -68,6 +122,22 @@ impl ConstraintIndex {
         &self.y_columns
     }
 
+    /// Routing hash of a canonical key.
+    fn hash_key<Q: Hash + ?Sized>(hasher: &RandomState, key: &Q) -> u64 {
+        hasher.hash_one(key)
+    }
+
+    /// Directory slot of a key hash.
+    fn slot_of(&self, hash: u64) -> usize {
+        (hash as usize) & ((1usize << self.global_depth) - 1)
+    }
+
+    /// The shard holding a canonical key.
+    fn shard_of(&self, key: &[Value]) -> &Shard {
+        let slot = self.slot_of(Self::hash_key(&self.hasher, key));
+        &self.shards[self.directory[slot] as usize]
+    }
+
     /// Fetch the distinct `Y` partial tuples for one `X`-key — the primitive
     /// operation behind the bounded plan `fetch` operator.
     ///
@@ -79,10 +149,17 @@ impl ConstraintIndex {
         // Fast path: already-canonical keys (no date-shaped strings, no
         // normalizable floats) look up directly without rebuilding the key.
         if key.iter().all(beas_common::is_canonical_key_value) {
-            return self.buckets.get(key).map(|v| v.as_slice()).unwrap_or(&[]);
+            return self
+                .shard_of(key)
+                .buckets
+                .get(key)
+                .map(|v| v.as_slice())
+                .unwrap_or(&[]);
         }
-        self.buckets
-            .get(&index_key(key))
+        let canonical = index_key(key);
+        self.shard_of(&canonical)
+            .buckets
+            .get(&canonical)
             .map(|v| v.as_slice())
             .unwrap_or(&[])
     }
@@ -120,14 +197,19 @@ impl ConstraintIndex {
         (out, accessed)
     }
 
+    /// All `(key, bucket)` pairs, in no particular order.
+    fn buckets(&self) -> impl Iterator<Item = (&Vec<Value>, &Vec<Row>)> {
+        self.shards.iter().flat_map(|s| s.buckets.iter())
+    }
+
     /// Number of distinct keys in the index.
     pub fn distinct_keys(&self) -> usize {
-        self.buckets.len()
+        self.shards.iter().map(|s| s.buckets.len()).sum()
     }
 
     /// Total number of stored partial tuples.
     pub fn total_entries(&self) -> usize {
-        self.buckets.values().map(|b| b.len()).sum()
+        self.entries
     }
 
     /// The observed maximum bucket size, i.e. the smallest `N` for which the
@@ -143,8 +225,7 @@ impl ConstraintIndex {
 
     /// Keys whose buckets exceed `n` (the conformance violations).
     pub fn violations(&self, n: u64) -> Vec<(Vec<Value>, usize)> {
-        self.buckets
-            .iter()
+        self.buckets()
             .filter(|(_, b)| b.len() as u64 > n)
             .map(|(k, b)| (k.clone(), b.len()))
             .collect()
@@ -152,8 +233,7 @@ impl ConstraintIndex {
 
     /// Rough index size in bytes, for the discovery module's storage budget.
     pub fn estimated_bytes(&self) -> usize {
-        self.buckets
-            .iter()
+        self.buckets()
             .map(|(k, b)| {
                 k.iter().map(estimated_value_bytes).sum::<usize>()
                     + b.iter()
@@ -163,47 +243,159 @@ impl ConstraintIndex {
             .sum()
     }
 
+    /// Number of hash shards backing the index.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of shards whose storage is physically shared (same allocation)
+    /// with `other` — the structural-sharing diagnostic used by snapshot
+    /// tests.
+    pub fn shared_shard_count(&self, other: &ConstraintIndex) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| other.shards.iter().any(|o| Arc::ptr_eq(s, o)))
+            .count()
+    }
+
     /// The canonical bucket key of a base-table row.
     fn x_key(&self, row: &Row) -> Vec<Value> {
         index_key(self.x_indices.iter().map(|&i| &row[i]))
+    }
+
+    /// Copy-on-write access to the shard at a directory slot.  The spine
+    /// vectors clone pointer-shallowly; only the one shard deep-copies, and
+    /// only if it is still shared with another generation.
+    fn shard_mut(&mut self, slot: usize) -> &mut Shard {
+        let sidx = self.directory[slot] as usize;
+        let shards = Arc::make_mut(&mut self.shards);
+        Arc::make_mut(&mut shards[sidx])
+    }
+
+    /// Insert one `(key, y)` pair, splitting the target shard if it
+    /// overflows.  No-op if the partial tuple is already present.
+    fn insert_entry(&mut self, key: Vec<Value>, y: Row) {
+        let hash = Self::hash_key(&self.hasher, &key);
+        let shard = self.shard_mut(self.slot_of(hash));
+        let is_new_key = !shard.buckets.contains_key(&key);
+        let bucket = shard.buckets.entry(key).or_default();
+        if bucket.contains(&y) {
+            return;
+        }
+        bucket.push(y);
+        let len = bucket.len();
+        shard.max_bucket = shard.max_bucket.max(len);
+        self.max_bucket = self.max_bucket.max(len);
+        self.entries += 1;
+        if is_new_key {
+            self.maybe_split(hash);
+        }
+    }
+
+    /// Split the shard on this key's path until it fits the size bound (or
+    /// the depth ceiling is reached).
+    fn maybe_split(&mut self, hash: u64) {
+        loop {
+            let slot = self.slot_of(hash);
+            let shard = &self.shards[self.directory[slot] as usize];
+            if shard.buckets.len() <= SHARD_MAX_KEYS || shard.local_depth >= MAX_DEPTH {
+                return;
+            }
+            self.split_once(slot);
+        }
+    }
+
+    /// One extendible-hashing split of the shard at `slot`: its keys are
+    /// repartitioned by the next hash bit into two half-shards, and the
+    /// directory (pointers only) is re-aimed — doubling it first if the
+    /// shard was already at full directory depth.
+    fn split_once(&mut self, slot: usize) {
+        let hasher = self.hasher.clone();
+        let ld = self.shards[self.directory[slot] as usize].local_depth;
+        if ld == self.global_depth {
+            let dir = Arc::make_mut(&mut self.directory);
+            let doubled: Vec<u32> = dir.iter().chain(dir.iter()).copied().collect();
+            *dir = doubled;
+            self.global_depth += 1;
+        }
+        let bit = 1u64 << ld;
+        let sidx = self.directory[slot] as usize;
+        let shards = Arc::make_mut(&mut self.shards);
+        let lo = Arc::make_mut(&mut shards[sidx]);
+        lo.local_depth = ld + 1;
+        let mut hi = Shard {
+            local_depth: ld + 1,
+            ..Shard::default()
+        };
+        let moved: Vec<Vec<Value>> = lo
+            .buckets
+            .keys()
+            .filter(|k| Self::hash_key(&hasher, k.as_slice()) & bit != 0)
+            .cloned()
+            .collect();
+        for k in moved {
+            let b = lo.buckets.remove(&k).expect("key listed for move");
+            hi.buckets.insert(k, b);
+        }
+        lo.recompute_max();
+        hi.recompute_max();
+        let hi_idx = shards.len() as u32;
+        shards.push(Arc::new(hi));
+        let dir = Arc::make_mut(&mut self.directory);
+        let low_mask = (1usize << ld) - 1;
+        let pattern = slot & low_mask;
+        for (i, entry) in dir.iter_mut().enumerate() {
+            if i & low_mask == pattern && (i as u64) & bit != 0 {
+                *entry = hi_idx;
+            }
+        }
+    }
+
+    /// Refresh the global maximum after deletions (it can shrink).  Reads
+    /// the per-shard cached maxima, so this is O(shard count), and is done
+    /// once per removal batch.
+    fn refresh_max(&mut self) {
+        self.max_bucket = self.shards.iter().map(|s| s.max_bucket).max().unwrap_or(0);
     }
 
     /// Incrementally index one newly inserted base-table row.
     pub fn add_row(&mut self, row: &Row) {
         let key = self.x_key(row);
         let y: Row = self.y_indices.iter().map(|&i| row[i].clone()).collect();
-        let bucket = self.buckets.entry(key).or_default();
-        if !bucket.contains(&y) {
-            bucket.push(y);
-            self.max_bucket = self.max_bucket.max(bucket.len());
-        }
+        self.insert_entry(key, y);
     }
 
     /// Incrementally remove one deleted base-table row.
     ///
-    /// `remaining_rows` must be the rows of the table *after* the deletion;
-    /// the `Y`-value is only dropped from the bucket if no remaining row with
-    /// the same `X`-key still carries it (several base rows can share the
-    /// same distinct partial tuple).  For whole delete batches prefer
+    /// `table` must hold the rows *after* the deletion; the `Y`-value is
+    /// only dropped from the bucket if no remaining row with the same
+    /// `X`-key still carries it (several base rows can share the same
+    /// distinct partial tuple).  For whole delete batches prefer
     /// [`ConstraintIndex::remove_rows`], which repairs each affected bucket
     /// once instead of rescanning the table per removed row.
-    pub fn remove_row(&mut self, row: &Row, remaining_rows: &[Row]) {
+    pub fn remove_row(&mut self, row: &Row, table: &Table) {
         let key = self.x_key(row);
         let y: Row = self.y_indices.iter().map(|&i| row[i].clone()).collect();
-        let still_present = remaining_rows
-            .iter()
+        let still_present = table
+            .rows_iter()
             .any(|r| self.x_key(r) == key && self.y_indices.iter().map(|&i| &r[i]).eq(y.iter()));
         if still_present {
             return;
         }
-        if let Some(bucket) = self.buckets.get_mut(&key) {
+        let slot = self.slot_of(Self::hash_key(&self.hasher, &key));
+        let mut dropped = 0;
+        let shard = self.shard_mut(slot);
+        if let Some(bucket) = shard.buckets.get_mut(&key) {
+            let before = bucket.len();
             bucket.retain(|existing| existing != &y);
+            dropped = before - bucket.len();
             if bucket.is_empty() {
-                self.buckets.remove(&key);
+                shard.buckets.remove(&key);
             }
+            shard.recompute_max();
         }
-        // exact maximum must be recomputed after deletions (it can shrink)
-        self.max_bucket = self.buckets.values().map(|b| b.len()).max().unwrap_or(0);
+        self.entries -= dropped;
+        self.refresh_max();
     }
 
     /// Repair the index after a batch of deletions.
@@ -211,29 +403,31 @@ impl ConstraintIndex {
     /// Only the buckets whose `X`-key appears among `removed` are touched:
     /// those buckets are dropped and rebuilt from the post-deletion `table`
     /// in a single pass.  Unaffected buckets — the overwhelming majority for
-    /// selective deletes — are left untouched, and no copy of the table is
-    /// made (the old maintenance path cloned every remaining row, then
-    /// rescanned that clone once per removed row).
+    /// selective deletes — stay physically shared with other generations of
+    /// the index (only the shards holding an affected key are copied).
     pub fn remove_rows<'r>(&mut self, removed: impl IntoIterator<Item = &'r Row>, table: &Table) {
         let affected: HashSet<Vec<Value>> = removed.into_iter().map(|r| self.x_key(r)).collect();
         if affected.is_empty() {
             return;
         }
         for key in &affected {
-            self.buckets.remove(key);
+            let slot = self.slot_of(Self::hash_key(&self.hasher, key));
+            let mut dropped = 0;
+            let shard = self.shard_mut(slot);
+            if let Some(bucket) = shard.buckets.remove(key) {
+                dropped = bucket.len();
+                shard.recompute_max();
+            }
+            self.entries -= dropped;
         }
         for (_, row) in table.iter() {
             let key = self.x_key(row);
             if affected.contains(&key) {
                 let y: Row = self.y_indices.iter().map(|&i| row[i].clone()).collect();
-                let bucket = self.buckets.entry(key).or_default();
-                if !bucket.contains(&y) {
-                    bucket.push(y);
-                }
+                self.insert_entry(key, y);
             }
         }
-        // exact maximum must be recomputed after deletions (it can shrink)
-        self.max_bucket = self.buckets.values().map(|b| b.len()).max().unwrap_or(0);
+        self.refresh_max();
     }
 
     /// Deterministic dump of the whole index — keys and bucket contents in
@@ -248,8 +442,7 @@ impl ConstraintIndex {
                 .unwrap_or_else(|| a.len().cmp(&b.len()))
         }
         let mut out: Vec<(Vec<Value>, Vec<Row>)> = self
-            .buckets
-            .iter()
+            .buckets()
             .map(|(k, b)| {
                 let mut b = b.clone();
                 b.sort_by(|x, y| cmp_rows(x, y));
@@ -397,7 +590,7 @@ mod tests {
         let removed2 = t2.delete_where(|r| r[1] == Value::str("y"));
         let mut idx2 = idx_before.clone();
         for (_, row) in &removed2 {
-            idx2.remove_row(row, t2.rows());
+            idx2.remove_row(row, &t2);
         }
         let d = Value::Date("2016-07-04".parse().unwrap());
         assert_eq!(idx2.fetch(&[Value::str("a"), d]).len(), 1);
@@ -425,7 +618,7 @@ mod tests {
         });
         assert_eq!(removed.len(), 1);
         let mut idx = idx_full.clone();
-        idx.remove_row(&removed[0].1, t.rows());
+        idx.remove_row(&removed[0].1, &t);
         // the partial tuple (x, east) is still derivable from the remaining row
         let d = Value::Date("2016-07-04".parse().unwrap());
         assert_eq!(idx.fetch(&[Value::str("a"), d]).len(), 2);
@@ -443,5 +636,77 @@ mod tests {
     fn estimated_bytes_nonzero() {
         let t = call_table();
         assert!(index(&t).estimated_bytes() > 0);
+    }
+
+    fn wide_table(keys: usize) -> Table {
+        let mut t = Table::new(
+            TableSchema::new(
+                "wide",
+                vec![
+                    ColumnDef::new("k", DataType::Int),
+                    ColumnDef::new("v", DataType::Int),
+                ],
+            )
+            .unwrap(),
+        );
+        t.insert_many(
+            (0..keys as i64)
+                .flat_map(|k| (0..2i64).map(move |v| vec![Value::Int(k), Value::Int(v)])),
+        )
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn sharding_splits_and_preserves_lookups() {
+        // enough distinct keys to force several shard splits
+        let keys = 4 * SHARD_MAX_KEYS;
+        let t = wide_table(keys);
+        let idx = ConstraintIndex::build(&t, &["k".into()], &["v".into()]).unwrap();
+        assert!(idx.shards.len() > 1, "expected shard splits");
+        assert_eq!(idx.distinct_keys(), keys);
+        assert_eq!(idx.total_entries(), 2 * keys);
+        assert_eq!(idx.observed_max_cardinality(), 2);
+        for k in [0i64, 1, (keys / 2) as i64, keys as i64 - 1] {
+            assert_eq!(idx.fetch(&[Value::Int(k)]).len(), 2);
+        }
+        assert!(idx.fetch(&[Value::Int(keys as i64)]).is_empty());
+        // every shard respects the size bound (no pathological hash here)
+        assert!(idx.shards.iter().all(|s| s.buckets.len() <= SHARD_MAX_KEYS));
+    }
+
+    #[test]
+    fn clones_share_shards_and_writes_copy_only_touched_ones() {
+        let keys = 4 * SHARD_MAX_KEYS;
+        let mut t = wide_table(keys);
+        let idx = ConstraintIndex::build(&t, &["k".into()], &["v".into()]).unwrap();
+        let total_shards = idx.shards.len();
+        let snapshot = idx.clone();
+        assert_eq!(snapshot.shared_shard_count(&idx), total_shards);
+
+        // a single-key insert copies exactly one shard
+        let mut next = idx.clone();
+        let id = t.insert(vec![Value::Int(0), Value::Int(99)]).unwrap();
+        next.add_row(t.row(id).unwrap());
+        assert_eq!(snapshot.shared_shard_count(&next), total_shards - 1);
+        // ... and the snapshot still reads the old bucket
+        assert_eq!(snapshot.fetch(&[Value::Int(0)]).len(), 2);
+        assert_eq!(next.fetch(&[Value::Int(0)]).len(), 3);
+        assert_eq!(next.total_entries(), snapshot.total_entries() + 1);
+
+        // a batched delete copies only the shards holding affected keys
+        let mut pruned = next.clone();
+        let removed = t.delete_where(|r| r[0] == Value::Int(0));
+        pruned.remove_rows(removed.iter().map(|(_, r)| r), &t);
+        assert!(pruned.fetch(&[Value::Int(0)]).is_empty());
+        assert!(snapshot.shared_shard_count(&pruned) >= total_shards - 1);
+        assert_eq!(pruned.distinct_keys(), keys - 1);
+        // incrementally maintained result equals a rebuild from scratch
+        let rebuilt = ConstraintIndex::build(&t, &["k".into()], &["v".into()]).unwrap();
+        assert_eq!(pruned.sorted_entries(), rebuilt.sorted_entries());
+        assert_eq!(
+            pruned.observed_max_cardinality(),
+            rebuilt.observed_max_cardinality()
+        );
     }
 }

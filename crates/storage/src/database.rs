@@ -30,6 +30,13 @@ impl Clone for StatsCache {
 #[derive(Debug, Default, Clone)]
 pub struct Database {
     tables: HashMap<String, Table>,
+    /// Per-table write generations, drawn from the same lineage allocator as
+    /// the database generation: the pair `(table, generation)` identifies a
+    /// table's contents across every clone of this database.  A mutation
+    /// re-stamps only the table it goes through, which is what lets caches
+    /// keyed on a *read-set* of tables (the `BeasSystem` plan cache) survive
+    /// writes that provably didn't touch them.
+    table_generations: HashMap<String, u64>,
     statistics: StatsCache,
     /// Monotonic write-generation counter: bumped by every mutation path
     /// (DDL and any `table_mut` access).  Caches keyed on database contents
@@ -73,6 +80,7 @@ impl Database {
             return Err(BeasError::catalog(format!("table {name:?} already exists")));
         }
         self.bump_generation();
+        self.table_generations.insert(name.clone(), self.generation);
         self.tables.insert(name, Table::new(schema));
         Ok(())
     }
@@ -90,6 +98,7 @@ impl Database {
             .lock()
             .expect("stats cache lock")
             .remove(&name);
+        self.table_generations.remove(&name);
         self.bump_generation();
         Ok(())
     }
@@ -119,7 +128,19 @@ impl Database {
             .get_mut(&name)
             .ok_or_else(|| BeasError::catalog(format!("unknown table {name:?}")))?;
         self.generation = self.lineage.fetch_add(1, Ordering::Relaxed) + 1;
+        self.table_generations.insert(name, self.generation);
         Ok(table)
+    }
+
+    /// The write generation of one table: the lineage-unique value stamped
+    /// by the last mutation that went through it.  Within one lineage, two
+    /// databases where `table_generation(t)` agrees hold identical contents
+    /// for `t`, even if their overall generations differ — the basis for
+    /// read-set cache validation.
+    pub fn table_generation(&self, name: &str) -> Option<u64> {
+        self.table_generations
+            .get(&name.to_ascii_lowercase())
+            .copied()
     }
 
     /// Whether a table exists.
@@ -152,20 +173,22 @@ impl Database {
     }
 
     /// Statistics for a table, computed on demand and memoized until the
-    /// database is next mutated (generation-checked).  Usable through a
+    /// *table* is next mutated (checked against its per-table generation, so
+    /// writes to other tables don't evict the memo).  Usable through a
     /// shared reference, so the query planner's selectivity estimation costs
-    /// one table scan per table per write generation instead of one per
-    /// planned query.
+    /// one table scan per table per table-write generation instead of one
+    /// per planned query.
     pub fn statistics(&self, table: &str) -> Result<Arc<TableStatistics>> {
         let name = table.to_ascii_lowercase();
         let t = self
             .tables
             .get(&name)
             .ok_or_else(|| BeasError::catalog(format!("unknown table {name:?}")))?;
+        let table_generation = self.table_generations.get(&name).copied().unwrap_or(0);
         {
             let cache = self.statistics.0.lock().expect("stats cache lock");
             if let Some((generation, stats)) = cache.get(&name) {
-                if *generation == self.generation {
+                if *generation == table_generation {
                     return Ok(Arc::clone(stats));
                 }
             }
@@ -175,7 +198,7 @@ impl Database {
             .0
             .lock()
             .expect("stats cache lock")
-            .insert(name, (self.generation, Arc::clone(&stats)));
+            .insert(name, (table_generation, Arc::clone(&stats)));
         Ok(stats)
     }
 
@@ -321,6 +344,31 @@ mod tests {
         assert_eq!(db2.generation(), g);
         // clones carry the generation
         assert_eq!(db2.clone().generation(), g);
+    }
+
+    #[test]
+    fn per_table_generations_track_only_the_touched_table() {
+        let mut db = Database::new();
+        db.create_table(TableSchema::new("a", vec![ColumnDef::new("x", DataType::Int)]).unwrap())
+            .unwrap();
+        db.create_table(TableSchema::new("b", vec![ColumnDef::new("x", DataType::Int)]).unwrap())
+            .unwrap();
+        let ga = db.table_generation("a").unwrap();
+        let gb = db.table_generation("B").unwrap();
+        assert_ne!(ga, gb);
+        // a write through table `a` re-stamps only `a`
+        db.insert("a", vec![Value::Int(1)]).unwrap();
+        assert!(db.table_generation("a").unwrap() > ga);
+        assert_eq!(db.table_generation("b").unwrap(), gb);
+        // stats memoized for `b` survive the write to `a`
+        let sb = db.statistics("b").unwrap();
+        db.insert("a", vec![Value::Int(2)]).unwrap();
+        assert!(Arc::ptr_eq(&sb, &db.statistics("b").unwrap()));
+        assert_eq!(db.statistics("a").unwrap().row_count, 2);
+        // dropped tables lose their generation entry
+        db.drop_table("b").unwrap();
+        assert_eq!(db.table_generation("b"), None);
+        assert_eq!(db.table_generation("nosuch"), None);
     }
 
     #[test]

@@ -23,4 +23,4 @@ pub use constraint_index::ConstraintIndex;
 pub use database::Database;
 pub use index::HashIndex;
 pub use stats::{ColumnStatistics, TableStatistics};
-pub use table::Table;
+pub use table::{Table, SEGMENT_ROWS};

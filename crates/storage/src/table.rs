@@ -1,16 +1,44 @@
-//! A schema-validated in-memory row store.
+//! A schema-validated in-memory row store with structurally shared segments.
 
 use beas_common::{BeasError, DataType, Result, Row, TableSchema, Value};
+use std::sync::Arc;
 
-/// An in-memory table: a schema plus a vector of rows.
+/// Rows per sealed segment.  Matches [`beas_common::MORSEL_ROWS`] so that
+/// morsel scheduling over segment slices produces the same morsel count as
+/// it did over a single contiguous row vector for append-built tables.
+pub const SEGMENT_ROWS: usize = beas_common::MORSEL_ROWS;
+
+/// One immutable run of rows.  `start` is the physical id of the first row;
+/// the run is shared (`Arc`) between a table and its clones until one of
+/// them mutates it.
+#[derive(Debug, Clone)]
+struct Segment {
+    start: usize,
+    rows: Arc<Vec<Row>>,
+}
+
+/// An in-memory table: a schema plus a sequence of row segments.
 ///
 /// Rows are validated on insertion (arity, types, NULLability) so that every
 /// downstream consumer — baseline executor, constraint indices, statistics —
 /// can assume well-typed data.
+///
+/// Storage is *structurally shared*: rows live in `Arc`-held segments of at
+/// most [`SEGMENT_ROWS`] rows, and `Clone` copies only the segment handles.
+/// Inserts append to the unsealed tail segment; deletes rebuild exactly the
+/// segments that contain a matching row and keep every other segment shared
+/// with the clone it came from.  This is what makes snapshot forks O(number
+/// of segments) instead of O(number of rows): a maintenance batch pays for
+/// the rows it touches, not for the size of the database.
+///
+/// Rows stay addressable by a stable physical id (their global position), so
+/// row-id consumers (`HashIndex`, `project_row`, executors) are unaffected
+/// by the segmentation.
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: TableSchema,
-    rows: Vec<Row>,
+    segments: Arc<Vec<Segment>>,
+    len: usize,
 }
 
 impl Table {
@@ -18,7 +46,8 @@ impl Table {
     pub fn new(schema: TableSchema) -> Self {
         Table {
             schema,
-            rows: Vec::new(),
+            segments: Arc::new(Vec::new()),
+            len: 0,
         }
     }
 
@@ -34,22 +63,21 @@ impl Table {
 
     /// Number of rows.
     pub fn row_count(&self) -> usize {
-        self.rows.len()
+        self.len
     }
 
     /// Whether the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
-    }
-
-    /// All rows (slice view).
-    pub fn rows(&self) -> &[Row] {
-        &self.rows
+        self.len == 0
     }
 
     /// Row by physical id (position), if it exists.
     pub fn row(&self, id: usize) -> Option<&Row> {
-        self.rows.get(id)
+        if id >= self.len {
+            return None;
+        }
+        let seg = &self.segments[self.segments.partition_point(|s| s.start <= id) - 1];
+        seg.rows.get(id - seg.start)
     }
 
     /// Validate a row against the schema without inserting it.
@@ -104,8 +132,22 @@ impl Table {
                 }
             })
             .collect::<Result<_>>()?;
-        self.rows.push(coerced);
-        Ok(self.rows.len() - 1)
+        let id = self.len;
+        // Copy-on-write along the spine: a shared spine clones its segment
+        // *handles* (cheap), and only the unsealed tail segment — at most
+        // SEGMENT_ROWS rows — is ever deep-copied when shared.
+        let segments = Arc::make_mut(&mut self.segments);
+        match segments.last_mut() {
+            Some(seg) if seg.rows.len() < SEGMENT_ROWS => {
+                Arc::make_mut(&mut seg.rows).push(coerced);
+            }
+            _ => segments.push(Segment {
+                start: id,
+                rows: Arc::new(vec![coerced]),
+            }),
+        }
+        self.len += 1;
+        Ok(id)
     }
 
     /// Insert many rows; stops at the first invalid row.
@@ -120,17 +162,51 @@ impl Table {
 
     /// Delete all rows matching `predicate`, returning the removed rows with
     /// their former physical ids (useful for incremental index maintenance).
+    ///
+    /// Only segments containing a match are rebuilt; the rest keep their
+    /// shared storage (their start ids are renumbered, which costs nothing
+    /// but the segment handle).
     pub fn delete_where(&mut self, mut predicate: impl FnMut(&Row) -> bool) -> Vec<(usize, Row)> {
         let mut removed = Vec::new();
-        let mut kept = Vec::with_capacity(self.rows.len());
-        for (id, row) in self.rows.drain(..).enumerate() {
-            if predicate(&row) {
-                removed.push((id, row));
-            } else {
-                kept.push(row);
+        let segments = Arc::make_mut(&mut self.segments);
+        let old = std::mem::take(segments);
+        let mut next_start = 0usize;
+        for seg in old {
+            let matches: Vec<usize> = seg
+                .rows
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| predicate(r))
+                .map(|(i, _)| i)
+                .collect();
+            if matches.is_empty() {
+                segments.push(Segment {
+                    start: next_start,
+                    rows: seg.rows.clone(),
+                });
+                next_start += seg.rows.len();
+                continue;
+            }
+            let mut kept = Vec::with_capacity(seg.rows.len() - matches.len());
+            let mut matched = matches.iter().copied().peekable();
+            for (i, row) in seg.rows.iter().enumerate() {
+                if matched.peek() == Some(&i) {
+                    matched.next();
+                    removed.push((seg.start + i, row.clone()));
+                } else {
+                    kept.push(row.clone());
+                }
+            }
+            if !kept.is_empty() {
+                let kept_len = kept.len();
+                segments.push(Segment {
+                    start: next_start,
+                    rows: Arc::new(kept),
+                });
+                next_start += kept_len;
             }
         }
-        self.rows = kept;
+        self.len = next_start;
         removed
     }
 
@@ -145,14 +221,64 @@ impl Table {
 
     /// Iterate over `(row_id, row)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &Row)> {
-        self.rows.iter().enumerate()
+        self.segments.iter().flat_map(|s| {
+            s.rows
+                .iter()
+                .enumerate()
+                .map(move |(i, r)| (s.start + i, r))
+        })
+    }
+
+    /// Iterate over all rows in physical-id order.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &Row> {
+        self.segments.iter().flat_map(|s| s.rows.iter())
+    }
+
+    /// The table's segments as row slices, in physical-id order.
+    pub fn segment_slices(&self) -> impl Iterator<Item = &[Row]> {
+        self.segments.iter().map(|s| s.rows.as_slice())
+    }
+
+    /// Number of storage segments (diagnostic; tests and benches use it to
+    /// observe sharing behaviour).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Number of segments whose row storage is physically shared (same
+    /// allocation) with `other` — the structural-sharing diagnostic used by
+    /// snapshot tests.
+    pub fn shared_segment_count(&self, other: &Table) -> usize {
+        self.segments
+            .iter()
+            .filter(|s| other.segments.iter().any(|o| Arc::ptr_eq(&s.rows, &o.rows)))
+            .count()
+    }
+
+    /// Slice the table into morsels of at most `morsel_rows` rows, in
+    /// physical-id order.  Each morsel lies inside one segment, so for
+    /// append-built tables (segment size = [`SEGMENT_ROWS`] =
+    /// `MORSEL_ROWS`) the slicing is identical to chunking one contiguous
+    /// row vector.
+    pub fn morsel_slices(&self, morsel_rows: usize) -> Vec<&[Row]> {
+        let morsel_rows = morsel_rows.max(1);
+        let mut out = Vec::new();
+        for seg in self.segments.iter() {
+            let rows = seg.rows.as_slice();
+            let mut i = 0;
+            while i < rows.len() {
+                let end = (i + morsel_rows).min(rows.len());
+                out.push(&rows[i..end]);
+                i = end;
+            }
+        }
+        out
     }
 
     /// Rough size of the table in bytes (used for storage-budget accounting
     /// during access-schema discovery).
     pub fn estimated_bytes(&self) -> usize {
-        self.rows
-            .iter()
+        self.rows_iter()
             .map(|r| r.iter().map(estimated_value_bytes).sum::<usize>())
             .sum()
     }
@@ -184,6 +310,14 @@ mod tests {
             ],
         )
         .unwrap()
+    }
+
+    fn int_table(rows: usize) -> Table {
+        let mut t =
+            Table::new(TableSchema::new("t", vec![ColumnDef::new("x", DataType::Int)]).unwrap());
+        t.insert_many((0..rows as i64).map(|i| vec![Value::Int(i)]))
+            .unwrap();
+        t
     }
 
     #[test]
@@ -244,7 +378,7 @@ mod tests {
         let removed = t.delete_where(|r| r[2].as_int().unwrap() % 2 == 0);
         assert_eq!(removed.len(), 5);
         assert_eq!(t.row_count(), 5);
-        assert!(t.rows().iter().all(|r| r[2].as_int().unwrap() % 2 == 1));
+        assert!(t.rows_iter().all(|r| r[2].as_int().unwrap() % 2 == 1));
     }
 
     #[test]
@@ -275,5 +409,96 @@ mod tests {
         ])
         .unwrap();
         assert!(t.estimated_bytes() > empty);
+    }
+
+    #[test]
+    fn segments_seal_at_segment_rows_and_ids_stay_stable() {
+        let rows = 2 * SEGMENT_ROWS + 7;
+        let t = int_table(rows);
+        assert_eq!(t.segment_count(), 3);
+        assert_eq!(t.row_count(), rows);
+        for id in [
+            0,
+            1,
+            SEGMENT_ROWS - 1,
+            SEGMENT_ROWS,
+            2 * SEGMENT_ROWS,
+            rows - 1,
+        ] {
+            assert_eq!(t.row(id).unwrap()[0], Value::Int(id as i64));
+        }
+        assert!(t.row(rows).is_none());
+        // iter covers everything in id order
+        let ids: Vec<usize> = t.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, (0..rows).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clone_shares_segments_and_writes_do_not_leak_across() {
+        let mut t = int_table(2 * SEGMENT_ROWS + 7);
+        let snapshot = t.clone();
+        assert_eq!(snapshot.shared_segment_count(&t), 3);
+
+        // appending touches only the unsealed tail segment
+        t.insert(vec![Value::Int(-1)]).unwrap();
+        assert_eq!(snapshot.shared_segment_count(&t), 2);
+        assert_eq!(snapshot.row_count(), 2 * SEGMENT_ROWS + 7);
+        assert!(snapshot.row(2 * SEGMENT_ROWS + 7).is_none());
+
+        // deleting from the middle rebuilds only the segment that matched
+        let removed = t.delete_where(|r| r[0] == Value::Int(SEGMENT_ROWS as i64));
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].0, SEGMENT_ROWS);
+        assert_eq!(snapshot.shared_segment_count(&t), 1);
+        assert_eq!(t.row_count(), 2 * SEGMENT_ROWS + 7);
+        // physical ids compacted: the row after the hole shifted down
+        assert_eq!(
+            t.row(SEGMENT_ROWS).unwrap()[0],
+            Value::Int(SEGMENT_ROWS as i64 + 1)
+        );
+        // the snapshot still sees the original contents
+        assert_eq!(
+            snapshot.row(SEGMENT_ROWS).unwrap()[0],
+            Value::Int(SEGMENT_ROWS as i64)
+        );
+    }
+
+    #[test]
+    fn morsel_slices_cover_all_rows_in_order() {
+        let rows = SEGMENT_ROWS + 10;
+        let t = int_table(rows);
+        for morsel_rows in [1, 7, SEGMENT_ROWS, 10 * SEGMENT_ROWS] {
+            let slices = t.morsel_slices(morsel_rows);
+            assert!(slices.iter().all(|s| s.len() <= morsel_rows));
+            let flat: Vec<i64> = slices
+                .iter()
+                .flat_map(|s| s.iter().map(|r| r[0].as_int().unwrap()))
+                .collect();
+            assert_eq!(flat, (0..rows as i64).collect::<Vec<_>>());
+        }
+        // the single-segment case chunks exactly like a contiguous vector
+        let small = int_table(20);
+        assert_eq!(small.morsel_slices(8).len(), 3);
+        assert_eq!(small.morsel_slices(0).len(), 20); // clamped to 1
+    }
+
+    #[test]
+    fn delete_where_on_multi_segment_table_renumbers_contiguously() {
+        let mut t = int_table(2 * SEGMENT_ROWS);
+        // drop every second row of the FIRST segment only
+        let removed = t.delete_where(|r| {
+            r[0].as_int().unwrap() < SEGMENT_ROWS as i64 && r[0].as_int().unwrap() % 2 == 0
+        });
+        assert_eq!(removed.len(), SEGMENT_ROWS / 2);
+        assert_eq!(t.row_count(), 2 * SEGMENT_ROWS - SEGMENT_ROWS / 2);
+        // ids are dense again: every id in range resolves, none beyond
+        let ids: Vec<usize> = t.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, (0..t.row_count()).collect::<Vec<_>>());
+        assert!(t.row(t.row_count()).is_none());
+        // and a full delete empties the table
+        let removed = t.delete_where(|_| true);
+        assert_eq!(removed.len(), 2 * SEGMENT_ROWS - SEGMENT_ROWS / 2);
+        assert!(t.is_empty());
+        assert_eq!(t.segment_count(), 0);
     }
 }

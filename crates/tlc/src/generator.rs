@@ -596,8 +596,8 @@ mod tests {
         let a = generate(&TlcConfig::at_scale(1)).unwrap();
         let b = generate(&TlcConfig::at_scale(1)).unwrap();
         assert_eq!(
-            a.table("call").unwrap().rows()[0],
-            b.table("call").unwrap().rows()[0]
+            a.table("call").unwrap().row(0),
+            b.table("call").unwrap().row(0)
         );
         let c = generate(&TlcConfig {
             scale_factor: 1,
@@ -605,8 +605,8 @@ mod tests {
         })
         .unwrap();
         assert_ne!(
-            a.table("call").unwrap().rows()[5],
-            c.table("call").unwrap().rows()[5]
+            a.table("call").unwrap().row(5),
+            c.table("call").unwrap().row(5)
         );
     }
 

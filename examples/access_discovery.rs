@@ -51,7 +51,7 @@ fn main() -> Result<()> {
     let maintainer = catalog.maintainer(MaintenancePolicy::AutoAdjust);
     let new_calls: Vec<beas::common::Row> = (0..100)
         .map(|i| {
-            let mut row = db.table("call").unwrap().rows()[i].clone();
+            let mut row = db.table("call").unwrap().row(i).unwrap().clone();
             row[2] = Value::str("2016-07-28"); // a fresh day
             row
         })

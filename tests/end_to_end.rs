@@ -160,7 +160,13 @@ fn maintenance_keeps_bounded_answers_correct_under_updates() {
     let maintainer = beas::access::Maintainer::new(beas::access::MaintenancePolicy::AutoAdjust);
 
     // Insert fresh call records for a bank number on the benchmark date.
-    let new_rows: Vec<Row> = db.table("call").unwrap().rows()[..50].to_vec();
+    let new_rows: Vec<Row> = db
+        .table("call")
+        .unwrap()
+        .rows_iter()
+        .take(50)
+        .cloned()
+        .collect();
     maintainer
         .insert_rows(&mut db, &mut schema, &mut indexes, "call", new_rows)
         .unwrap();

@@ -1,0 +1,201 @@
+//! MVCC storage properties: structurally shared snapshots must be
+//! *observationally* deep copies.  Random interleavings of insert/delete
+//! batches against a multi-segment table must leave every earlier
+//! snapshot bit-identical to a deep-copy shadow taken at the same moment;
+//! forks must copy no rows and no index buckets; and the read-set plan
+//! cache must keep plans alive across writes that don't touch their
+//! tables.
+
+use beas::prelude::*;
+use beas::storage::SEGMENT_ROWS;
+use proptest::prelude::*;
+
+fn base_schema() -> TableSchema {
+    TableSchema::new(
+        "t",
+        vec![
+            beas::common::ColumnDef::new("k", DataType::Int),
+            beas::common::ColumnDef::new("v", DataType::Int),
+        ],
+    )
+    .unwrap()
+}
+
+/// A database whose single table spans multiple row segments, plus the
+/// deep-copy shadow of its contents.
+fn seeded(extra: usize) -> (Database, Vec<Row>) {
+    let mut db = Database::new();
+    db.create_table(base_schema()).unwrap();
+    let rows: Vec<Row> = (0..SEGMENT_ROWS + extra)
+        .map(|i| vec![Value::Int(i as i64), Value::Int((i % 101) as i64)])
+        .collect();
+    db.insert_many("t", rows.clone()).unwrap();
+    (db, rows)
+}
+
+/// One randomized maintenance step.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Append `count` fresh rows tagged `salt`.
+    Insert { count: usize, salt: i64 },
+    /// Delete every row whose `v % modulus == residue`.
+    Delete { modulus: i64, residue: i64 },
+    /// Pin the current state (a structural clone) plus its deep shadow.
+    Snapshot,
+}
+
+/// Derive a deterministic op sequence from an integer seed (the proptest
+/// shim only samples integer ranges).
+fn ops_from_seed(seed: u64, count: usize) -> Vec<Op> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..count)
+        .map(|_| match next() % 5 {
+            0 | 1 => Op::Insert {
+                count: (next() % 63 + 1) as usize,
+                salt: (next() % 1000) as i64,
+            },
+            2 | 3 => {
+                let modulus = (next() % 7 + 2) as i64;
+                Op::Delete {
+                    modulus,
+                    residue: (next() % modulus as u64) as i64,
+                }
+            }
+            _ => Op::Snapshot,
+        })
+        .collect()
+}
+
+fn table_rows(db: &Database) -> Vec<Row> {
+    db.table("t").unwrap().rows_iter().cloned().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Structural sharing is an implementation detail: under any
+    /// interleaving of writes and snapshots, (a) the live database always
+    /// matches a deep-copy shadow mutated by the same logical operations,
+    /// and (b) every snapshot taken along the way stays bit-identical to
+    /// the shadow frozen with it, no matter what later writes did.
+    #[test]
+    fn random_write_interleavings_leave_snapshots_bit_identical_to_deep_copies(
+        extra in 1usize..1500,
+        seed in 0u64..1_000_000,
+        op_count in 1usize..14,
+    ) {
+        let ops = ops_from_seed(seed, op_count);
+        let (mut db, mut shadow) = seeded(extra);
+        let mut next_key = shadow.len() as i64;
+        let mut snapshots: Vec<(Database, Vec<Row>)> = vec![(db.clone(), shadow.clone())];
+        for op in &ops {
+            match op {
+                Op::Insert { count, salt } => {
+                    for _ in 0..*count {
+                        let row = vec![Value::Int(next_key), Value::Int(salt % 101)];
+                        db.insert("t", row.clone()).unwrap();
+                        shadow.push(row);
+                        next_key += 1;
+                    }
+                }
+                Op::Delete { modulus, residue } => {
+                    let (m, r) = (*modulus, *residue);
+                    let matches =
+                        move |row: &Row| row[1].as_int().map(|v| v % m == r).unwrap_or(false);
+                    db.table_mut("t").unwrap().delete_where(matches);
+                    shadow.retain(|row| !matches(row));
+                }
+                Op::Snapshot => snapshots.push((db.clone(), shadow.clone())),
+            }
+            // the live database tracks its deep shadow after every step
+            prop_assert_eq!(table_rows(&db), shadow.clone());
+        }
+        // no snapshot was disturbed by anything that happened after it
+        for (snap_db, snap_shadow) in &snapshots {
+            prop_assert_eq!(&table_rows(snap_db), snap_shadow);
+            prop_assert_eq!(
+                snap_db.table("t").unwrap().row_count(),
+                snap_shadow.len()
+            );
+        }
+    }
+}
+
+/// `fork()` is O(handles): every row segment and every index shard of the
+/// fork is physically the parent's allocation — nothing row-sized is
+/// copied until a write actually lands.
+#[test]
+fn fork_copies_no_rows_and_no_index_buckets() {
+    let db = beas::tlc::generate(&beas::tlc::TlcConfig::at_scale(1)).unwrap();
+    let system = BeasSystem::with_schema(db, beas::tlc::tlc_access_schema()).unwrap();
+    let fork = system.fork();
+    for name in system.database().table_names() {
+        let a = system.database().table(&name).unwrap();
+        let b = fork.database().table(&name).unwrap();
+        assert_eq!(
+            a.shared_segment_count(b),
+            a.segment_count(),
+            "{name}: fork must share every row segment"
+        );
+    }
+    for c in system.access_schema().constraints() {
+        let a = system.indexes().for_constraint(c).unwrap();
+        let b = fork.indexes().for_constraint(c).unwrap();
+        assert_eq!(
+            a.shared_shard_count(b),
+            a.shard_count(),
+            "{}: fork must share every index shard",
+            c.id()
+        );
+    }
+}
+
+/// Read-set validation end to end: a cached plan over one table keeps
+/// serving hits across a write batch to a different table, and only a
+/// write to its own table re-prepares it.
+#[test]
+fn cached_plans_survive_writes_to_unrelated_tables() {
+    let db = beas::tlc::generate(&beas::tlc::TlcConfig::at_scale(1)).unwrap();
+    let mut system = BeasSystem::with_schema(db, beas::tlc::tlc_access_schema()).unwrap();
+    let q = "select distinct region from call where pnum = 'p1'";
+    let first = system.execute_sql(q).unwrap();
+    assert_eq!(system.plan_cache_stats().misses, 1);
+
+    // a maintenance batch on `business` advances the database generation
+    // but leaves every table in the plan's read set untouched
+    let sample: Vec<Row> = system
+        .database()
+        .table("business")
+        .unwrap()
+        .rows_iter()
+        .take(5)
+        .cloned()
+        .collect();
+    system.insert_rows("business", sample).unwrap();
+    let again = system.execute_sql(q).unwrap();
+    assert_eq!(again.rows, first.rows);
+    let stats = system.plan_cache_stats();
+    assert_eq!(stats.hits, 1, "unrelated write must not evict: {stats}");
+    assert_eq!(stats.invalidations, 0);
+
+    // a write to `call` itself invalidates exactly that entry
+    let sample: Vec<Row> = system
+        .database()
+        .table("call")
+        .unwrap()
+        .rows_iter()
+        .take(1)
+        .cloned()
+        .collect();
+    system.insert_rows("call", sample).unwrap();
+    system.execute_sql(q).unwrap();
+    let stats = system.plan_cache_stats();
+    assert_eq!(stats.invalidations, 1);
+    assert_eq!(stats.misses, 2);
+}

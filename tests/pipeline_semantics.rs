@@ -16,7 +16,7 @@ use proptest::prelude::*;
 /// the executable specification the pipeline is checked against.
 fn batch_execute(plan: &LogicalPlan, db: &Database) -> Result<Vec<Row>> {
     Ok(match plan {
-        LogicalPlan::Scan { table, .. } => db.table(table)?.rows().to_vec(),
+        LogicalPlan::Scan { table, .. } => db.table(table)?.rows_iter().cloned().collect(),
         LogicalPlan::Filter { input, predicate } => {
             let mut out = Vec::new();
             for row in batch_execute(input, db)? {

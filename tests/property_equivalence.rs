@@ -102,7 +102,8 @@ proptest! {
         let mut indexes = beas::access::build_indexes(&db, &schema).unwrap();
         let maintainer = beas::access::Maintainer::new(beas::access::MaintenancePolicy::AutoAdjust);
 
-        let new_rows: Vec<Row> = db.table("call").unwrap().rows()[..inserts].to_vec();
+        let new_rows: Vec<Row> =
+            db.table("call").unwrap().rows_iter().take(inserts).cloned().collect();
         maintainer.insert_rows(&mut db, &mut schema, &mut indexes, "call", new_rows).unwrap();
         maintainer
             .delete_rows(&mut db, &schema, &mut indexes, "call", |r| {
