@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # beas-access
 //!
 //! Access schemas for bounded query evaluation: the combination of

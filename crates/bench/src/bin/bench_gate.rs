@@ -1,14 +1,18 @@
+#![forbid(unsafe_code)]
 //! Bench regression gate: compare a fresh criterion-shim JSON report
 //! against a committed baseline and fail (exit 1) when any benchmark
 //! slowed down by more than the allowed factor.
 //!
 //! ```text
-//! bench_gate <baseline.json> <current.json> [--max-ratio 2.0] [--min-ns 100000]
+//! bench_gate <baseline.json> <current.json> [--max-ratio 2.0] [--min-ns 2000]
 //! ```
 //!
 //! Benchmarks whose baseline mean is below `--min-ns` are skipped (timer
 //! noise), and benchmarks present in only one report are reported but
-//! never fatal — suites may grow and shrink.
+//! never fatal — suites may grow and shrink.  The default floor is 2000 ns:
+//! low enough to keep microsecond-scale benches in scope, high enough that
+//! allocator and timer jitter on sub-2µs loops can't fail the gate (see
+//! crates/bench/README.md for the calibration rationale).
 
 use beas_bench::report::{gate, parse_report};
 use std::process::ExitCode;
@@ -17,7 +21,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut max_ratio = 2.0f64;
-    let mut min_ns = 100_000u128;
+    let mut min_ns = 2_000u128;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Regenerates Fig. 3 / Example 2: the per-operation performance analysis of
 //! Q1 on a TLC dataset, comparing BEAS with the three baseline optimizer
 //! profiles (stand-ins for PostgreSQL, MySQL and MariaDB).

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Regenerates Fig. 4: scalability of Q1 as the TLC dataset grows.
 //!
 //! The paper varies TLC from 1 GB to 200 GB; BEAS stays at ~1 s while

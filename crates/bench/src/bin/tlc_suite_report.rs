@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Runs the full TLC workload (Q1–Q11) through BEAS and the pg-like baseline,
 //! backing the paper's claim that BEAS "outperforms commercial DBMS by orders
 //! of magnitude for more than 90% of their queries".

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # beas-bench
 //!
 //! The benchmark harness that regenerates the evaluation artefacts of the

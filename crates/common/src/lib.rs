@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # beas-common
 //!
 //! Shared foundation types for the BEAS bounded-evaluation engine:

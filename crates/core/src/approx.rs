@@ -117,7 +117,7 @@ pub fn execute_with_budget(
                 let opts: Vec<Value> = opts
                     .into_iter()
                     .filter(|v| !v.is_null())
-                    .map(|v| v.cast(*kt).unwrap_or(v))
+                    .map(|v| beas_common::canonical_key_value(&v.cast(*kt).unwrap_or(v)))
                     .collect();
                 let mut next = Vec::new();
                 for a in &alts {

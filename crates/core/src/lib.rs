@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # beas-core
 //!
 //! The BEAS system itself — the paper's primary contribution: bounded

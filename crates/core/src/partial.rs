@@ -339,6 +339,8 @@ pub fn execute_partially_bounded_with(
                 || projection_is_duplicate_free(db, &table.table, &graph.atoms[idx].needed)?)
         {
             let schema = nullable_copy(&table.schema);
+            // beas-lint: allow(L004) -- `reduced` is a private scratch
+            // database being constructed here, not the live system state
             reduced.create_table(schema)?;
             let rows = materialize_atom(&ctx, query, graph, idx)?;
             reduction_savings.push(ReductionSaving {
@@ -350,6 +352,7 @@ pub fn execute_partially_bounded_with(
             reduced_relations.push(table.alias.clone());
         } else {
             // keep the original relation in full
+            // beas-lint: allow(L004) -- same scratch database as above
             reduced.create_table(nullable_copy(&table.schema))?;
             let rows: Vec<Row> = db.table(&table.table)?.rows_iter().cloned().collect();
             reduced.insert_many(&table.table, rows)?;

@@ -989,6 +989,67 @@ impl BeasSystem {
             baselines,
         })
     }
+
+    /// Validate the whole system state: the database catalog and tables
+    /// ([`Database::check_invariants`]), every constraint index against the
+    /// table it indexes, and the shared plan cache.  O(total rows) —
+    /// compiled only into debug builds and `--features validate` builds;
+    /// the MVCC and concurrency test suites call it after every mutation
+    /// step.
+    ///
+    /// Plan-cache checks (the cache is shared across forks, so entries may
+    /// be newer *or* older than this system's snapshot):
+    /// 1. the cache respects its capacity bound,
+    /// 2. cache keys are normalized SQL (normalization is idempotent),
+    /// 3. an entry caches a plan exactly when its coverage check passed,
+    /// 4. a *live* entry — every read-set table still at the generation it
+    ///    was prepared against — re-derives the identical read set from its
+    ///    bound query, so a cache hit can never serve a plan whose table
+    ///    set drifted.
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    pub fn check_invariants(&self) -> Result<()> {
+        self.db.check_invariants()?;
+        for (id, index) in self.indexes.iter() {
+            let table = self.db.table(index.table()).map_err(|e| {
+                BeasError::storage(format!(
+                    "constraint index {id:?} covers a table the database lost: {e}"
+                ))
+            })?;
+            index.check_against_table(table)?;
+        }
+        let fail = |msg: String| {
+            Err(BeasError::storage(format!(
+                "plan cache invariant violated: {msg}"
+            )))
+        };
+        let entries = self.plan_cache.entries.lock().expect("plan cache lock");
+        if entries.len() > PLAN_CACHE_CAP {
+            return fail(format!(
+                "{} entries exceed the {PLAN_CACHE_CAP}-entry cap",
+                entries.len()
+            ));
+        }
+        for (key, entry) in entries.iter() {
+            if *key != normalize_sql(key) {
+                return fail(format!("cache key {key:?} is not normalized"));
+            }
+            if entry.plan.is_some() != entry.coverage.covered {
+                return fail(format!(
+                    "entry {key:?} caches a plan but its coverage check disagrees"
+                ));
+            }
+            let live = entry
+                .read_set
+                .iter()
+                .all(|(t, g)| self.db.table_generation(t) == Some(*g));
+            if live && read_set_of(&self.db, &entry.query) != entry.read_set {
+                return fail(format!(
+                    "live entry {key:?} re-derives a different read set than it caches"
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # beas-engine
 //!
 //! The conventional (baseline) relational query engine of the BEAS

@@ -1,0 +1,386 @@
+//! A minimal token-level lexer for Rust source.
+//!
+//! The rules in this crate match on *token* sequences, never on raw text,
+//! so occurrences of a pattern inside string literals, comments or doc
+//! comments can never produce (or mask) a finding.  The lexer is
+//! deliberately small: it distinguishes identifiers, punctuation, literals
+//! and comments, tracks line numbers, and understands the handful of
+//! constructs that would otherwise derail tokenization — nested block
+//! comments, raw strings with `#` fences, char literals vs. lifetimes.
+//! It does not need to be a complete Rust grammar to be sound for that
+//! purpose: anything it cannot classify becomes a one-character `Punct`.
+
+/// What kind of lexeme a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `while`, `unwrap_or`, ...).
+    Ident,
+    /// Integer/float literal.
+    Number,
+    /// String literal (including raw strings), quotes included.
+    Str,
+    /// Char literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// `// ...` comment (including `///` and `//!` doc comments).
+    LineComment,
+    /// `/* ... */` comment (possibly nested).
+    BlockComment,
+    /// A single punctuation character (`{`, `.`, `#`, ...).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// Lex `src` into tokens.  Never fails: unterminated literals or comments
+/// simply run to end of input (the compiler, not the linter, reports those).
+pub fn lex(src: &str) -> Vec<Token> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    let push = |tokens: &mut Vec<Token>, kind, text: String, line| {
+        tokens.push(Token { kind, text, line });
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                push(
+                    &mut tokens,
+                    TokenKind::LineComment,
+                    chars[start..i].iter().collect(),
+                    line,
+                );
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                push(
+                    &mut tokens,
+                    TokenKind::BlockComment,
+                    chars[start..i].iter().collect(),
+                    start_line,
+                );
+            }
+            '"' => {
+                let (text, consumed, newlines) = lex_string(&chars[i..]);
+                push(&mut tokens, TokenKind::Str, text, line);
+                line += newlines;
+                i += consumed;
+            }
+            'r' | 'b' if is_raw_string_start(&chars[i..]) => {
+                let (text, consumed, newlines) = lex_raw_string(&chars[i..]);
+                push(&mut tokens, TokenKind::Str, text, line);
+                line += newlines;
+                i += consumed;
+            }
+            '\'' => {
+                // Lifetime (`'a`) or char literal (`'x'`, `'\n'`).
+                if is_lifetime(&chars[i..]) {
+                    let start = i;
+                    i += 1;
+                    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                    push(
+                        &mut tokens,
+                        TokenKind::Lifetime,
+                        chars[start..i].iter().collect(),
+                        line,
+                    );
+                } else {
+                    let start = i;
+                    i += 1;
+                    while i < chars.len() {
+                        if chars[i] == '\\' {
+                            i += 2;
+                            continue;
+                        }
+                        if chars[i] == '\'' {
+                            i += 1;
+                            break;
+                        }
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    push(
+                        &mut tokens,
+                        TokenKind::Char,
+                        chars[start..i.min(chars.len())].iter().collect(),
+                        line,
+                    );
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                push(
+                    &mut tokens,
+                    TokenKind::Ident,
+                    chars[start..i].iter().collect(),
+                    line,
+                );
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+                {
+                    // `1..n` range: stop the number before the second dot
+                    if chars[i] == '.' && chars.get(i + 1) == Some(&'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                push(
+                    &mut tokens,
+                    TokenKind::Number,
+                    chars[start..i].iter().collect(),
+                    line,
+                );
+            }
+            c => {
+                push(&mut tokens, TokenKind::Punct, c.to_string(), line);
+                i += 1;
+            }
+        }
+    }
+    tokens
+}
+
+/// Lex a plain `"..."` string starting at `chars[0] == '"'`.
+/// Returns (text, chars consumed, newlines inside).
+fn lex_string(chars: &[char]) -> (String, usize, u32) {
+    let mut i = 1;
+    let mut newlines = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => {
+                i += 1;
+                break;
+            }
+            '\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    let i = i.min(chars.len());
+    (chars[..i].iter().collect(), i, newlines)
+}
+
+/// Whether `chars` starts a raw (or byte/raw-byte) string: `r"`, `r#`,
+/// `br"`, `b"`, `br#`.
+fn is_raw_string_start(chars: &[char]) -> bool {
+    let mut i = 0;
+    if chars.get(i) == Some(&'b') {
+        i += 1;
+    }
+    if chars.get(i) == Some(&'r') {
+        i += 1;
+        matches!(chars.get(i), Some(&'"') | Some(&'#'))
+    } else {
+        // plain byte string b"..."
+        i == 1 && chars.get(i) == Some(&'"')
+    }
+}
+
+/// Lex a raw/byte string starting at `chars[0]`.
+fn lex_raw_string(chars: &[char]) -> (String, usize, u32) {
+    let mut i = 0;
+    if chars.get(i) == Some(&'b') {
+        i += 1;
+    }
+    let raw = chars.get(i) == Some(&'r');
+    if raw {
+        i += 1;
+    }
+    let mut fences = 0;
+    while chars.get(i) == Some(&'#') {
+        fences += 1;
+        i += 1;
+    }
+    // opening quote
+    if chars.get(i) == Some(&'"') {
+        i += 1;
+    }
+    if !raw {
+        // plain byte string: same rules as a normal string
+        let (text, consumed, newlines) = lex_string(&chars[i - 1..]);
+        return (
+            chars[..i - 1].iter().collect::<String>() + &text,
+            i - 1 + consumed,
+            newlines,
+        );
+    }
+    let mut newlines = 0;
+    while i < chars.len() {
+        if chars[i] == '\n' {
+            newlines += 1;
+        }
+        if chars[i] == '"' {
+            let mut j = i + 1;
+            let mut seen = 0;
+            while seen < fences && chars.get(j) == Some(&'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == fences {
+                i = j;
+                break;
+            }
+        }
+        i += 1;
+    }
+    let i = i.min(chars.len());
+    (chars[..i].iter().collect(), i, newlines)
+}
+
+/// Whether a `'` begins a lifetime rather than a char literal: `'ident`
+/// not followed by a closing quote (`'a'` is a char, `'a>` a lifetime).
+fn is_lifetime(chars: &[char]) -> bool {
+    let mut i = 1;
+    if !chars
+        .get(i)
+        .map(|c| c.is_alphabetic() || *c == '_')
+        .unwrap_or(false)
+    {
+        return false;
+    }
+    while chars
+        .get(i)
+        .map(|c| c.is_alphanumeric() || *c == '_')
+        .unwrap_or(false)
+    {
+        i += 1;
+    }
+    chars.get(i) != Some(&'\'')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let toks = lex("fn main() {\n  x.y();\n}");
+        assert!(toks[0].is_ident("fn"));
+        assert!(toks[1].is_ident("main"));
+        let dot = toks.iter().find(|t| t.is_punct('.')).unwrap();
+        assert_eq!(dot.line, 2);
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let toks = kinds("let s = \"unwrap_or(false)\"; // unwrap_or\n/* unwrap_or */");
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap_or"));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| matches!(k, TokenKind::LineComment | TokenKind::BlockComment))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = kinds("let s = r#\"a \" b\"#; x");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("a \" b")));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "x"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* a /* b */ c */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], (TokenKind::Ident, "x".to_string()));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let toks = kinds("for i in 0..10 {}");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "0"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "10"));
+    }
+}

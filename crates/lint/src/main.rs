@@ -1,0 +1,104 @@
+#![forbid(unsafe_code)]
+//! `beas-lint` — the BEAS workspace static-analysis gate.
+//!
+//! ```text
+//! beas-lint --workspace [--root DIR] [--json]   # lint the whole workspace
+//! beas-lint [--json] FILE...                    # lint specific files
+//! beas-lint --list-rules                        # print the rule catalog
+//! ```
+//!
+//! Exit code 0 when clean, 1 when any finding survives suppressions, 2 on
+//! usage or I/O errors.  CI runs `cargo run --release -p beas-lint --
+//! --workspace` as a required gate.
+
+use beas_lint::{findings_to_json, lint_file, lint_workspace, Finding, RULES};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workspace = false;
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut paths: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workspace" => workspace = true,
+            "--json" => json = true,
+            "--list-rules" => {
+                for (id, summary) in RULES {
+                    println!("{id}  {summary}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => root = PathBuf::from(dir),
+                    None => return usage("--root needs a directory"),
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: beas-lint --workspace [--root DIR] [--json]\n\
+                     \x20      beas-lint [--json] FILE...\n\
+                     \x20      beas-lint --list-rules"
+                );
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => {
+                return usage(&format!("unknown flag {flag}"));
+            }
+            p => paths.push(p.to_string()),
+        }
+        i += 1;
+    }
+
+    let findings: Result<Vec<Finding>, String> = if workspace {
+        if !paths.is_empty() {
+            return usage("--workspace takes no file arguments");
+        }
+        lint_workspace(&root)
+    } else if paths.is_empty() {
+        return usage("nothing to lint: pass --workspace or file paths");
+    } else {
+        let mut all = Vec::new();
+        for p in &paths {
+            match lint_file(Path::new(p), p) {
+                Ok(f) => all.extend(f),
+                Err(e) => return usage(&e),
+            }
+        }
+        Ok(all)
+    };
+
+    let findings = match findings {
+        Ok(f) => f,
+        Err(e) => return usage(&e),
+    };
+
+    if json {
+        println!("{}", findings_to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        if findings.is_empty() {
+            println!("beas-lint: clean");
+        } else {
+            println!("beas-lint: {} finding(s)", findings.len());
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("beas-lint: {msg}");
+    eprintln!("usage: beas-lint --workspace [--root DIR] [--json] | beas-lint FILE...");
+    ExitCode::from(2)
+}

@@ -1,0 +1,20 @@
+// L001 clean fixture: the evaluation Result propagates.
+fn filter_rows(rows: &[Row], pred: &BoundExpr) -> Result<Vec<Row>> {
+    let mut out = Vec::new();
+    for r in rows {
+        if evaluate(pred, r)?.is_truthy() {
+            out.push(r.clone());
+        }
+    }
+    Ok(out)
+}
+
+// chaining a non-swallowing method is fine
+fn render(pred: &BoundExpr, row: &Row) -> Result<String> {
+    Ok(evaluate(pred, row)?.to_string())
+}
+
+// `ok` mentioned without being chained off an evaluate call is fine
+fn unrelated(r: Result<u32, ()>) -> Option<u32> {
+    r.ok()
+}

@@ -1,0 +1,11 @@
+// L001 fixture: evaluation error swallowed by unwrap_or.
+fn filter_rows(rows: &[Row], pred: &BoundExpr) -> Vec<Row> {
+    rows.iter()
+        .filter(|r| evaluate(pred, r).unwrap_or(Value::Bool(false)).is_truthy())
+        .cloned()
+        .collect()
+}
+
+fn probe(pred: &BoundExpr, row: &Row) -> Option<Value> {
+    evaluate_predicate(pred, row).ok()
+}

@@ -1,0 +1,18 @@
+// L002 clean fixture: the same container, but keys flow through
+// beas_common::key canonicalization.
+use beas_common::index_key;
+use std::collections::HashMap;
+
+fn group(rows: &[Row], key_cols: &[usize]) -> HashMap<Vec<Value>, Vec<Row>> {
+    let mut groups: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
+    for r in rows {
+        let key = index_key(key_cols.iter().map(|&i| &r[i]));
+        groups.entry(key).or_default().push(r.clone());
+    }
+    groups
+}
+
+// containers keyed by something other than values never fire
+fn by_name(names: &[String]) -> HashMap<String, usize> {
+    names.iter().cloned().zip(0..).collect()
+}

@@ -1,0 +1,10 @@
+// L002 fixture: a raw Value-keyed map in a file that never canonicalizes.
+use std::collections::HashMap;
+
+fn group(rows: &[Row]) -> HashMap<Vec<Value>, Vec<Row>> {
+    let mut groups: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
+    for r in rows {
+        groups.entry(r.clone()).or_default().push(r.clone());
+    }
+    groups
+}

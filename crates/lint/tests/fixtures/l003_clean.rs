@@ -1,0 +1,25 @@
+// L003 clean fixture (linted as an executor file): the blocking loop
+// checkpoints, the pure comparator is exempt, and a non-blocking fn with a
+// loop never fires.
+fn aggregate_groups(rows: &[Row], quota: &QuotaTracker) -> Result<Vec<Row>> {
+    let mut out = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        if i % BLOCKING_CHECK_ROWS == 0 {
+            quota.checkpoint()?;
+        }
+        out.push(row.clone());
+    }
+    Ok(out)
+}
+
+fn sort_cmp(a: &Row, b: &Row) -> std::cmp::Ordering {
+    a.len().cmp(&b.len())
+}
+
+fn project(rows: &[Row]) -> Vec<Row> {
+    let mut out = Vec::new();
+    for row in rows {
+        out.push(row.clone());
+    }
+    out
+}

@@ -1,0 +1,9 @@
+// L003 fixture (linted as an executor file): a blocking aggregate loop
+// that never checkpoints the session quota.
+fn aggregate_groups(rows: &[Row]) -> Vec<Row> {
+    let mut out = Vec::new();
+    for row in rows {
+        out.push(row.clone());
+    }
+    out
+}

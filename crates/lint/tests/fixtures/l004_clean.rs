@@ -1,0 +1,11 @@
+// L004 clean fixture: writes go through the maintenance facade.
+fn load(system: &mut BeasSystem, rows: Vec<Row>) -> Result<()> {
+    system.insert_rows("call", rows)?;
+    system.delete_rows("call", |r| r.is_empty())?;
+    Ok(())
+}
+
+// mentioning a mutator name without calling it as a method is fine
+fn describe() -> &'static str {
+    "table_mut"
+}

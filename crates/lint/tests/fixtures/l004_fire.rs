@@ -1,0 +1,7 @@
+// L004 fixture (linted as an engine file): direct storage mutation outside
+// the storage crate and the maintenance facade.
+fn load(db: &mut Database) -> Result<()> {
+    let table = db.table_mut("call")?;
+    table.delete_where(|r| r.is_empty());
+    Ok(())
+}

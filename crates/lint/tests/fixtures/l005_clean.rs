@@ -1,0 +1,14 @@
+// L005 clean fixture (linted as a service file): approved primitives only.
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn session_state() -> Arc<Mutex<u64>> {
+    COUNTER.fetch_add(1, Ordering::Relaxed);
+    Arc::new(Mutex::new(0))
+}
+
+fn snapshot_slot() -> RwLock<u64> {
+    RwLock::new(0)
+}

@@ -1,0 +1,7 @@
+// L005 fixture (linted as a service file): static mut plus single-threaded
+// interior mutability in concurrency-sensitive code.
+static mut COUNTER: u64 = 0;
+
+fn session_state() -> std::cell::RefCell<u64> {
+    Default::default()
+}

@@ -1,0 +1,6 @@
+// kept for the doctest harness, which compiles but never calls it
+#[allow(dead_code)]
+fn unused() {}
+
+#[allow(clippy::too_many_arguments)] // all five binder contexts are needed
+fn bind(a: u8, b: u8, c: u8, d: u8, e: u8, f: u8, g: u8, h: u8) {}

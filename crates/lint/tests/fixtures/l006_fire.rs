@@ -1,0 +1,4 @@
+// L006 fixture: an allow attribute with no justification anywhere near it.
+
+#[allow(dead_code)]
+fn unused() {}

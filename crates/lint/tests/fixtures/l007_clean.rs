@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+//! A crate root (linted as src/lib.rs) with the required forbid.
+
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,5 @@
+//! A crate root (linted as src/lib.rs) that forgot the unsafe_code forbid.
+
+pub fn answer() -> u32 {
+    42
+}

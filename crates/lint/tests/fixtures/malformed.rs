@@ -1,0 +1,12 @@
+// Malformed-suppression fixture: each marker below is broken in a
+// different way and must surface as an L000 finding.
+fn noop() {}
+
+// beas-lint: allow(L004)
+fn missing_reason() {}
+
+// beas-lint: allow(L04) -- rule id too short
+fn bad_rule_id() {}
+
+// beas-lint: allow(Lnnn) -- placeholder digits
+fn placeholder_digits() {}

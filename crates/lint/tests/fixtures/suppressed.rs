@@ -1,0 +1,13 @@
+// Suppression fixture (linted as an engine file): the same L004 violations
+// as l004_fire.rs, each excused by a justified suppression — including one
+// whose justification continues over extra comment lines.
+fn load(db: &mut Database) -> Result<()> {
+    // beas-lint: allow(L004) -- fixture exercising the suppression syntax
+    let table = db.table_mut("call")?;
+    // beas-lint: allow(L004) -- a justification that needs more room
+    // continues over several comment lines before the code it excuses,
+    // and the suppression still covers the next code line
+    table.delete_where(|r| r.is_empty());
+    db.drop_table("scratch")?; // beas-lint: allow(L004) -- same-line form
+    Ok(())
+}

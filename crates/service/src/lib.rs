@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # beas-service
 //!
 //! A concurrent multi-session query service over the BEAS system — the

@@ -285,6 +285,13 @@ fn run_stress(readers: usize, min_iterations: usize, batch_list: &[Batch]) -> (u
         (covered, uncovered)
     });
 
+    // After the race, the published snapshot must be structurally sound:
+    // tables, every constraint index against its table, and the shared
+    // plan cache (debug builds only — the validators are compiled out of
+    // plain release builds).
+    #[cfg(debug_assertions)]
+    service.snapshot().check_invariants().unwrap();
+
     // Plan-cache accounting across all sessions: every submission —
     // covered or not — performs exactly one acquisition (admission and
     // execution share the prepared query).  Every lookup must be counted

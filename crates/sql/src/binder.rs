@@ -442,6 +442,9 @@ impl<'a> Binder<'a> {
 
     /// Bind an expression appearing after aggregation (projection or HAVING of
     /// an aggregate query) over the post-aggregation schema.
+    // the arguments are the five aggregation contexts resolution threads
+    // through recursion; a context struct would be built and torn down per
+    // bound expression for no reuse
     #[allow(clippy::too_many_arguments)]
     fn bind_over_aggregation(
         &self,
@@ -602,6 +605,9 @@ impl<'a> Binder<'a> {
         }
     }
 
+    // ORDER BY resolves against output aliases, the post-aggregation schema
+    // AND the pre-aggregation schema (SQL scoping rules); all three contexts
+    // plus the aggregate state are genuinely needed at once
     #[allow(clippy::too_many_arguments)]
     fn resolve_order_by(
         &self,

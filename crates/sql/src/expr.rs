@@ -465,6 +465,9 @@ impl fmt::Display for AggregateFunction {
 pub struct Accumulator {
     func: AggregateFunction,
     distinct: bool,
+    // beas-lint: allow(L002) -- DISTINCT de-dupes evaluated SQL values under
+    // SQL equality, not join/index keys; canonicalizing here would merge
+    // values SQL treats as distinct
     seen: HashSet<Value>,
     count: i64,
     sum: Value,

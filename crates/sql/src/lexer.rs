@@ -5,7 +5,6 @@ use std::fmt;
 
 /// Keywords recognised by the parser.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[allow(missing_docs)]
 pub enum Keyword {
     Select,
     Distinct,

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # beas-sql
 //!
 //! SQL front end for the BEAS workspace: a hand-written lexer, a

@@ -452,6 +452,136 @@ impl ConstraintIndex {
         out.sort_by(|x, y| cmp_rows(&x.0, &y.0));
         out
     }
+
+    /// Validate the extendible-hashing structure and the cached aggregates.
+    /// O(entries) — compiled only into debug builds and `--features
+    /// validate` builds.
+    ///
+    /// Checks:
+    /// 1. the directory has exactly `2^global_depth` slots and every slot
+    ///    points at an existing shard,
+    /// 2. a shard of local depth `d` is referenced by exactly
+    ///    `2^(global_depth - d)` slots, all agreeing on their low `d` bits,
+    /// 3. every stored key is canonical, has `X`-arity, and routes (via its
+    ///    hash) to the shard that holds it,
+    /// 4. buckets are non-empty, duplicate-free, and hold `Y`-arity rows,
+    /// 5. the cached per-shard and global `max_bucket` and the cached
+    ///    `entries` count match the stored data.
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    pub fn check_invariants(&self) -> Result<()> {
+        let fail = |msg: String| {
+            Err(BeasError::storage(format!(
+                "constraint index on {:?} invariant violated: {msg}",
+                self.table
+            )))
+        };
+        if self.directory.len() != 1usize << self.global_depth {
+            return fail(format!(
+                "directory has {} slots, expected 2^{}",
+                self.directory.len(),
+                self.global_depth
+            ));
+        }
+        let mut slots_of_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (slot, &sidx) in self.directory.iter().enumerate() {
+            match slots_of_shard.get_mut(sidx as usize) {
+                Some(slots) => slots.push(slot),
+                None => return fail(format!("slot {slot} points at missing shard {sidx}")),
+            }
+        }
+        for (sidx, (shard, slots)) in self.shards.iter().zip(&slots_of_shard).enumerate() {
+            if shard.local_depth > self.global_depth {
+                return fail(format!(
+                    "shard {sidx} local depth {} exceeds global depth {}",
+                    shard.local_depth, self.global_depth
+                ));
+            }
+            let expected = 1usize << (self.global_depth - shard.local_depth);
+            if slots.len() != expected {
+                return fail(format!(
+                    "shard {sidx} (depth {}) referenced by {} slots, expected {expected}",
+                    shard.local_depth,
+                    slots.len()
+                ));
+            }
+            let low_mask = (1usize << shard.local_depth) - 1;
+            let pattern = slots[0] & low_mask;
+            if slots.iter().any(|s| s & low_mask != pattern) {
+                return fail(format!(
+                    "shard {sidx} slots disagree on their low {} bits",
+                    shard.local_depth
+                ));
+            }
+            let max = shard.buckets.values().map(|b| b.len()).max().unwrap_or(0);
+            if shard.max_bucket != max {
+                return fail(format!(
+                    "shard {sidx} caches max bucket {} but holds {max}",
+                    shard.max_bucket
+                ));
+            }
+            for (key, bucket) in &shard.buckets {
+                if key.len() != self.x_indices.len() {
+                    return fail(format!("key {key:?} does not have X-arity"));
+                }
+                if !key.iter().all(beas_common::is_canonical_key_value) {
+                    return fail(format!("key {key:?} is not canonical"));
+                }
+                let home = self.directory[self.slot_of(Self::hash_key(&self.hasher, key))];
+                if home as usize != sidx {
+                    return fail(format!(
+                        "key {key:?} lives in shard {sidx} but routes to shard {home}"
+                    ));
+                }
+                if bucket.is_empty() {
+                    return fail(format!("key {key:?} has an empty bucket"));
+                }
+                for (i, y) in bucket.iter().enumerate() {
+                    if y.len() != self.y_indices.len() {
+                        return fail(format!("bucket of {key:?} holds a non-Y-arity row"));
+                    }
+                    if bucket[..i].contains(y) {
+                        return fail(format!("bucket of {key:?} holds duplicate {y:?}"));
+                    }
+                }
+            }
+        }
+        let stored: usize = self.buckets().map(|(_, b)| b.len()).sum();
+        if self.entries != stored {
+            return fail(format!(
+                "cached entry count {} != {stored} stored partial tuples",
+                self.entries
+            ));
+        }
+        let max = self.shards.iter().map(|s| s.max_bucket).max().unwrap_or(0);
+        if self.max_bucket != max {
+            return fail(format!(
+                "cached global max bucket {} but shards hold {max}",
+                self.max_bucket
+            ));
+        }
+        Ok(())
+    }
+
+    /// Validate that this (incrementally maintained) index holds exactly the
+    /// distinct partial tuples derivable from `table` — i.e. it equals an
+    /// index rebuilt from scratch.  O(rows log rows); validation builds only.
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    pub fn check_against_table(&self, table: &Table) -> Result<()> {
+        self.check_invariants()?;
+        let rebuilt = ConstraintIndex::build(table, &self.x_columns, &self.y_columns)?;
+        if self.sorted_entries() != rebuilt.sorted_entries() {
+            return Err(BeasError::storage(format!(
+                "constraint index on {:?} has drifted from its table: \
+                 {} keys / {} entries indexed vs {} keys / {} entries derivable",
+                self.table,
+                self.distinct_keys(),
+                self.entries,
+                rebuilt.distinct_keys(),
+                rebuilt.entries,
+            )));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -206,6 +206,67 @@ impl Database {
     pub fn statistics_uncached(&self, table: &str) -> Result<TableStatistics> {
         Ok(TableStatistics::collect(self.table(table)?))
     }
+
+    /// Validate the catalog's structural invariants and every table's.
+    /// O(total rows) — compiled only into debug builds and `--features
+    /// validate` builds.
+    ///
+    /// Checks:
+    /// 1. `table_generations` and `tables` hold exactly the same names, all
+    ///    lower-cased,
+    /// 2. no table generation exceeds the database generation (generations
+    ///    are stamped from the same lineage allocator, so a table can never
+    ///    be *newer* than the database it lives in),
+    /// 3. every memoized statistics entry refers to a live table and, when
+    ///    its generation is current, agrees with that table's row count,
+    /// 4. every table's own invariants hold ([`Table::check_invariants`]).
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    pub fn check_invariants(&self) -> Result<()> {
+        let fail = |msg: String| {
+            Err(BeasError::storage(format!(
+                "database invariant violated: {msg}"
+            )))
+        };
+        for name in self.tables.keys() {
+            if name != &name.to_ascii_lowercase() {
+                return fail(format!("table name {name:?} is not lower-cased"));
+            }
+            if !self.table_generations.contains_key(name) {
+                return fail(format!("table {name:?} has no generation stamp"));
+            }
+        }
+        for (name, &gen) in &self.table_generations {
+            if !self.tables.contains_key(name) {
+                return fail(format!("generation stamp for missing table {name:?}"));
+            }
+            if gen > self.generation {
+                return fail(format!(
+                    "table {name:?} generation {gen} exceeds database generation {}",
+                    self.generation
+                ));
+            }
+        }
+        {
+            let cache = self.statistics.0.lock().expect("stats cache lock");
+            for (name, (gen, stats)) in cache.iter() {
+                let Some(table) = self.tables.get(name) else {
+                    return fail(format!("memoized statistics for missing table {name:?}"));
+                };
+                let current = self.table_generations.get(name).copied().unwrap_or(0);
+                if *gen == current && stats.row_count != table.row_count() {
+                    return fail(format!(
+                        "current-generation statistics for {name:?} claim {} rows, table holds {}",
+                        stats.row_count,
+                        table.row_count()
+                    ));
+                }
+            }
+        }
+        for table in self.tables.values() {
+            table.check_invariants()?;
+        }
+        Ok(())
+    }
 }
 
 impl SchemaProvider for Database {

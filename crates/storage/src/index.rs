@@ -17,6 +17,9 @@ pub struct HashIndex {
     table: String,
     key_columns: Vec<String>,
     key_indices: Vec<usize>,
+    // beas-lint: allow(L002) -- build and probe keys are both drawn from
+    // stored rows, already schema-coerced on insert, so the mapping is
+    // symmetric without canonicalization
     map: HashMap<Vec<Value>, Vec<usize>>,
     entries: usize,
 }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # beas-storage
 //!
 //! In-memory relational storage for the BEAS workspace:

@@ -282,6 +282,58 @@ impl Table {
             .map(|r| r.iter().map(estimated_value_bytes).sum::<usize>())
             .sum()
     }
+
+    /// Validate the table's structural invariants.  O(rows) — compiled only
+    /// into debug builds and `--features validate` builds; tests call it
+    /// after every mutation step.
+    ///
+    /// Checks:
+    /// 1. segment `start` ids are contiguous and monotone (physical ids are
+    ///    dense positions),
+    /// 2. no segment is empty or larger than [`SEGMENT_ROWS`],
+    /// 3. `len` equals the sum of segment lengths,
+    /// 4. every stored row still validates against the schema (arity, types,
+    ///    NULLability) — insertion coerces, so storage must be well-typed.
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    pub fn check_invariants(&self) -> Result<()> {
+        let fail = |msg: String| {
+            Err(BeasError::storage(format!(
+                "table {:?} invariant violated: {msg}",
+                self.schema.name
+            )))
+        };
+        let mut next_start = 0usize;
+        for (i, seg) in self.segments.iter().enumerate() {
+            if seg.start != next_start {
+                return fail(format!(
+                    "segment {i} starts at {} but previous rows end at {next_start}",
+                    seg.start
+                ));
+            }
+            if seg.rows.is_empty() {
+                return fail(format!("segment {i} is empty"));
+            }
+            if seg.rows.len() > SEGMENT_ROWS {
+                return fail(format!(
+                    "segment {i} holds {} rows, over the {SEGMENT_ROWS} seal limit",
+                    seg.rows.len()
+                ));
+            }
+            next_start += seg.rows.len();
+        }
+        if self.len != next_start {
+            return fail(format!(
+                "cached len {} != {} rows stored in segments",
+                self.len, next_start
+            ));
+        }
+        for (id, row) in self.iter() {
+            if let Err(e) = self.validate_row(row) {
+                return fail(format!("stored row {id} fails schema validation: {e}"));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Rough in-memory footprint of one value, in bytes.

@@ -149,6 +149,8 @@ pub fn generate(config: &TlcConfig) -> Result<Database> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut db = Database::new();
     for table in schema::all_tables() {
+        // beas-lint: allow(L004) -- the generator builds a fresh database
+        // from scratch; there is no live system to route through
         db.create_table(table)?;
     }
     let customers = config.customers();

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # beas-tlc
 //!
 //! The TLC telecom benchmark used in the paper's evaluation, rebuilt

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # BEAS — Bounded Evaluation of SQL Queries
 //!
 //! A from-scratch Rust reproduction of the BEAS system (SIGMOD 2017 demo):

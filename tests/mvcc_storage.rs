@@ -76,6 +76,26 @@ fn table_rows(db: &Database) -> Vec<Row> {
     db.table("t").unwrap().rows_iter().cloned().collect()
 }
 
+/// Deep structural validation (segment layout, catalog/stats consistency)
+/// after every random step.  Active in debug builds and under
+/// `--features validate`; a no-op in plain release builds, where the
+/// validators are compiled out.
+fn check_db(db: &Database) {
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    db.check_invariants().unwrap();
+    #[cfg(not(any(debug_assertions, feature = "validate")))]
+    let _ = db;
+}
+
+/// Whole-system validation: database, every constraint index against its
+/// table, and the plan cache (see `BeasSystem::check_invariants`).
+fn check_system(system: &BeasSystem) {
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    system.check_invariants().unwrap();
+    #[cfg(not(any(debug_assertions, feature = "validate")))]
+    let _ = system;
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
 
@@ -113,16 +133,21 @@ proptest! {
                 }
                 Op::Snapshot => snapshots.push((db.clone(), shadow.clone())),
             }
-            // the live database tracks its deep shadow after every step
+            // the live database tracks its deep shadow after every step,
+            // and its internal structure stays valid (segment layout,
+            // catalog and stats-cache consistency)
             prop_assert_eq!(table_rows(&db), shadow.clone());
+            check_db(&db);
         }
-        // no snapshot was disturbed by anything that happened after it
+        // no snapshot was disturbed by anything that happened after it —
+        // and each one is still structurally valid on its own
         for (snap_db, snap_shadow) in &snapshots {
             prop_assert_eq!(&table_rows(snap_db), snap_shadow);
             prop_assert_eq!(
                 snap_db.table("t").unwrap().row_count(),
                 snap_shadow.len()
             );
+            check_db(snap_db);
         }
     }
 }
@@ -154,6 +179,10 @@ fn fork_copies_no_rows_and_no_index_buckets() {
             c.id()
         );
     }
+    // sharing everything left both sides structurally valid, with every
+    // index still equal to a from-scratch rebuild over its table
+    check_system(&system);
+    check_system(&fork);
 }
 
 /// Read-set validation end to end: a cached plan over one table keeps
@@ -198,4 +227,6 @@ fn cached_plans_survive_writes_to_unrelated_tables() {
     let stats = system.plan_cache_stats();
     assert_eq!(stats.invalidations, 1);
     assert_eq!(stats.misses, 2);
+    // maintenance writes left tables, indexes and the plan cache coherent
+    check_system(&system);
 }
