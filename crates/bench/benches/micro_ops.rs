@@ -7,7 +7,7 @@
 use beas_access::{check_conformance, discover, DiscoveryConfig};
 use beas_bench::BenchEnv;
 use beas_common::Value;
-use beas_engine::{Engine, OptimizerProfile, ParallelConfig};
+use beas_engine::{Engine, ExecProfile, OptimizerProfile, ParallelConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -167,6 +167,36 @@ fn micro(c: &mut Criterion) {
             ))
         })
     });
+
+    // Columnar-kernel path vs the row-at-a-time reference over the same
+    // queries and data.  `baseline_*` above already runs the default
+    // (vectorized) profile; these pinned pairs isolate the delta the
+    // differential harness (tests/vectorized_semantics.rs) proves is
+    // answer-invisible.  The row-vs-vectorized numbers are recorded in
+    // crates/bench/README.md.
+    {
+        let vectorized =
+            Engine::new(OptimizerProfile::PgLike).with_exec_profile(ExecProfile::Vectorized);
+        let rowpath =
+            Engine::new(OptimizerProfile::PgLike).with_exec_profile(ExecProfile::RowAtATime);
+        let q1 = env.q1();
+        let cases: [(&str, String); 3] = [
+            (
+                "scan_filter",
+                "select recnum from call where region = 'east'".into(),
+            ),
+            ("hash_join_q1", q1),
+            ("distinct", "select distinct region from call".into()),
+        ];
+        for (name, sql) in &cases {
+            group.bench_function(format!("vectorized_{name}"), |b| {
+                b.iter(|| black_box(vectorized.run(&env.baseline_db, sql).unwrap().rows.len()))
+            });
+            group.bench_function(format!("rowpath_{name}"), |b| {
+                b.iter(|| black_box(rowpath.run(&env.baseline_db, sql).unwrap().rows.len()))
+            });
+        }
+    }
 
     // Service-level paths: admission control (a cache-served coverage
     // check plus the routing decision) and N concurrent sessions sharing

@@ -1,0 +1,476 @@
+//! Columnar morsel representation for the vectorized execution path.
+//!
+//! A [`ColumnBatch`] is a column-major view of one morsel of rows: each
+//! column is either a typed array (`Vec<i64>` / `Vec<f64>`) when every
+//! non-NULL value in the morsel shares that type, or a generic array of
+//! `&Value` references otherwise.  NULLs are tracked out-of-band in a packed
+//! validity bitmap, so typed columns can hold a `0` sentinel at NULL slots
+//! without ambiguity.
+//!
+//! The batch *borrows* the underlying row segment — building one never
+//! clones a string — which is what makes kernel-style evaluation cheaper
+//! than the row path's per-row `Value` cloning.  The row engine remains the
+//! semantics reference: kernels evaluating over a batch must produce
+//! bit-identical results (see `tests/vectorized_semantics.rs`), and
+//! [`ColumnBatch::check_invariants`] pins the layout contract they rely on.
+
+#[cfg(any(debug_assertions, feature = "validate"))]
+use crate::error::{BeasError, Result};
+use crate::tuple::Row;
+use crate::value::Value;
+
+/// A SQL NULL with `'static` lifetime, so generic columns and accessors can
+/// hand out `&Value` for invalid slots without owning anything.
+pub const NULL_VALUE: Value = Value::Null;
+
+/// Column payload: typed fast-path arrays or the generic `Value` fallback.
+///
+/// Typed arrays hold `0` / `0.0` sentinels at slots whose validity bit is
+/// clear; the generic array keeps the original `&Value` (including
+/// `Value::Null` itself at invalid slots).
+#[derive(Debug, Clone)]
+pub enum ColumnData<'a> {
+    /// Every non-NULL value in the column is `Value::Int`.
+    Int(Vec<i64>),
+    /// Every non-NULL value in the column is `Value::Float`.
+    Float(Vec<f64>),
+    /// Mixed or non-numeric column: borrowed references into the morsel.
+    Generic(Vec<&'a Value>),
+}
+
+/// One column of a batch: payload plus the packed validity bitmap
+/// (bit `i` of word `i / 64` set ⇔ row `i` is non-NULL).
+#[derive(Debug, Clone)]
+pub struct Column<'a> {
+    data: ColumnData<'a>,
+    validity: Vec<u64>,
+    len: usize,
+}
+
+impl<'a> Column<'a> {
+    /// Number of rows in the column.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The column payload.
+    pub fn data(&self) -> &ColumnData<'a> {
+        &self.data
+    }
+
+    /// Whether row `i` holds a non-NULL value.
+    pub fn is_valid(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.validity[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// The packed validity words (`ceil(len / 64)` of them, tail bits zero).
+    pub fn validity_words(&self) -> &[u64] {
+        &self.validity
+    }
+
+    /// The value at row `i` as a reference, with no allocation.
+    ///
+    /// Typed columns materialize a stack-only `Value::Int` / `Value::Float`
+    /// inside [`ValueRef::Num`]; NULL slots come back as `&NULL_VALUE`.
+    pub fn value_ref(&self, i: usize) -> ValueRef<'_> {
+        if !self.is_valid(i) {
+            // Typed columns store a sentinel at invalid slots; surface the
+            // logical NULL instead.
+            if let ColumnData::Generic(vals) = &self.data {
+                return ValueRef::Ref(vals[i]);
+            }
+            return ValueRef::Ref(&NULL_VALUE);
+        }
+        match &self.data {
+            ColumnData::Int(vals) => ValueRef::Num(Value::Int(vals[i])),
+            ColumnData::Float(vals) => ValueRef::Num(Value::Float(vals[i])),
+            ColumnData::Generic(vals) => ValueRef::Ref(vals[i]),
+        }
+    }
+
+    /// The value at row `i` as an owned `Value` (clones strings — use
+    /// [`Column::value_ref`] in comparison kernels).
+    pub fn value_owned(&self, i: usize) -> Value {
+        match self.value_ref(i) {
+            ValueRef::Num(v) => v,
+            ValueRef::Ref(v) => v.clone(),
+        }
+    }
+}
+
+/// A borrowed-or-numeric value handle: comparison kernels read through
+/// [`ValueRef::get`] without ever cloning heap data.
+#[derive(Debug)]
+pub enum ValueRef<'a> {
+    /// A stack-materialized `Value::Int` / `Value::Float` from a typed array.
+    Num(Value),
+    /// A reference into the morsel (or a literal / materialized operand).
+    Ref(&'a Value),
+}
+
+impl ValueRef<'_> {
+    /// The underlying value.
+    pub fn get(&self) -> &Value {
+        match self {
+            ValueRef::Num(v) => v,
+            ValueRef::Ref(v) => v,
+        }
+    }
+}
+
+/// A column-major view of one morsel of rows.
+///
+/// Rows of differing arity are tolerated (missing cells read as NULL) so a
+/// batch can be built over any `&[Row]`, but in practice morsels come from
+/// one table segment and are uniform.
+#[derive(Debug, Clone)]
+pub struct ColumnBatch<'a> {
+    columns: Vec<Option<Column<'a>>>,
+    len: usize,
+}
+
+impl<'a> ColumnBatch<'a> {
+    /// Build a batch from a row morsel.  Column count is taken from the
+    /// first row; each column is typed `Int` / `Float` when every non-NULL
+    /// cell agrees on that type, generic otherwise.
+    pub fn from_rows(rows: &'a [Row]) -> Self {
+        Self::build(rows, None)
+    }
+
+    /// Build a batch materializing only the columns flagged in `needed`
+    /// (missing mask entries count as not needed).  Unbuilt columns read as
+    /// absent from [`ColumnBatch::column`] — callers must reference only
+    /// masked-in columns, which the engine's coverage check guarantees.
+    /// Over wide tables this is the difference between O(arity) and
+    /// O(referenced columns) work per morsel.
+    pub fn from_rows_masked(rows: &'a [Row], needed: &[bool]) -> Self {
+        Self::build(rows, Some(needed))
+    }
+
+    fn build(rows: &'a [Row], needed: Option<&[bool]>) -> Self {
+        let len = rows.len();
+        let arity = rows.first().map_or(0, |r| r.len());
+        let words = len.div_ceil(64);
+        let mut columns = Vec::with_capacity(arity);
+        for col in 0..arity {
+            if let Some(mask) = needed {
+                if !mask.get(col).copied().unwrap_or(false) {
+                    columns.push(None);
+                    continue;
+                }
+            }
+            // Pass 1: pick the narrowest representation that loses nothing.
+            let mut kind = CellKind::AllNull;
+            for row in rows {
+                kind = kind.meet(row.get(col).unwrap_or(&NULL_VALUE));
+                if kind == CellKind::Mixed {
+                    break;
+                }
+            }
+            // Pass 2: fill the payload and the validity bitmap.
+            let mut validity = vec![0u64; words];
+            let data = match kind {
+                CellKind::AllNull | CellKind::Int => {
+                    let mut vals = vec![0i64; len];
+                    for (i, row) in rows.iter().enumerate() {
+                        if let Some(Value::Int(v)) = row.get(col) {
+                            vals[i] = *v;
+                            validity[i / 64] |= 1u64 << (i % 64);
+                        }
+                    }
+                    ColumnData::Int(vals)
+                }
+                CellKind::Float => {
+                    let mut vals = vec![0f64; len];
+                    for (i, row) in rows.iter().enumerate() {
+                        if let Some(Value::Float(v)) = row.get(col) {
+                            vals[i] = *v;
+                            validity[i / 64] |= 1u64 << (i % 64);
+                        }
+                    }
+                    ColumnData::Float(vals)
+                }
+                CellKind::Mixed => {
+                    let mut vals = Vec::with_capacity(len);
+                    for (i, row) in rows.iter().enumerate() {
+                        let v = row.get(col).unwrap_or(&NULL_VALUE);
+                        if !v.is_null() {
+                            validity[i / 64] |= 1u64 << (i % 64);
+                        }
+                        vals.push(v);
+                    }
+                    ColumnData::Generic(vals)
+                }
+            };
+            columns.push(Some(Column {
+                data,
+                validity,
+                len,
+            }));
+        }
+        ColumnBatch { columns, len }
+    }
+
+    /// Number of rows in the batch.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column `i`, if present and materialized (masked-out columns of a
+    /// [`ColumnBatch::from_rows_masked`] batch read as absent).
+    pub fn column(&self, i: usize) -> Option<&Column<'a>> {
+        self.columns.get(i).and_then(|c| c.as_ref())
+    }
+
+    /// Batch-layout validator for the deep-validation builds: every column
+    /// has the batch's row count, the validity bitmap has exactly
+    /// `ceil(len / 64)` words with all tail bits clear, typed arrays hold
+    /// the `0` sentinel at invalid slots, and generic columns keep the
+    /// validity bit coherent with the `Value` tag (`bit set ⇔ non-NULL`).
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    pub fn check_invariants(&self) -> Result<()> {
+        let words = self.len.div_ceil(64);
+        for (c, col) in self.columns.iter().enumerate() {
+            let Some(col) = col else {
+                // Masked-out column: nothing was materialized to validate.
+                continue;
+            };
+            if col.len != self.len {
+                return Err(layout_err(format!(
+                    "column {c} has {} rows, batch has {}",
+                    col.len, self.len
+                )));
+            }
+            let data_len = match &col.data {
+                ColumnData::Int(v) => v.len(),
+                ColumnData::Float(v) => v.len(),
+                ColumnData::Generic(v) => v.len(),
+            };
+            if data_len != self.len {
+                return Err(layout_err(format!(
+                    "column {c} payload has {data_len} slots, batch has {}",
+                    self.len
+                )));
+            }
+            if col.validity.len() != words {
+                return Err(layout_err(format!(
+                    "column {c} validity has {} words, expected {words}",
+                    col.validity.len()
+                )));
+            }
+            if !self.len.is_multiple_of(64) {
+                if let Some(tail) = col.validity.last() {
+                    if tail >> (self.len % 64) != 0 {
+                        return Err(layout_err(format!(
+                            "column {c} validity tail bits set past row {}",
+                            self.len
+                        )));
+                    }
+                }
+            }
+            for i in 0..self.len {
+                let valid = col.is_valid(i);
+                match &col.data {
+                    ColumnData::Int(v) => {
+                        if !valid && v[i] != 0 {
+                            return Err(layout_err(format!(
+                                "column {c} row {i}: NULL slot holds Int sentinel {}",
+                                v[i]
+                            )));
+                        }
+                    }
+                    ColumnData::Float(v) => {
+                        if !valid && v[i] != 0.0 {
+                            return Err(layout_err(format!(
+                                "column {c} row {i}: NULL slot holds Float sentinel {}",
+                                v[i]
+                            )));
+                        }
+                    }
+                    ColumnData::Generic(v) => {
+                        if valid == v[i].is_null() {
+                            return Err(layout_err(format!(
+                                "column {c} row {i}: validity bit {valid} but value {:?}",
+                                v[i]
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(any(debug_assertions, feature = "validate"))]
+fn layout_err(msg: String) -> BeasError {
+    BeasError::execution(format!("ColumnBatch layout violation: {msg}"))
+}
+
+/// Representation chosen for a column, refined cell by cell.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CellKind {
+    AllNull,
+    Int,
+    Float,
+    Mixed,
+}
+
+impl CellKind {
+    fn meet(self, v: &Value) -> CellKind {
+        match (self, v) {
+            (k, Value::Null) => k,
+            (CellKind::AllNull | CellKind::Int, Value::Int(_)) => CellKind::Int,
+            (CellKind::AllNull | CellKind::Float, Value::Float(_)) => CellKind::Float,
+            _ => CellKind::Mixed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::date::Date;
+
+    fn date(s: &str) -> Value {
+        Value::Date(s.parse::<Date>().unwrap())
+    }
+
+    #[test]
+    fn typed_columns_and_validity() {
+        let rows: Vec<Row> = vec![
+            vec![Value::Int(1), Value::Float(1.5), Value::str("a")],
+            vec![Value::Null, Value::Null, Value::Null],
+            vec![Value::Int(3), Value::Float(-0.0), Value::str("c")],
+        ];
+        let batch = ColumnBatch::from_rows(&rows);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.arity(), 3);
+
+        let ints = batch.column(0).unwrap();
+        assert!(matches!(ints.data(), ColumnData::Int(v) if v == &vec![1, 0, 3]));
+        assert!(ints.is_valid(0) && !ints.is_valid(1) && ints.is_valid(2));
+        assert_eq!(ints.value_owned(1), Value::Null);
+        assert_eq!(ints.value_owned(2), Value::Int(3));
+
+        let floats = batch.column(1).unwrap();
+        assert!(matches!(floats.data(), ColumnData::Float(_)));
+        // -0.0 survives bit-exact in the typed array.
+        match floats.data() {
+            ColumnData::Float(v) => assert!(v[2] == 0.0 && v[2].is_sign_negative()),
+            other => panic!("expected Float column, got {other:?}"),
+        }
+
+        let strs = batch.column(2).unwrap();
+        assert!(matches!(strs.data(), ColumnData::Generic(_)));
+        assert_eq!(strs.value_owned(0), Value::str("a"));
+        assert!(!strs.is_valid(1));
+
+        batch.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn mixed_numeric_column_stays_generic() {
+        // Int(1) and Float(1.0) are SQL-equal but not the same Value; a
+        // typed array would erase the distinction, so the column must fall
+        // back to generic references.
+        let rows: Vec<Row> = vec![vec![Value::Int(1)], vec![Value::Float(1.0)]];
+        let batch = ColumnBatch::from_rows(&rows);
+        let col = batch.column(0).unwrap();
+        assert!(matches!(col.data(), ColumnData::Generic(_)));
+        assert_eq!(col.value_owned(0), Value::Int(1));
+        assert_eq!(col.value_owned(1), Value::Float(1.0));
+        batch.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn all_null_column_and_empty_batch() {
+        let rows: Vec<Row> = vec![vec![Value::Null], vec![Value::Null]];
+        let batch = ColumnBatch::from_rows(&rows);
+        let col = batch.column(0).unwrap();
+        assert!(matches!(col.data(), ColumnData::Int(_)));
+        assert!(!col.is_valid(0) && !col.is_valid(1));
+        assert_eq!(col.value_owned(0), Value::Null);
+        batch.check_invariants().unwrap();
+
+        let empty: Vec<Row> = vec![];
+        let batch = ColumnBatch::from_rows(&empty);
+        assert_eq!(batch.len(), 0);
+        assert_eq!(batch.arity(), 0);
+        batch.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn nan_and_dates_round_trip() {
+        let rows: Vec<Row> = vec![
+            vec![Value::Float(f64::NAN), date("2016-01-02")],
+            vec![Value::Float(2.5), Value::str("2016-01-02")],
+        ];
+        let batch = ColumnBatch::from_rows(&rows);
+        match batch.column(0).unwrap().data() {
+            ColumnData::Float(v) => assert!(v[0].is_nan() && v[1] == 2.5),
+            other => panic!("expected Float column, got {other:?}"),
+        }
+        // Date and date-shaped Str mix → generic, values preserved verbatim.
+        let col = batch.column(1).unwrap();
+        assert!(matches!(col.data(), ColumnData::Generic(_)));
+        assert_eq!(col.value_owned(0), date("2016-01-02"));
+        assert_eq!(col.value_owned(1), Value::str("2016-01-02"));
+        batch.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn masked_build_materializes_only_needed_columns() {
+        let rows: Vec<Row> = vec![
+            vec![Value::Int(1), Value::str("a"), Value::Float(1.5)],
+            vec![Value::Int(2), Value::str("b"), Value::Null],
+        ];
+        // Mask shorter than the arity: missing entries count as not needed.
+        let batch = ColumnBatch::from_rows_masked(&rows, &[false, true]);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.arity(), 3);
+        assert!(batch.column(0).is_none());
+        assert!(batch.column(2).is_none());
+        let strs = batch.column(1).unwrap();
+        assert_eq!(strs.value_owned(0), Value::str("a"));
+        assert_eq!(strs.value_owned(1), Value::str("b"));
+        batch.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn validity_bitmap_spans_word_boundaries() {
+        // 130 rows > two 64-bit words: NULL every third row.
+        let rows: Vec<Row> = (0..130)
+            .map(|i| {
+                vec![if i % 3 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(i)
+                }]
+            })
+            .collect();
+        let batch = ColumnBatch::from_rows(&rows);
+        let col = batch.column(0).unwrap();
+        assert_eq!(col.validity_words().len(), 3);
+        for i in 0..130usize {
+            assert_eq!(col.is_valid(i), i % 3 != 0, "row {i}");
+        }
+        batch.check_invariants().unwrap();
+    }
+}

@@ -111,6 +111,62 @@ pub fn join_key<R: crate::rowref::ValueRow + ?Sized>(
     Some(key)
 }
 
+/// Hash one key value under the canonical normalization, without allocating.
+///
+/// Returns `None` for unjoinable values (NULL / NaN).  For any two joinable
+/// values `a` and `b` with `a.sql_eq(&b) == Some(true)` the hashes are equal:
+/// `Value`'s own `Hash` already folds the numeric family (`Int(3)`,
+/// `Float(3.0)` and `-0.0` hash alike), so only date-shaped strings need the
+/// explicit [`canonical_key_value`] rewrite before hashing.  Uses the
+/// fixed-key [`DefaultHasher`](std::collections::hash_map::DefaultHasher) so
+/// hashes are deterministic across processes — the vectorized join kernels
+/// key their build tables on these u64s directly.
+pub fn canonical_hash(v: &Value) -> Option<u64> {
+    use std::hash::Hasher as _;
+    if !joinable(v) {
+        return None;
+    }
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    hash_canonical_into(v, &mut h);
+    Some(h.finish())
+}
+
+/// Hash the join key of `row` over the columns `indices`, or `None` if any
+/// key value is unjoinable — the zero-allocation counterpart of
+/// [`join_key`], for the batched hash kernels: equal [`join_key`]s always
+/// produce equal hashes (kernels must still verify candidates value-wise,
+/// since distinct keys can collide on 64 bits).
+pub fn canonical_key_hash<R: crate::rowref::ValueRow + ?Sized>(
+    row: &R,
+    indices: &[usize],
+) -> Option<u64> {
+    use std::hash::Hasher as _;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for &i in indices {
+        let v = row.value_at(i)?;
+        if !joinable(v) {
+            return None;
+        }
+        hash_canonical_into(v, &mut h);
+    }
+    Some(h.finish())
+}
+
+/// Feed one value into a hasher under canonical-key equality.
+fn hash_canonical_into(v: &Value, h: &mut impl std::hash::Hasher) {
+    use std::hash::Hash as _;
+    match v {
+        // Date-shaped strings must hash as the Date they normalize to;
+        // unparsable date-shaped strings stay strings.
+        Value::Str(s) if has_date_shape(s) => match s.parse::<crate::date::Date>() {
+            Ok(d) => Value::Date(d).hash(h),
+            Err(_) => v.hash(h),
+        },
+        // Everything else already hashes canonically via Value's Hash.
+        other => other.hash(h),
+    }
+}
+
 /// Canonicalize an index key in place-of: unlike [`join_key`] this keeps NULL
 /// (grouping semantics — a constraint index groups rows by key the way
 /// DISTINCT does, so NULL keys share a bucket).
@@ -223,5 +279,85 @@ mod tests {
         let key = index_key([Value::Null, Value::str("2016-07-04")]);
         assert!(key[0].is_null());
         assert_eq!(key[1].data_type(), Some(crate::types::DataType::Date));
+    }
+
+    #[test]
+    fn canonical_hash_agrees_with_canonical_equality() {
+        let pool = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(1),
+            Value::Int(0),
+            Value::Int(i64::MAX),
+            Value::Float(1.0),
+            Value::Float(-0.0),
+            Value::Float(0.0),
+            Value::Float(2.5),
+            Value::Float(f64::NAN),
+            Value::Float(9.223372036854776e18),
+            Value::str("2016-07-04"),
+            Value::str("2016-99-99"), // date-shaped but unparsable
+            Value::str("abc"),
+            Value::Date(Date::new(2016, 7, 4).unwrap()),
+        ];
+        for v in &pool {
+            assert_eq!(canonical_hash(v).is_none(), !joinable(v), "{v}");
+        }
+        for a in &pool {
+            for b in &pool {
+                let (Some(ha), Some(hb)) = (canonical_hash(a), canonical_hash(b)) else {
+                    continue;
+                };
+                if a.sql_eq(b) == Some(true) {
+                    assert_eq!(ha, hb, "{a} vs {b}: sql-equal values must hash equal");
+                }
+            }
+        }
+        // Deterministic across calls (fixed-key hasher).
+        assert_eq!(
+            canonical_hash(&Value::str("2016-07-04")),
+            canonical_hash(&Value::Date(Date::new(2016, 7, 4).unwrap()))
+        );
+    }
+
+    #[test]
+    fn canonical_key_hash_agrees_with_join_key() {
+        let rows: Vec<Vec<Value>> = vec![
+            vec![Value::Int(3), Value::str("2016-07-04")],
+            vec![
+                Value::Float(3.0),
+                Value::Date(Date::new(2016, 7, 4).unwrap()),
+            ],
+            vec![Value::Float(-0.0), Value::str("abc")],
+            vec![Value::Int(0), Value::str("abc")],
+            vec![Value::Null, Value::str("abc")],
+            vec![Value::Float(f64::NAN), Value::str("abc")],
+        ];
+        let idx = [0usize, 1];
+        for r in &rows {
+            assert_eq!(
+                join_key(r.as_slice(), &idx).is_none(),
+                canonical_key_hash(r.as_slice(), &idx).is_none(),
+                "{r:?}"
+            );
+        }
+        for a in &rows {
+            for b in &rows {
+                let (Some(ka), Some(kb)) =
+                    (join_key(a.as_slice(), &idx), join_key(b.as_slice(), &idx))
+                else {
+                    continue;
+                };
+                if ka == kb {
+                    assert_eq!(
+                        canonical_key_hash(a.as_slice(), &idx),
+                        canonical_key_hash(b.as_slice(), &idx),
+                        "{a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+        // Out-of-bounds column behaves like join_key: no key, no hash.
+        assert!(canonical_key_hash(rows[0].as_slice(), &[5]).is_none());
     }
 }

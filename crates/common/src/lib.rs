@@ -10,6 +10,7 @@
 //! and planning so that every other crate in the workspace can depend on it
 //! without cycles.
 
+pub mod batch;
 pub mod date;
 pub mod error;
 pub mod key;
@@ -22,9 +23,13 @@ pub mod tuple;
 pub mod types;
 pub mod value;
 
+pub use batch::{Column, ColumnBatch, ColumnData, ValueRef, NULL_VALUE};
 pub use date::Date;
 pub use error::{BeasError, Result};
-pub use key::{canonical_key_value, index_key, is_canonical_key_value, join_key, joinable};
+pub use key::{
+    canonical_hash, canonical_key_hash, canonical_key_value, index_key, is_canonical_key_value,
+    join_key, joinable,
+};
 pub use morsel::{
     default_workers, morsel_count, morsel_range, scatter, MorselQueue, ScatterOutcome, MORSEL_ROWS,
 };

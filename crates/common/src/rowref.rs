@@ -8,7 +8,7 @@
 //!
 //! A [`RowRef`] is a logical row assembled from *segments* that are either
 //! borrowed (`&[Value]` into a base table or a constraint-index bucket) or
-//! shared (`Arc<[Value]>` produced by a projection or a computed key).
+//! shared (`Arc<Row>` produced by a projection or a computed key).
 //! Operators move `RowRef`s, not values:
 //!
 //! * a scan yields one single-segment borrowed `RowRef` per table row — no
@@ -20,7 +20,11 @@
 //!   the logical values), so duplicate elimination clones nothing.
 //!
 //! A row only becomes an owned [`Row`] again at the query boundary
-//! ([`RowRef::to_row`]) or when an expression produces new values.
+//! ([`RowRef::into_row`] moves sole-owner shared segments instead of
+//! cloning them) or when an expression produces new values.  The common
+//! single-segment row — every scanned or freshly projected row — stores its
+//! segment inline, so building one performs no allocation beyond the values
+//! themselves.
 //!
 //! [`ValueRow`] is the tiny accessor trait that lets the expression
 //! evaluator (`beas_sql::evaluate`) read positions from either
@@ -71,8 +75,10 @@ impl ValueRow for Vec<Value> {
 pub enum RowSeg<'a> {
     /// Borrowed from storage (a base table or an index bucket).
     Slice(&'a [Value]),
-    /// Computed values shared between the rows that contain them.
-    Shared(Arc<[Value]>),
+    /// Computed values shared between the rows that contain them.  The row
+    /// is boxed whole so a sole owner can move it back out at the query
+    /// boundary ([`RowRef::into_row`]) without cloning the values.
+    Shared(Arc<Row>),
 }
 
 impl RowSeg<'_> {
@@ -85,15 +91,21 @@ impl RowSeg<'_> {
 }
 
 /// A logical row assembled from borrowed/shared segments; cheap to clone.
+///
+/// The first segment is stored inline: the overwhelmingly common
+/// single-segment row (a scanned base row, a projected row) allocates
+/// nothing beyond its values — only multi-segment rows (join outputs) touch
+/// the spill vector.
 #[derive(Debug, Clone, Default)]
 pub struct RowRef<'a> {
-    segs: Vec<RowSeg<'a>>,
+    head: Option<RowSeg<'a>>,
+    tail: Vec<RowSeg<'a>>,
 }
 
 impl<'a> RowRef<'a> {
     /// The empty row (arity 0) — the initial bounded-execution context.
     pub fn empty() -> Self {
-        RowRef { segs: Vec::new() }
+        RowRef::default()
     }
 
     /// A row borrowing `values` without copying them.
@@ -103,54 +115,72 @@ impl<'a> RowRef<'a> {
         r
     }
 
-    /// A row owning freshly computed `values`.
+    /// A row owning freshly computed `values` (no copy of the values).
     pub fn owned(values: Vec<Value>) -> Self {
-        RowRef::shared(Arc::from(values))
+        RowRef::shared(Arc::new(values))
     }
 
     /// A row over an already-shared block of values.
-    pub fn shared(values: Arc<[Value]>) -> Self {
+    pub fn shared(values: Arc<Row>) -> Self {
         let mut r = RowRef::empty();
         r.push_shared(values);
         r
     }
 
+    fn push_seg(&mut self, seg: RowSeg<'a>) {
+        if self.head.is_none() && self.tail.is_empty() {
+            self.head = Some(seg);
+        } else {
+            self.tail.push(seg);
+        }
+    }
+
+    /// The segments in logical order.
+    fn segs(&self) -> impl Iterator<Item = &RowSeg<'a>> {
+        self.head.iter().chain(self.tail.iter())
+    }
+
     /// Append a borrowed segment (no-op for empty slices).
     pub fn push_slice(&mut self, values: &'a [Value]) {
         if !values.is_empty() {
-            self.segs.push(RowSeg::Slice(values));
+            self.push_seg(RowSeg::Slice(values));
         }
     }
 
     /// Append a shared segment (no-op for empty blocks).
-    pub fn push_shared(&mut self, values: Arc<[Value]>) {
+    pub fn push_shared(&mut self, values: Arc<Row>) {
         if !values.is_empty() {
-            self.segs.push(RowSeg::Shared(values));
+            self.push_seg(RowSeg::Shared(values));
         }
     }
 
     /// Concatenate two rows by appending segments — the join primitive.
     pub fn concat(&self, other: &RowRef<'a>) -> RowRef<'a> {
-        let mut segs = Vec::with_capacity(self.segs.len() + other.segs.len());
-        segs.extend(self.segs.iter().cloned());
-        segs.extend(other.segs.iter().cloned());
-        RowRef { segs }
+        let mut out = RowRef::empty();
+        let total = self.segs().count() + other.segs().count();
+        if total > 1 {
+            out.tail.reserve(total - 1);
+        }
+        for seg in self.segs().chain(other.segs()) {
+            out.push_seg(seg.clone());
+        }
+        out
     }
 
     /// Number of logical values.
     pub fn len(&self) -> usize {
-        self.segs.iter().map(|s| s.values().len()).sum()
+        self.segs().map(|s| s.values().len()).sum()
     }
 
     /// Whether the row has no values.
     pub fn is_empty(&self) -> bool {
-        self.segs.is_empty()
+        self.head.is_none()
     }
 
     /// Value at logical position `i`.
     pub fn get(&self, i: usize) -> Option<&Value> {
         let mut offset = i;
-        for seg in &self.segs {
+        for seg in self.segs() {
             let vals = seg.values();
             if offset < vals.len() {
                 return Some(&vals[offset]);
@@ -162,14 +192,29 @@ impl<'a> RowRef<'a> {
 
     /// Iterate the logical values left to right.
     pub fn values(&self) -> impl Iterator<Item = &Value> {
-        self.segs.iter().flat_map(|s| s.values().iter())
+        self.segs().flat_map(|s| s.values().iter())
     }
 
-    /// Materialize an owned row (done once, at the query boundary).
+    /// Materialize an owned row without consuming the reference.
     pub fn to_row(&self) -> Row {
         let mut out = Vec::with_capacity(self.len());
         out.extend(self.values().cloned());
         out
+    }
+
+    /// Materialize an owned row, consuming the reference — the query
+    /// boundary.  A single-segment shared row whose values have no other
+    /// owner (the common projected-row case) is moved out without cloning
+    /// a single value; everything else copies like [`RowRef::to_row`].
+    pub fn into_row(mut self) -> Row {
+        if self.tail.is_empty() {
+            return match self.head.take() {
+                Some(RowSeg::Shared(a)) => Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()),
+                Some(RowSeg::Slice(s)) => s.to_vec(),
+                None => Vec::new(),
+            };
+        }
+        self.to_row()
     }
 }
 
@@ -279,7 +324,7 @@ mod tests {
     fn empty_segments_are_skipped() {
         let mut r = RowRef::empty();
         r.push_slice(&[]);
-        r.push_shared(Vec::new().into());
+        r.push_shared(Arc::new(Vec::new()));
         assert!(r.is_empty());
         assert_eq!(r.len(), 0);
         assert_eq!(RowRef::empty(), r);

@@ -276,7 +276,7 @@ pub(crate) fn retain_matching<R: beas_common::ValueRow>(
 }
 
 /// Distinct fetch key → (shared X-prefix segment, borrowed index bucket).
-type FetchBuckets<'a> = HashMap<Vec<Value>, (Arc<[Value]>, &'a [Row])>;
+type FetchBuckets<'a> = HashMap<Vec<Value>, (Arc<Row>, &'a [Row])>;
 
 /// Fetch the buckets of `keys`, partitioning the key set across scoped
 /// worker threads when it is large enough to pay for them.
@@ -319,7 +319,7 @@ fn fetch_buckets_keyed<'a>(
         accessed += chunk_accessed;
         for bucket in chunk_buckets {
             let key = key_iter.next().expect("bucket per key");
-            let x_prefix: Arc<[Value]> = key[..x_len].to_vec().into();
+            let x_prefix: Arc<Row> = Arc::new(key[..x_len].to_vec());
             buckets.insert(key.clone(), (x_prefix, bucket));
         }
     }

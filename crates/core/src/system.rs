@@ -25,7 +25,9 @@ use beas_access::{
     MaintenanceOutcome, MaintenancePolicy,
 };
 use beas_common::{BeasError, QuotaTracker, Result, Row, Schema};
-use beas_engine::{Engine, ExecutionMetrics, OptimizerProfile, ParallelConfig, PlanCacheStats};
+use beas_engine::{
+    Engine, ExecProfile, ExecutionMetrics, OptimizerProfile, ParallelConfig, PlanCacheStats,
+};
 use beas_sql::{parse_select, Binder, BoundQuery};
 use beas_storage::Database;
 use std::collections::HashMap;
@@ -366,7 +368,9 @@ impl BeasSystem {
 
     /// Replace the conventional engine used for fallback / residual plans.
     pub fn with_fallback_profile(mut self, profile: OptimizerProfile) -> Self {
-        self.fallback = Engine::new(profile).with_parallelism(self.fallback.parallelism());
+        self.fallback = Engine::new(profile)
+            .with_parallelism(self.fallback.parallelism())
+            .with_exec_profile(self.fallback.exec_profile());
         self
     }
 
@@ -387,6 +391,21 @@ impl BeasSystem {
     /// The fallback engine's morsel-parallelism configuration.
     pub fn parallel_fallback(&self) -> ParallelConfig {
         self.fallback.parallelism()
+    }
+
+    /// Choose how the fallback engine *executes* plans: the columnar kernel
+    /// path (the default) or the row-at-a-time reference pipeline.  Like
+    /// parallelism this is a physical property — answers, order, errors and
+    /// tuple accounting are identical under every profile, and cached plans
+    /// stay valid across knob changes.
+    pub fn with_exec_fallback(mut self, exec: ExecProfile) -> Self {
+        self.fallback = self.fallback.with_exec_profile(exec);
+        self
+    }
+
+    /// The fallback engine's execution profile.
+    pub fn exec_fallback(&self) -> ExecProfile {
+        self.fallback.exec_profile()
     }
 
     /// Tune the bounded fetch stage's parallelism threshold: the minimum
@@ -1410,6 +1429,34 @@ mod tests {
         // profile changes preserve the parallel setting
         let beas = beas.with_fallback_profile(OptimizerProfile::MySqlLike);
         assert_eq!(beas.parallel_fallback(), ParallelConfig::serial());
+    }
+
+    #[test]
+    fn exec_fallback_knob_keeps_answers_and_cached_plans() {
+        // Same contract as the parallelism knob: the execution profile is a
+        // physical property, so answers match the default bit for bit and
+        // cached plans survive flips without invalidation.
+        let reference = system().execute_sql(UNCOVERED).unwrap();
+        for exec in ExecProfile::all() {
+            let beas = system().with_exec_fallback(exec);
+            assert_eq!(beas.exec_fallback(), exec);
+            let got = beas.execute_sql(UNCOVERED).unwrap();
+            assert_eq!(
+                format!("{:?}", got.rows),
+                format!("{:?}", reference.rows),
+                "{exec} answers must match the default"
+            );
+            let beas = beas.with_exec_fallback(ExecProfile::RowAtATime);
+            let flipped = beas.execute_sql(UNCOVERED).unwrap();
+            assert_eq!(flipped.rows, got.rows);
+            let stats = beas.plan_cache_stats();
+            assert_eq!(stats.hits, 1);
+            assert_eq!(stats.invalidations, 0);
+        }
+        // optimizer-profile changes preserve the execution profile
+        let beas = system().with_exec_fallback(ExecProfile::RowAtATime);
+        let beas = beas.with_fallback_profile(OptimizerProfile::MySqlLike);
+        assert_eq!(beas.exec_fallback(), ExecProfile::RowAtATime);
     }
 
     #[test]

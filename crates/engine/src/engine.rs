@@ -1,10 +1,10 @@
 //! The baseline engine facade: parse → bind → plan → execute.
 
-use crate::executor::{execute_with_quota, ParallelConfig};
+use crate::executor::{execute_with_profile, ParallelConfig};
 use crate::metrics::ExecutionMetrics;
 use crate::plan::LogicalPlan;
 use crate::planner::Planner;
-use crate::profile::OptimizerProfile;
+use crate::profile::{ExecProfile, OptimizerProfile};
 use beas_common::{QuotaTracker, Result, Row, Schema};
 use beas_sql::{parse_select, Binder, BoundQuery};
 use beas_storage::Database;
@@ -53,6 +53,7 @@ impl QueryResult {
 pub struct Engine {
     profile: OptimizerProfile,
     parallel: ParallelConfig,
+    exec: ExecProfile,
 }
 
 impl Default for Engine {
@@ -67,6 +68,7 @@ impl Engine {
         Engine {
             profile,
             parallel: ParallelConfig::default(),
+            exec: ExecProfile::default(),
         }
     }
 
@@ -86,6 +88,19 @@ impl Engine {
     /// The engine's morsel-parallelism configuration.
     pub fn parallelism(&self) -> ParallelConfig {
         self.parallel
+    }
+
+    /// Replace the execution profile (columnar kernels vs the row-at-a-time
+    /// reference pipeline).  Like parallelism this is a physical property:
+    /// answers, order, errors and tuple accounting never change.
+    pub fn with_exec_profile(mut self, exec: ExecProfile) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// The engine's execution profile.
+    pub fn exec_profile(&self) -> ExecProfile {
+        self.exec
     }
 
     /// Parse and bind a SQL string against `db`.
@@ -132,7 +147,7 @@ impl Engine {
     ) -> Result<QueryResult> {
         let plan = self.plan(db, query)?;
         let mut metrics = ExecutionMetrics::new();
-        let rows = execute_with_quota(&plan, db, &mut metrics, self.parallel, quota)?;
+        let rows = execute_with_profile(&plan, db, &mut metrics, self.parallel, self.exec, quota)?;
         Ok(QueryResult {
             rows,
             schema: query.output_schema.clone(),

@@ -82,6 +82,10 @@
 
 use crate::metrics::{ExecutionMetrics, MorselStats};
 use crate::plan::{JoinAlgorithm, LogicalPlan};
+use crate::profile::ExecProfile;
+use crate::vectorized::{
+    build_join_table, kernels_cover, probe_join_table, run_morsel_auto, run_morsel_vectorized,
+};
 use beas_common::{
     join_key, scatter, BeasError, MorselQueue, QuotaTracker, Result, Row, RowRef, RowStream, Value,
     MORSEL_ROWS,
@@ -188,18 +192,37 @@ pub fn execute_with_quota(
     parallel: ParallelConfig,
     quota: Option<&QuotaTracker>,
 ) -> Result<Vec<Row>> {
+    execute_with_profile(plan, db, metrics, parallel, ExecProfile::default(), quota)
+}
+
+/// Execute a logical plan under an explicit [`ExecProfile`]: the vectorized
+/// profiles evaluate covered leaf fragments with columnar kernels over
+/// per-morsel [`beas_common::ColumnBatch`]es, falling back to the row path
+/// per morsel for uncovered shapes or kernel errors.  Rows, order, error
+/// kind and position, `tuples_accessed` and quota charging are identical
+/// across profiles by construction (`tests/vectorized_semantics.rs`).
+pub fn execute_with_profile(
+    plan: &LogicalPlan,
+    db: &Database,
+    metrics: &mut ExecutionMetrics,
+    parallel: ParallelConfig,
+    exec: ExecProfile,
+    quota: Option<&QuotaTracker>,
+) -> Result<Vec<Row>> {
     let start = Instant::now();
     let ctx = BuildCtx {
         parallel,
         lazy: false,
         quota,
+        exec,
     };
     let mut root = build_operator(plan, db, None, ctx)?;
     // Single materialization point: pipelined rows become owned rows only
-    // when they leave the executor.
+    // when they leave the executor (`into_row` moves sole-owner projected
+    // rows instead of cloning their values).
     let mut out: Vec<Row> = Vec::new();
     while let Some(row) = root.next()? {
-        out.push(row.to_row());
+        out.push(row.into_row());
     }
     root.record(metrics);
     metrics.elapsed = start.elapsed();
@@ -229,6 +252,8 @@ struct BuildCtx<'a> {
     lazy: bool,
     /// Session quota charged by every base-data access path.
     quota: Option<&'a QuotaTracker>,
+    /// Row-at-a-time vs columnar kernel execution for leaf fragments.
+    exec: ExecProfile,
 }
 
 impl BuildCtx<'_> {
@@ -266,6 +291,11 @@ fn build_operator<'a>(
     // A maximal Scan → Filter*/Project* chain may run morsel-parallel as a
     // whole; the exchange replaces the entire fragment.
     if let Some(op) = try_exchange(plan, db, limit, ctx, ExchangePartial::Append)? {
+        return Ok(op);
+    }
+    // A fragment too small (or too serial) for the exchange may still run
+    // its morsels through the columnar kernels.
+    if let Some(op) = try_vectorized(plan, db, ctx, false)? {
         return Ok(op);
     }
     Ok(match plan {
@@ -315,6 +345,7 @@ fn build_operator<'a>(
                     keys.iter().map(|(l, _)| *l).collect(),
                     keys.iter().map(|(_, r)| *r).collect(),
                     label,
+                    ctx.exec.vectorized(),
                 )),
                 _ => Box::new(NestedLoopJoinOp::new(
                     left,
@@ -371,7 +402,12 @@ fn build_operator<'a>(
             // the surviving set and order equal the serial run's.
             let input = match try_exchange(input, db, None, ctx, ExchangePartial::Dedupe)? {
                 Some(op) => op,
-                None => build_operator(input, db, None, ctx)?,
+                // The serial vectorized path pre-deduplicates per morsel
+                // with batched hashes, mirroring the exchange's partial.
+                None => match try_vectorized(input, db, ctx, true)? {
+                    Some(op) => op,
+                    None => build_operator(input, db, None, ctx)?,
+                },
             };
             Box::new(DistinctOp {
                 input,
@@ -422,7 +458,7 @@ fn build_operator<'a>(
 
 /// One streaming operator of a leaf pipeline fragment.
 #[derive(Debug, Clone, Copy)]
-enum FragOp<'a> {
+pub(crate) enum FragOp<'a> {
     /// Filter by a predicate (baseline error semantics: errors propagate).
     Filter(&'a BoundExpr),
     /// Project through output expressions.
@@ -432,10 +468,10 @@ enum FragOp<'a> {
 /// A parallelizable leaf pipeline: a base-table scan under any stack of
 /// fully streaming per-row operators, innermost first.
 #[derive(Debug, Clone)]
-struct Fragment<'a> {
-    table: &'a str,
-    scan_label: String,
-    ops: Vec<FragOp<'a>>,
+pub(crate) struct Fragment<'a> {
+    pub(crate) table: &'a str,
+    pub(crate) scan_label: String,
+    pub(crate) ops: Vec<FragOp<'a>>,
 }
 
 /// The maximal Scan → Filter*/Project* chain rooted at `plan`, if the whole
@@ -483,21 +519,30 @@ enum ExchangePartial<'a> {
 }
 
 /// The output of one morsel run through a fragment.
-struct MorselRun<'a> {
-    rows: Vec<RowRef<'a>>,
+pub(crate) struct MorselRun<'a> {
+    pub(crate) rows: Vec<RowRef<'a>>,
     /// First evaluation error, terminating the morsel at its position.
-    error: Option<BeasError>,
+    pub(crate) error: Option<BeasError>,
     /// Base rows read (== the morsel length; whole morsels are processed).
-    scanned: u64,
+    pub(crate) scanned: u64,
     /// Rows produced by each fragment operator, aligned with
     /// [`Fragment::ops`].
-    op_rows_out: Vec<u64>,
+    pub(crate) op_rows_out: Vec<u64>,
 }
 
 /// Run `frag` over one morsel (a slice of one storage segment).  With
 /// `dedupe`, rows that duplicate an earlier row of the same morsel are
-/// dropped.
-fn run_fragment_morsel<'a>(frag: &Fragment<'a>, morsel: &'a [Row], dedupe: bool) -> MorselRun<'a> {
+/// dropped.  With `quota`, one tuple is charged *before* each row is
+/// evaluated — the serial scan's interleaving, so the trip point and the
+/// ordering of quota trips versus evaluation errors match the serial pull
+/// pipeline exactly (the parallel exchange charges per morsel instead and
+/// passes `None`).
+pub(crate) fn run_fragment_morsel<'a>(
+    frag: &Fragment<'a>,
+    morsel: &'a [Row],
+    dedupe: bool,
+    quota: Option<&QuotaTracker>,
+) -> MorselRun<'a> {
     let mut run = MorselRun {
         rows: Vec::new(),
         error: None,
@@ -506,6 +551,12 @@ fn run_fragment_morsel<'a>(frag: &Fragment<'a>, morsel: &'a [Row], dedupe: bool)
     };
     let mut seen: Option<HashSet<RowRef<'a>>> = dedupe.then(HashSet::new);
     'rows: for base_row in morsel {
+        if let Some(q) = quota {
+            if let Err(e) = q.charge_tuples(1) {
+                run.error = Some(e);
+                break 'rows;
+            }
+        }
         run.scanned += 1;
         let mut row = RowRef::borrowed(base_row);
         for (i, op) in frag.ops.iter().enumerate() {
@@ -626,10 +677,16 @@ fn try_exchange<'a>(
     } else {
         None
     };
+    // Whether the kernels cover the fragment; worker morsels then take the
+    // vectorized path (subject to the profile's per-morsel forcing).
+    let covered =
+        ctx.exec.vectorized() && kernels_cover(&frag, db.table(frag.table)?.schema().arity());
     Ok(Some(Box::new(ExchangeOp {
         frag,
         morsels,
         cfg,
+        covered,
+        exec: ctx.exec,
         quota,
         session_quota: ctx.quota,
         partial,
@@ -659,6 +716,10 @@ struct ExchangeOp<'a> {
     /// The table's morsel slices; morsel `i` of the queue is slice `i`.
     morsels: Vec<&'a [Row]>,
     cfg: ParallelConfig,
+    /// Whether the columnar kernels cover the fragment (static fallback
+    /// gate; see [`run_morsel_auto`]).
+    covered: bool,
+    exec: ExecProfile,
     /// Streaming-LIMIT quota: stop claiming morsels once this many
     /// surviving rows exist across workers.
     quota: Option<usize>,
@@ -690,6 +751,8 @@ impl<'a> ExchangeOp<'a> {
         let frag = &self.frag;
         let slices: &[&'a [Row]] = &self.morsels;
         let partial = self.partial;
+        let covered = self.covered;
+        let exec = self.exec;
         let session_quota = self.session_quota;
         let queue_ref = &queue;
         let outcome = scatter(queue_ref, workers, move |i| {
@@ -708,8 +771,14 @@ impl<'a> ExchangeOp<'a> {
                     };
                 }
             }
-            let mut run =
-                run_fragment_morsel(frag, morsel, matches!(partial, ExchangePartial::Dedupe));
+            let mut run = run_morsel_auto(
+                frag,
+                covered,
+                exec,
+                i,
+                morsel,
+                matches!(partial, ExchangePartial::Dedupe),
+            );
             if run.error.is_some() {
                 // Later morsels cannot hold the first error in row order.
                 queue_ref.stop();
@@ -827,10 +896,14 @@ fn try_parallel_aggregate<'a>(
     let Some((frag, morsels)) = eligible_fragment(input, db, cfg)? else {
         return Ok(None);
     };
+    let covered =
+        ctx.exec.vectorized() && kernels_cover(&frag, db.table(frag.table)?.schema().arity());
     Ok(Some(Box::new(ParallelAggregateOp {
         frag,
         morsels,
         cfg,
+        covered,
+        exec: ctx.exec,
         session_quota: ctx.quota,
         group_by,
         aggregates,
@@ -861,6 +934,9 @@ struct ParallelAggregateOp<'a> {
     /// The table's morsel slices; morsel `i` of the queue is slice `i`.
     morsels: Vec<&'a [Row]>,
     cfg: ParallelConfig,
+    /// Whether the columnar kernels cover the fragment.
+    covered: bool,
+    exec: ExecProfile,
     /// Session resource quota, charged per morsel like [`ExchangeOp`]'s.
     session_quota: Option<&'a QuotaTracker>,
     group_by: &'a [BoundExpr],
@@ -887,6 +963,8 @@ impl ParallelAggregateOp<'_> {
         let slices = self.morsels.as_slice();
         let group_by = self.group_by;
         let aggregates = self.aggregates;
+        let covered = self.covered;
+        let exec = self.exec;
         let session_quota = self.session_quota;
         let queue_ref = &queue;
         let outcome = scatter(queue_ref, workers, move |i| {
@@ -903,7 +981,7 @@ impl ParallelAggregateOp<'_> {
                     };
                 }
             }
-            let mut run = run_fragment_morsel(frag, morsel, false);
+            let mut run = run_morsel_auto(frag, covered, exec, i, morsel, false);
             let partial = match run.error {
                 Some(_) => {
                     // The first row-order error lives in this or an earlier
@@ -1007,6 +1085,177 @@ impl<'a> Operator<'a> for ParallelAggregateOp<'a> {
             metrics,
         );
         metrics.record("HashAggregate", self.rows_out, 0, self.elapsed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serial vectorized scan
+// ---------------------------------------------------------------------------
+
+/// Build a [`VectorizedScanOp`] over `plan` if the exec profile enables
+/// kernels, the consumer is not lazy (a LIMIT's lazy prefix must keep
+/// per-row pull granularity), `plan` is a leaf fragment with at least one
+/// operator (or a Distinct consumer wants the per-morsel pre-dedupe), and
+/// the kernels cover every fragment expression.  Unlike the exchange there
+/// is no minimum-size gate: batching pays for itself from the first morsel.
+fn try_vectorized<'a>(
+    plan: &'a LogicalPlan,
+    db: &'a Database,
+    ctx: BuildCtx<'a>,
+    dedupe: bool,
+) -> Result<Option<BoxedOperator<'a>>> {
+    if !ctx.exec.vectorized() || ctx.lazy {
+        return Ok(None);
+    }
+    let Some(frag) = leaf_fragment(plan) else {
+        return Ok(None);
+    };
+    if frag.ops.is_empty() && !dedupe {
+        // A bare scan has no kernel work; the plain scan avoids building
+        // batches for nothing.
+        return Ok(None);
+    }
+    let table = db.table(frag.table)?;
+    if !kernels_cover(&frag, table.schema().arity()) {
+        return Ok(None);
+    }
+    let morsels = table.morsel_slices(ctx.parallel.morsel_rows);
+    let ops = frag.ops.len();
+    Ok(Some(Box::new(VectorizedScanOp {
+        frag,
+        morsels,
+        exec: ctx.exec,
+        dedupe,
+        quota: ctx.quota,
+        next_morsel: 0,
+        out: Vec::new().into_iter(),
+        pending_error: None,
+        scanned: 0,
+        op_rows_out: vec![0; ops],
+        rows_out: 0,
+        batches: 0,
+        fallbacks: 0,
+    })))
+}
+
+/// Serial columnar execution of a leaf fragment: morsels are evaluated one
+/// batch at a time through the kernels, with per-morsel fallback to the row
+/// path (kernel error, or the [`ExecProfile::Alternating`] profile's forced
+/// row morsels).
+///
+/// Quota discipline reproduces the serial scan's accounting exactly.  A
+/// kernel morsel is evaluated first and then charged one tuple per base row
+/// — the same cumulative counts and the same trip point as the serial
+/// per-pull charge — and a trip discards the morsel's output before
+/// anything is emitted (partial output never escapes
+/// [`execute_with_profile`] on error, so the discard is unobservable).  A
+/// fallback morsel interleaves charge-then-evaluate per row like the serial
+/// pipeline, so the ordering of quota trips versus evaluation errors is
+/// preserved even mid-morsel.
+struct VectorizedScanOp<'a> {
+    frag: Fragment<'a>,
+    /// The table's morsel slices, walked in order.
+    morsels: Vec<&'a [Row]>,
+    exec: ExecProfile,
+    /// Per-morsel pre-dedupe for a Distinct consumer (batched canonical
+    /// hashes; the DistinctOp above removes cross-morsel duplicates).
+    dedupe: bool,
+    quota: Option<&'a QuotaTracker>,
+    next_morsel: usize,
+    out: std::vec::IntoIter<RowRef<'a>>,
+    /// Error terminating the stream, after the rows that precede it.
+    pending_error: Option<BeasError>,
+    scanned: u64,
+    op_rows_out: Vec<u64>,
+    rows_out: u64,
+    /// Morsels that completed on the kernel path.
+    batches: u64,
+    /// Morsels that started on the kernel path but re-ran on the row path.
+    fallbacks: u64,
+}
+
+impl<'a> VectorizedScanOp<'a> {
+    /// Run morsel `index` on whichever path the profile and the kernels
+    /// allow, with the serial quota discipline described on the type.
+    fn run_morsel(&mut self, index: usize, morsel: &'a [Row]) -> MorselRun<'a> {
+        if !self.exec.forces_row_path(index) {
+            if let Some(run) = run_morsel_vectorized(&self.frag, morsel, self.dedupe) {
+                self.batches += 1;
+                if let Some(q) = self.quota {
+                    for _ in 0..morsel.len() {
+                        if let Err(e) = q.charge_tuples(1) {
+                            return MorselRun {
+                                rows: Vec::new(),
+                                error: Some(e),
+                                scanned: run.scanned,
+                                op_rows_out: run.op_rows_out,
+                            };
+                        }
+                    }
+                }
+                return run;
+            }
+            self.fallbacks += 1;
+        }
+        run_fragment_morsel(&self.frag, morsel, self.dedupe, self.quota)
+    }
+}
+
+impl<'a> RowStream<'a> for VectorizedScanOp<'a> {
+    fn next(&mut self) -> Result<Option<RowRef<'a>>> {
+        loop {
+            if let Some(row) = self.out.next() {
+                self.rows_out += 1;
+                return Ok(Some(row));
+            }
+            if let Some(e) = self.pending_error.take() {
+                return Err(e);
+            }
+            if self.next_morsel >= self.morsels.len() {
+                return Ok(None);
+            }
+            let index = self.next_morsel;
+            self.next_morsel += 1;
+            let run = self.run_morsel(index, self.morsels[index]);
+            self.scanned += run.scanned;
+            for (slot, n) in self.op_rows_out.iter_mut().zip(&run.op_rows_out) {
+                *slot += n;
+            }
+            // A morsel's surviving rows drain before its error surfaces —
+            // exactly the serial pipeline's row-then-error order.
+            self.out = run.rows.into_iter();
+            self.pending_error = run.error;
+        }
+    }
+}
+
+impl<'a> Operator<'a> for VectorizedScanOp<'a> {
+    fn record(&mut self, metrics: &mut ExecutionMetrics) {
+        // Serial labels with serial totals (`tuples accessed` == rows
+        // scanned), then a marker line for the kernel path itself.
+        metrics.record(
+            self.frag.scan_label.clone(),
+            self.scanned,
+            self.scanned,
+            Duration::ZERO,
+        );
+        for (op, n) in self.frag.ops.iter().zip(&self.op_rows_out) {
+            match op {
+                FragOp::Filter(pred) => {
+                    metrics.record(format!("Filter({pred})"), *n, 0, Duration::ZERO)
+                }
+                FragOp::Project(_) => metrics.record("Project", *n, 0, Duration::ZERO),
+            }
+        }
+        metrics.record(
+            format!(
+                "Vectorized(batches={}, fallbacks={})",
+                self.batches, self.fallbacks
+            ),
+            self.rows_out,
+            0,
+            Duration::ZERO,
+        );
     }
 }
 
@@ -1206,6 +1455,13 @@ struct HashJoinOp<'a> {
     label: String,
     rows_out: u64,
     build_elapsed: Duration,
+    /// Vectorized mode: build/probe through the batched canonical-hash
+    /// kernels (`build_join_table` / `probe_join_table`), keyed by a `u64`
+    /// hash with value-wise collision verification instead of a
+    /// materialized `Vec<Value>` key per row.  Match lists and output order
+    /// are identical to the row-path table by construction.
+    vectorized: bool,
+    htable: HashMap<u64, std::rc::Rc<[usize]>>,
 }
 
 impl<'a> HashJoinOp<'a> {
@@ -1215,6 +1471,7 @@ impl<'a> HashJoinOp<'a> {
         probe_keys: Vec<usize>,
         build_keys: Vec<usize>,
         label: String,
+        vectorized: bool,
     ) -> Self {
         HashJoinOp {
             probe,
@@ -1228,6 +1485,8 @@ impl<'a> HashJoinOp<'a> {
             label,
             rows_out: 0,
             build_elapsed: Duration::ZERO,
+            vectorized,
+            htable: HashMap::new(),
         }
     }
 }
@@ -1238,15 +1497,24 @@ impl<'a> RowStream<'a> for HashJoinOp<'a> {
             self.built = true;
             // Blocking phase: drain the build side into the hash table.
             let start = Instant::now();
-            let mut building: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-            while let Some(row) = self.build.next()? {
-                // NULL / NaN keys never join
-                if let Some(key) = join_key(&row, &self.build_keys) {
-                    building.entry(key).or_default().push(self.build_rows.len());
+            if self.vectorized {
+                // Batched: drain first, then one hashing pass over the
+                // drained rows (NULL / NaN keys land in no bucket).
+                while let Some(row) = self.build.next()? {
+                    self.build_rows.push(row);
                 }
-                self.build_rows.push(row);
+                self.htable = build_join_table(&self.build_rows, &self.build_keys);
+            } else {
+                let mut building: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+                while let Some(row) = self.build.next()? {
+                    // NULL / NaN keys never join
+                    if let Some(key) = join_key(&row, &self.build_keys) {
+                        building.entry(key).or_default().push(self.build_rows.len());
+                    }
+                    self.build_rows.push(row);
+                }
+                self.table = building.into_iter().map(|(k, v)| (k, v.into())).collect();
             }
-            self.table = building.into_iter().map(|(k, v)| (k, v.into())).collect();
             self.build_elapsed = start.elapsed();
         }
         loop {
@@ -1261,10 +1529,20 @@ impl<'a> RowStream<'a> for HashJoinOp<'a> {
             }
             match self.probe.next()? {
                 Some(probe_row) => {
-                    if let Some(key) = join_key(&probe_row, &self.probe_keys) {
-                        if let Some(matches) = self.table.get(&key) {
-                            self.pending = Some((probe_row, std::rc::Rc::clone(matches), 0));
-                        }
+                    let matches = if self.vectorized {
+                        probe_join_table(
+                            &self.htable,
+                            &self.build_rows,
+                            &probe_row,
+                            &self.probe_keys,
+                            &self.build_keys,
+                        )
+                    } else {
+                        join_key(&probe_row, &self.probe_keys)
+                            .and_then(|key| self.table.get(&key).map(std::rc::Rc::clone))
+                    };
+                    if let Some(matches) = matches {
+                        self.pending = Some((probe_row, matches, 0));
                     }
                 }
                 None => return Ok(None),
@@ -1757,14 +2035,26 @@ mod tests {
         keys: &[(usize, usize)],
         limit: Option<usize>,
     ) -> Vec<RowRef<'a>> {
-        let op = HashJoinOp::new(
-            StaticOp::boxed(left.to_vec()),
-            StaticOp::boxed(right.to_vec()),
-            keys.iter().map(|(l, _)| *l).collect(),
-            keys.iter().map(|(_, r)| *r).collect(),
-            "HashJoin".into(),
+        let build = |vectorized: bool| {
+            HashJoinOp::new(
+                StaticOp::boxed(left.to_vec()),
+                StaticOp::boxed(right.to_vec()),
+                keys.iter().map(|(l, _)| *l).collect(),
+                keys.iter().map(|(_, r)| *r).collect(),
+                "HashJoin".into(),
+                vectorized,
+            )
+        };
+        // Every join property in this module holds for both probe modes,
+        // and the two must agree row for row.
+        let rows = drain(build(false), limit);
+        let batched = drain(build(true), limit);
+        assert_eq!(
+            format!("{rows:?}"),
+            format!("{batched:?}"),
+            "vectorized hash join must match the row path"
         );
-        drain(op, limit)
+        rows
     }
 
     fn nested_loop_join<'a>(

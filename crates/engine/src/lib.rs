@@ -19,10 +19,11 @@ pub mod metrics;
 pub mod plan;
 pub mod planner;
 pub mod profile;
+pub(crate) mod vectorized;
 
 pub use engine::{Engine, QueryResult};
 pub use executor::{
-    aggregate, execute, execute_with, execute_with_quota, ParallelConfig,
+    aggregate, execute, execute_with, execute_with_profile, execute_with_quota, ParallelConfig,
     PARALLEL_SCAN_MAX_WORKERS, PARALLEL_SCAN_MIN_ROWS,
 };
 pub use metrics::{
@@ -32,4 +33,4 @@ pub use plan::{JoinAlgorithm, LogicalPlan};
 pub use planner::{
     conjoin_bound, estimated_scan_rows, remap_expr, remap_exprs, split_bound_conjuncts, Planner,
 };
-pub use profile::OptimizerProfile;
+pub use profile::{ExecProfile, OptimizerProfile};

@@ -88,10 +88,22 @@ const CONCURRENT_FILES: &[&str] = &[
 /// [`CONCURRENT_FILES`] (rule L005).  `static mut` is banned everywhere.
 const NON_APPROVED_SYNC: &[&str] = &["RefCell", "UnsafeCell", "transmute", "thread_local"];
 
+/// Columnar-kernel files rule L008 applies to (suffix match): the modules
+/// holding the vectorized filter / projection / hash kernels.
+const KERNEL_FILES: &[&str] = &["src/vectorized.rs", "src/columnar.rs"];
+
+/// The batched canonical-hash entry points of `beas_common::key` (rule
+/// L008), accepted alongside [`KEY_FNS`].
+const CANONICAL_HASH_FNS: &[&str] = &["canonical_hash", "canonical_key_hash"];
+
+/// Tokens that prove a kernel file computes hashes or keys containers
+/// (rule L008): a hand-rolled hasher, or a keyed container.
+const HASHING_TOKENS: &[&str] = &["Hasher", "DefaultHasher", "Hash"];
+
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule id (`L001` .. `L007`, or `L000` for a malformed suppression).
+    /// Rule id (`L001` .. `L008`, or `L000` for a malformed suppression).
     pub rule: &'static str,
     /// Workspace-relative path.
     pub file: String,
@@ -164,6 +176,7 @@ pub fn lint_source(src: &str, ctx: &FileContext) -> Vec<Finding> {
     check_l005(&sig, ctx, &mut findings);
     check_l006(&all, ctx, &mut findings);
     check_l007(&sig, &all, ctx, &mut findings);
+    check_l008(&sig, &all, ctx, &mut findings);
 
     findings.retain(|f| {
         // L006/L007 apply everywhere; the structural rules skip test code
@@ -636,6 +649,56 @@ fn check_l007(sig: &[&Token], all: &[Token], ctx: &FileContext, findings: &mut V
         line: 1,
         message: "crate root missing `#![forbid(unsafe_code)]`".to_string(),
     });
+}
+
+/// L008 — columnar-kernel files ([`KERNEL_FILES`]) must (a) route every
+/// key-hashing path through `beas_common::key` — a file that hashes values
+/// or keys a container without referencing a canonical key/hash entry point
+/// has forked the definition of key equality — and (b) carry a paired
+/// `vectorized == row` differential test reference
+/// (`tests/vectorized_semantics.rs`), so a kernel can never exist without
+/// the harness that pins it bit-exact to the row engine.
+fn check_l008(sig: &[&Token], all: &[Token], ctx: &FileContext, findings: &mut Vec<Finding>) {
+    if !KERNEL_FILES.iter().any(|f| ctx.path.ends_with(f)) {
+        return;
+    }
+    let canonicalizes = sig.iter().any(|t| {
+        t.kind == TokenKind::Ident
+            && (KEY_FNS.contains(&t.text.as_str()) || CANONICAL_HASH_FNS.contains(&t.text.as_str()))
+    });
+    if !canonicalizes {
+        let hashing = sig.iter().find(|t| {
+            t.kind == TokenKind::Ident
+                && (HASHING_TOKENS.contains(&t.text.as_str())
+                    || KEYED_CONTAINERS.contains(&t.text.as_str()))
+        });
+        if let Some(t) = hashing {
+            findings.push(Finding {
+                rule: "L008",
+                file: ctx.path.clone(),
+                line: t.line,
+                message: format!(
+                    "kernel file hashes via `{}` without routing keys through \
+                     `beas_common::key` ({}); use \
+                     `canonical_hash`/`canonical_key_hash` so vectorized key \
+                     equality cannot drift from the row engine's",
+                    t.text,
+                    CANONICAL_HASH_FNS.join("/")
+                ),
+            });
+        }
+    }
+    let referenced = all.iter().any(|t| t.text.contains("vectorized_semantics"));
+    if !referenced {
+        findings.push(Finding {
+            rule: "L008",
+            file: ctx.path.clone(),
+            line: 1,
+            message: "kernel file missing its paired vectorized-equals-row \
+                differential test reference (tests/vectorized_semantics.rs)"
+                .to_string(),
+        });
+    }
 }
 
 /// Iterate `fn` items: `(name, line of the name, body token range)`.

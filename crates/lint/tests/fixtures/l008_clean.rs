@@ -1,0 +1,15 @@
+// L008 fixture (clean): a kernel file that routes its key hashing through
+// `beas_common::key` and carries the paired differential-test reference —
+// bit-exactness with the row engine is pinned by tests/vectorized_semantics.rs.
+use beas_common::canonical_key_hash;
+use std::collections::HashMap;
+
+fn build_table(rows: &[RowRef<'_>], keys: &[usize]) -> HashMap<u64, Vec<usize>> {
+    let mut table: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, row) in rows.iter().enumerate() {
+        if let Some(h) = canonical_key_hash(row, keys) {
+            table.entry(h).or_default().push(i);
+        }
+    }
+    table
+}

@@ -1,0 +1,18 @@
+// L008 fixture (fire): a kernel file that hand-rolls its key hashing —
+// bypassing `beas_common::key` — and never references the differential
+// harness that would catch the resulting drift.
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+fn build_table(rows: &[RowRef<'_>], keys: &[usize]) -> HashMap<u64, Vec<usize>> {
+    let mut table: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, row) in rows.iter().enumerate() {
+        let mut h = DefaultHasher::new();
+        for &k in keys {
+            row.value_at(k).hash(&mut h);
+        }
+        table.entry(h.finish()).or_default().push(i);
+    }
+    table
+}

@@ -140,6 +140,28 @@ fn l007_clean_with_the_forbid() {
 }
 
 #[test]
+fn l008_fires_on_kernel_files_with_hand_rolled_hashing() {
+    let findings = lint_fixture("l008_fire.rs", "crates/engine/src/vectorized.rs");
+    assert_eq!(rules_of(&findings), vec!["L008", "L008"], "{findings:?}");
+    // line 1: missing differential-test reference; then the hashing token
+    assert!(findings[0].message.contains("vectorized_semantics"));
+    assert!(findings[1].message.contains("canonical_key_hash"));
+    // the same source outside a kernel file is out of scope
+    assert!(lint_fixture("l008_fire.rs", "crates/engine/src/executor_helpers.rs").is_empty());
+}
+
+#[test]
+fn l008_clean_when_hashing_is_canonical_and_harness_referenced() {
+    for path in [
+        "crates/engine/src/vectorized.rs",
+        "crates/sql/src/columnar.rs",
+    ] {
+        let findings = lint_fixture("l008_clean.rs", path);
+        assert!(findings.is_empty(), "{path}: {findings:?}");
+    }
+}
+
+#[test]
 fn justified_suppressions_silence_findings() {
     // l004_fire.rs shows the violations fire; suppressed.rs is the same
     // shape with above-line, multi-comment-line and same-line suppressions

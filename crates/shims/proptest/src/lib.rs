@@ -169,17 +169,37 @@ macro_rules! prop_assert {
 
 #[macro_export]
 macro_rules! prop_assert_eq {
-    ($left:expr, $right:expr) => {{
+    ($left:expr, $right:expr $(,)?) => {{
         let (l, r) = (&$left, &$right);
         $crate::prop_assert!(l == r, "assertion failed: `{:?}` == `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
     }};
 }
 
 #[macro_export]
 macro_rules! prop_assert_ne {
-    ($left:expr, $right:expr) => {{
+    ($left:expr, $right:expr $(,)?) => {{
         let (l, r) = (&$left, &$right);
         $crate::prop_assert!(l != r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
     }};
 }
 

@@ -20,6 +20,7 @@
 pub mod analysis;
 pub mod ast;
 pub mod binder;
+pub mod columnar;
 pub mod expr;
 pub mod lexer;
 pub mod parser;

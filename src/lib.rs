@@ -69,7 +69,9 @@ pub mod prelude {
     pub use beas_core::{
         BeasSystem, BoundedPlan, CheckReport, CoverageResult, EvaluationMode, ExecutionOutcome,
     };
-    pub use beas_engine::{Engine, ExecutionMetrics, LogicalPlan, OptimizerProfile, QueryResult};
+    pub use beas_engine::{
+        Engine, ExecProfile, ExecutionMetrics, LogicalPlan, OptimizerProfile, QueryResult,
+    };
     pub use beas_service::{Decision, QueryService, Session, SessionOutcome};
     pub use beas_storage::{Database, Table};
 }
