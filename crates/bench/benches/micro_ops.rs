@@ -198,6 +198,26 @@ fn micro(c: &mut Criterion) {
         }
     }
 
+    // Trace-overhead pair: the identical Q1 pipeline with the global trace
+    // level Off vs Timing.  The off path must stay within the bench_gate
+    // noise floor of the committed baseline — per-operator timing is one
+    // branch per pull when disabled — while the timing run documents what
+    // full per-operator clocks cost.
+    {
+        let engine = Engine::new(OptimizerProfile::PgLike);
+        let q1 = env.q1();
+        for (name, level) in [
+            ("trace_off_q1_pipeline", beas_obs::TraceLevel::Off),
+            ("trace_timing_q1_pipeline", beas_obs::TraceLevel::Timing),
+        ] {
+            group.bench_function(name, |b| {
+                let previous = beas_obs::set_trace_level(level);
+                b.iter(|| black_box(engine.run(&env.baseline_db, &q1).unwrap().rows.len()));
+                beas_obs::set_trace_level(previous);
+            });
+        }
+    }
+
     // Service-level paths: admission control (a cache-served coverage
     // check plus the routing decision) and N concurrent sessions sharing
     // one QueryService.  The concurrent benches measure the whole session

@@ -20,11 +20,12 @@
 //! the others at their next checkpoint.
 
 use crate::error::{BeasError, Result};
+use beas_obs::clock;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::time::{Duration, Instant};
 
 /// How often (in charged tuples) the tracker re-checks the wall-clock
-/// deadline: `Instant::now()` costs tens of nanoseconds, so per-row checks
+/// deadline: reading the clock costs tens of nanoseconds, so per-row checks
 /// would dominate cheap scans.  A stale check window of 4096 tuples keeps
 /// deadline overshoot bounded by microseconds of *scan* work; phases that
 /// touch no base data (a blocking sort or aggregation fold) checkpoint
@@ -82,7 +83,7 @@ impl ResourceQuota {
             tuples: AtomicU64::new(0),
             max_tuples: self.max_tuples.unwrap_or(u64::MAX),
             max_rows: self.max_rows.unwrap_or(u64::MAX),
-            deadline: self.deadline.map(|d| (Instant::now(), d)),
+            deadline: self.deadline.map(|d| (clock::now(), d)),
             tripped: AtomicU8::new(TRIP_NONE),
             rows_seen: AtomicU64::new(0),
         }
@@ -156,7 +157,7 @@ impl QuotaTracker {
                 limit: self.max_rows,
             },
             TRIP_DEADLINE => {
-                let (start, budget) = self.deadline.unwrap_or((Instant::now(), Duration::ZERO));
+                let (start, budget) = self.deadline.unwrap_or((clock::now(), Duration::ZERO));
                 BeasError::QuotaExceeded {
                     resource: "deadline_ms",
                     used: start.elapsed().as_millis() as u64,

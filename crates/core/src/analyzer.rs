@@ -7,7 +7,8 @@
 //! BEAS and the conventional plans.  This module renders exactly that report
 //! from the metrics the executors already collect.
 
-use beas_engine::{format_duration, ExecutionMetrics, OptimizerProfile};
+use crate::system::EvaluationMode;
+use beas_engine::{format_duration, AnalyzeNode, ExecutionMetrics, OptimizerProfile};
 use std::fmt;
 use std::time::Duration;
 
@@ -124,6 +125,95 @@ impl PerformanceAnalysis {
 }
 
 impl fmt::Display for PerformanceAnalysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// The output of [`crate::BeasSystem::explain_analyze`]: one timed run
+/// through BEAS (bounded when covered, partial/conventional otherwise) and
+/// one timed `EXPLAIN ANALYZE` run on the fallback engine, side by side.
+///
+/// The BEAS breakdown stays flat — a bounded plan is a fetch *pipeline*
+/// (`Fetch(ψ1) → Fetch(ψ2) → …`), not an operator tree — while the
+/// baseline is rendered as the Fig. 3-style per-operator tree with
+/// `rows out` / `tuples accessed` / `time` on every node, including
+/// `Exchange(..)` and `Vectorized(..)` annotations when those physical
+/// paths ran.
+#[derive(Debug, Clone)]
+pub struct QueryAnalysis {
+    /// The SQL text analysed.
+    pub sql: String,
+    /// How BEAS evaluated the query.
+    pub mode: EvaluationMode,
+    /// Deduced upper bound on tuples accessed (fully bounded plans only).
+    pub deduced_bound: Option<u64>,
+    /// Number of access constraints employed.
+    pub constraints_used: usize,
+    /// The BEAS measurement (flat fetch-pipeline breakdown).
+    pub beas: SystemMeasurement,
+    /// The baseline measurement from the timed fallback-engine run.
+    pub baseline: SystemMeasurement,
+    /// The baseline's per-operator tree with runtime metrics attached.
+    pub baseline_tree: AnalyzeNode,
+}
+
+impl QueryAnalysis {
+    /// Whether BEAS answered the query with a fully bounded plan.
+    pub fn bounded(&self) -> bool {
+        self.mode == EvaluationMode::Bounded
+    }
+
+    /// Data-access reduction factor (baseline tuples / BEAS tuples).
+    pub fn access_reduction(&self) -> f64 {
+        self.baseline.tuples_accessed as f64 / self.beas.tuples_accessed.max(1) as f64
+    }
+
+    /// Render the bounded-vs-baseline comparison.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("query: {}\n", self.sql));
+        out.push_str(&format!(
+            "evaluation: {}   access constraints used: {}   deduced bound: {}\n",
+            match self.mode {
+                EvaluationMode::Bounded => "bounded",
+                EvaluationMode::PartiallyBounded => "partially bounded",
+                EvaluationMode::Conventional => "conventional",
+            },
+            self.constraints_used,
+            self.deduced_bound
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "n/a".to_string()),
+        ));
+        out.push_str(&format!(
+            "{:<28} {:>14} {:>16} {:>12}\n",
+            "system", "time", "tuples accessed", "answers"
+        ));
+        for m in [&self.beas, &self.baseline] {
+            out.push_str(&format!(
+                "{:<28} {:>14} {:>16} {:>12}\n",
+                m.system,
+                format_duration(m.elapsed),
+                m.tuples_accessed,
+                m.rows,
+            ));
+        }
+        out.push_str(&format!(
+            "data-access reduction: {:.1}x\n",
+            self.access_reduction()
+        ));
+        out.push_str("\n-- BEAS per-operation breakdown --\n");
+        out.push_str(&self.beas.metrics.render());
+        out.push_str(&format!(
+            "\n-- {} EXPLAIN ANALYZE --\n",
+            self.baseline.system
+        ));
+        out.push_str(&self.baseline_tree.render());
+        out
+    }
+}
+
+impl fmt::Display for QueryAnalysis {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.render())
     }

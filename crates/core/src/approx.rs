@@ -23,9 +23,9 @@ use crate::plan::{BoundedPlan, KeySource};
 use beas_access::AccessIndexes;
 use beas_common::{BeasError, Result, Row, Value};
 use beas_engine::{aggregate, ExecutionMetrics};
+use beas_obs::clock;
 use beas_sql::{evaluate, BoundExpr, BoundQuery};
 use std::collections::{HashMap, HashSet};
-use std::time::Instant;
 
 /// The result of a resource-bounded approximate execution.
 #[derive(Debug, Clone)]
@@ -56,7 +56,7 @@ pub fn execute_with_budget(
             "approximation budget must be positive",
         ));
     }
-    let start = Instant::now();
+    let start = clock::now();
     let mut metrics = ExecutionMetrics::new();
     let mut schema = beas_common::Schema::empty();
     let mut rows: Vec<Row> = vec![vec![]];
@@ -68,7 +68,7 @@ pub fn execute_with_budget(
     let mut remaining_budget = budget;
 
     for (step_no, fetch) in plan.fetches.iter().enumerate() {
-        let t = Instant::now();
+        let t = clock::now();
         let index = indexes.for_constraint(&fetch.constraint).ok_or_else(|| {
             BeasError::execution(format!("no index for constraint {}", fetch.constraint))
         })?;

@@ -21,10 +21,10 @@ use beas_common::{
     RowStream, Schema, Value,
 };
 use beas_engine::{aggregate, ExecutionMetrics};
+use beas_obs::clock;
 use beas_sql::{evaluate, evaluate_predicate, BoundExpr, BoundQuery};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Minimum number of distinct fetch keys before the key set is partitioned
 /// across scoped worker threads.  Spawning a scope's worth of OS threads
@@ -117,10 +117,10 @@ pub fn execute_ctx_with<'a>(
     let mut tuples_accessed: u64 = 0;
     let mut schema = Schema::empty();
     let mut rows: Vec<RowRef<'a>> = vec![RowRef::empty()];
-    let start_all = Instant::now();
+    let start_all = clock::now();
 
     for fetch in &plan.fetches {
-        let start = Instant::now();
+        let start = clock::now();
         if let Some(q) = quota {
             q.checkpoint()?;
         }
@@ -170,7 +170,7 @@ pub fn execute_bounded_with(
     fetch_config: FetchConfig,
     quota: Option<&QuotaTracker>,
 ) -> Result<BoundedExecution> {
-    let start = Instant::now();
+    let start = clock::now();
     let ctx = execute_ctx_with(plan, query, graph, indexes, fetch_config, quota)?;
     let mut metrics = ctx.metrics.clone();
     let mut rows = ctx.rows;
@@ -179,7 +179,7 @@ pub fn execute_bounded_with(
     // Residual predicates spanning several atoms; errors propagate like the
     // baseline's Filter operator.
     if !plan.residual_predicates.is_empty() {
-        let t = Instant::now();
+        let t = clock::now();
         for pred in &plan.residual_predicates {
             let rewritten = rewrite_to_ctx(pred, query, graph, &schema)?;
             rows = retain_matching(rows, &rewritten)?;
@@ -189,7 +189,7 @@ pub fn execute_bounded_with(
 
     // Finalization: aggregation / projection / distinct / order / limit,
     // mirroring the baseline engine's semantics over the bounded context.
-    let t = Instant::now();
+    let t = clock::now();
     let mut out: Vec<Row>;
     if query.is_aggregate {
         let group_by: Vec<BoundExpr> = query

@@ -31,7 +31,7 @@ pub mod plan;
 pub mod planner;
 pub mod system;
 
-pub use analyzer::{PerformanceAnalysis, SystemMeasurement};
+pub use analyzer::{PerformanceAnalysis, QueryAnalysis, SystemMeasurement};
 pub use approx::ApproximateExecution;
 pub use checker::{Checker, CoverageResult, FetchStep};
 pub use executor::{

@@ -10,7 +10,7 @@
 //!    plans, everything else runs as a partially bounded plan over the
 //!    conventional engine, exactly as described in §3 of the paper.
 
-use crate::analyzer::{PerformanceAnalysis, SystemMeasurement};
+use crate::analyzer::{PerformanceAnalysis, QueryAnalysis, SystemMeasurement};
 use crate::approx::{execute_with_budget, ApproximateExecution};
 use crate::checker::{Checker, CoverageResult};
 use crate::executor::{execute_bounded_with, FetchConfig};
@@ -480,9 +480,17 @@ impl BeasSystem {
     /// [`PreparedQuery::deduced_bound`]) and execution
     /// ([`BeasSystem::execute_prepared`]).
     pub fn prepare(&self, sql: &str) -> Result<Arc<PreparedQuery>> {
+        Ok(self.prepare_traced(sql)?.0)
+    }
+
+    /// [`BeasSystem::prepare`] plus whether the result was served from the
+    /// plan cache.  Still exactly one cache acquisition — the service uses
+    /// this to stamp the hit/miss into a submission's trace without racing
+    /// the shared cache counters against concurrent sessions.
+    pub fn prepare_traced(&self, sql: &str) -> Result<(Arc<PreparedQuery>, bool)> {
         let key = normalize_sql(sql);
         if let Some(entry) = self.plan_cache.lookup(&key, &self.db) {
-            return Ok(entry);
+            return Ok((entry, true));
         }
         let query = self.bind(sql)?;
         let graph = QueryGraph::build(&query)?;
@@ -501,7 +509,7 @@ impl BeasSystem {
             plan,
         });
         self.plan_cache.insert(key, Arc::clone(&entry));
-        Ok(entry)
+        Ok((entry, false))
     }
 
     /// Hit/miss/invalidation counters of the plan cache.
@@ -974,6 +982,40 @@ impl BeasSystem {
         execute_with_budget(plan, query, graph, &self.indexes, budget)
     }
 
+    /// EXPLAIN ANALYZE through the whole system: execute `sql` through
+    /// BEAS (bounded when covered, partially bounded / conventional
+    /// otherwise) and once more on the fallback engine with per-operator
+    /// timing forced on, returning the two breakdowns side by side — the
+    /// BEAS fetch pipeline flat, the baseline as the Fig. 3-style operator
+    /// tree (including `Exchange(..)` / `Vectorized(..)` annotations when
+    /// those physical paths ran).
+    ///
+    /// Timing on the baseline is forced per-pipeline, not by flipping the
+    /// global [`beas_obs::TraceLevel`], so concurrent sessions keep their
+    /// configured level; the BEAS executor's fetch/finalize stages time
+    /// their blocking phases unconditionally.
+    pub fn explain_analyze(&self, sql: &str) -> Result<QueryAnalysis> {
+        let outcome = self.execute_sql(sql)?;
+        let baseline = self.fallback.explain_analyze(&self.db, sql)?;
+        Ok(QueryAnalysis {
+            sql: sql.to_string(),
+            mode: outcome.mode,
+            deduced_bound: outcome.deduced_bound,
+            constraints_used: outcome.constraints_used,
+            beas: SystemMeasurement::new(
+                "BEAS",
+                outcome.metrics.clone(),
+                outcome.rows.len() as u64,
+            ),
+            baseline: SystemMeasurement::new(
+                SystemMeasurement::baseline_label(self.fallback.profile()),
+                baseline.result.metrics.clone(),
+                baseline.result.rows.len() as u64,
+            ),
+            baseline_tree: baseline.tree,
+        })
+    }
+
     /// Run `sql` through BEAS and through the baseline engine under every
     /// optimizer profile, producing a Fig. 3-style performance analysis.
     pub fn analyze(&self, sql: &str) -> Result<PerformanceAnalysis> {
@@ -1331,6 +1373,37 @@ mod tests {
         assert!(beas
             .approximate("select region from call where region = 'east'", 100)
             .is_err());
+    }
+
+    #[test]
+    fn explain_analyze_renders_both_engines() {
+        let beas = system();
+        // Covered: bounded fetch pipeline vs the baseline operator tree.
+        let covered = beas.explain_analyze(COVERED).unwrap();
+        assert!(covered.bounded());
+        assert_eq!(covered.mode, EvaluationMode::Bounded);
+        assert!(covered.access_reduction() > 1.0);
+        let text = covered.render();
+        assert!(text.contains("evaluation: bounded"));
+        assert!(text.contains("Fetch("));
+        assert!(text.contains("EXPLAIN ANALYZE"));
+        assert!(text.contains("SeqScan(call"));
+        // The baseline tree matches the baseline plan shape.
+        assert_eq!(
+            covered.baseline_tree.label,
+            Engine::default()
+                .explain(beas.database(), COVERED)
+                .unwrap()
+                .lines()
+                .next()
+                .unwrap()
+        );
+        // Uncovered: falls through to partial/conventional, still analyzed.
+        let uncovered = beas.explain_analyze(UNCOVERED).unwrap();
+        assert!(!uncovered.bounded());
+        assert!(uncovered.render().contains("evaluation: conventional"));
+        // Answers agree between the two timed runs.
+        assert_eq!(uncovered.beas.rows, uncovered.baseline.rows);
     }
 
     #[test]

@@ -90,11 +90,12 @@ use beas_common::{
     join_key, scatter, BeasError, MorselQueue, QuotaTracker, Result, Row, RowRef, RowStream, Value,
     MORSEL_ROWS,
 };
+use beas_obs::{clock, OpTimer};
 use beas_sql::{evaluate, evaluate_predicate, Accumulator, BoundAggregate, BoundExpr};
 use beas_storage::Database;
 use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Upper bound on morsel worker threads per exchange.
 pub const PARALLEL_SCAN_MAX_WORKERS: usize = 8;
@@ -209,12 +210,36 @@ pub fn execute_with_profile(
     exec: ExecProfile,
     quota: Option<&QuotaTracker>,
 ) -> Result<Vec<Row>> {
-    let start = Instant::now();
+    // The global trace level is read once per query, never per row.
+    let timing = beas_obs::trace_level().timing();
+    execute_timed(plan, db, metrics, parallel, exec, quota, timing)
+}
+
+/// [`execute_with_profile`] with per-operator timing forced on or off
+/// instead of read from the global [`beas_obs::TraceLevel`].  With `timing`
+/// on, every streaming operator accumulates its *inclusive* elapsed time
+/// (time spent pulling from inputs included, PostgreSQL `EXPLAIN ANALYZE`
+/// convention) into its [`ExecutionMetrics`] line; with it off, streaming
+/// operators report `Duration::ZERO` and only blocking phases (join build,
+/// sort, aggregate fold, exchange run) carry elapsed times.  Answers are
+/// identical either way — timing adds clock reads, never work.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_timed(
+    plan: &LogicalPlan,
+    db: &Database,
+    metrics: &mut ExecutionMetrics,
+    parallel: ParallelConfig,
+    exec: ExecProfile,
+    quota: Option<&QuotaTracker>,
+    timing: bool,
+) -> Result<Vec<Row>> {
+    let start = clock::now();
     let ctx = BuildCtx {
         parallel,
         lazy: false,
         quota,
         exec,
+        timing,
     };
     let mut root = build_operator(plan, db, None, ctx)?;
     // Single materialization point: pipelined rows become owned rows only
@@ -238,6 +263,24 @@ trait Operator<'a>: RowStream<'a> {
 
 type BoxedOperator<'a> = Box<dyn Operator<'a> + 'a>;
 
+/// Implement [`RowStream::next`] for an operator as a timed wrapper over
+/// its inherent `advance()` body: inclusive elapsed time accumulates into
+/// `self.timer` only when the pipeline was built with per-operator timing
+/// on ([`BuildCtx::timing`]); the off path is one predictable branch per
+/// pull and no clock read, which the `trace_off_*` bench pair pins.
+macro_rules! timed_next {
+    ($op:ident) => {
+        impl<'a> RowStream<'a> for $op<'a> {
+            fn next(&mut self) -> Result<Option<RowRef<'a>>> {
+                let t = self.timer.begin();
+                let out = self.advance();
+                self.timer.end(t);
+                out
+            }
+        }
+    };
+}
+
 /// Context threaded through operator construction.
 #[derive(Debug, Clone, Copy)]
 struct BuildCtx<'a> {
@@ -254,6 +297,9 @@ struct BuildCtx<'a> {
     quota: Option<&'a QuotaTracker>,
     /// Row-at-a-time vs columnar kernel execution for leaf fragments.
     exec: ExecProfile,
+    /// Per-operator inclusive timing (TraceLevel::Timing), captured once at
+    /// pipeline build so a mid-query knob flip can't tear the record.
+    timing: bool,
 }
 
 impl BuildCtx<'_> {
@@ -311,6 +357,7 @@ fn build_operator<'a>(
                 label,
                 produced: 0,
                 quota: ctx.quota,
+                timer: OpTimer::new(ctx.timing),
             })
         }
         LogicalPlan::Filter { input, predicate } => {
@@ -322,6 +369,7 @@ fn build_operator<'a>(
                 input,
                 predicate,
                 rows_out: 0,
+                timer: OpTimer::new(ctx.timing),
             })
         }
         LogicalPlan::Join {
@@ -339,21 +387,27 @@ fn build_operator<'a>(
             let right = build_operator(right, db, None, ctx.drained())?;
             let label = format!("{}(keys={})", algorithm.name(), keys.len());
             match algorithm {
-                JoinAlgorithm::Hash if !keys.is_empty() => Box::new(HashJoinOp::new(
-                    left,
-                    right,
-                    keys.iter().map(|(l, _)| *l).collect(),
-                    keys.iter().map(|(_, r)| *r).collect(),
-                    label,
-                    ctx.exec.vectorized(),
-                )),
-                _ => Box::new(NestedLoopJoinOp::new(
-                    left,
-                    right,
-                    keys.iter().map(|(l, _)| *l).collect(),
-                    keys.iter().map(|(_, r)| *r).collect(),
-                    label,
-                )),
+                JoinAlgorithm::Hash if !keys.is_empty() => Box::new(
+                    HashJoinOp::new(
+                        left,
+                        right,
+                        keys.iter().map(|(l, _)| *l).collect(),
+                        keys.iter().map(|(_, r)| *r).collect(),
+                        label,
+                        ctx.exec.vectorized(),
+                    )
+                    .with_timer(OpTimer::new(ctx.timing)),
+                ),
+                _ => Box::new(
+                    NestedLoopJoinOp::new(
+                        left,
+                        right,
+                        keys.iter().map(|(l, _)| *l).collect(),
+                        keys.iter().map(|(_, r)| *r).collect(),
+                        label,
+                    )
+                    .with_timer(OpTimer::new(ctx.timing)),
+                ),
             }
         }
         LogicalPlan::Aggregate {
@@ -385,6 +439,7 @@ fn build_operator<'a>(
                 out: Vec::new().into_iter(),
                 rows_out: 0,
                 elapsed: Duration::ZERO,
+                timer: OpTimer::new(ctx.timing),
             })
         }
         LogicalPlan::Project { input, exprs, .. } => {
@@ -394,6 +449,7 @@ fn build_operator<'a>(
                 input,
                 exprs,
                 rows_out: 0,
+                timer: OpTimer::new(ctx.timing),
             })
         }
         LogicalPlan::Distinct { input } => {
@@ -413,6 +469,7 @@ fn build_operator<'a>(
                 input,
                 seen: HashSet::new(),
                 rows_out: 0,
+                timer: OpTimer::new(ctx.timing),
             })
         }
         LogicalPlan::Sort { input, keys } => {
@@ -437,6 +494,7 @@ fn build_operator<'a>(
                 out: Vec::new().into_iter(),
                 rows_out: 0,
                 elapsed: Duration::ZERO,
+                timer: OpTimer::new(ctx.timing),
             })
         }
         LogicalPlan::Limit { input, limit: k } => {
@@ -447,6 +505,7 @@ fn build_operator<'a>(
                 remaining: k,
                 label: format!("Limit({k})"),
                 rows_out: 0,
+                timer: OpTimer::new(ctx.timing),
             })
         }
     })
@@ -698,6 +757,7 @@ fn try_exchange<'a>(
         rows_out: 0,
         stats: MorselStats::default(),
         elapsed: Duration::ZERO,
+        timer: OpTimer::new(ctx.timing),
     })))
 }
 
@@ -736,12 +796,13 @@ struct ExchangeOp<'a> {
     rows_out: u64,
     stats: MorselStats,
     elapsed: Duration,
+    timer: OpTimer,
 }
 
 impl<'a> ExchangeOp<'a> {
     /// Blocking phase: scatter the morsels across workers, merge in order.
     fn run(&mut self) {
-        let start = Instant::now();
+        let start = clock::now();
         let morsels = self.morsels.len();
         let queue = match self.quota {
             Some(k) => MorselQueue::with_quota(morsels, k),
@@ -817,8 +878,8 @@ impl<'a> ExchangeOp<'a> {
     }
 }
 
-impl<'a> RowStream<'a> for ExchangeOp<'a> {
-    fn next(&mut self) -> Result<Option<RowRef<'a>>> {
+impl<'a> ExchangeOp<'a> {
+    fn advance(&mut self) -> Result<Option<RowRef<'a>>> {
         if !self.started {
             self.started = true;
             self.run();
@@ -834,6 +895,8 @@ impl<'a> RowStream<'a> for ExchangeOp<'a> {
     }
 }
 
+timed_next!(ExchangeOp);
+
 impl<'a> Operator<'a> for ExchangeOp<'a> {
     fn record(&mut self, metrics: &mut ExecutionMetrics) {
         record_fragment_metrics(
@@ -842,7 +905,7 @@ impl<'a> Operator<'a> for ExchangeOp<'a> {
             &self.op_rows_out,
             &self.stats,
             self.rows_out,
-            self.elapsed,
+            self.timer.or_fallback(self.elapsed),
             metrics,
         );
     }
@@ -916,6 +979,7 @@ fn try_parallel_aggregate<'a>(
         stats: MorselStats::default(),
         elapsed: Duration::ZERO,
         pending_error: None,
+        timer: OpTimer::new(ctx.timing),
     })))
 }
 
@@ -951,11 +1015,12 @@ struct ParallelAggregateOp<'a> {
     stats: MorselStats,
     elapsed: Duration,
     pending_error: Option<BeasError>,
+    timer: OpTimer,
 }
 
 impl ParallelAggregateOp<'_> {
     fn run(&mut self) -> Result<Vec<Row>> {
-        let start = Instant::now();
+        let start = clock::now();
         let morsels = self.morsels.len();
         let queue = MorselQueue::new(morsels);
         let workers = self.cfg.workers.min(morsels);
@@ -1051,8 +1116,8 @@ impl ParallelAggregateOp<'_> {
     }
 }
 
-impl<'a> RowStream<'a> for ParallelAggregateOp<'a> {
-    fn next(&mut self) -> Result<Option<RowRef<'a>>> {
+impl<'a> ParallelAggregateOp<'a> {
+    fn advance(&mut self) -> Result<Option<RowRef<'a>>> {
         if !self.started {
             self.started = true;
             match self.run() {
@@ -1073,6 +1138,8 @@ impl<'a> RowStream<'a> for ParallelAggregateOp<'a> {
     }
 }
 
+timed_next!(ParallelAggregateOp);
+
 impl<'a> Operator<'a> for ParallelAggregateOp<'a> {
     fn record(&mut self, metrics: &mut ExecutionMetrics) {
         record_fragment_metrics(
@@ -1084,7 +1151,12 @@ impl<'a> Operator<'a> for ParallelAggregateOp<'a> {
             Duration::ZERO,
             metrics,
         );
-        metrics.record("HashAggregate", self.rows_out, 0, self.elapsed);
+        metrics.record(
+            "HashAggregate",
+            self.rows_out,
+            0,
+            self.timer.or_fallback(self.elapsed),
+        );
     }
 }
 
@@ -1135,6 +1207,7 @@ fn try_vectorized<'a>(
         rows_out: 0,
         batches: 0,
         fallbacks: 0,
+        timer: OpTimer::new(ctx.timing),
     })))
 }
 
@@ -1172,6 +1245,7 @@ struct VectorizedScanOp<'a> {
     batches: u64,
     /// Morsels that started on the kernel path but re-ran on the row path.
     fallbacks: u64,
+    timer: OpTimer,
 }
 
 impl<'a> VectorizedScanOp<'a> {
@@ -1201,8 +1275,8 @@ impl<'a> VectorizedScanOp<'a> {
     }
 }
 
-impl<'a> RowStream<'a> for VectorizedScanOp<'a> {
-    fn next(&mut self) -> Result<Option<RowRef<'a>>> {
+impl<'a> VectorizedScanOp<'a> {
+    fn advance(&mut self) -> Result<Option<RowRef<'a>>> {
         loop {
             if let Some(row) = self.out.next() {
                 self.rows_out += 1;
@@ -1229,6 +1303,8 @@ impl<'a> RowStream<'a> for VectorizedScanOp<'a> {
     }
 }
 
+timed_next!(VectorizedScanOp);
+
 impl<'a> Operator<'a> for VectorizedScanOp<'a> {
     fn record(&mut self, metrics: &mut ExecutionMetrics) {
         // Serial labels with serial totals (`tuples accessed` == rows
@@ -1254,7 +1330,7 @@ impl<'a> Operator<'a> for VectorizedScanOp<'a> {
             ),
             self.rows_out,
             0,
-            Duration::ZERO,
+            self.timer.elapsed(),
         );
     }
 }
@@ -1273,10 +1349,11 @@ struct ScanOp<'a> {
     /// serial operator touching base data — terminates the pipeline the
     /// moment the budget trips.
     quota: Option<&'a QuotaTracker>,
+    timer: OpTimer,
 }
 
-impl<'a> RowStream<'a> for ScanOp<'a> {
-    fn next(&mut self) -> Result<Option<RowRef<'a>>> {
+impl<'a> ScanOp<'a> {
+    fn advance(&mut self) -> Result<Option<RowRef<'a>>> {
         match self.iter.next() {
             Some(r) => {
                 if let Some(q) = self.quota {
@@ -1290,6 +1367,8 @@ impl<'a> RowStream<'a> for ScanOp<'a> {
     }
 }
 
+timed_next!(ScanOp);
+
 impl<'a> Operator<'a> for ScanOp<'a> {
     fn record(&mut self, metrics: &mut ExecutionMetrics) {
         // rows out == tuples accessed: exactly the rows actually pulled,
@@ -1298,7 +1377,7 @@ impl<'a> Operator<'a> for ScanOp<'a> {
             self.label.clone(),
             self.produced,
             self.produced,
-            Duration::ZERO,
+            self.timer.elapsed(),
         );
     }
 }
@@ -1309,10 +1388,11 @@ struct FilterOp<'a> {
     input: BoxedOperator<'a>,
     predicate: &'a BoundExpr,
     rows_out: u64,
+    timer: OpTimer,
 }
 
-impl<'a> RowStream<'a> for FilterOp<'a> {
-    fn next(&mut self) -> Result<Option<RowRef<'a>>> {
+impl<'a> FilterOp<'a> {
+    fn advance(&mut self) -> Result<Option<RowRef<'a>>> {
         while let Some(row) = self.input.next()? {
             if evaluate_predicate(self.predicate, &row)? {
                 self.rows_out += 1;
@@ -1323,6 +1403,8 @@ impl<'a> RowStream<'a> for FilterOp<'a> {
     }
 }
 
+timed_next!(FilterOp);
+
 impl<'a> Operator<'a> for FilterOp<'a> {
     fn record(&mut self, metrics: &mut ExecutionMetrics) {
         self.input.record(metrics);
@@ -1330,7 +1412,7 @@ impl<'a> Operator<'a> for FilterOp<'a> {
             format!("Filter({})", self.predicate),
             self.rows_out,
             0,
-            Duration::ZERO,
+            self.timer.elapsed(),
         );
     }
 }
@@ -1340,10 +1422,11 @@ struct ProjectOp<'a> {
     input: BoxedOperator<'a>,
     exprs: &'a [(BoundExpr, String)],
     rows_out: u64,
+    timer: OpTimer,
 }
 
-impl<'a> RowStream<'a> for ProjectOp<'a> {
-    fn next(&mut self) -> Result<Option<RowRef<'a>>> {
+impl<'a> ProjectOp<'a> {
+    fn advance(&mut self) -> Result<Option<RowRef<'a>>> {
         match self.input.next()? {
             Some(row) => {
                 let mut projected = Vec::with_capacity(self.exprs.len());
@@ -1358,10 +1441,12 @@ impl<'a> RowStream<'a> for ProjectOp<'a> {
     }
 }
 
+timed_next!(ProjectOp);
+
 impl<'a> Operator<'a> for ProjectOp<'a> {
     fn record(&mut self, metrics: &mut ExecutionMetrics) {
         self.input.record(metrics);
-        metrics.record("Project", self.rows_out, 0, Duration::ZERO);
+        metrics.record("Project", self.rows_out, 0, self.timer.elapsed());
     }
 }
 
@@ -1370,10 +1455,11 @@ struct DistinctOp<'a> {
     input: BoxedOperator<'a>,
     seen: HashSet<RowRef<'a>>,
     rows_out: u64,
+    timer: OpTimer,
 }
 
-impl<'a> RowStream<'a> for DistinctOp<'a> {
-    fn next(&mut self) -> Result<Option<RowRef<'a>>> {
+impl<'a> DistinctOp<'a> {
+    fn advance(&mut self) -> Result<Option<RowRef<'a>>> {
         while let Some(row) = self.input.next()? {
             // Cloning a RowRef copies its segment list, not its values.
             if self.seen.insert(row.clone()) {
@@ -1385,10 +1471,12 @@ impl<'a> RowStream<'a> for DistinctOp<'a> {
     }
 }
 
+timed_next!(DistinctOp);
+
 impl<'a> Operator<'a> for DistinctOp<'a> {
     fn record(&mut self, metrics: &mut ExecutionMetrics) {
         self.input.record(metrics);
-        metrics.record("Distinct", self.rows_out, 0, Duration::ZERO);
+        metrics.record("Distinct", self.rows_out, 0, self.timer.elapsed());
     }
 }
 
@@ -1399,10 +1487,11 @@ struct LimitOp<'a> {
     remaining: usize,
     label: String,
     rows_out: u64,
+    timer: OpTimer,
 }
 
-impl<'a> RowStream<'a> for LimitOp<'a> {
-    fn next(&mut self) -> Result<Option<RowRef<'a>>> {
+impl<'a> LimitOp<'a> {
+    fn advance(&mut self) -> Result<Option<RowRef<'a>>> {
         if self.remaining == 0 {
             return Ok(None);
         }
@@ -1420,10 +1509,12 @@ impl<'a> RowStream<'a> for LimitOp<'a> {
     }
 }
 
+timed_next!(LimitOp);
+
 impl<'a> Operator<'a> for LimitOp<'a> {
     fn record(&mut self, metrics: &mut ExecutionMetrics) {
         self.input.record(metrics);
-        metrics.record(self.label.clone(), self.rows_out, 0, Duration::ZERO);
+        metrics.record(self.label.clone(), self.rows_out, 0, self.timer.elapsed());
     }
 }
 
@@ -1462,9 +1553,15 @@ struct HashJoinOp<'a> {
     /// are identical to the row-path table by construction.
     vectorized: bool,
     htable: HashMap<u64, std::rc::Rc<[usize]>>,
+    timer: OpTimer,
 }
 
 impl<'a> HashJoinOp<'a> {
+    fn with_timer(mut self, timer: OpTimer) -> Self {
+        self.timer = timer;
+        self
+    }
+
     fn new(
         probe: BoxedOperator<'a>,
         build: BoxedOperator<'a>,
@@ -1487,16 +1584,15 @@ impl<'a> HashJoinOp<'a> {
             build_elapsed: Duration::ZERO,
             vectorized,
             htable: HashMap::new(),
+            timer: OpTimer::default(),
         }
     }
-}
 
-impl<'a> RowStream<'a> for HashJoinOp<'a> {
-    fn next(&mut self) -> Result<Option<RowRef<'a>>> {
+    fn advance(&mut self) -> Result<Option<RowRef<'a>>> {
         if !self.built {
             self.built = true;
             // Blocking phase: drain the build side into the hash table.
-            let start = Instant::now();
+            let start = clock::now();
             if self.vectorized {
                 // Batched: drain first, then one hashing pass over the
                 // drained rows (NULL / NaN keys land in no bucket).
@@ -1551,11 +1647,18 @@ impl<'a> RowStream<'a> for HashJoinOp<'a> {
     }
 }
 
+timed_next!(HashJoinOp);
+
 impl<'a> Operator<'a> for HashJoinOp<'a> {
     fn record(&mut self, metrics: &mut ExecutionMetrics) {
         self.probe.record(metrics);
         self.build.record(metrics);
-        metrics.record(self.label.clone(), self.rows_out, 0, self.build_elapsed);
+        metrics.record(
+            self.label.clone(),
+            self.rows_out,
+            0,
+            self.timer.or_fallback(self.build_elapsed),
+        );
     }
 }
 
@@ -1577,9 +1680,15 @@ struct NestedLoopJoinOp<'a> {
     label: String,
     rows_out: u64,
     build_elapsed: Duration,
+    timer: OpTimer,
 }
 
 impl<'a> NestedLoopJoinOp<'a> {
+    fn with_timer(mut self, timer: OpTimer) -> Self {
+        self.timer = timer;
+        self
+    }
+
     fn new(
         left: BoxedOperator<'a>,
         right: BoxedOperator<'a>,
@@ -1599,15 +1708,14 @@ impl<'a> NestedLoopJoinOp<'a> {
             label,
             rows_out: 0,
             build_elapsed: Duration::ZERO,
+            timer: OpTimer::default(),
         }
     }
-}
 
-impl<'a> RowStream<'a> for NestedLoopJoinOp<'a> {
-    fn next(&mut self) -> Result<Option<RowRef<'a>>> {
+    fn advance(&mut self) -> Result<Option<RowRef<'a>>> {
         if !self.built {
             self.built = true;
-            let start = Instant::now();
+            let start = clock::now();
             while let Some(row) = self.right.next()? {
                 self.right_row_keys.push(join_key(&row, &self.right_keys));
                 self.right_rows.push(row);
@@ -1656,11 +1764,18 @@ impl<'a> RowStream<'a> for NestedLoopJoinOp<'a> {
     }
 }
 
+timed_next!(NestedLoopJoinOp);
+
 impl<'a> Operator<'a> for NestedLoopJoinOp<'a> {
     fn record(&mut self, metrics: &mut ExecutionMetrics) {
         self.left.record(metrics);
         self.right.record(metrics);
-        metrics.record(self.label.clone(), self.rows_out, 0, self.build_elapsed);
+        metrics.record(
+            self.label.clone(),
+            self.rows_out,
+            0,
+            self.timer.or_fallback(self.build_elapsed),
+        );
     }
 }
 
@@ -1702,14 +1817,15 @@ struct SortOp<'a> {
     out: std::vec::IntoIter<RowRef<'a>>,
     rows_out: u64,
     elapsed: Duration,
+    timer: OpTimer,
 }
 
-impl<'a> RowStream<'a> for SortOp<'a> {
-    fn next(&mut self) -> Result<Option<RowRef<'a>>> {
+impl<'a> SortOp<'a> {
+    fn advance(&mut self) -> Result<Option<RowRef<'a>>> {
         if !self.started {
             self.started = true;
             let rows = drain_checked(&mut self.input, self.quota)?;
-            let start = Instant::now();
+            let start = clock::now();
             let keys = self.keys;
             let cmp = |a: &RowRef<'a>, b: &RowRef<'a>| sort_cmp(a, b, keys);
             let rows = match self.limit {
@@ -1738,10 +1854,17 @@ impl<'a> RowStream<'a> for SortOp<'a> {
     }
 }
 
+timed_next!(SortOp);
+
 impl<'a> Operator<'a> for SortOp<'a> {
     fn record(&mut self, metrics: &mut ExecutionMetrics) {
         self.input.record(metrics);
-        metrics.record("Sort", self.rows_out, 0, self.elapsed);
+        metrics.record(
+            "Sort",
+            self.rows_out,
+            0,
+            self.timer.or_fallback(self.elapsed),
+        );
     }
 }
 
@@ -1758,14 +1881,15 @@ struct AggregateOp<'a> {
     out: std::vec::IntoIter<Row>,
     rows_out: u64,
     elapsed: Duration,
+    timer: OpTimer,
 }
 
-impl<'a> RowStream<'a> for AggregateOp<'a> {
-    fn next(&mut self) -> Result<Option<RowRef<'a>>> {
+impl<'a> AggregateOp<'a> {
+    fn advance(&mut self) -> Result<Option<RowRef<'a>>> {
         if !self.started {
             self.started = true;
             let rows = drain_checked(&mut self.input, self.quota)?;
-            let start = Instant::now();
+            let start = clock::now();
             let grouped = aggregate_with_quota(&rows, self.group_by, self.aggregates, self.quota)?;
             self.elapsed = start.elapsed();
             self.out = grouped.into_iter();
@@ -1780,10 +1904,17 @@ impl<'a> RowStream<'a> for AggregateOp<'a> {
     }
 }
 
+timed_next!(AggregateOp);
+
 impl<'a> Operator<'a> for AggregateOp<'a> {
     fn record(&mut self, metrics: &mut ExecutionMetrics) {
         self.input.record(metrics);
-        metrics.record("HashAggregate", self.rows_out, 0, self.elapsed);
+        metrics.record(
+            "HashAggregate",
+            self.rows_out,
+            0,
+            self.timer.or_fallback(self.elapsed),
+        );
     }
 }
 

@@ -13,6 +13,7 @@
 //!    bounded* plans on this engine, exactly as the paper layers BEAS on a
 //!    conventional DBMS.
 
+pub mod analyze;
 pub mod engine;
 pub mod executor;
 pub mod metrics;
@@ -21,10 +22,11 @@ pub mod planner;
 pub mod profile;
 pub(crate) mod vectorized;
 
-pub use engine::{Engine, QueryResult};
+pub use analyze::{analyze_tree, AnalyzeNode};
+pub use engine::{Engine, EngineAnalysis, QueryResult};
 pub use executor::{
-    aggregate, execute, execute_with, execute_with_profile, execute_with_quota, ParallelConfig,
-    PARALLEL_SCAN_MAX_WORKERS, PARALLEL_SCAN_MIN_ROWS,
+    aggregate, execute, execute_timed, execute_with, execute_with_profile, execute_with_quota,
+    ParallelConfig, PARALLEL_SCAN_MAX_WORKERS, PARALLEL_SCAN_MIN_ROWS,
 };
 pub use metrics::{
     format_duration, ExecutionMetrics, MorselStats, OperatorMetrics, PlanCacheStats,

@@ -2,12 +2,13 @@
 //! # beas-lint
 //!
 //! Project-specific static analysis for the BEAS workspace: a self-contained
-//! token-level lexer plus a catalog of invariant rules (`L001`..`L007`) that
+//! token-level lexer plus a catalog of invariant rules (`L001`..`L009`) that
 //! mechanically enforce disciplines the compiler cannot see — propagated
 //! predicate errors, canonicalized join/index keys, quota checkpoints in
 //! blocking loops, storage mutation behind the maintenance facade, approved
-//! sync primitives in concurrent code, justified `#[allow]`s, and
-//! `#![forbid(unsafe_code)]` crate roots.
+//! sync primitives in concurrent code, justified `#[allow]`s,
+//! `#![forbid(unsafe_code)]` crate roots, canonical hashing in columnar
+//! kernels, and all product timing routed through `beas_obs::clock`.
 //!
 //! The rule catalog, the history behind each rule, and the suppression
 //! syntax (`// beas-lint: allow(Lnnn) -- reason`) are documented in
@@ -54,6 +55,14 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     ("L006", "every #[allow(..)] carries a justification comment"),
     ("L007", "non-shim crate roots carry #![forbid(unsafe_code)]"),
+    (
+        "L008",
+        "columnar kernels hash via beas_common::key and reference the vectorized differential harness",
+    ),
+    (
+        "L009",
+        "raw Instant/SystemTime reads outside beas_obs; timing routes through beas_obs::clock",
+    ),
 ];
 
 /// Directory names never descended into: build output, the in-tree

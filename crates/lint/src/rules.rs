@@ -100,10 +100,22 @@ const CANONICAL_HASH_FNS: &[&str] = &["canonical_hash", "canonical_key_hash"];
 /// (rule L008): a hand-rolled hasher, or a keyed container.
 const HASHING_TOKENS: &[&str] = &["Hasher", "DefaultHasher", "Hash"];
 
+/// Clock types whose raw `::now()` is banned outside the sanctioned clock
+/// module (rule L009): all timing must route through `beas_obs::clock` so
+/// the trace layer owns every timestamp source.
+const RAW_CLOCK_TYPES: &[&str] = &["Instant", "SystemTime"];
+
+/// Files allowed to read the raw clock (prefix match, rule L009): the
+/// observability crate itself (it *is* the sanctioned clock) and the bench
+/// harness (criterion-style timing loops are measurement, not product
+/// timing).  Tests/benches/examples are already exempt via test-code
+/// scoping.
+const RAW_CLOCK_FILES: &[&str] = &["crates/obs/", "crates/bench/"];
+
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule id (`L001` .. `L008`, or `L000` for a malformed suppression).
+    /// Rule id (`L001` .. `L009`, or `L000` for a malformed suppression).
     pub rule: &'static str,
     /// Workspace-relative path.
     pub file: String,
@@ -177,6 +189,7 @@ pub fn lint_source(src: &str, ctx: &FileContext) -> Vec<Finding> {
     check_l006(&all, ctx, &mut findings);
     check_l007(&sig, &all, ctx, &mut findings);
     check_l008(&sig, &all, ctx, &mut findings);
+    check_l009(&sig, ctx, &mut findings);
 
     findings.retain(|f| {
         // L006/L007 apply everywhere; the structural rules skip test code
@@ -698,6 +711,41 @@ fn check_l008(sig: &[&Token], all: &[Token], ctx: &FileContext, findings: &mut V
                 differential test reference (tests/vectorized_semantics.rs)"
                 .to_string(),
         });
+    }
+}
+
+/// L009 — no raw `Instant::now()` / `SystemTime::now()` outside the
+/// sanctioned clock ([`RAW_CLOCK_FILES`]).  Every product timestamp must
+/// come from `beas_obs::clock::now()`: that is what lets the trace layer
+/// keep all timing behind one `TraceLevel` knob, and what keeps the
+/// trace-neutrality guarantee auditable — a stray clock read is a timing
+/// side channel the observability layer cannot see or switch off.
+fn check_l009(sig: &[&Token], ctx: &FileContext, findings: &mut Vec<Finding>) {
+    if RAW_CLOCK_FILES.iter().any(|f| ctx.path.starts_with(f)) {
+        return;
+    }
+    let mut i = 0;
+    while i + 4 < sig.len() {
+        if sig[i].kind == TokenKind::Ident
+            && RAW_CLOCK_TYPES.contains(&sig[i].text.as_str())
+            && sig[i + 1].is_punct(':')
+            && sig[i + 2].is_punct(':')
+            && sig[i + 3].is_ident("now")
+            && sig[i + 4].is_punct('(')
+        {
+            findings.push(Finding {
+                rule: "L009",
+                file: ctx.path.clone(),
+                line: sig[i].line,
+                message: format!(
+                    "raw `{}::now()` outside `beas_obs`; route timing through \
+                     `beas_obs::clock::now()` so the trace layer owns every \
+                     timestamp source",
+                    sig[i].text
+                ),
+            });
+        }
+        i += 1;
     }
 }
 

@@ -1,0 +1,13 @@
+// Fixture: timing routed through the sanctioned clock; mentioning the
+// Instant *type* (e.g. storing a start token) is fine — only a raw
+// `::now()` read is a finding.
+use beas_obs::clock;
+use std::time::Instant;
+
+fn measure_properly() -> u64 {
+    let start: Instant = clock::now();
+    expensive();
+    start.elapsed().as_nanos() as u64
+}
+
+fn expensive() {}

@@ -1,0 +1,14 @@
+// Fixture: raw clock reads outside the sanctioned beas_obs::clock module.
+use std::time::{Instant, SystemTime};
+
+fn measure_badly() -> u64 {
+    let start = Instant::now();
+    expensive();
+    start.elapsed().as_nanos() as u64
+}
+
+fn stamp_badly() -> SystemTime {
+    SystemTime::now()
+}
+
+fn expensive() {}

@@ -162,6 +162,34 @@ fn l008_clean_when_hashing_is_canonical_and_harness_referenced() {
 }
 
 #[test]
+fn l009_fires_on_raw_clock_reads() {
+    let findings = lint_fixture("l009_fire.rs", "crates/engine/src/executor.rs");
+    assert_eq!(rules_of(&findings), vec!["L009", "L009"], "{findings:?}");
+    assert!(findings[0].message.contains("Instant::now()"));
+    assert!(findings[1].message.contains("SystemTime::now()"));
+    assert!(findings[0].message.contains("beas_obs::clock::now()"));
+}
+
+#[test]
+fn l009_exempts_the_clock_module_and_the_bench_harness() {
+    for path in [
+        "crates/obs/src/clock.rs",
+        "crates/bench/src/harness.rs",
+        // test code is scoped out like every structural rule
+        "crates/engine/tests/timing.rs",
+    ] {
+        let findings = lint_fixture("l009_fire.rs", path);
+        assert!(findings.is_empty(), "{path}: {findings:?}");
+    }
+}
+
+#[test]
+fn l009_clean_when_timing_routes_through_the_sanctioned_clock() {
+    let findings = lint_fixture("l009_clean.rs", "crates/engine/src/executor.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
 fn justified_suppressions_silence_findings() {
     // l004_fire.rs shows the violations fire; suppressed.rs is the same
     // shape with above-line, multi-comment-line and same-line suppressions

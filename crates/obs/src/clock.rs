@@ -1,0 +1,128 @@
+//! The sanctioned monotonic-clock facade.
+//!
+//! beas-lint rule L009 flags raw `Instant::now()` / `SystemTime::now()`
+//! anywhere outside this crate (and the bench harness): every timing
+//! decision in the workspace flows through here, so the trace level can
+//! reason about — and the trace-neutrality test can pin — exactly where
+//! clocks are read.
+
+use std::time::{Duration, Instant};
+
+/// Read the monotonic clock.  The only sanctioned `Instant::now()` call
+/// site in the workspace (outside benches and shims).
+#[inline]
+pub fn now() -> Instant {
+    Instant::now()
+}
+
+/// An accumulating per-operator timer whose *off* path is a no-op.
+///
+/// Streaming operators construct one per pipeline with
+/// `OpTimer::new(level.timing())` and wrap each `next()` call in a
+/// [`begin`](OpTimer::begin) / [`end`](OpTimer::end) pair.  When the timer
+/// is disabled, `begin` returns `None` without reading the clock and `end`
+/// does nothing — one predictable branch per call, which is what lets the
+/// `trace_off_*` bench pair sit inside the bench-gate noise floor.
+///
+/// The accumulated time is *inclusive* (it contains the time spent pulling
+/// from input operators), matching the convention of PostgreSQL's
+/// `EXPLAIN ANALYZE` per-node `actual time`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OpTimer {
+    enabled: bool,
+    elapsed: Duration,
+}
+
+impl OpTimer {
+    /// A timer that reads the clock only when `enabled` is true.
+    #[inline]
+    pub fn new(enabled: bool) -> Self {
+        OpTimer {
+            enabled,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Start one timed section.  Returns `None` (no clock read) when the
+    /// timer is disabled; pass the result to [`end`](OpTimer::end).
+    #[inline]
+    pub fn begin(&self) -> Option<Instant> {
+        if self.enabled {
+            Some(now())
+        } else {
+            None
+        }
+    }
+
+    /// Close a section opened by [`begin`](OpTimer::begin), accumulating
+    /// its elapsed time.  A `None` token is a no-op.
+    #[inline]
+    pub fn end(&mut self, started: Option<Instant>) {
+        if let Some(t) = started {
+            self.elapsed += t.elapsed();
+        }
+    }
+
+    /// Whether this timer reads the clock.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Total accumulated time ([`Duration::ZERO`] when disabled).
+    #[inline]
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    /// The accumulated inclusive time when timing is on, otherwise
+    /// `fallback` — operators that already time a blocking phase (join
+    /// build, sort, aggregate fold) report that phase when per-`next()`
+    /// timing is off.
+    #[inline]
+    pub fn or_fallback(&self, fallback: Duration) -> Duration {
+        if self.enabled {
+            self.elapsed
+        } else {
+            fallback
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_timer_accumulates_nothing() {
+        let mut t = OpTimer::new(false);
+        let tok = t.begin();
+        assert!(tok.is_none());
+        t.end(tok);
+        assert_eq!(t.elapsed(), Duration::ZERO);
+        assert!(!t.enabled());
+        let fallback = Duration::from_millis(7);
+        assert_eq!(t.or_fallback(fallback), fallback);
+    }
+
+    #[test]
+    fn enabled_timer_accumulates_across_sections() {
+        let mut t = OpTimer::new(true);
+        for _ in 0..3 {
+            let tok = t.begin();
+            assert!(tok.is_some());
+            t.end(tok);
+        }
+        // Monotonic clock: three closed sections can't sum to less than zero,
+        // and the enabled timer must ignore the fallback.
+        assert!(t.enabled());
+        assert_eq!(t.or_fallback(Duration::from_secs(1)), t.elapsed());
+    }
+
+    #[test]
+    fn default_timer_is_disabled() {
+        let t = OpTimer::default();
+        assert!(!t.enabled());
+        assert!(t.begin().is_none());
+    }
+}

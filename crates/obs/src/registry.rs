@@ -1,0 +1,382 @@
+//! A point-in-time metrics snapshot with dependency-free JSON and
+//! Prometheus-style text export.
+//!
+//! The registry is assembled on demand by whoever owns the live counters
+//! (the service layer assembles decision counters, plan-cache stats, the
+//! generation gauge and latency histograms into one); it holds plain
+//! values, not atomics, so exporting is race-free by construction.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// The value of one exported metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A monotonically increasing count.
+    Counter(u64),
+    /// A point-in-time level that can go up and down.
+    Gauge(u64),
+    /// A histogram as `(upper_bound_ns, cumulative_count)` buckets (in
+    /// increasing bound order, counts cumulative as in Prometheus) plus the
+    /// total sample count.  No `_sum` series is exported — the underlying
+    /// `LatencyHistogram` keeps bucket counts only.
+    Histogram {
+        /// `(le, cumulative_count)` pairs, increasing in `le`.
+        buckets: Vec<(u64, u64)>,
+        /// Total number of recorded samples.
+        count: u64,
+    },
+}
+
+impl MetricValue {
+    fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram { .. } => "histogram",
+        }
+    }
+}
+
+/// One exported metric: name, help text, labels and a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Metric {
+    /// Metric name (Prometheus-style, e.g. `beas_decisions_total`).
+    pub name: String,
+    /// One-line description, exported as `# HELP`.
+    pub help: String,
+    /// Label pairs, e.g. `[("decision", "bounded")]`.
+    pub labels: Vec<(String, String)>,
+    /// The metric value.
+    pub value: MetricValue,
+}
+
+/// A snapshot of metrics that renders as JSON or Prometheus text.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    metrics: Vec<Metric>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a counter with no labels.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) -> &mut Self {
+        self.push(name, help, &[], MetricValue::Counter(value))
+    }
+
+    /// Append a counter with labels.
+    pub fn counter_with(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        value: u64,
+    ) -> &mut Self {
+        self.push(name, help, labels, MetricValue::Counter(value))
+    }
+
+    /// Append a gauge with no labels.
+    pub fn gauge(&mut self, name: &str, help: &str, value: u64) -> &mut Self {
+        self.push(name, help, &[], MetricValue::Gauge(value))
+    }
+
+    /// Append a histogram with labels; `buckets` are
+    /// `(upper_bound_ns, cumulative_count)` in increasing bound order.
+    pub fn histogram_with(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        buckets: Vec<(u64, u64)>,
+        count: u64,
+    ) -> &mut Self {
+        self.push(
+            name,
+            help,
+            labels,
+            MetricValue::Histogram { buckets, count },
+        )
+    }
+
+    fn push(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        value: MetricValue,
+    ) -> &mut Self {
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            value,
+        });
+        self
+    }
+
+    /// The metrics in insertion order.
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+
+    /// Number of metrics in the snapshot.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Render as a JSON array of metric objects:
+    /// `[{"name":…,"type":…,"help":…,"labels":{…},"value":…}, …]`.
+    /// Histograms carry `"buckets": [{"le":…,"count":…}, …]` and `"count"`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            json_string(&mut out, &m.name);
+            let _ = write!(out, ",\"type\":\"{}\",\"help\":", m.value.kind());
+            json_string(&mut out, &m.help);
+            out.push_str(",\"labels\":{");
+            for (j, (k, v)) in m.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                json_string(&mut out, k);
+                out.push(':');
+                json_string(&mut out, v);
+            }
+            out.push('}');
+            match &m.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    let _ = write!(out, ",\"value\":{v}");
+                }
+                MetricValue::Histogram { buckets, count } => {
+                    out.push_str(",\"buckets\":[");
+                    for (j, (le, c)) in buckets.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{{\"le\":{le},\"count\":{c}}}");
+                    }
+                    let _ = write!(out, "],\"count\":{count}");
+                }
+            }
+            out.push('}');
+        }
+        out.push(']');
+        out
+    }
+
+    /// Render as Prometheus-style exposition text (`# HELP` / `# TYPE`
+    /// headers, one sample per line, histogram `_bucket`/`_count` series
+    /// with a trailing `+Inf` bucket).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut seen_header: Vec<&str> = Vec::new();
+        for m in &self.metrics {
+            // One HELP/TYPE header per metric family, even when the family
+            // repeats with different labels (e.g. per-decision histograms).
+            if !seen_header.contains(&m.name.as_str()) {
+                seen_header.push(&m.name);
+                let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
+                let _ = writeln!(out, "# TYPE {} {}", m.name, m.value.kind());
+            }
+            match &m.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{}{} {}", m.name, label_set(&m.labels, None), v);
+                }
+                MetricValue::Histogram { buckets, count } => {
+                    for (le, c) in buckets {
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            m.name,
+                            label_set(&m.labels, Some(&le.to_string())),
+                            c
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        m.name,
+                        label_set(&m.labels, Some("+Inf")),
+                        count
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        m.name,
+                        label_set(&m.labels, None),
+                        count
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Convert a [`Duration`] to whole nanoseconds, saturating at `u64::MAX`.
+pub fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Append `s` as a JSON string literal (quotes, backslashes and control
+/// characters escaped).
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Render a `{k="v",…}` label set, optionally with a trailing `le` label
+/// (for histogram buckets).  Empty when there are no labels.
+fn label_set(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{k}=\"{}\"",
+            v.replace('\\', "\\\\").replace('"', "\\\"")
+        );
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsRegistry {
+        let mut r = MetricsRegistry::new();
+        r.counter("beas_errors_total", "Execution errors", 2)
+            .gauge("beas_live_generations", "Pinned snapshot generations", 3)
+            .counter_with(
+                "beas_decisions_total",
+                "Admission decisions",
+                &[("decision", "bounded")],
+                40,
+            )
+            .histogram_with(
+                "beas_session_latency_ns",
+                "Session latency",
+                &[("decision", "bounded")],
+                vec![(1023, 4), (2047, 5)],
+                5,
+            );
+        r
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let json = sample().to_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"name\":\"beas_errors_total\""));
+        assert!(json.contains("\"type\":\"counter\""));
+        assert!(json.contains("\"value\":3"));
+        assert!(json.contains("\"decision\":\"bounded\""));
+        assert!(json.contains("{\"le\":1023,\"count\":4}"));
+        assert!(json.contains("\"count\":5"));
+        // Balanced braces/brackets — a cheap well-formedness proxy given
+        // no values here contain brace characters.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in {json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_control_characters() {
+        let mut r = MetricsRegistry::new();
+        r.counter_with(
+            "m",
+            "help with \"quotes\"\nand newline",
+            &[("sql", "select \"x\"\tfrom t")],
+            1,
+        );
+        let json = r.to_json();
+        assert!(json.contains("help with \\\"quotes\\\"\\nand newline"));
+        assert!(json.contains("select \\\"x\\\"\\tfrom t"));
+    }
+
+    #[test]
+    fn prometheus_text_has_headers_samples_and_inf_bucket() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# HELP beas_errors_total Execution errors"));
+        assert!(text.contains("# TYPE beas_errors_total counter"));
+        assert!(text.contains("beas_errors_total 2"));
+        assert!(text.contains("beas_live_generations 3"));
+        assert!(text.contains("beas_decisions_total{decision=\"bounded\"} 40"));
+        assert!(text.contains("beas_session_latency_ns_bucket{decision=\"bounded\",le=\"1023\"} 4"));
+        assert!(text.contains("beas_session_latency_ns_bucket{decision=\"bounded\",le=\"+Inf\"} 5"));
+        assert!(text.contains("beas_session_latency_ns_count{decision=\"bounded\"} 5"));
+    }
+
+    #[test]
+    fn repeated_family_emits_one_header() {
+        let mut r = MetricsRegistry::new();
+        r.counter_with(
+            "beas_decisions_total",
+            "Decisions",
+            &[("decision", "bounded")],
+            1,
+        )
+        .counter_with(
+            "beas_decisions_total",
+            "Decisions",
+            &[("decision", "baseline")],
+            2,
+        );
+        let text = r.to_prometheus();
+        assert_eq!(text.matches("# TYPE beas_decisions_total").count(), 1);
+        assert!(text.contains("{decision=\"baseline\"} 2"));
+    }
+
+    #[test]
+    fn duration_ns_saturates() {
+        assert_eq!(duration_ns(Duration::from_nanos(1500)), 1500);
+        assert_eq!(duration_ns(Duration::MAX), u64::MAX);
+    }
+}

@@ -21,8 +21,14 @@
 //!   that outruns its admission estimate terminates early with a
 //!   structured quota error instead of blowing the budget.
 //! * [`ServiceMetrics`] aggregates per-decision counters, admission
-//!   rejections, quota trips and p50/p99 submission latency across all
+//!   rejections, quota trips and p50/p90/p99 submission latency across all
 //!   sessions, lock-free.
+//! * Every submission is traced end to end: the [`SessionOutcome`] carries a
+//!   [`SubmissionTrace`] (trace id, plan-cache hit/miss, snapshot
+//!   generation, deduced bound vs. budget, quota spend, per-stage spans), a
+//!   ring-buffer slow-query log captures submissions over a configurable
+//!   threshold, and [`QueryService::metrics_registry`] exports the whole
+//!   service state as structured JSON or Prometheus-style text.
 //!
 //! ## Quick start
 //!
@@ -65,4 +71,7 @@ pub mod service;
 
 pub use admission::{admit, admit_prepared, Decision, RejectReason};
 pub use metrics::{LatencyHistogram, ServiceMetrics, ServiceMetricsSnapshot};
-pub use service::{Answer, PinnedSnapshot, QueryService, Session, SessionOutcome};
+pub use service::{
+    Answer, PinnedSnapshot, QueryService, Session, SessionOutcome, SlowQueryRecord,
+    SubmissionTrace, DEFAULT_SLOW_QUERY_THRESHOLD, SLOW_QUERY_LOG_CAP,
+};

@@ -35,9 +35,22 @@ impl Default for LatencyHistogram {
 }
 
 impl LatencyHistogram {
+    /// A sample of exactly `2^k` nanoseconds lands in bucket `k + 1` (the
+    /// bucket holding `[2^k, 2^(k+1))`), whose reported upper bound is
+    /// `2^(k+1) - 1` nanoseconds; zero-duration samples land in bucket 1
+    /// with bucket 0 permanently empty.  A boundary test pins this.
     fn bucket_of(d: Duration) -> usize {
         let ns = d.as_nanos().min(u64::MAX as u128) as u64;
         (64 - ns.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
+    }
+
+    /// Upper bound of bucket `i` in nanoseconds (`2^i - 1`, saturating).
+    fn bucket_upper_ns(i: usize) -> u64 {
+        if i >= 63 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
     }
 
     /// Record one sample.
@@ -50,8 +63,50 @@ impl LatencyHistogram {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
     }
 
+    /// Upper bound of the slowest recorded sample (the highest non-empty
+    /// bucket's upper bound), or [`Duration::ZERO`] when no samples have
+    /// been recorded.
+    pub fn max(&self) -> Duration {
+        for i in (0..LATENCY_BUCKETS).rev() {
+            if self.buckets[i].load(Ordering::Relaxed) > 0 {
+                return Duration::from_nanos(Self::bucket_upper_ns(i).max(1));
+            }
+        }
+        Duration::ZERO
+    }
+
+    /// The histogram as Prometheus-style `(upper_bound_ns,
+    /// cumulative_count)` pairs up to the highest non-empty bucket; empty
+    /// when no samples have been recorded.  This is the export shape
+    /// [`beas_obs::MetricsRegistry`] histograms take.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let Some(last) = counts.iter().rposition(|&c| c > 0) else {
+            return Vec::new();
+        };
+        let mut cumulative = 0u64;
+        counts[..=last]
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                cumulative += c;
+                (Self::bucket_upper_ns(i), cumulative)
+            })
+            .collect()
+    }
+
     /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket
-    /// holding that rank, or zero when the histogram is empty.
+    /// holding that rank.
+    ///
+    /// **Zero samples:** returns [`Duration::ZERO`].  This is the one value
+    /// `quantile` can never return once a sample exists (every bucket's
+    /// upper bound is at least 1 ns), so `Duration::ZERO` unambiguously
+    /// means "no data" rather than "very fast" — callers that need to
+    /// distinguish anyway should check [`LatencyHistogram::count`] first.
     pub fn quantile(&self, q: f64) -> Duration {
         let counts: Vec<u64> = self
             .buckets
@@ -67,9 +122,7 @@ impl LatencyHistogram {
         for (i, c) in counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                // upper bound of bucket i is 2^i - 1 nanoseconds
-                let ns = if i >= 63 { u64::MAX } else { (1u64 << i) - 1 };
-                return Duration::from_nanos(ns.max(1));
+                return Duration::from_nanos(Self::bucket_upper_ns(i).max(1));
             }
         }
         Duration::ZERO
@@ -91,6 +144,14 @@ pub struct ServiceMetrics {
     /// a handle and decrement it from `Drop`, wherever the pin ends up.
     pub(crate) live_generations: Arc<AtomicU64>,
     pub(crate) latency: LatencyHistogram,
+    /// Per-decision latency: how long submissions took *by how they were
+    /// routed* — a rejected query should sit in the microseconds (admission
+    /// only) while a baseline one pays a full scan.  Exported per label by
+    /// [`crate::QueryService::metrics_registry`].
+    pub(crate) latency_bounded: LatencyHistogram,
+    pub(crate) latency_baseline: LatencyHistogram,
+    pub(crate) latency_approximate: LatencyHistogram,
+    pub(crate) latency_rejected: LatencyHistogram,
 }
 
 impl ServiceMetrics {
@@ -111,7 +172,9 @@ impl ServiceMetrics {
             live_generations: self.live_generations.load(Ordering::Relaxed),
             latency_samples: self.latency.count(),
             p50: self.latency.quantile(0.50),
+            p90: self.latency.quantile(0.90),
             p99: self.latency.quantile(0.99),
+            max: self.latency.max(),
         }
     }
 }
@@ -143,8 +206,13 @@ pub struct ServiceMetricsSnapshot {
     pub latency_samples: u64,
     /// Median submission latency (bucket upper bound).
     pub p50: Duration,
+    /// 90th-percentile submission latency (bucket upper bound).
+    pub p90: Duration,
     /// 99th-percentile submission latency (bucket upper bound).
     pub p99: Duration,
+    /// Upper bound of the slowest submission ([`Duration::ZERO`] when no
+    /// samples have been recorded).
+    pub max: Duration,
 }
 
 impl ServiceMetricsSnapshot {
@@ -163,7 +231,7 @@ impl fmt::Display for ServiceMetricsSnapshot {
             f,
             "service: {} bounded, {} baseline, {} approximate, {} rejected; \
              {} quota trips, {} errors, {} maintenance batches, \
-             {} live generations; p50 {:?}, p99 {:?} over {} samples",
+             {} live generations; p50 {:?}, p90 {:?}, p99 {:?}, max {:?} over {} samples",
             self.decided_bounded,
             self.decided_baseline,
             self.decided_approximate,
@@ -173,7 +241,9 @@ impl fmt::Display for ServiceMetricsSnapshot {
             self.maintenance_batches,
             self.live_generations,
             self.p50,
+            self.p90,
             self.p99,
+            self.max,
             self.latency_samples,
         )
     }
@@ -204,6 +274,74 @@ mod tests {
         );
         let p100 = h.quantile(1.0);
         assert!(p100 >= Duration::from_millis(33), "{p100:?}");
+    }
+
+    #[test]
+    fn bucket_boundaries_at_exact_powers_of_two() {
+        // 2^k ns is the *first* sample of bucket k+1 — the half-open
+        // [2^k, 2^(k+1)) bucket — so its reported upper bound (max, and
+        // quantile(1.0)) is 2^(k+1) - 1 ns, never 2^k - 1.
+        for k in [0u32, 1, 4, 10, 20, 30] {
+            let h = LatencyHistogram::default();
+            h.record(Duration::from_nanos(1u64 << k));
+            assert_eq!(
+                LatencyHistogram::bucket_of(Duration::from_nanos(1u64 << k)),
+                k as usize + 1
+            );
+            let expected = Duration::from_nanos((1u64 << (k + 1)) - 1);
+            assert_eq!(h.max(), expected, "2^{k} ns");
+            assert_eq!(h.quantile(1.0), expected, "2^{k} ns");
+            // One below the boundary stays in bucket k (for k >= 1).
+            if k >= 1 {
+                assert_eq!(
+                    LatencyHistogram::bucket_of(Duration::from_nanos((1u64 << k) - 1)),
+                    k as usize
+                );
+            }
+        }
+        // Zero-duration samples land in bucket 1; bucket 0 stays empty.
+        assert_eq!(LatencyHistogram::bucket_of(Duration::ZERO), 1);
+    }
+
+    #[test]
+    fn max_and_quantiles_on_the_empty_histogram() {
+        let h = LatencyHistogram::default();
+        // Zero samples: ZERO is the documented "no data" value for both —
+        // unreachable once any sample exists (bucket bounds are >= 1 ns).
+        assert_eq!(h.max(), Duration::ZERO);
+        assert_eq!(h.quantile(0.0), Duration::ZERO);
+        assert_eq!(h.quantile(1.0), Duration::ZERO);
+        assert!(h.cumulative_buckets().is_empty());
+        h.record(Duration::from_nanos(1));
+        assert!(h.max() > Duration::ZERO);
+        assert!(h.quantile(0.0) > Duration::ZERO);
+    }
+
+    #[test]
+    fn cumulative_buckets_accumulate_and_stop_at_the_last_sample() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_nanos(3)); // bucket 2 (upper bound 3)
+        h.record(Duration::from_nanos(3));
+        h.record(Duration::from_nanos(100)); // bucket 7 (upper bound 127)
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.len(), 8, "stops at the highest non-empty bucket");
+        assert_eq!(buckets[2], (3, 2));
+        assert_eq!(buckets[6], (63, 2), "counts are cumulative");
+        assert_eq!(buckets[7], (127, 3));
+        assert_eq!(buckets.last().unwrap().1, h.count());
+    }
+
+    #[test]
+    fn snapshot_p90_sits_between_p50_and_p99() {
+        let m = ServiceMetrics::default();
+        for i in 0..100u64 {
+            m.latency.record(Duration::from_micros(i + 1));
+        }
+        let snap = m.snapshot();
+        assert!(snap.p50 <= snap.p90, "{snap}");
+        assert!(snap.p90 <= snap.p99, "{snap}");
+        assert!(snap.p99 <= snap.max, "{snap}");
+        assert!(snap.to_string().contains("p90"));
     }
 
     #[test]

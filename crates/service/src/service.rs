@@ -1,15 +1,18 @@
 //! The query service: shared snapshots, serialized writers, and sessions.
 
-use crate::admission::{admit_prepared, Decision};
+use crate::admission::{admit_prepared, Decision, RejectReason};
 use crate::metrics::{ServiceMetrics, ServiceMetricsSnapshot};
 use beas_access::MaintenanceOutcome;
 use beas_common::{BeasError, QuotaTracker, ResourceQuota, Result, Row, Schema};
 use beas_core::{BeasSystem, EvaluationMode};
 use beas_engine::PlanCacheStats;
+use beas_obs::{clock, MetricsRegistry, QueryTrace, SpanRecord, TraceLevel};
+use std::collections::VecDeque;
+use std::fmt;
 use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::Instant;
+use std::time::Duration;
 
 /// A published snapshot, pinned for garbage-collection accounting.
 ///
@@ -56,6 +59,64 @@ impl Drop for PinnedSnapshot {
     }
 }
 
+/// Ring-buffer capacity of the slow-query log.
+pub const SLOW_QUERY_LOG_CAP: usize = 128;
+
+/// Default slow-query threshold: tuned for an in-memory engine where a
+/// normal submission is micro- to low-milliseconds.
+pub const DEFAULT_SLOW_QUERY_THRESHOLD: Duration = Duration::from_millis(100);
+
+/// One entry of the slow-query log.
+#[derive(Debug, Clone)]
+pub struct SlowQueryRecord {
+    /// Trace id of the submission (0 when it failed before tracing).
+    pub trace_id: u64,
+    /// Session that submitted the query.
+    pub session: u64,
+    /// The SQL text as submitted.
+    pub sql: String,
+    /// How the submission ended: the decision name, or `error: <kind>`.
+    pub outcome: String,
+    /// End-to-end submission latency.
+    pub elapsed: Duration,
+    /// Snapshot generation the query ran against (0 on pre-pin failures).
+    pub generation: u64,
+}
+
+/// Lock-free-threshold ring buffer of the slowest submissions.  The mutex
+/// is taken only for queries that already blew the threshold, so the fast
+/// path costs one atomic load.
+#[derive(Debug)]
+struct SlowQueryLog {
+    threshold_ns: AtomicU64,
+    entries: Mutex<VecDeque<SlowQueryRecord>>,
+}
+
+impl Default for SlowQueryLog {
+    fn default() -> Self {
+        SlowQueryLog {
+            threshold_ns: AtomicU64::new(beas_obs::registry::duration_ns(
+                DEFAULT_SLOW_QUERY_THRESHOLD,
+            )),
+            entries: Mutex::new(VecDeque::new()),
+        }
+    }
+}
+
+impl SlowQueryLog {
+    fn observe(&self, record: SlowQueryRecord) {
+        let threshold = self.threshold_ns.load(Ordering::Relaxed);
+        if beas_obs::registry::duration_ns(record.elapsed) < threshold {
+            return;
+        }
+        let mut entries = self.entries.lock().expect("slow query log lock");
+        if entries.len() >= SLOW_QUERY_LOG_CAP {
+            entries.pop_front();
+        }
+        entries.push_back(record);
+    }
+}
+
 /// State shared by the service handle and every session.
 #[derive(Debug)]
 struct Shared {
@@ -70,6 +131,7 @@ struct Shared {
     /// the pointer swap.
     writer: Mutex<()>,
     metrics: ServiceMetrics,
+    slow_log: SlowQueryLog,
     next_session: AtomicU64,
 }
 
@@ -125,6 +187,76 @@ pub struct Answer {
     pub coverage: f64,
 }
 
+/// The trace of one submission: the trace id stamped through admission →
+/// plan cache → execution, the admission inputs (deduced bound or estimate
+/// vs the session budget), the plan-cache outcome, the snapshot generation,
+/// the quota spend, and — under [`TraceLevel::Timing`] — per-stage spans.
+///
+/// Plain owned data (no atomics, no `Arc`s into the engine), so outcomes
+/// stay `Clone` and the trace can outlive the snapshot it describes.
+#[derive(Debug, Clone)]
+pub struct SubmissionTrace {
+    /// Globally unique id of this submission (from
+    /// [`beas_obs::next_trace_id`] via the session's [`QueryTrace`]).
+    pub trace_id: u64,
+    /// The global trace level the submission ran under.
+    pub level: TraceLevel,
+    /// Whether the prepared plan came from the shared plan cache.
+    pub cache_hit: bool,
+    /// Write generation of the snapshot the query ran against.
+    pub generation: u64,
+    /// The deduced bound when the query is covered (what admission compared
+    /// against the budget).
+    pub deduced_bound: Option<u64>,
+    /// The planner estimate when the query is *not* covered.
+    pub estimated_tuples: Option<u64>,
+    /// The session's tuple budget, if it has one.
+    pub budget: Option<u64>,
+    /// Tuples actually charged against the session quota (0 for rejected
+    /// submissions).
+    pub tuples_used: u64,
+    /// End-to-end time of the submission as seen by the session
+    /// ([`Duration::ZERO`] under [`TraceLevel::Off`]).
+    pub elapsed: Duration,
+    /// Per-stage spans (`prepare`, `admit`, `execute`); durations are
+    /// non-zero only under [`TraceLevel::Timing`], and the whole list is
+    /// empty under [`TraceLevel::Off`].
+    pub spans: Vec<SpanRecord>,
+}
+
+impl SubmissionTrace {
+    /// Render the trace as one compact line plus per-span lines.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "trace #{} (level={}): cache {}, generation {}, {} vs budget {}, {} tuples used, {:?}\n",
+            self.trace_id,
+            self.level,
+            if self.cache_hit { "hit" } else { "miss" },
+            self.generation,
+            match (self.deduced_bound, self.estimated_tuples) {
+                (Some(b), _) => format!("deduced bound {b}"),
+                (None, Some(e)) => format!("estimated {e}"),
+                (None, None) => "no bound".to_string(),
+            },
+            self.budget
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "unlimited".to_string()),
+            self.tuples_used,
+            self.elapsed,
+        );
+        for span in &self.spans {
+            out.push_str(&format!("  {}: {:?}\n", span.name, span.elapsed));
+        }
+        out
+    }
+}
+
+impl fmt::Display for SubmissionTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
 /// The outcome of one submission: the admission decision, the snapshot
 /// generation it was served at, and — when admitted — the answer.
 #[derive(Debug, Clone)]
@@ -136,6 +268,9 @@ pub struct SessionOutcome {
     pub generation: u64,
     /// The answer, or `None` when the decision was [`Decision::Rejected`].
     pub answer: Option<Answer>,
+    /// The submission's trace: admission inputs, cache outcome, quota
+    /// spend, and (under [`TraceLevel::Timing`]) per-stage spans.
+    pub trace: SubmissionTrace,
 }
 
 impl QueryService {
@@ -151,6 +286,7 @@ impl QueryService {
                 snapshot: RwLock::new(snapshot),
                 writer: Mutex::new(()),
                 metrics,
+                slow_log: SlowQueryLog::default(),
                 next_session: AtomicU64::new(0),
             }),
         }
@@ -189,6 +325,136 @@ impl QueryService {
     /// service's lineage (the cache is shared by construction).
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
         self.snapshot().plan_cache_stats()
+    }
+
+    /// Set the slow-query threshold: submissions at or above it are
+    /// recorded in the ring-buffer slow-query log (default
+    /// [`DEFAULT_SLOW_QUERY_THRESHOLD`]; `Duration::ZERO` logs every
+    /// submission, `Duration::MAX` effectively disables the log).
+    pub fn set_slow_query_threshold(&self, threshold: Duration) {
+        self.shared.slow_log.threshold_ns.store(
+            beas_obs::registry::duration_ns(threshold),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// The current slow-query threshold.
+    pub fn slow_query_threshold(&self) -> Duration {
+        Duration::from_nanos(self.shared.slow_log.threshold_ns.load(Ordering::Relaxed))
+    }
+
+    /// The slow-query log, oldest first.  A bounded ring buffer (the
+    /// [`SLOW_QUERY_LOG_CAP`] most recent slow submissions are kept).
+    pub fn slow_queries(&self) -> Vec<SlowQueryRecord> {
+        self.shared
+            .slow_log
+            .entries
+            .lock()
+            .expect("slow query log lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Export the service's observable state as a [`MetricsRegistry`]
+    /// snapshot: per-decision counters, quota trips, errors, maintenance
+    /// batches, the live-generation gauge, plan-cache counters, and the
+    /// submission latency histograms (overall and per decision).  Render it
+    /// with [`MetricsRegistry::to_json`] or
+    /// [`MetricsRegistry::to_prometheus`].
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        let m = &self.shared.metrics;
+        let cache = self.plan_cache_stats();
+        let mut registry = MetricsRegistry::new();
+        const DECISIONS_HELP: &str = "Admission decisions by routing";
+        registry
+            .counter_with(
+                "beas_service_decisions_total",
+                DECISIONS_HELP,
+                &[("decision", "bounded")],
+                m.bounded.load(Ordering::Relaxed),
+            )
+            .counter_with(
+                "beas_service_decisions_total",
+                DECISIONS_HELP,
+                &[("decision", "baseline")],
+                m.baseline.load(Ordering::Relaxed),
+            )
+            .counter_with(
+                "beas_service_decisions_total",
+                DECISIONS_HELP,
+                &[("decision", "approximate")],
+                m.approximate.load(Ordering::Relaxed),
+            )
+            .counter_with(
+                "beas_service_decisions_total",
+                DECISIONS_HELP,
+                &[("decision", "rejected")],
+                m.rejected.load(Ordering::Relaxed),
+            )
+            .counter(
+                "beas_service_quota_trips_total",
+                "In-flight queries cancelled by a quota trip",
+                m.quota_trips.load(Ordering::Relaxed),
+            )
+            .counter(
+                "beas_service_errors_total",
+                "Submissions failed with a non-quota error",
+                m.errors.load(Ordering::Relaxed),
+            )
+            .counter(
+                "beas_service_maintenance_batches_total",
+                "Maintenance batches applied (each published one snapshot)",
+                m.maintenance_batches.load(Ordering::Relaxed),
+            )
+            .gauge(
+                "beas_service_live_generations",
+                "Snapshot generations currently pinned",
+                m.live_generations.load(Ordering::Relaxed),
+            );
+        const CACHE_HELP: &str = "Plan cache lookups by outcome";
+        registry
+            .counter_with(
+                "beas_plan_cache_lookups_total",
+                CACHE_HELP,
+                &[("outcome", "hit")],
+                cache.hits,
+            )
+            .counter_with(
+                "beas_plan_cache_lookups_total",
+                CACHE_HELP,
+                &[("outcome", "miss")],
+                cache.misses,
+            )
+            .counter_with(
+                "beas_plan_cache_lookups_total",
+                CACHE_HELP,
+                &[("outcome", "invalidation")],
+                cache.invalidations,
+            )
+            .histogram_with(
+                "beas_submission_latency_ns",
+                "End-to-end submission latency",
+                &[],
+                m.latency.cumulative_buckets(),
+                m.latency.count(),
+            );
+        const BY_DECISION_HELP: &str = "Submission latency by admission decision";
+        for (decision, histogram) in [
+            ("bounded", &m.latency_bounded),
+            ("baseline", &m.latency_baseline),
+            ("approximate", &m.latency_approximate),
+            ("rejected", &m.latency_rejected),
+        ] {
+            registry.histogram_with(
+                "beas_submission_latency_by_decision_ns",
+                BY_DECISION_HELP,
+                &[("decision", decision)],
+                histogram.cumulative_buckets(),
+                histogram.count(),
+            );
+        }
+        registry
     }
 
     /// Apply one maintenance batch atomically: fork the current snapshot,
@@ -262,16 +528,42 @@ impl Session {
     /// malformed queries and for in-flight quota trips
     /// ([`BeasError::QuotaExceeded`]).
     pub fn execute(&self, sql: &str) -> Result<SessionOutcome> {
-        let start = Instant::now();
+        let start = clock::now();
         let out = self.execute_pinned(sql);
-        self.shared.metrics.latency.record(start.elapsed());
-        match &out {
-            Ok(_) => {}
-            Err(BeasError::QuotaExceeded { .. }) => {
-                ServiceMetrics::bump(&self.shared.metrics.quota_trips)
+        let elapsed = start.elapsed();
+        let metrics = &self.shared.metrics;
+        metrics.latency.record(elapsed);
+        let outcome_label = match &out {
+            Ok(outcome) => {
+                // Per-decision latency: a rejection should cost admission
+                // only, a baseline run pays the full scan — the split makes
+                // that visible where one blended histogram would hide it.
+                let (histogram, label) = match outcome.decision {
+                    Decision::Bounded { .. } => (&metrics.latency_bounded, "bounded"),
+                    Decision::Baseline { .. } => (&metrics.latency_baseline, "baseline"),
+                    Decision::Approximate { .. } => (&metrics.latency_approximate, "approximate"),
+                    Decision::Rejected { .. } => (&metrics.latency_rejected, "rejected"),
+                };
+                histogram.record(elapsed);
+                label.to_string()
             }
-            Err(_) => ServiceMetrics::bump(&self.shared.metrics.errors),
-        }
+            Err(err @ BeasError::QuotaExceeded { .. }) => {
+                ServiceMetrics::bump(&metrics.quota_trips);
+                format!("error: {}", err.kind())
+            }
+            Err(err) => {
+                ServiceMetrics::bump(&metrics.errors);
+                format!("error: {}", err.kind())
+            }
+        };
+        self.shared.slow_log.observe(SlowQueryRecord {
+            trace_id: out.as_ref().map(|o| o.trace.trace_id).unwrap_or(0),
+            session: self.id,
+            sql: sql.to_string(),
+            outcome: outcome_label,
+            elapsed,
+            generation: out.as_ref().map(|o| o.generation).unwrap_or(0),
+        });
         out
     }
 
@@ -280,12 +572,20 @@ impl Session {
     }
 
     fn execute_pinned(&self, sql: &str) -> Result<SessionOutcome> {
+        let level = beas_obs::trace_level();
+        let mut query_trace = QueryTrace::new(level);
+        let started = clock::now();
         let snapshot = self.pin();
         let generation = snapshot.database().generation();
         // One plan-cache acquisition per submission: the prepared query is
-        // threaded from the admission decision into execution.
-        let prepared = snapshot.prepare(sql)?;
+        // threaded from the admission decision into execution, and the
+        // hit/miss outcome is stamped into the trace from the same lookup.
+        let span = query_trace.start_span();
+        let (prepared, cache_hit) = snapshot.prepare_traced(sql)?;
+        query_trace.end_span("prepare", span);
+        let span = query_trace.start_span();
         let decision = admit_prepared(&snapshot, &prepared, &self.quota, self.allow_approximate)?;
+        query_trace.end_span("admit", span);
         let metrics = &self.shared.metrics;
         // Decision counters record the routing, so they bump where the
         // decision is made — an admitted query that later trips its quota
@@ -296,12 +596,15 @@ impl Session {
             Decision::Approximate { .. } => &metrics.approximate,
             Decision::Rejected { .. } => &metrics.rejected,
         });
+        let span = query_trace.start_span();
+        let mut tuples_used = 0;
         let answer = match decision {
             Decision::Rejected { .. } => None,
             Decision::Bounded { .. } | Decision::Baseline { .. } => {
                 let tracker: QuotaTracker = self.quota.tracker();
                 let outcome = snapshot.execute_prepared(&prepared, Some(&tracker))?;
                 tracker.check_rows(outcome.rows.len() as u64)?;
+                tuples_used = tracker.tuples_used();
                 Some(Answer {
                     rows: outcome.rows,
                     schema: outcome.schema,
@@ -319,6 +622,7 @@ impl Session {
                 let approx = snapshot.approximate_prepared(&prepared, budget)?;
                 tracker.check_rows(approx.rows.len() as u64)?;
                 tracker.checkpoint()?;
+                tuples_used = approx.tuples_accessed;
                 Some(Answer {
                     rows: approx.rows,
                     schema: approx.schema,
@@ -328,10 +632,37 @@ impl Session {
                 })
             }
         };
+        query_trace.end_span("execute", span);
+        let trace = SubmissionTrace {
+            trace_id: query_trace.trace_id(),
+            level,
+            cache_hit,
+            generation,
+            deduced_bound: prepared.deduced_bound(),
+            estimated_tuples: match decision {
+                Decision::Baseline { estimated_tuples } => Some(estimated_tuples),
+                Decision::Rejected {
+                    reason:
+                        RejectReason::EstimateExceedsQuota {
+                            estimated_tuples, ..
+                        },
+                } => Some(estimated_tuples),
+                _ => None,
+            },
+            budget: self.quota.max_tuples,
+            tuples_used,
+            elapsed: if level.counters() {
+                started.elapsed()
+            } else {
+                Duration::ZERO
+            },
+            spans: query_trace.spans().to_vec(),
+        };
         Ok(SessionOutcome {
             decision,
             generation,
             answer,
+            trace,
         })
     }
 }
@@ -664,5 +995,130 @@ mod tests {
         drop(pinned);
         assert_eq!(service.metrics().live_generations, 1);
         assert!(weak.upgrade().is_none(), "old snapshot must be freed");
+    }
+
+    #[test]
+    fn submission_traces_stamp_cache_admission_and_quota_state() {
+        let service = service();
+        let session = service.session(ResourceQuota::unlimited().with_max_tuples(50_000_000));
+        let first = session.execute(COVERED).unwrap();
+        let second = session.execute(COVERED).unwrap();
+        assert!(!first.trace.cache_hit, "first submission must plan");
+        assert!(second.trace.cache_hit, "second submission reuses the plan");
+        assert!(
+            second.trace.trace_id > first.trace.trace_id,
+            "trace ids are unique and monotone"
+        );
+        assert_eq!(first.trace.generation, first.generation);
+        assert_eq!(first.trace.budget, Some(50_000_000));
+        assert!(first.trace.deduced_bound.unwrap() > 0, "covered query");
+        assert_eq!(first.trace.estimated_tuples, None);
+        assert_eq!(
+            first.trace.tuples_used,
+            first.answer.as_ref().unwrap().tuples_accessed,
+            "the trace reports exactly the quota spend"
+        );
+        // the default level is Counters: phases are recorded without timing
+        let names: Vec<&str> = first.trace.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["prepare", "admit", "execute"]);
+        assert!(first.trace.render().contains("cache miss"));
+        assert!(second.trace.to_string().contains("cache hit"));
+        assert!(first.trace.render().contains("deduced bound"));
+    }
+
+    #[test]
+    fn rejected_submissions_trace_the_estimate_and_spend_nothing() {
+        let service = service();
+        let strict = service.session(ResourceQuota::unlimited().with_max_tuples(10));
+        let out = strict.execute(UNCOVERED).unwrap();
+        assert!(matches!(out.decision, Decision::Rejected { .. }));
+        assert_eq!(out.trace.estimated_tuples, Some(60));
+        assert_eq!(out.trace.deduced_bound, None, "uncovered query");
+        assert_eq!(out.trace.budget, Some(10));
+        assert_eq!(out.trace.tuples_used, 0, "a rejection spends nothing");
+        assert!(out.trace.render().contains("estimated 60"), "{}", out.trace);
+        assert!(out.answer.is_none());
+    }
+
+    #[test]
+    fn slow_query_log_captures_submissions_over_the_threshold() {
+        let service = service();
+        assert_eq!(service.slow_query_threshold(), DEFAULT_SLOW_QUERY_THRESHOLD);
+        let session = service.session(ResourceQuota::unlimited());
+        session.execute(COVERED).unwrap();
+        assert!(
+            service.slow_queries().is_empty(),
+            "sub-threshold submissions are not logged"
+        );
+        service.set_slow_query_threshold(Duration::ZERO);
+        let out = session.execute(COVERED).unwrap();
+        assert!(session.execute("not sql").is_err());
+        let entries = service.slow_queries();
+        assert_eq!(entries.len(), 2, "zero threshold logs everything");
+        assert_eq!(entries[0].trace_id, out.trace.trace_id);
+        assert_eq!(entries[0].session, session.id());
+        assert_eq!(entries[0].sql, COVERED);
+        assert_eq!(entries[0].outcome, "bounded");
+        assert_eq!(entries[0].generation, out.generation);
+        assert_eq!(entries[1].trace_id, 0, "failed before tracing completed");
+        assert!(
+            entries[1].outcome.starts_with("error: "),
+            "{}",
+            entries[1].outcome
+        );
+    }
+
+    #[test]
+    fn slow_query_log_is_a_bounded_ring() {
+        let log = SlowQueryLog::default();
+        log.threshold_ns.store(0, Ordering::Relaxed);
+        for i in 0..(SLOW_QUERY_LOG_CAP as u64 + 5) {
+            log.observe(SlowQueryRecord {
+                trace_id: i,
+                session: 0,
+                sql: String::new(),
+                outcome: "bounded".to_string(),
+                elapsed: Duration::from_nanos(1),
+                generation: 1,
+            });
+        }
+        let entries = log.entries.lock().unwrap();
+        assert_eq!(entries.len(), SLOW_QUERY_LOG_CAP);
+        assert_eq!(entries.front().unwrap().trace_id, 5, "oldest evicted");
+        assert_eq!(
+            entries.back().unwrap().trace_id,
+            SLOW_QUERY_LOG_CAP as u64 + 4
+        );
+    }
+
+    #[test]
+    fn metrics_registry_exports_prometheus_and_json() {
+        let service = service();
+        let session = service.session(ResourceQuota::unlimited());
+        session.execute(COVERED).unwrap();
+        session.execute(COVERED).unwrap();
+        let registry = service.metrics_registry();
+        let prom = registry.to_prometheus();
+        assert!(
+            prom.contains("beas_service_decisions_total{decision=\"bounded\"} 2"),
+            "{prom}"
+        );
+        assert!(prom.contains("beas_plan_cache_lookups_total{outcome=\"miss\"} 1"));
+        assert!(prom.contains("beas_plan_cache_lookups_total{outcome=\"hit\"} 1"));
+        assert!(prom.contains("beas_service_live_generations 1"));
+        assert!(prom.contains("beas_submission_latency_ns_count 2"));
+        assert!(prom
+            .contains("beas_submission_latency_by_decision_ns_bucket{decision=\"bounded\",le=\""));
+        assert!(prom.contains("# TYPE beas_submission_latency_ns histogram"));
+        assert_eq!(
+            prom.matches("# HELP beas_service_decisions_total").count(),
+            1,
+            "one header per family, not per label set"
+        );
+        let json = registry.to_json();
+        assert!(json.contains("\"name\":\"beas_service_decisions_total\""));
+        assert!(json.contains("\"decision\":\"bounded\""));
+        assert!(json.contains("\"name\":\"beas_submission_latency_ns\""));
+        assert!(json.contains("\"buckets\":["));
     }
 }

@@ -8,6 +8,7 @@
 //! This facade crate re-exports the public API of the workspace crates so
 //! that applications can depend on a single `beas` crate:
 //!
+//! * [`obs`] — low-overhead tracing, timing and metrics export;
 //! * [`common`] — values, types, schemas, tuples;
 //! * [`sql`] — SQL lexer/parser/binder for the supported fragment;
 //! * [`storage`] — in-memory tables, catalog and indices;
@@ -40,6 +41,7 @@ pub use beas_access as access;
 pub use beas_common as common;
 pub use beas_core as core;
 pub use beas_engine as engine;
+pub use beas_obs as obs;
 pub use beas_service as service;
 pub use beas_sql as sql;
 pub use beas_storage as storage;
@@ -66,12 +68,15 @@ pub mod prelude {
     pub use beas_access::{AccessConstraint, AccessSchema};
     pub use beas_common::{BeasError, DataType, Date, Result, Row, Schema, TableSchema, Value};
     pub use beas_common::{QuotaTracker, ResourceQuota};
+    pub use beas_core::QueryAnalysis;
     pub use beas_core::{
         BeasSystem, BoundedPlan, CheckReport, CoverageResult, EvaluationMode, ExecutionOutcome,
     };
     pub use beas_engine::{
-        Engine, ExecProfile, ExecutionMetrics, LogicalPlan, OptimizerProfile, QueryResult,
+        Engine, EngineAnalysis, ExecProfile, ExecutionMetrics, LogicalPlan, OptimizerProfile,
+        QueryResult,
     };
-    pub use beas_service::{Decision, QueryService, Session, SessionOutcome};
+    pub use beas_obs::{set_trace_level, trace_level, TraceLevel};
+    pub use beas_service::{Decision, QueryService, Session, SessionOutcome, SubmissionTrace};
     pub use beas_storage::{Database, Table};
 }
